@@ -1,0 +1,467 @@
+// Package mburst's root benchmark harness regenerates every table and
+// figure of the paper (one benchmark per artifact — see DESIGN.md §3) and
+// runs the ablation benches for the design choices §7 discusses. Figure
+// benches attach their headline measurements via b.ReportMetric, so
+// `go test -bench=. -benchmem` doubles as the experiment runner:
+//
+//	go test -run=^$ -bench=BenchmarkFig3 -benchtime=1x
+//
+// The figure benches use the quick configuration so a full -bench=. pass
+// stays tractable; cmd/mbreport runs the full-scale campaign.
+package mburst
+
+import (
+	"testing"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/core"
+	"mburst/internal/detect"
+	"mburst/internal/fabric"
+	"mburst/internal/pktsample"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/stats"
+	"mburst/internal/topo"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+func quickExperiment(b *testing.B) *core.Experiment {
+	b.Helper()
+	exp, err := core.NewExperiment(core.QuickConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return exp
+}
+
+// ---------------------------------------------------------------------------
+// One benchmark per paper table/figure.
+
+func BenchmarkFig1DropUtilizationScatter(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig1DropUtilScatter()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Correlation, "corr")
+		b.ReportMetric(float64(len(res.Points)), "points")
+	}
+}
+
+func BenchmarkFig2DropTimeSeries(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig2DropTimeSeries()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HighStats.ZeroBins, "zero-bin-frac")
+	}
+}
+
+func BenchmarkTable1SamplingLoss(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table1SamplingLoss()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Interval == 25*simclock.Microsecond {
+				b.ReportMetric(row.MissRate*100, "miss%@25µs")
+			}
+		}
+	}
+}
+
+func BenchmarkFig3BurstDurationCDF(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig3BurstDurations()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Durations[workload.Web].Quantile(0.9), "web-p90-µs")
+		b.ReportMetric(res.Durations[workload.Hadoop].Quantile(0.9), "hadoop-p90-µs")
+	}
+}
+
+func BenchmarkTable2MarkovModel(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table2BurstMarkov()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Models[workload.Web].LikelihoodRatio(), "web-ratio")
+	}
+}
+
+func BenchmarkFig4InterBurstCDF(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig4InterBurstGaps()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Gaps[workload.Web].At(100)*100, "web-gaps<100µs-%")
+	}
+}
+
+func BenchmarkFig5PacketSizeMix(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig5PacketSizes()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Mix[workload.Web].LargeShift()*100, "web-shift-%")
+	}
+}
+
+func BenchmarkFig6UtilizationCDF(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig6UtilizationCDF()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.HotFrac[workload.Hadoop]*100, "hadoop-hot-%")
+	}
+}
+
+func BenchmarkFig7UplinkMAD(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig7UplinkMAD()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MAD[workload.Hadoop].EgressFine.Quantile(0.5)*100, "hadoop-mad-p50-%")
+	}
+}
+
+func BenchmarkFig8ServerCorrelation(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig8ServerCorrelation()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.BlockScore[workload.Cache], "cache-block-score")
+	}
+}
+
+func BenchmarkFig9HotPortShare(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig9HotPortShare()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Share[workload.Hadoop].UplinkShare()*100, "hadoop-uplink-%")
+	}
+}
+
+func BenchmarkFig10BufferOccupancy(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Fig10BufferOccupancy()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxHotFrac[workload.Hadoop]*100, "hadoop-max-hot-%")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablation benches for the design choices DESIGN.md calls out.
+
+// BenchmarkAblationHotThreshold varies the burst criterion around the
+// paper's 50% (§5.4 claims the choice barely matters because utilization
+// is multimodal).
+func BenchmarkAblationHotThreshold(b *testing.B) {
+	for _, th := range []float64{0.3, 0.5, 0.7} {
+		b.Run(fmtFloat(th), func(b *testing.B) {
+			cfg := core.QuickConfig()
+			cfg.HotThreshold = th
+			exp, err := core.NewExperiment(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				c, err := exp.RunByteCampaign(workload.Hadoop, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := stats.NewECDF(c.BurstDurationsMicros(th))
+				b.ReportMetric(e.Quantile(0.9), "p90-µs")
+				b.ReportMetric(float64(e.N()), "bursts")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGranularity measures the same rack at 25 µs, 100 µs and
+// 1 ms sampling: coarse granularities cannot see µbursts at all (§5.1:
+// "fine-grained measurements are needed to capture certain behaviors").
+func BenchmarkAblationGranularity(b *testing.B) {
+	for _, interval := range []simclock.Duration{
+		25 * simclock.Microsecond,
+		100 * simclock.Microsecond,
+		simclock.Millisecond,
+	} {
+		b.Run(interval.String(), func(b *testing.B) {
+			exp := quickExperiment(b)
+			for i := 0; i < b.N; i++ {
+				c, err := exp.RunByteCampaign(workload.Hadoop, interval)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := stats.NewECDF(c.BurstDurationsMicros(0))
+				b.ReportMetric(float64(e.N()), "bursts")
+				if e.N() > 0 {
+					b.ReportMetric(e.Quantile(0.9), "p90-µs")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationECMPFlowlet compares flow hashing, flowlet switching
+// and per-pick round robin on Fig 7's imbalance metric (§7's
+// load-balancing implication).
+func BenchmarkAblationECMPFlowlet(b *testing.B) {
+	for _, mode := range []simnet.BalancerMode{
+		simnet.BalanceFlow, simnet.BalanceFlowlet, simnet.BalanceRoundRobin,
+	} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := core.QuickConfig()
+			cfg.Balancer = mode
+			exp, err := core.NewExperiment(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				res, err := exp.Fig7UplinkMAD()
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(res.MAD[workload.Hadoop].EgressFine.Quantile(0.5)*100, "hadoop-mad-p50-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationPacing compares unpaced senders against senders capped
+// at 95% of line rate with stretched bursts (§7's pacing implication):
+// pacing trades burst intensity for duration.
+func BenchmarkAblationPacing(b *testing.B) {
+	for _, paced := range []bool{false, true} {
+		name := "unpaced"
+		if paced {
+			name = "paced"
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := core.QuickConfig()
+			cfg.Paced = paced
+			exp, err := core.NewExperiment(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				c, err := exp.RunByteCampaign(workload.Hadoop, 0)
+				if err != nil {
+					b.Fatal(err)
+				}
+				e := stats.NewECDF(c.BurstDurationsMicros(0))
+				if e.N() > 0 {
+					b.ReportMetric(e.Quantile(0.9), "p90-µs")
+				}
+				var hot float64
+				for _, s := range c.WindowSeries {
+					hot += analysis.HotFraction(s, 0)
+				}
+				b.ReportMetric(hot/float64(len(c.WindowSeries))*100, "hot-%")
+			}
+		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Extension benches: baselines and future-work experiments.
+
+// BenchmarkBaselinePacketSampling runs the §2 baseline (1-in-30000 sFlow
+// sampling) against a hadoop rack and reports how blind it is at 25 µs.
+func BenchmarkBaselinePacketSampling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		net, err := simnet.New(simnet.Config{
+			Rack:   topo.Default(16),
+			Params: workload.DefaultParams(workload.Hadoop),
+			Seed:   1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		sampler := pktsample.NewSampler(pktsample.DefaultRate, rng.New(2))
+		net.SetTxObserver(func(now simclock.Time, p int, nbytes float64, profile asic.TrafficProfile) {
+			sampler.Observe(now, p, nbytes, profile)
+		})
+		dur := 200 * simclock.Millisecond
+		net.Run(dur)
+		fine, err := pktsample.EstimateUtilization(sampler.Records(), 0,
+			net.Switch().Port(0).Speed(), pktsample.DefaultRate,
+			simclock.Epoch, simclock.Epoch.Add(dur), 25*simclock.Microsecond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cov := pktsample.Coverage(fine)
+		b.ReportMetric(cov.EmptyFrac*100, "empty-25µs-%")
+	}
+}
+
+// BenchmarkExtensionSignalLatency quantifies §7's congestion-control
+// implication: the fraction of observed µbursts that are over before an
+// RTT/2-delayed congestion signal could reach the sender.
+func BenchmarkExtensionSignalLatency(b *testing.B) {
+	exp := quickExperiment(b)
+	for i := 0; i < b.N; i++ {
+		c, err := exp.RunByteCampaign(workload.Web, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		durs := c.BurstDurationsMicros(0)
+		for _, rtt := range []simclock.Duration{50 * simclock.Microsecond, 100 * simclock.Microsecond, 250 * simclock.Microsecond} {
+			frac := detect.FractionOverBeforeSignal(durs, rtt/2)
+			b.ReportMetric(frac*100, "over-before-"+rtt.String()+"-rtt-%")
+		}
+	}
+}
+
+// BenchmarkExtensionFabricTier measures the future-work tier comparison:
+// ToR ports should show a higher coefficient of variation than spine
+// ports, which aggregate several racks.
+func BenchmarkExtensionFabricTier(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		var cfg fabric.Config
+		for r := 0; r < 4; r++ {
+			app := workload.Hadoop
+			if r%2 == 1 {
+				app = workload.Cache
+			}
+			cfg.RackConfigs = append(cfg.RackConfigs, simnet.Config{
+				Rack:   topo.Default(16),
+				Params: workload.DefaultParams(app),
+				Seed:   uint64(100 + r),
+				RackID: r,
+			})
+		}
+		c, err := fabric.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		c.Run(20 * simclock.Millisecond)
+		cmp, err := fabric.CompareTiers(c, 150*simclock.Millisecond, 300*simclock.Microsecond, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cmp.ToR.CoV, "tor-cov")
+		b.ReportMetric(cmp.Spine.CoV, "spine-cov")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Hot-path microbenchmarks (allocation behaviour via -benchmem).
+
+func BenchmarkASICTick(b *testing.B) {
+	rack := topo.Default(32)
+	sw := asic.New(asic.Config{
+		PortSpeeds:  rack.PortSpeeds(),
+		BufferBytes: 1 << 20,
+		Alpha:       1,
+	})
+	profile := asic.TrafficProfile{0.2, 0, 0, 0, 0, 0.8}
+	tick := 5 * simclock.Microsecond
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for p := 0; p < rack.NumPorts(); p++ {
+			sw.OfferTx(p, 3000, profile)
+		}
+		sw.Tick(tick)
+	}
+}
+
+func BenchmarkSimnetMillisecond(b *testing.B) {
+	net, err := simnet.New(simnet.Config{
+		Rack:   topo.Default(32),
+		Params: workload.DefaultParams(workload.Hadoop),
+		Seed:   1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.Run(simclock.Millisecond)
+	}
+}
+
+func BenchmarkWireEncodeDecode(b *testing.B) {
+	batch := &wire.Batch{Rack: 1}
+	for i := 0; i < 1024; i++ {
+		batch.Samples = append(batch.Samples, wire.Sample{
+			Time:  simclock.Time(i) * simclock.Time(25*simclock.Microsecond),
+			Port:  uint16(i % 36),
+			Kind:  asic.KindBytes,
+			Value: uint64(i) * 6250,
+		})
+	}
+	var buf []byte
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = wire.AppendBatch(buf[:0], batch)
+	}
+	b.SetBytes(int64(len(buf)))
+}
+
+func BenchmarkECDFQuantile(b *testing.B) {
+	src := rng.New(1)
+	sample := make([]float64, 100_000)
+	for i := range sample {
+		sample[i] = src.Exp(100)
+	}
+	e := stats.NewECDF(sample)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Quantile(0.9)
+	}
+}
+
+func BenchmarkMarkovFit(b *testing.B) {
+	src := rng.New(2)
+	seq := make([]bool, 100_000)
+	for i := range seq {
+		seq[i] = src.Bool(0.1)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = stats.FitMarkov(seq)
+	}
+}
+
+func fmtFloat(f float64) string {
+	switch f {
+	case 0.3:
+		return "threshold30"
+	case 0.5:
+		return "threshold50"
+	case 0.7:
+		return "threshold70"
+	default:
+		return "threshold"
+	}
+}

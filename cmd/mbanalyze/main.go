@@ -1,0 +1,171 @@
+// Command mbanalyze computes the paper's analyses from a trace directory
+// recorded by mbsim (or any tool writing the trace format).
+//
+// Usage:
+//
+//	mbanalyze -trace DIR -analysis bursts|gaps|util|markov|hotshare [-cdf]
+//
+// Analyses:
+//
+//	bursts    µburst duration distribution (Fig 3)
+//	gaps      inter-burst gap distribution + Poisson KS test (Fig 4, §5.2)
+//	util      utilization distribution (Fig 6)
+//	markov    two-state burst Markov model (Table 2)
+//	hotshare  uplink/downlink split of hot samples (Fig 9; needs an
+//	          allports/buffer trace)
+//
+// With -cdf, the full CDF step points are printed as "value cumfrac"
+// rows ready for plotting; otherwise a summary line is printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/plot"
+	"mburst/internal/stats"
+	"mburst/internal/topo"
+	"mburst/internal/trace"
+)
+
+func main() {
+	dir := flag.String("trace", "", "trace directory (required)")
+	what := flag.String("analysis", "bursts", "bursts, gaps, util, markov, hotshare")
+	cdf := flag.Bool("cdf", false, "print full CDF points instead of a summary")
+	plotOut := flag.Bool("plot", false, "render an ASCII CDF plot (bursts/gaps/util)")
+	threshold := flag.Float64("threshold", analysis.DefaultHotThreshold, "hot threshold")
+	flag.Parse()
+
+	if *dir == "" {
+		fmt.Fprintln(os.Stderr, "mbanalyze: -trace is required")
+		os.Exit(2)
+	}
+	r, err := trace.Open(*dir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbanalyze: %v\n", err)
+		os.Exit(1)
+	}
+	meta := r.Meta()
+	rack := topo.Rack{
+		NumServers:  meta.NumServers,
+		ServerSpeed: meta.ServerSpeed,
+		NumUplinks:  meta.NumUplinks,
+		UplinkSpeed: meta.UplinkSpeed,
+	}
+
+	speedOf := func(port int) uint64 {
+		if rack.IsUplink(port) {
+			return rack.UplinkSpeed
+		}
+		return rack.ServerSpeed
+	}
+
+	// Load every available window and split into per-counter series.
+	type windowData struct {
+		byPort map[analysis.SeriesKey][]analysis.UtilPoint
+	}
+	var windows []windowData
+	for i := 0; i < meta.Windows; i++ {
+		if !r.HasWindow(i) {
+			continue
+		}
+		samples, err := r.Window(i)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbanalyze: window %d: %v\n", i, err)
+			os.Exit(1)
+		}
+		wd := windowData{byPort: make(map[analysis.SeriesKey][]analysis.UtilPoint)}
+		for key, s := range analysis.Split(samples) {
+			if key.Kind != asic.KindBytes {
+				continue
+			}
+			series, err := analysis.UtilizationSeries(s, speedOf(int(key.Port)))
+			if err != nil {
+				continue
+			}
+			wd.byPort[key] = series
+		}
+		windows = append(windows, wd)
+	}
+	if len(windows) == 0 {
+		fmt.Fprintln(os.Stderr, "mbanalyze: trace has no readable windows")
+		os.Exit(1)
+	}
+
+	printECDF := func(name string, values []float64, unit string) {
+		e := stats.NewECDF(values)
+		if *cdf {
+			for _, p := range e.Points() {
+				fmt.Println(p)
+			}
+			return
+		}
+		fmt.Printf("%s (%s): n=%d p50=%.3g p90=%.3g p99=%.3g max=%.3g\n",
+			name, unit, e.N(), e.Quantile(0.5), e.Quantile(0.9), e.Quantile(0.99), e.Max())
+		if *plotOut {
+			fmt.Print(plot.CDF(plot.CDFConfig{LogX: e.Min() > 0 && e.Max() > 100*e.Min(), XLabel: unit},
+				plot.Series{Name: name, ECDF: e}))
+		}
+	}
+
+	switch *what {
+	case "bursts":
+		var durs []float64
+		for _, w := range windows {
+			for _, s := range w.byPort {
+				durs = append(durs, analysis.BurstDurations(analysis.Bursts(s, *threshold))...)
+			}
+		}
+		printECDF("burst durations", durs, "µs")
+	case "gaps":
+		var gaps []float64
+		for _, w := range windows {
+			for _, s := range w.byPort {
+				gaps = append(gaps, analysis.InterBurstGaps(analysis.Bursts(s, *threshold))...)
+			}
+		}
+		printECDF("inter-burst gaps", gaps, "µs")
+		if !*cdf {
+			ks := analysis.PoissonTest(gaps)
+			fmt.Printf("KS vs exponential: D=%.4f p=%.3g poisson-rejected(0.001)=%v\n", ks.D, ks.PValue, ks.Rejects(0.001))
+		}
+	case "util":
+		var utils []float64
+		for _, w := range windows {
+			for _, s := range w.byPort {
+				utils = append(utils, analysis.Utils(s)...)
+			}
+		}
+		printECDF("utilization", utils, "fraction of line rate")
+	case "markov":
+		var models []stats.MarkovModel
+		for _, w := range windows {
+			for _, s := range w.byPort {
+				models = append(models, analysis.BurstMarkov(s, *threshold))
+			}
+		}
+		m := stats.MergeMarkov(models...)
+		fmt.Printf("markov: %v\n", m)
+	case "hotshare":
+		var share analysis.HotShare
+		for _, w := range windows {
+			var series [][]analysis.UtilPoint
+			var uplink []bool
+			for key, s := range w.byPort {
+				series = append(series, s)
+				uplink = append(uplink, rack.IsUplink(int(key.Port)))
+			}
+			hs := analysis.HotPortShare(series, func(i int) bool { return uplink[i] }, *threshold)
+			share.UplinkHot += hs.UplinkHot
+			share.DownlinkHot += hs.DownlinkHot
+		}
+		fmt.Printf("hot samples: uplink=%d downlink=%d uplink share=%.1f%%\n",
+			share.UplinkHot, share.DownlinkHot, share.UplinkShare()*100)
+	default:
+		fmt.Fprintf(os.Stderr, "mbanalyze: unknown analysis %q\n", *what)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,106 @@
+// Command mbcollectd is the standalone collector service: it accepts TCP
+// connections from switch-side sampling clients (collector.Client),
+// decodes their batch streams, and either archives the raw batches to a
+// file or prints periodic ingest statistics.
+//
+// Usage:
+//
+//	mbcollectd -listen 127.0.0.1:9900 [-out samples.mbw] [-stats 5s]
+//
+// Shut down with SIGINT/SIGTERM; the listener drains connections before
+// exiting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"mburst/internal/collector"
+	"mburst/internal/wire"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:9900", "listen address")
+	out := flag.String("out", "", "optional file to append raw batches to")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
+	httpAddr := flag.String("http", "", "optional address serving GET /stats as JSON")
+	flag.Parse()
+
+	var (
+		mu     sync.Mutex
+		fileW  *wire.Writer
+		closer *os.File
+	)
+	if *out != "" {
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbcollectd: %v\n", err)
+			os.Exit(1)
+		}
+		fileW = wire.NewWriter(f)
+		closer = f
+	}
+
+	stats := &collector.IngestStats{}
+	handler := stats.Wrap(func(b *wire.Batch) {
+		if fileW != nil {
+			mu.Lock()
+			if err := fileW.WriteBatch(b); err != nil {
+				fmt.Fprintf(os.Stderr, "mbcollectd: write: %v\n", err)
+			}
+			mu.Unlock()
+		}
+	})
+	if *httpAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/stats", stats)
+		go func() {
+			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "mbcollectd: http: %v\n", err)
+			}
+		}()
+		fmt.Printf("mbcollectd: stats at http://%s/stats\n", *httpAddr)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbcollectd: %v\n", err)
+		os.Exit(1)
+	}
+	srv := collector.Serve(ln, handler)
+	fmt.Printf("mbcollectd: listening on %s\n", srv.Addr())
+
+	ticker := time.NewTicker(*statsEvery)
+	defer ticker.Stop()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+
+	for {
+		select {
+		case <-ticker.C:
+			snap := stats.Snapshot()
+			fmt.Printf("mbcollectd: %d batches, %d samples received\n", snap.Batches, snap.Samples)
+			if err := srv.LastErr(); err != nil {
+				fmt.Fprintf(os.Stderr, "mbcollectd: stream error: %v\n", err)
+			}
+		case s := <-sig:
+			fmt.Printf("mbcollectd: %v, draining\n", s)
+			if err := srv.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "mbcollectd: close: %v\n", err)
+			}
+			if closer != nil {
+				closer.Close()
+			}
+			snap := stats.Snapshot()
+			fmt.Printf("mbcollectd: final: %d batches, %d samples\n", snap.Batches, snap.Samples)
+			return
+		}
+	}
+}

@@ -1,0 +1,105 @@
+// Command mbdump inspects a raw batch archive (the file mbcollectd -out
+// writes, or any concatenation of wire batches): per-batch summaries,
+// per-counter totals, and optionally the first samples decoded.
+//
+// Usage:
+//
+//	mbdump -in samples.mbw [-samples 10] [-quiet]
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"mburst/internal/analysis"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+func main() {
+	in := flag.String("in", "", "batch archive to inspect (required)")
+	showSamples := flag.Int("samples", 0, "print the first N samples decoded")
+	quiet := flag.Bool("quiet", false, "suppress per-batch lines, print only totals")
+	flag.Parse()
+
+	if *in == "" {
+		fmt.Fprintln(os.Stderr, "mbdump: -in is required")
+		os.Exit(2)
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbdump: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	r := wire.NewReader(f)
+	var (
+		batches, samples int
+		printed          int
+		perSeries        = map[analysis.SeriesKey]int{}
+		firstT, lastT    simclock.Time
+		seen             bool
+	)
+	for {
+		b, err := r.ReadBatch()
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			fmt.Fprintf(os.Stderr, "mbdump: after %d batches: %v\n", batches, err)
+			os.Exit(1)
+		}
+		batches++
+		samples += len(b.Samples)
+		if !*quiet {
+			var span simclock.Duration
+			if n := len(b.Samples); n > 0 {
+				span = b.Samples[n-1].Time.Sub(b.Samples[0].Time)
+			}
+			fmt.Printf("batch %4d: rack %d, %5d samples, %v of virtual time\n",
+				batches, b.Rack, len(b.Samples), span)
+		}
+		for _, s := range b.Samples {
+			if !seen || s.Time < firstT {
+				firstT = s.Time
+			}
+			if !seen || s.Time > lastT {
+				lastT = s.Time
+			}
+			seen = true
+			perSeries[analysis.SeriesKey{Port: s.Port, Dir: s.Dir, Kind: s.Kind}]++
+			if printed < *showSamples {
+				printed++
+				fmt.Printf("  sample t=%v port=%d %s/%s value=%d missed=%d\n",
+					s.Time, s.Port, s.Dir, s.Kind, s.Value, s.Missed)
+			}
+		}
+	}
+
+	fmt.Printf("\ntotal: %d batches, %d samples", batches, samples)
+	if seen {
+		fmt.Printf(", virtual span %v", lastT.Sub(firstT))
+	}
+	fmt.Println()
+	keys := make([]analysis.SeriesKey, 0, len(perSeries))
+	for k := range perSeries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Port != keys[j].Port {
+			return keys[i].Port < keys[j].Port
+		}
+		if keys[i].Dir != keys[j].Dir {
+			return keys[i].Dir < keys[j].Dir
+		}
+		return keys[i].Kind < keys[j].Kind
+	})
+	for _, k := range keys {
+		fmt.Printf("  %-28s %d samples\n", k.String(), perSeries[k])
+	}
+}

@@ -1,0 +1,87 @@
+// Command mbreport regenerates every table and figure of the paper in one
+// run and prints a paper-vs-measured summary.
+//
+// Usage:
+//
+//	mbreport [-quick] [-racks N] [-windows N] [-window 250ms] [-servers N]
+//	         [-seed N] [-balancer flow|flowlet|roundrobin] [-paced]
+//
+// The defaults run the standard scaled-down campaign (see DESIGN.md §1);
+// -quick runs the minimal configuration used by the test suite.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mburst/internal/core"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use the minimal quick configuration")
+	racks := flag.Int("racks", 0, "racks per application (0 = config default)")
+	windows := flag.Int("windows", 0, "windows per rack (0 = config default)")
+	window := flag.Duration("window", 0, "window duration (0 = config default)")
+	servers := flag.Int("servers", 0, "servers per rack (0 = config default)")
+	seed := flag.Uint64("seed", 0, "experiment seed (0 = config default)")
+	balancer := flag.String("balancer", "flow", "uplink balancer: flow, flowlet, roundrobin")
+	paced := flag.Bool("paced", false, "enable the pacing ablation")
+	plots := flag.Bool("plot", false, "also render figures as terminal graphics")
+	flag.Parse()
+
+	cfg := core.DefaultConfig()
+	if *quick {
+		cfg = core.QuickConfig()
+	}
+	if *racks > 0 {
+		cfg.Racks = *racks
+	}
+	if *windows > 0 {
+		cfg.Windows = *windows
+	}
+	if *window > 0 {
+		cfg.WindowDur = simclock.FromStd(*window)
+	}
+	if *servers > 0 {
+		cfg.Servers = *servers
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+	cfg.Paced = *paced
+	switch *balancer {
+	case "flow":
+		cfg.Balancer = simnet.BalanceFlow
+	case "flowlet":
+		cfg.Balancer = simnet.BalanceFlowlet
+	case "roundrobin":
+		cfg.Balancer = simnet.BalanceRoundRobin
+	default:
+		fmt.Fprintf(os.Stderr, "mbreport: unknown balancer %q\n", *balancer)
+		os.Exit(2)
+	}
+
+	exp, err := core.NewExperiment(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("mburst report: %d racks × %d windows × %v per app, %d servers/rack, seed %d\n\n",
+		cfg.Racks, cfg.Windows, cfg.WindowDur, cfg.Servers, cfg.Seed)
+	start := time.Now()
+	rep, err := exp.RunAll()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbreport: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println(rep.Format())
+	if *plots {
+		fmt.Println()
+		fmt.Println(rep.FormatPlots())
+	}
+	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
+}

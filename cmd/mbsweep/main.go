@@ -1,0 +1,89 @@
+// Command mbsweep runs parameter sweeps over the reproduction and prints
+// one table per sweep.
+//
+// Usage:
+//
+//	mbsweep -sweep interval|buffer|oversub|threshold|all [-app hadoop]
+//	        [-window 250ms] [-servers 32] [-seed 1]
+//
+// Sweeps:
+//
+//	interval    polling interval vs. miss rate / visible bursts (Table 1+)
+//	buffer      shared-buffer size vs. drops and peak occupancy (§7)
+//	oversub     servers-per-rack vs. uplink heat (§6.3)
+//	threshold   burst criterion vs. burst statistics (§5.4)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"mburst/internal/core"
+	"mburst/internal/simclock"
+	"mburst/internal/sweep"
+	"mburst/internal/workload"
+)
+
+func main() {
+	which := flag.String("sweep", "all", "interval, buffer, oversub, threshold, all")
+	appName := flag.String("app", "hadoop", "application rack type")
+	window := flag.Duration("window", 0, "window duration (0 = default)")
+	servers := flag.Int("servers", 0, "servers per rack (0 = default)")
+	seed := flag.Uint64("seed", 0, "seed (0 = default)")
+	flag.Parse()
+
+	app, err := workload.ParseApp(*appName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbsweep: %v\n", err)
+		os.Exit(2)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Racks, cfg.Windows = 1, 1 // sweeps vary a knob, not the campaign size
+	if *window > 0 {
+		cfg.WindowDur = simclock.FromStd(*window)
+	}
+	if *servers > 0 {
+		cfg.Servers = *servers
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	us := func(n int64) simclock.Duration { return simclock.Micros(n) }
+	run := func(name string, f func() (sweep.Result, error)) {
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbsweep: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res.Format())
+		fmt.Println()
+	}
+
+	start := time.Now()
+	if *which == "interval" || *which == "all" {
+		run("interval", func() (sweep.Result, error) {
+			return sweep.SamplingInterval(cfg, app,
+				[]simclock.Duration{us(1), us(5), us(10), us(25), us(50), us(100), us(250), us(1000)})
+		})
+	}
+	if *which == "buffer" || *which == "all" {
+		run("buffer", func() (sweep.Result, error) {
+			return sweep.BufferSize(cfg, app,
+				[]float64{128 << 10, 512 << 10, 1536 << 10, 4 << 20, 16 << 20})
+		})
+	}
+	if *which == "oversub" || *which == "all" {
+		run("oversub", func() (sweep.Result, error) {
+			return sweep.Oversubscription(cfg, app, []int{8, 16, 32, 48, 64})
+		})
+	}
+	if *which == "threshold" || *which == "all" {
+		run("threshold", func() (sweep.Result, error) {
+			return sweep.HotThreshold(cfg, app, []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+		})
+	}
+	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))
+}

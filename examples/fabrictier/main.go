@@ -1,0 +1,62 @@
+// Fabrictier runs the future-work experiment from §4.2: measure one tier
+// above the ToRs. Four racks (hadoop and cache) run under a fabric-switch
+// tier wired as a folded Clos; the same burstiness statistics are then
+// computed for ToR server ports, ToR uplinks, and fabric spine ports.
+//
+// Expected outcome (the paper cites Jupiter [19] for it): ToR ports are
+// the burstiest — aggregation across racks statistically multiplexes
+// µbursts away, so spine ports run hotter on average yet far smoother.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mburst/internal/fabric"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/topo"
+	"mburst/internal/workload"
+)
+
+func main() {
+	var cfg fabric.Config
+	apps := []workload.App{workload.Hadoop, workload.Cache, workload.Hadoop, workload.Web}
+	for i, app := range apps {
+		cfg.RackConfigs = append(cfg.RackConfigs, simnet.Config{
+			Rack:   topo.Default(16),
+			Params: workload.DefaultParams(app),
+			Seed:   uint64(7000 + i),
+			RackID: i,
+		})
+	}
+	cluster, err := fabric.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cluster: %d racks (%v), %d fabric switches, %d spine ports each\n",
+		cluster.NumRacks(), apps, cluster.NumFabrics(), 2)
+
+	cluster.Run(30 * simclock.Millisecond) // warmup
+	cmp, err := fabric.CompareTiers(cluster, 400*simclock.Millisecond, 300*simclock.Microsecond, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	fmt.Println(cmp.Format())
+	fmt.Println()
+	if cmp.Spine.CoV < cmp.ToR.CoV {
+		fmt.Printf("=> ToR ports are %.1f× more variable than spine ports: the µburst problem lives at the edge.\n",
+			cmp.ToR.CoV/cmp.Spine.CoV)
+	}
+	var fabricDrops uint64
+	for f := 0; f < cluster.NumFabrics(); f++ {
+		fabricDrops += cluster.Fabric(f).TotalDropped()
+	}
+	var torDrops uint64
+	for r := 0; r < cluster.NumRacks(); r++ {
+		torDrops += cluster.Rack(r).Switch().TotalDropped()
+	}
+	fmt.Printf("congestion discards: ToR tier %d, fabric tier %d (\"the majority of congestion occurs at that layer\", §1)\n",
+		torDrops, fabricDrops)
+}

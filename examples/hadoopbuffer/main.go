@@ -1,0 +1,93 @@
+// Hadoopbuffer reproduces Fig 10's mechanism on a Hadoop rack: the shared
+// buffer's peak occupancy grows nonlinearly with the number of
+// simultaneously hot ports, because the ASIC's dynamic threshold carves
+// less per-port headroom as the free pool shrinks. It prints one row per
+// hot-port count with a textual boxplot of normalized peak occupancy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"strings"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/topo"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+func main() {
+	rack := topo.Default(24)
+	net, err := simnet.New(simnet.Config{
+		Rack:   rack,
+		Params: workload.DefaultParams(workload.Hadoop),
+		Seed:   5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Poll the buffer-peak register plus every port's byte counter at
+	// 300 µs — the Fig 10 campaign plan.
+	counters := []collector.CounterSpec{{Kind: asic.KindBufferPeak}}
+	for p := 0; p < rack.NumPorts(); p++ {
+		counters = append(counters, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
+	}
+	var samples []wire.Sample
+	poller, err := collector.NewPoller(collector.PollerConfig{
+		Interval:      300 * simclock.Microsecond,
+		Counters:      counters,
+		DedicatedCore: true,
+	}, net.Switch(), rng.New(9), collector.EmitterFunc(func(s wire.Sample) { samples = append(samples, s) }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	net.Run(25 * simclock.Millisecond)
+	net.Switch().ReadPeakBufferAndClear()
+	poller.Install(net.Scheduler())
+	net.Run(800 * simclock.Millisecond)
+
+	split := analysis.Split(samples)
+	var series [][]analysis.UtilPoint
+	for p := 0; p < rack.NumPorts(); p++ {
+		key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
+		ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(p).Speed())
+		if err != nil {
+			log.Fatal(err)
+		}
+		series = append(series, ser)
+	}
+	var peaks []wire.Sample
+	for _, s := range samples {
+		if s.Kind == asic.KindBufferPeak {
+			peaks = append(peaks, s)
+		}
+	}
+	windows, err := analysis.BufferVsHotPorts(series, peaks, 10*simclock.Millisecond, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	box := analysis.BufferBoxplots(windows)
+
+	fmt.Printf("Hadoop rack: normalized peak buffer occupancy vs hot ports (%d windows of 10ms)\n", len(windows))
+	fmt.Printf("max simultaneous hot ports: %.0f%% of %d ports\n\n",
+		analysis.MaxHotPortFraction(windows, rack.NumPorts())*100, rack.NumPorts())
+	fmt.Println("hot  n    q1    med   q3    (median as bar)")
+	counts := make([]int, 0, len(box))
+	for k := range box {
+		counts = append(counts, k)
+	}
+	sort.Ints(counts)
+	for _, k := range counts {
+		b := box[k]
+		bar := strings.Repeat("█", int(b.Median*40))
+		fmt.Printf("%3d %4d %.3f %.3f %.3f %s\n", k, b.N, b.Q1, b.Median, b.Q3, bar)
+	}
+	fmt.Printf("\ntotal congestion discards during the run: %d packets\n", net.Switch().TotalDropped())
+}

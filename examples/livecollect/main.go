@@ -1,0 +1,94 @@
+// Livecollect demonstrates the full collection pipeline exactly as the
+// paper deploys it (§4.1): a switch-side sampling loop batches counter
+// samples and streams them over TCP to a collector service, which archives
+// them for offline analysis. Everything runs in one process here — the
+// poller plays the switch CPU, a collector.Server plays the distributed
+// collector — but the bytes really cross a TCP socket.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/stats"
+	"mburst/internal/topo"
+	"mburst/internal/workload"
+)
+
+func main() {
+	// --- Collector service side -----------------------------------------
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sink := &collector.MemSink{}
+	srv := collector.Serve(ln, sink.Handle)
+	defer srv.Close()
+	fmt.Printf("collector service listening on %s\n", srv.Addr())
+
+	// --- Switch side ------------------------------------------------------
+	sim, err := simnet.New(simnet.Config{
+		Rack:   topo.Default(32),
+		Params: workload.DefaultParams(workload.Cache),
+		Seed:   123,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	client := collector.NewClient(conn, 0 /* rack id */, 1024)
+
+	const port = 8
+	poller, err := collector.NewPoller(collector.PollerConfig{
+		Interval:      25 * simclock.Microsecond,
+		Counters:      []collector.CounterSpec{{Port: port, Dir: asic.TX, Kind: asic.KindBytes}},
+		DedicatedCore: true,
+	}, sim.Switch(), rng.New(1), client)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sim.Run(25 * simclock.Millisecond) // warmup
+	poller.Install(sim.Scheduler())
+	sim.Run(500 * simclock.Millisecond)
+	if err := client.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Wait for the stream to drain, then analyze -----------------------
+	deadline := time.Now().Add(5 * time.Second)
+	want := int(poller.Samples())
+	for len(sink.Samples()) < want && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	samples := sink.Samples()
+	fmt.Printf("poller took %d samples (miss rate %.2f%%), collector received %d in %d batches\n",
+		poller.Samples(), poller.MissRate()*100, len(samples), sink.Batches())
+
+	series, err := analysis.UtilizationSeries(samples, sim.Switch().Port(port).Speed())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bursts := analysis.Bursts(series, 0)
+	durs := stats.NewECDF(analysis.BurstDurations(bursts))
+	fmt.Printf("analysis over the received stream: %d bursts", durs.N())
+	if durs.N() > 0 {
+		fmt.Printf(", p90 duration %.0fµs", durs.Quantile(0.9))
+	}
+	fmt.Println()
+	if err := srv.LastErr(); err != nil {
+		log.Fatalf("collector reported stream error: %v", err)
+	}
+	fmt.Println("stream integrity verified (CRC-checked batches, no decode errors)")
+}

@@ -1,0 +1,71 @@
+// Quickstart: simulate a Web rack, poll one port's byte counter at 25 µs
+// through the collection framework, and characterize its µbursts — the
+// core loop of the paper in ~60 lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/stats"
+	"mburst/internal/topo"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+func main() {
+	// A 32-server web rack under its default traffic model.
+	net, err := simnet.New(simnet.Config{
+		Rack:   topo.Default(32),
+		Params: workload.DefaultParams(workload.Web),
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Attach the high-resolution poller to server 3's egress byte
+	// counter at the paper's 25 µs interval.
+	const port = 3
+	var samples []wire.Sample
+	poller, err := collector.NewPoller(collector.PollerConfig{
+		Interval:      25 * simclock.Microsecond,
+		Counters:      []collector.CounterSpec{{Port: port, Dir: asic.TX, Kind: asic.KindBytes}},
+		DedicatedCore: true,
+	}, net.Switch(), rng.New(7), collector.EmitterFunc(func(s wire.Sample) {
+		samples = append(samples, s)
+	}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm up, then record half a second.
+	net.Run(25 * simclock.Millisecond)
+	poller.Install(net.Scheduler())
+	net.Run(500 * simclock.Millisecond)
+
+	// Turn cumulative byte counts into utilization, segment bursts.
+	series, err := analysis.UtilizationSeries(samples, net.Switch().Port(port).Speed())
+	if err != nil {
+		log.Fatal(err)
+	}
+	bursts := analysis.Bursts(series, analysis.DefaultHotThreshold)
+	durations := stats.NewECDF(analysis.BurstDurations(bursts))
+
+	fmt.Printf("captured %d samples (%.2f%% of intervals missed)\n",
+		len(samples), poller.MissRate()*100)
+	fmt.Printf("observed %d µbursts on %s\n", len(bursts), net.Switch().Port(port).Name())
+	if durations.N() > 0 {
+		fmt.Printf("burst durations: p50=%.0fµs p90=%.0fµs max=%.0fµs\n",
+			durations.Quantile(0.5), durations.Quantile(0.9), durations.Max())
+		fmt.Printf("fraction lasting one sampling period or less: %.0f%%\n",
+			durations.At(25)*100)
+	}
+	fmt.Printf("time spent hot: %.2f%%\n", analysis.HotFraction(series, 0)*100)
+}

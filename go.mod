@@ -1,0 +1,3 @@
+module mburst
+
+go 1.22

@@ -1,0 +1,112 @@
+package analysis
+
+import (
+	"mburst/internal/simclock"
+	"mburst/internal/stats"
+)
+
+// DefaultHotThreshold is the paper's burst criterion: a sampling period is
+// "hot" when utilization exceeds 50% (§5.1, following [8]). §5.4 notes the
+// results are insensitive to this choice because utilization is so
+// multimodal — the AblationHotThreshold bench demonstrates that.
+const DefaultHotThreshold = 0.5
+
+// Burst is a maximal run of consecutive hot sampling periods (§5.1: "An
+// unbroken sequence of hot samples indicates a burst").
+type Burst struct {
+	Start, End simclock.Time
+}
+
+// Duration returns the burst's length.
+func (b Burst) Duration() simclock.Duration { return b.End.Sub(b.Start) }
+
+// HotSequence classifies each span of a utilization series as hot or not.
+func HotSequence(series []UtilPoint, threshold float64) []bool {
+	hot := make([]bool, len(series))
+	for i, p := range series {
+		hot[i] = p.Util > threshold
+	}
+	return hot
+}
+
+// Bursts segments a utilization series into bursts at the given hot
+// threshold (<= 0 selects DefaultHotThreshold).
+func Bursts(series []UtilPoint, threshold float64) []Burst {
+	if threshold <= 0 {
+		threshold = DefaultHotThreshold
+	}
+	var out []Burst
+	var cur *Burst
+	for _, p := range series {
+		if p.Util > threshold {
+			if cur == nil {
+				out = append(out, Burst{Start: p.Start, End: p.End})
+				cur = &out[len(out)-1]
+			} else {
+				cur.End = p.End
+			}
+		} else {
+			cur = nil
+		}
+	}
+	return out
+}
+
+// BurstDurations returns each burst's duration in microseconds — the
+// Fig 3 sample set.
+func BurstDurations(bursts []Burst) []float64 {
+	out := make([]float64, len(bursts))
+	for i, b := range bursts {
+		out[i] = float64(b.Duration()) / float64(simclock.Microsecond)
+	}
+	return out
+}
+
+// InterBurstGaps returns the idle period between consecutive bursts in
+// microseconds — the Fig 4 sample set.
+func InterBurstGaps(bursts []Burst) []float64 {
+	if len(bursts) < 2 {
+		return nil
+	}
+	out := make([]float64, 0, len(bursts)-1)
+	for i := 1; i < len(bursts); i++ {
+		gap := bursts[i].Start.Sub(bursts[i-1].End)
+		out = append(out, float64(gap)/float64(simclock.Microsecond))
+	}
+	return out
+}
+
+// BurstMarkov fits the paper's two-state first-order Markov model (Table 2)
+// to a utilization series at the given hot threshold.
+func BurstMarkov(series []UtilPoint, threshold float64) stats.MarkovModel {
+	if threshold <= 0 {
+		threshold = DefaultHotThreshold
+	}
+	return stats.FitMarkov(HotSequence(series, threshold))
+}
+
+// PoissonTest runs the §5.2 Kolmogorov–Smirnov test of inter-burst gaps
+// against an exponential fit: rejecting the null rejects homogeneous
+// Poisson burst arrivals.
+func PoissonTest(gapsMicros []float64) stats.KSResult {
+	return stats.KSExponential(gapsMicros)
+}
+
+// HotFraction returns the time-weighted fraction of the series spent hot.
+func HotFraction(series []UtilPoint, threshold float64) float64 {
+	if threshold <= 0 {
+		threshold = DefaultHotThreshold
+	}
+	var hot, total simclock.Duration
+	for _, p := range series {
+		span := p.Span()
+		total += span
+		if p.Util > threshold {
+			hot += span
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(hot) / float64(total)
+}

@@ -1,0 +1,151 @@
+package analysis
+
+import (
+	"math"
+
+	"mburst/internal/stats"
+	"mburst/internal/wire"
+)
+
+// Autocorrelation returns the sample autocorrelation function of a series
+// at lags 0..maxLag: r(k) = Σ (x_t−µ)(x_{t+k}−µ) / Σ (x_t−µ)².
+//
+// This is the continuous-valued complement of the paper's two-state
+// Markov analysis (§5.1): positively correlated utilization at small lags
+// is what "bursts are correlated" means before thresholding. r(0) is
+// always 1 for a non-constant series; a constant series yields NaN.
+func Autocorrelation(xs []float64, maxLag int) []float64 {
+	if maxLag < 0 {
+		panic("analysis: negative maxLag")
+	}
+	out := make([]float64, maxLag+1)
+	n := len(xs)
+	if n == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	mu := stats.Mean(xs)
+	var denom float64
+	for _, x := range xs {
+		d := x - mu
+		denom += d * d
+	}
+	if denom == 0 {
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+	for k := 0; k <= maxLag; k++ {
+		var num float64
+		for t := 0; t+k < n; t++ {
+			num += (xs[t] - mu) * (xs[t+k] - mu)
+		}
+		out[k] = num / denom
+	}
+	return out
+}
+
+// IntegralTimescale returns the sum of autocorrelation values from lag 1
+// until the first non-positive lag (a standard burst-memory length
+// estimate, in units of sampling intervals). Zero for memoryless series.
+func IntegralTimescale(acf []float64) float64 {
+	var sum float64
+	for k := 1; k < len(acf); k++ {
+		if math.IsNaN(acf[k]) || acf[k] <= 0 {
+			break
+		}
+		sum += acf[k]
+	}
+	return sum
+}
+
+// SignalCoverage returns the fraction of bursts during which a cumulative
+// congestion-signal counter (ECN marks, drops) advanced — i.e. the bursts
+// a signal-driven control loop could even in principle learn about. §7's
+// point is two-fold: many bursts end before the signal reaches the sender
+// (see detect.FractionOverBeforeSignal), and mild bursts may produce no
+// signal at all; this measures the latter.
+//
+// signal must be time-ordered samples of one cumulative counter.
+func SignalCoverage(bursts []Burst, signal []wire.Sample) float64 {
+	if len(bursts) == 0 || len(signal) < 2 {
+		return 0
+	}
+	covered := 0
+	for _, b := range bursts {
+		// Counter value at the last sample at or before the burst start
+		// (fall back to the first sample), and at the first sample at or
+		// after the burst end (fall back to the last).
+		before := signal[0].Value
+		for _, s := range signal {
+			if s.Time.After(b.Start) {
+				break
+			}
+			before = s.Value
+		}
+		after := signal[len(signal)-1].Value
+		for _, s := range signal {
+			if !s.Time.Before(b.End) {
+				after = s.Value
+				break
+			}
+		}
+		if after > before {
+			covered++
+		}
+	}
+	return float64(covered) / float64(len(bursts))
+}
+
+// BurstIntensity summarizes how intense bursts are relative to the
+// surrounding traffic (§5.4: "when bursts occur, they are generally
+// intense").
+type BurstIntensity struct {
+	// MeanInside / MeanOutside are time-weighted mean utilizations.
+	MeanInside, MeanOutside float64
+	// PeakInside is the maximum utilization observed inside any burst.
+	PeakInside float64
+	// Ratio is MeanInside / MeanOutside (Inf when outside is idle).
+	Ratio float64
+}
+
+// Intensity computes BurstIntensity for a utilization series at the given
+// threshold (<= 0 selects the default).
+func Intensity(series []UtilPoint, threshold float64) BurstIntensity {
+	if threshold <= 0 {
+		threshold = DefaultHotThreshold
+	}
+	var in, out BurstIntensity
+	var inDur, outDur float64
+	for _, p := range series {
+		span := float64(p.Span())
+		if p.Util > threshold {
+			in.MeanInside += p.Util * span
+			inDur += span
+			if p.Util > in.PeakInside {
+				in.PeakInside = p.Util
+			}
+		} else {
+			out.MeanOutside += p.Util * span
+			outDur += span
+		}
+	}
+	var res BurstIntensity
+	if inDur > 0 {
+		res.MeanInside = in.MeanInside / inDur
+		res.PeakInside = in.PeakInside
+	}
+	if outDur > 0 {
+		res.MeanOutside = out.MeanOutside / outDur
+	}
+	switch {
+	case res.MeanOutside > 0:
+		res.Ratio = res.MeanInside / res.MeanOutside
+	case res.MeanInside > 0:
+		res.Ratio = math.Inf(1)
+	}
+	return res
+}

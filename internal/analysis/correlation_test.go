@@ -1,0 +1,171 @@
+package analysis
+
+import (
+	"math"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/topo"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+func TestAutocorrelationWhiteNoise(t *testing.T) {
+	src := rng.New(31)
+	xs := make([]float64, 20000)
+	for i := range xs {
+		xs[i] = src.Float64()
+	}
+	acf := Autocorrelation(xs, 5)
+	if math.Abs(acf[0]-1) > 1e-12 {
+		t.Errorf("r(0) = %v", acf[0])
+	}
+	for k := 1; k <= 5; k++ {
+		if math.Abs(acf[k]) > 0.03 {
+			t.Errorf("white noise r(%d) = %v, want ~0", k, acf[k])
+		}
+	}
+	if ts := IntegralTimescale(acf); ts > 0.1 {
+		t.Errorf("white-noise timescale = %v", ts)
+	}
+}
+
+func TestAutocorrelationPersistentProcess(t *testing.T) {
+	// AR(1) with φ = 0.8 has r(k) ≈ 0.8^k.
+	src := rng.New(37)
+	xs := make([]float64, 50000)
+	for i := 1; i < len(xs); i++ {
+		xs[i] = 0.8*xs[i-1] + src.Normal()
+	}
+	acf := Autocorrelation(xs, 3)
+	for k := 1; k <= 3; k++ {
+		want := math.Pow(0.8, float64(k))
+		if math.Abs(acf[k]-want) > 0.05 {
+			t.Errorf("r(%d) = %v, want ~%v", k, acf[k], want)
+		}
+	}
+	if ts := IntegralTimescale(acf); ts < 1 {
+		t.Errorf("persistent timescale = %v, want > 1", ts)
+	}
+}
+
+func TestAutocorrelationEdgeCases(t *testing.T) {
+	for _, xs := range [][]float64{nil, {5, 5, 5, 5}} {
+		acf := Autocorrelation(xs, 2)
+		for k, v := range acf {
+			if !math.IsNaN(v) {
+				t.Errorf("degenerate input r(%d) = %v, want NaN", k, v)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative maxLag did not panic")
+		}
+	}()
+	Autocorrelation([]float64{1}, -1)
+}
+
+func TestIntensity(t *testing.T) {
+	series := seriesOf(0.05, 0.9, 0.8, 0.05, 0.1)
+	in := Intensity(series, 0)
+	if math.Abs(in.MeanInside-0.85) > 1e-12 {
+		t.Errorf("mean inside = %v", in.MeanInside)
+	}
+	wantOut := (0.05 + 0.05 + 0.1) / 3
+	if math.Abs(in.MeanOutside-wantOut) > 1e-12 {
+		t.Errorf("mean outside = %v", in.MeanOutside)
+	}
+	if in.PeakInside != 0.9 {
+		t.Errorf("peak = %v", in.PeakInside)
+	}
+	if math.Abs(in.Ratio-0.85/wantOut) > 1e-9 {
+		t.Errorf("ratio = %v", in.Ratio)
+	}
+}
+
+func TestSignalCoverage(t *testing.T) {
+	us := func(n int64) simclock.Time { return simclock.Epoch.Add(simclock.Micros(n)) }
+	bursts := []Burst{
+		{Start: us(100), End: us(150)}, // signal advances inside → covered
+		{Start: us(300), End: us(350)}, // no signal change → not covered
+	}
+	signal := []wire.Sample{
+		{Time: us(0), Value: 10},
+		{Time: us(120), Value: 15}, // advance during burst 1
+		{Time: us(200), Value: 15},
+		{Time: us(400), Value: 15},
+	}
+	if got := SignalCoverage(bursts, signal); got != 0.5 {
+		t.Errorf("coverage = %v, want 0.5", got)
+	}
+	if got := SignalCoverage(nil, signal); got != 0 {
+		t.Errorf("empty bursts coverage = %v", got)
+	}
+	if got := SignalCoverage(bursts, signal[:1]); got != 0 {
+		t.Errorf("single-sample coverage = %v", got)
+	}
+}
+
+func TestSignalCoverageWithECNSimulation(t *testing.T) {
+	// End-to-end: a hadoop rack with DCTCP-style marking enabled. Strong
+	// bursts must produce marks (coverage > 0) while coverage stays below
+	// 1 (weak bursts never push the queue past the threshold) — the §7
+	// "signal exists at all" gap.
+	net, err := simnet.New(simnet.Config{
+		Rack:              topo.Default(16),
+		Params:            workload.DefaultParams(workload.Hadoop),
+		Seed:              71,
+		ECNThresholdBytes: 60 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const port = 0
+	interval := 25 * simclock.Microsecond
+	net.Run(simclock.Millis(20))
+	var bytesSamples, markSamples []wire.Sample
+	for i := 0; i < 12000; i++ {
+		net.Run(interval)
+		now := net.Now()
+		bytesSamples = append(bytesSamples, wire.Sample{
+			Time: now, Kind: asic.KindBytes, Dir: asic.TX, Port: port,
+			Value: net.Switch().Port(port).Bytes(asic.TX),
+		})
+		markSamples = append(markSamples, wire.Sample{
+			Time: now, Kind: asic.KindECNMarks, Port: port,
+			Value: net.Switch().Port(port).ECNMarks(),
+		})
+	}
+	series, err := UtilizationSeries(bytesSamples, net.Switch().Port(port).Speed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	bursts := Bursts(series, 0)
+	if len(bursts) < 10 {
+		t.Fatalf("only %d bursts; need more for a stable coverage estimate", len(bursts))
+	}
+	cov := SignalCoverage(bursts, markSamples)
+	if cov <= 0 {
+		t.Error("no burst ever produced an ECN mark")
+	}
+	if cov >= 0.999 {
+		t.Errorf("coverage = %v; expected some unmarked (mild) bursts", cov)
+	}
+}
+
+func TestIntensityEdges(t *testing.T) {
+	// All idle: zero intensity, zero ratio.
+	in := Intensity(seriesOf(0, 0, 0), 0)
+	if in.Ratio != 0 || in.MeanInside != 0 {
+		t.Errorf("idle intensity = %+v", in)
+	}
+	// Always hot with an idle-free series: infinite ratio.
+	in = Intensity(seriesOf(0.9, 0.95), 0)
+	if !math.IsInf(in.Ratio, 1) {
+		t.Errorf("always-hot ratio = %v", in.Ratio)
+	}
+}

@@ -1,0 +1,196 @@
+// Package analysis turns raw counter samples into the paper's results:
+// burst segmentation and duration CDFs (Fig 3), inter-burst gaps and the
+// Poisson test (Fig 4, §5.2), Markov burst models (Table 2), packet-size
+// mixes inside and outside bursts (Fig 5), utilization distributions
+// (Fig 6), uplink load-balance deviation (Fig 7), server correlation
+// matrices (Fig 8), hot-port directionality (Fig 9), buffer-occupancy
+// versus hot ports (Fig 10), and the coarse-grained SNMP-style views that
+// motivate the study (Figs 1–2).
+//
+// All functions are pure: samples in, summaries out. Inputs come from the
+// collection pipeline (or a trace file) as wire.Sample slices.
+package analysis
+
+import (
+	"fmt"
+	"sort"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// SeriesKey identifies one counter instance within a mixed sample stream.
+type SeriesKey struct {
+	Port uint16
+	Dir  asic.Direction
+	Kind asic.CounterKind
+}
+
+// String formats the key.
+func (k SeriesKey) String() string {
+	return fmt.Sprintf("port%d/%s/%s", k.Port, k.Dir, k.Kind)
+}
+
+// Split partitions a mixed sample stream by counter instance, preserving
+// order. Campaigns that poll several counters per loop iteration emit
+// interleaved streams; Split recovers the per-counter series.
+func Split(samples []wire.Sample) map[SeriesKey][]wire.Sample {
+	out := make(map[SeriesKey][]wire.Sample)
+	for _, s := range samples {
+		k := SeriesKey{Port: s.Port, Dir: s.Dir, Kind: s.Kind}
+		out[k] = append(out[k], s)
+	}
+	return out
+}
+
+// UtilPoint is the utilization of a link over one observation span.
+type UtilPoint struct {
+	// Start/End bound the span (successive sample timestamps).
+	Start, End simclock.Time
+	// Util is the average utilization over the span in [0, ~1].
+	Util float64
+}
+
+// Span returns the point's duration.
+func (p UtilPoint) Span() simclock.Duration { return p.End.Sub(p.Start) }
+
+// UtilizationSeries converts a cumulative byte-counter series into
+// per-span utilization. Each output point covers the span between two
+// successive samples — this is exactly the paper's recovery path for
+// missed intervals: byte counts are cumulative and timestamps correct, so
+// throughput over the (longer) span is still exact (Table 1 caption).
+//
+// speedBps is the port's line rate. An error is returned for series that
+// are too short, out of order, or with regressing byte counts.
+func UtilizationSeries(samples []wire.Sample, speedBps uint64) ([]UtilPoint, error) {
+	if len(samples) < 2 {
+		return nil, fmt.Errorf("analysis: need >= 2 samples, have %d", len(samples))
+	}
+	if speedBps == 0 {
+		return nil, fmt.Errorf("analysis: zero port speed")
+	}
+	out := make([]UtilPoint, 0, len(samples)-1)
+	for i := 1; i < len(samples); i++ {
+		prev, cur := samples[i-1], samples[i]
+		span := cur.Time.Sub(prev.Time)
+		if span <= 0 {
+			return nil, fmt.Errorf("analysis: non-increasing timestamps at %d", i)
+		}
+		if cur.Value < prev.Value {
+			return nil, fmt.Errorf("analysis: byte counter regressed at %d", i)
+		}
+		bits := float64(cur.Value-prev.Value) * 8
+		out = append(out, UtilPoint{
+			Start: prev.Time,
+			End:   cur.Time,
+			Util:  bits / (float64(speedBps) * span.Seconds()),
+		})
+	}
+	return out, nil
+}
+
+// Rebin aggregates a utilization series into fixed-width bins (e.g. the
+// 1 s granularity of Fig 7's coarse curves), byte-weighting each source
+// span by its overlap with the bin.
+func Rebin(series []UtilPoint, width simclock.Duration) []UtilPoint {
+	if width <= 0 {
+		panic("analysis: non-positive rebin width")
+	}
+	if len(series) == 0 {
+		return nil
+	}
+	start := series[0].Start.Truncate(width)
+	end := series[len(series)-1].End
+	nbins := int((end.Sub(start) + width - 1) / simclock.Duration(width))
+	if nbins <= 0 {
+		nbins = 1
+	}
+	acc := make([]float64, nbins) // util·ns accumulated per bin
+	for _, p := range series {
+		// Distribute the span across the bins it overlaps.
+		s, e := p.Start, p.End
+		for s.Before(e) {
+			bi := int(s.Sub(start) / simclock.Duration(width))
+			if bi >= nbins {
+				break
+			}
+			binEnd := start.Add(simclock.Duration(bi+1) * width)
+			segEnd := e
+			if binEnd.Before(segEnd) {
+				segEnd = binEnd
+			}
+			acc[bi] += p.Util * float64(segEnd.Sub(s))
+			s = segEnd
+		}
+	}
+	out := make([]UtilPoint, nbins)
+	for i := range out {
+		binStart := start.Add(simclock.Duration(i) * width)
+		out[i] = UtilPoint{
+			Start: binStart,
+			End:   binStart.Add(width),
+			Util:  acc[i] / float64(width),
+		}
+	}
+	return out
+}
+
+// Utils extracts the utilization values of a series (for ECDFs, Fig 6).
+func Utils(series []UtilPoint) []float64 {
+	out := make([]float64, len(series))
+	for i, p := range series {
+		out[i] = p.Util
+	}
+	return out
+}
+
+// AlignedMatrix resamples several per-port utilization series onto the
+// union of their span boundaries and returns, for each port, the
+// utilization value applying in each aligned slot. Campaigns that poll
+// several ports in one loop iteration produce naturally aligned series;
+// this function also tolerates small misalignment from missed intervals.
+//
+// The returned slots (second value) give each aligned span. Ports missing
+// data for a slot carry their covering span's utilization.
+func AlignedMatrix(series [][]UtilPoint) ([][]float64, []UtilPoint) {
+	if len(series) == 0 {
+		return nil, nil
+	}
+	// Collect the union of boundaries.
+	boundSet := make(map[simclock.Time]struct{})
+	for _, s := range series {
+		for _, p := range s {
+			boundSet[p.Start] = struct{}{}
+			boundSet[p.End] = struct{}{}
+		}
+	}
+	bounds := make([]simclock.Time, 0, len(boundSet))
+	for t := range boundSet {
+		bounds = append(bounds, t)
+	}
+	sort.Slice(bounds, func(i, j int) bool { return bounds[i] < bounds[j] })
+	if len(bounds) < 2 {
+		return nil, nil
+	}
+	slots := make([]UtilPoint, len(bounds)-1)
+	for i := range slots {
+		slots[i] = UtilPoint{Start: bounds[i], End: bounds[i+1]}
+	}
+	matrix := make([][]float64, len(series))
+	for si, s := range series {
+		row := make([]float64, len(slots))
+		pi := 0
+		for bi := range slots {
+			mid := slots[bi].Start.Add(slots[bi].End.Sub(slots[bi].Start) / 2)
+			for pi < len(s) && !s[pi].End.After(mid) {
+				pi++
+			}
+			if pi < len(s) && !s[pi].Start.After(mid) {
+				row[bi] = s[pi].Util
+			}
+		}
+		matrix[si] = row
+	}
+	return matrix, slots
+}

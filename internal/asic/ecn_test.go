@@ -1,0 +1,102 @@
+package asic
+
+import (
+	"testing"
+
+	"mburst/internal/simclock"
+)
+
+func ecnSwitch(threshold float64) *Switch {
+	return New(Config{
+		PortSpeeds:        []uint64{gbps10},
+		BufferBytes:       1 << 20,
+		Alpha:             2,
+		ECNThresholdBytes: threshold,
+	})
+}
+
+func TestECNDisabledByDefault(t *testing.T) {
+	sw := newTestSwitch(1)
+	tick := simclock.Micros(5)
+	for i := 0; i < 50; i++ {
+		sw.OfferTx(0, 20000, fullMTU) // heavy overload, deep queue
+		sw.Tick(tick)
+	}
+	if sw.Port(0).ECNMarks() != 0 {
+		t.Errorf("marks = %d with ECN disabled", sw.Port(0).ECNMarks())
+	}
+}
+
+func TestECNMarksAboveThreshold(t *testing.T) {
+	sw := ecnSwitch(10000)
+	tick := simclock.Micros(5)
+	// Below threshold: queue stays under 10kB, no marks.
+	sw.OfferTx(0, 8000, fullMTU) // 1750B queued
+	sw.Tick(tick)
+	if sw.Port(0).ECNMarks() != 0 {
+		t.Fatalf("marks below threshold: %d", sw.Port(0).ECNMarks())
+	}
+	// Sustained overload pushes the queue past the threshold.
+	for i := 0; i < 20; i++ {
+		sw.OfferTx(0, 12000, fullMTU)
+		sw.Tick(tick)
+	}
+	if sw.Port(0).QueueBytes() <= 10000 {
+		t.Fatalf("setup: queue = %v, want above threshold", sw.Port(0).QueueBytes())
+	}
+	if sw.Port(0).ECNMarks() == 0 {
+		t.Error("no marks despite queue above threshold")
+	}
+}
+
+func TestECNStopsWhenQueueDrains(t *testing.T) {
+	sw := ecnSwitch(5000)
+	tick := simclock.Micros(5)
+	for i := 0; i < 10; i++ {
+		sw.OfferTx(0, 15000, fullMTU)
+		sw.Tick(tick)
+	}
+	marked := sw.Port(0).ECNMarks()
+	if marked == 0 {
+		t.Fatal("setup: expected marks")
+	}
+	// Drain fully, then send light traffic: no further marks.
+	for i := 0; i < 200 && sw.BufferUsed() > 0; i++ {
+		sw.Tick(tick)
+	}
+	sw.OfferTx(0, 1000, fullMTU)
+	sw.Tick(tick)
+	if got := sw.Port(0).ECNMarks(); got != marked {
+		t.Errorf("marks advanced on a drained queue: %d -> %d", marked, got)
+	}
+}
+
+func TestECNDoesNotMarkDroppedBytes(t *testing.T) {
+	// Tiny buffer: most of a massive offer is dropped; marks must only
+	// cover the surviving bytes.
+	sw := New(Config{
+		PortSpeeds:        []uint64{gbps10},
+		BufferBytes:       10000,
+		Alpha:             1,
+		ECNThresholdBytes: 1000,
+	})
+	sw.OfferTx(0, 1_000_000, fullMTU)
+	sw.Tick(simclock.Micros(5))
+	marks := float64(sw.Port(0).ECNMarks())
+	// Survivors = transmitted (6250) + queued (≤10000) ≈ ≤ 16250 bytes ≈ 11 pkts.
+	if marks > 12 {
+		t.Errorf("marks = %v, exceeds surviving packets", marks)
+	}
+	if sw.Port(0).Drops() == 0 {
+		t.Fatal("setup: expected drops")
+	}
+}
+
+func TestECNKindMetadata(t *testing.T) {
+	if KindECNMarks.String() != "ecnmarks" {
+		t.Errorf("name = %q", KindECNMarks.String())
+	}
+	if AccessCost(KindECNMarks) <= 0 {
+		t.Error("no access cost")
+	}
+}

@@ -1,0 +1,42 @@
+package asic_test
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+// Example shows the counter semantics the paper's framework relies on:
+// cumulative byte counters on the data path, and a clear-on-read peak
+// register over the shared buffer that survives missed sampling intervals.
+func Example() {
+	sw := asic.New(asic.Config{
+		PortSpeeds:  []uint64{10_000_000_000}, // one 10G port
+		BufferBytes: 1 << 20,
+		Alpha:       1,
+	})
+	mtu := asic.TrafficProfile{0, 0, 0, 0, 0, 1}
+	tick := 5 * simclock.Microsecond
+
+	// A burst: 20 kB offered in one 5 µs tick (line capacity is 6250 B).
+	sw.OfferTx(0, 20000, mtu)
+	sw.Tick(tick)
+	fmt.Printf("after burst: queue=%.0fB\n", sw.Port(0).QueueBytes())
+
+	// Drain for a while — the burst is long over...
+	for i := 0; i < 10; i++ {
+		sw.Tick(tick)
+	}
+	fmt.Printf("after drain: queue=%.0fB, transmitted=%dB\n",
+		sw.Port(0).QueueBytes(), sw.Port(0).Bytes(asic.TX))
+
+	// ...yet the peak register still reports it (clear-on-read, §4.1).
+	fmt.Printf("peak register: %.0fB\n", sw.ReadPeakBufferAndClear())
+	fmt.Printf("peak register after clear: %.0fB\n", sw.ReadPeakBufferAndClear())
+	// Output:
+	// after burst: queue=13750B
+	// after drain: queue=0B, transmitted=20000B
+	// peak register: 13750B
+	// peak register after clear: 0B
+}

@@ -1,0 +1,91 @@
+package collector
+
+import (
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+func TestCalibrateByteCounterMatchesPaper(t *testing.T) {
+	sw := testSwitch()
+	cfg := PollerConfig{
+		Counters:      []CounterSpec{byteSpec(0)},
+		DedicatedCore: true,
+	}
+	res, err := Calibrate(cfg, sw, 0.01, simclock.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: the byte counter's minimum interval at ~1% loss is 25µs.
+	if res.Interval < simclock.Micros(18) || res.Interval > simclock.Micros(35) {
+		t.Errorf("calibrated interval = %v, want ≈25µs", res.Interval)
+	}
+	if res.MissRate > 0.01 {
+		t.Errorf("predicted miss rate %v exceeds target", res.MissRate)
+	}
+}
+
+func TestCalibrateBufferPeakSlower(t *testing.T) {
+	sw := testSwitch()
+	bytes, err := Calibrate(PollerConfig{
+		Counters: []CounterSpec{byteSpec(0)}, DedicatedCore: true,
+	}, sw, 0.01, simclock.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buffer, err := Calibrate(PollerConfig{
+		Counters: []CounterSpec{{Kind: asic.KindBufferPeak}}, DedicatedCore: true,
+	}, sw, 0.01, simclock.Millisecond, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.1: the buffer register "takes much longer to poll" (50µs).
+	if buffer.Interval <= bytes.Interval {
+		t.Errorf("buffer interval %v should exceed byte interval %v", buffer.Interval, bytes.Interval)
+	}
+	if buffer.Interval < simclock.Micros(40) || buffer.Interval > simclock.Micros(70) {
+		t.Errorf("buffer calibrated to %v, want ≈50µs", buffer.Interval)
+	}
+}
+
+func TestCalibratePredictionMatchesLivePoller(t *testing.T) {
+	// The calibration's predicted miss rate at its chosen interval must
+	// match what a live poller actually measures.
+	sw := testSwitch()
+	cfg := PollerConfig{Counters: []CounterSpec{byteSpec(0)}, DedicatedCore: true}
+	res, err := Calibrate(cfg, sw, 0.02, simclock.Millisecond, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Interval = res.Interval
+	p, err := NewPoller(cfg, sw, rng.New(99), EmitterFunc(func(wire.Sample) {}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := eventq.NewScheduler()
+	p.Install(sched)
+	sched.RunUntil(simclock.Epoch.Add(simclock.Seconds(2)))
+	live := p.MissRate()
+	if live > 3*res.MissRate+0.01 {
+		t.Errorf("live miss rate %v far above predicted %v", live, res.MissRate)
+	}
+}
+
+func TestCalibrateGuards(t *testing.T) {
+	sw := testSwitch()
+	cfg := PollerConfig{Counters: []CounterSpec{byteSpec(0)}, DedicatedCore: true}
+	if _, err := Calibrate(cfg, sw, 0, simclock.Millisecond, 1); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := Calibrate(cfg, sw, 1, simclock.Millisecond, 1); err == nil {
+		t.Error("target 1 accepted")
+	}
+	// An impossible target within a tiny max interval errors out.
+	if _, err := Calibrate(cfg, sw, 0.0001, simclock.Micros(8), 1); err == nil {
+		t.Error("unreachable target accepted")
+	}
+}

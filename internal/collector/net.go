@@ -1,0 +1,235 @@
+package collector
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"mburst/internal/wire"
+)
+
+// Client batches samples and ships them to a collector service as wire
+// batches. It implements Emitter so it can be plugged directly into a
+// Poller ("The CPU batches the samples before sending them to a
+// distributed collector service", §4.1).
+//
+// Client is not safe for concurrent use; a switch runs one sampling loop.
+type Client struct {
+	w        *wire.Writer
+	closer   io.Closer
+	batch    wire.Batch
+	maxBatch int
+	err      error
+}
+
+// DefaultBatchSize is the flush threshold in samples. At 25 µs sampling a
+// batch of 2048 covers ~50 ms of data — small enough for timely delivery,
+// large enough to amortize framing.
+const DefaultBatchSize = 2048
+
+// NewClient returns a client writing batches for rack to w. If w also
+// implements io.Closer (e.g. a net.Conn), Close closes it. maxBatch <= 0
+// selects DefaultBatchSize.
+func NewClient(w io.Writer, rack uint32, maxBatch int) *Client {
+	if maxBatch <= 0 {
+		maxBatch = DefaultBatchSize
+	}
+	c := &Client{
+		w:        wire.NewWriter(w),
+		batch:    wire.Batch{Rack: rack},
+		maxBatch: maxBatch,
+	}
+	if cl, ok := w.(io.Closer); ok {
+		c.closer = cl
+	}
+	return c
+}
+
+// Emit implements Emitter, buffering s and flushing a full batch.
+// Transport errors are sticky and surfaced by Flush/Close.
+func (c *Client) Emit(s wire.Sample) {
+	if c.err != nil {
+		return
+	}
+	c.batch.Samples = append(c.batch.Samples, s)
+	if len(c.batch.Samples) >= c.maxBatch {
+		c.err = c.flushLocked()
+	}
+}
+
+// Flush sends any buffered samples.
+func (c *Client) Flush() error {
+	if c.err != nil {
+		return c.err
+	}
+	c.err = c.flushLocked()
+	return c.err
+}
+
+func (c *Client) flushLocked() error {
+	if len(c.batch.Samples) == 0 {
+		return nil
+	}
+	err := c.w.WriteBatch(&c.batch)
+	c.batch.Samples = c.batch.Samples[:0]
+	return err
+}
+
+// Close flushes and closes the underlying transport.
+func (c *Client) Close() error {
+	flushErr := c.Flush()
+	if c.closer != nil {
+		if err := c.closer.Close(); err != nil && flushErr == nil {
+			flushErr = err
+		}
+	}
+	return flushErr
+}
+
+// BatchHandler consumes decoded batches. It may be called concurrently,
+// once per connection goroutine.
+type BatchHandler func(b *wire.Batch)
+
+// Server is the collector service: it accepts switch connections and
+// decodes their batch streams.
+type Server struct {
+	ln      net.Listener
+	handler BatchHandler
+
+	mu     sync.Mutex
+	closed bool
+	conns  map[net.Conn]struct{}
+
+	wg sync.WaitGroup
+
+	errMu   sync.Mutex
+	lastErr error
+}
+
+// Serve starts accepting connections on ln, dispatching every decoded
+// batch to handler. It returns immediately; Close shuts the service down.
+func Serve(ln net.Listener, handler BatchHandler) *Server {
+	if handler == nil {
+		panic("collector: nil handler")
+	}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s
+}
+
+// Addr returns the listener's address (useful with ":0" listeners).
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// LastErr returns the most recent per-connection decode error, if any.
+// A clean EOF is not an error.
+func (s *Server) LastErr() error {
+	s.errMu.Lock()
+	defer s.errMu.Unlock()
+	return s.lastErr
+}
+
+func (s *Server) setErr(err error) {
+	s.errMu.Lock()
+	s.lastErr = err
+	s.errMu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	r := wire.NewReader(conn)
+	for {
+		b, err := r.ReadBatch()
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				s.setErr(fmt.Errorf("collector: conn %v: %w", conn.RemoteAddr(), err))
+			}
+			return
+		}
+		s.handler(b)
+	}
+}
+
+// isClosedConn reports whether err stems from the connection being closed
+// underneath the reader during shutdown.
+func isClosedConn(err error) bool {
+	return errors.Is(err, net.ErrClosed) || errors.Is(err, io.ErrUnexpectedEOF)
+}
+
+// Close stops accepting, closes active connections, and waits for the
+// connection goroutines to finish.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.ln.Close()
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// MemSink is a concurrency-safe in-memory batch handler, the simplest
+// collector backend (tests, examples, single-process campaigns).
+type MemSink struct {
+	mu      sync.Mutex
+	samples []wire.Sample
+	batches int
+}
+
+// Handle implements BatchHandler.
+func (m *MemSink) Handle(b *wire.Batch) {
+	m.mu.Lock()
+	m.samples = append(m.samples, b.Samples...)
+	m.batches++
+	m.mu.Unlock()
+}
+
+// Samples returns a copy of everything received so far.
+func (m *MemSink) Samples() []wire.Sample {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]wire.Sample, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Batches returns the number of batches received.
+func (m *MemSink) Batches() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.batches
+}

@@ -1,0 +1,232 @@
+package collector
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+func mkSample(i int) wire.Sample {
+	return wire.Sample{
+		Time:  simclock.Epoch.Add(simclock.Micros(int64(i) * 25)),
+		Port:  uint16(i % 4),
+		Dir:   asic.TX,
+		Kind:  asic.KindBytes,
+		Value: uint64(i) * 1000,
+	}
+}
+
+func TestClientBatching(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewClient(&buf, 3, 10)
+	for i := 0; i < 25; i++ {
+		c.Emit(mkSample(i))
+	}
+	// 2 full batches flushed, 5 samples pending.
+	r := wire.NewReader(bytes.NewReader(buf.Bytes()))
+	total := 0
+	for {
+		b, err := r.ReadBatch()
+		if err != nil {
+			break
+		}
+		if b.Rack != 3 {
+			t.Errorf("rack = %d", b.Rack)
+		}
+		total += len(b.Samples)
+	}
+	if total != 20 {
+		t.Errorf("auto-flushed %d samples, want 20", total)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r = wire.NewReader(bytes.NewReader(buf.Bytes()))
+	total = 0
+	for {
+		b, err := r.ReadBatch()
+		if err != nil {
+			break
+		}
+		total += len(b.Samples)
+	}
+	if total != 25 {
+		t.Errorf("after flush: %d samples, want 25", total)
+	}
+}
+
+type failWriter struct{ fail bool }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.fail {
+		return 0, errors.New("boom")
+	}
+	return len(p), nil
+}
+
+func TestClientStickyError(t *testing.T) {
+	fw := &failWriter{fail: true}
+	c := NewClient(fw, 1, 2)
+	c.Emit(mkSample(0))
+	c.Emit(mkSample(1)) // triggers failing flush
+	if err := c.Flush(); err == nil {
+		t.Fatal("expected error")
+	}
+	fw.fail = false
+	if err := c.Flush(); err == nil {
+		t.Error("error should be sticky")
+	}
+}
+
+func TestClientDefaultBatchSize(t *testing.T) {
+	c := NewClient(&bytes.Buffer{}, 0, 0)
+	if c.maxBatch != DefaultBatchSize {
+		t.Errorf("maxBatch = %d", c.maxBatch)
+	}
+}
+
+func TestEndToEndOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &MemSink{}
+	srv := Serve(ln, sink.Handle)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, 9, 16)
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.Emit(mkSample(i))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the server goroutine to drain the stream.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if len(sink.Samples()) == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d samples", len(sink.Samples()), n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	got := sink.Samples()
+	for i, s := range got {
+		if s != mkSample(i) {
+			t.Fatalf("sample %d corrupted in transit: %+v", i, s)
+		}
+	}
+	if sink.Batches() == 0 {
+		t.Error("no batches recorded")
+	}
+	if err := srv.LastErr(); err != nil {
+		t.Errorf("server error: %v", err)
+	}
+}
+
+func TestServerMultipleClients(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &MemSink{}
+	srv := Serve(ln, sink.Handle)
+	defer srv.Close()
+
+	const clients, per = 4, 50
+	done := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		go func(cl int) {
+			conn, err := net.Dial("tcp", srv.Addr().String())
+			if err != nil {
+				done <- err
+				return
+			}
+			c := NewClient(conn, uint32(cl), 7)
+			for i := 0; i < per; i++ {
+				c.Emit(mkSample(i))
+			}
+			done <- c.Close()
+		}(cl)
+	}
+	for i := 0; i < clients; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(sink.Samples()) < clients*per {
+		if time.Now().After(deadline) {
+			t.Fatalf("received %d/%d", len(sink.Samples()), clients*per)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &MemSink{}
+	srv := Serve(ln, sink.Handle)
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("this is not a batch stream at all, not even close"))
+	conn.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.LastErr() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("server never flagged the corrupt stream")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !errors.Is(srv.LastErr(), wire.ErrCorrupt) {
+		t.Errorf("err = %v, want ErrCorrupt", srv.LastErr())
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, (&MemSink{}).Handle)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Errorf("second close: %v", err)
+	}
+}
+
+func TestServeNilHandlerPanics(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("nil handler did not panic")
+		}
+	}()
+	Serve(ln, nil)
+}

@@ -1,0 +1,251 @@
+package collector
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"mburst/internal/wire"
+)
+
+// Dialer opens a transport to the collector service. net.Dial wrapped in a
+// closure is the production implementation; tests inject failures.
+type Dialer func() (io.WriteCloser, error)
+
+// ReconnectingClientConfig tunes a ReconnectingClient.
+type ReconnectingClientConfig struct {
+	// Rack tags outgoing batches.
+	Rack uint32
+	// MaxBatch is the flush threshold (default DefaultBatchSize).
+	MaxBatch int
+	// BufferLimit bounds samples retained while the collector is
+	// unreachable (default 1 << 20). Beyond it the oldest samples are
+	// dropped — the switch must never block its sampling loop on the
+	// network, and DroppedSamples accounts for the loss.
+	BufferLimit int
+	// RetryBackoff is the initial reconnect delay (default 50 ms),
+	// doubling per failure up to MaxBackoff (default 5 s).
+	RetryBackoff time.Duration
+	MaxBackoff   time.Duration
+	// Sleep is injectable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+}
+
+func (c *ReconnectingClientConfig) applyDefaults() {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultBatchSize
+	}
+	if c.BufferLimit <= 0 {
+		c.BufferLimit = 1 << 20
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 50 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.Sleep == nil {
+		c.Sleep = time.Sleep
+	}
+}
+
+// ReconnectingClient is a collection agent's transport: it batches samples
+// like Client, but survives collector restarts by buffering during
+// outages and redialing with exponential backoff. Unlike Client it is
+// safe for concurrent Emit/Close (the flusher runs on its own goroutine).
+type ReconnectingClient struct {
+	cfg  ReconnectingClientConfig
+	dial Dialer
+
+	mu      sync.Mutex
+	pending []wire.Sample
+	closed  bool
+	wake    chan struct{}
+	done    chan struct{}
+
+	dropped   uint64
+	delivered uint64
+	redials   uint64
+}
+
+// NewReconnectingClient starts the background flusher.
+func NewReconnectingClient(dial Dialer, cfg ReconnectingClientConfig) *ReconnectingClient {
+	if dial == nil {
+		panic("collector: nil dialer")
+	}
+	cfg.applyDefaults()
+	c := &ReconnectingClient{
+		cfg:  cfg,
+		dial: dial,
+		wake: make(chan struct{}, 1),
+		done: make(chan struct{}),
+	}
+	go c.flushLoop()
+	return c
+}
+
+// Emit implements Emitter. It never blocks on the network: samples are
+// buffered and the flusher notified; when the buffer limit is exceeded the
+// oldest samples are discarded.
+func (c *ReconnectingClient) Emit(s wire.Sample) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.pending = append(c.pending, s)
+	if over := len(c.pending) - c.cfg.BufferLimit; over > 0 {
+		c.pending = c.pending[over:]
+		c.dropped += uint64(over)
+	}
+	notify := len(c.pending) >= c.cfg.MaxBatch
+	c.mu.Unlock()
+	if notify {
+		select {
+		case c.wake <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// DroppedSamples returns how many samples were discarded during outages.
+func (c *ReconnectingClient) DroppedSamples() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
+}
+
+// DeliveredSamples returns how many samples were written to a transport.
+func (c *ReconnectingClient) DeliveredSamples() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.delivered
+}
+
+// Redials returns how many times the client re-established the transport.
+func (c *ReconnectingClient) Redials() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.redials
+}
+
+// Close flushes best-effort and stops the flusher.
+func (c *ReconnectingClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+	<-c.done
+	return nil
+}
+
+// takeBatch removes up to MaxBatch pending samples.
+func (c *ReconnectingClient) takeBatch() []wire.Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.pending)
+	if n == 0 {
+		return nil
+	}
+	if n > c.cfg.MaxBatch {
+		n = c.cfg.MaxBatch
+	}
+	out := make([]wire.Sample, n)
+	copy(out, c.pending[:n])
+	c.pending = c.pending[:copy(c.pending, c.pending[n:])]
+	return out
+}
+
+// putBack re-queues a batch that failed to send, ahead of newer samples.
+func (c *ReconnectingClient) putBack(batch []wire.Sample) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.pending = append(batch, c.pending...)
+	if over := len(c.pending) - c.cfg.BufferLimit; over > 0 {
+		c.pending = c.pending[over:]
+		c.dropped += uint64(over)
+	}
+}
+
+func (c *ReconnectingClient) flushLoop() {
+	defer close(c.done)
+	var (
+		conn    io.WriteCloser
+		w       *wire.Writer
+		backoff = c.cfg.RetryBackoff
+	)
+	closeConn := func() {
+		if conn != nil {
+			conn.Close()
+			conn, w = nil, nil
+		}
+	}
+	defer closeConn()
+
+	for {
+		c.mu.Lock()
+		empty := len(c.pending) == 0
+		closed := c.closed
+		c.mu.Unlock()
+		if empty {
+			if closed {
+				return
+			}
+			<-c.wake
+			continue
+		}
+		if conn == nil {
+			nc, err := c.dial()
+			if err != nil {
+				if closed {
+					// Shutting down with an unreachable collector:
+					// account the remainder as dropped and exit.
+					c.mu.Lock()
+					c.dropped += uint64(len(c.pending))
+					c.pending = nil
+					c.mu.Unlock()
+					return
+				}
+				c.cfg.Sleep(backoff)
+				backoff *= 2
+				if backoff > c.cfg.MaxBackoff {
+					backoff = c.cfg.MaxBackoff
+				}
+				continue
+			}
+			conn, w = nc, wire.NewWriter(nc)
+			c.mu.Lock()
+			c.redials++
+			c.mu.Unlock()
+			backoff = c.cfg.RetryBackoff
+		}
+		batch := c.takeBatch()
+		if batch == nil {
+			continue
+		}
+		if err := w.WriteBatch(&wire.Batch{Rack: c.cfg.Rack, Samples: batch}); err != nil {
+			closeConn()
+			c.putBack(batch)
+			continue
+		}
+		c.mu.Lock()
+		c.delivered += uint64(len(batch))
+		c.mu.Unlock()
+	}
+}
+
+// String summarizes delivery accounting for diagnostics.
+func (c *ReconnectingClient) String() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return fmt.Sprintf("reconnecting client: delivered=%d dropped=%d redials=%d pending=%d",
+		c.delivered, c.dropped, c.redials, len(c.pending))
+}

@@ -1,0 +1,99 @@
+package collector
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// IngestStats tracks what a collector service has received and serves the
+// counters as JSON over HTTP — the operational surface a production
+// deployment of the collection framework needs (fleet dashboards watch
+// per-rack ingest to spot dead samplers).
+//
+// Wrap an existing BatchHandler with Wrap, and mount the stats on a mux:
+//
+//	stats := &collector.IngestStats{}
+//	srv := collector.Serve(ln, stats.Wrap(sink.Handle))
+//	http.Handle("/stats", stats)
+type IngestStats struct {
+	mu         sync.Mutex
+	batches    uint64
+	samples    uint64
+	perRack    map[uint32]uint64
+	lastSample simclock.Time
+}
+
+// Wrap returns a BatchHandler that records b into the stats and then
+// forwards to next (which may be nil for stats-only collection).
+func (s *IngestStats) Wrap(next BatchHandler) BatchHandler {
+	return func(b *wire.Batch) {
+		s.mu.Lock()
+		s.batches++
+		s.samples += uint64(len(b.Samples))
+		if s.perRack == nil {
+			s.perRack = make(map[uint32]uint64)
+		}
+		s.perRack[b.Rack] += uint64(len(b.Samples))
+		if n := len(b.Samples); n > 0 && b.Samples[n-1].Time > s.lastSample {
+			s.lastSample = b.Samples[n-1].Time
+		}
+		s.mu.Unlock()
+		if next != nil {
+			next(b)
+		}
+	}
+}
+
+// Snapshot is the JSON shape served by the handler.
+type Snapshot struct {
+	Batches uint64 `json:"batches"`
+	Samples uint64 `json:"samples"`
+	// PerRack lists sample counts keyed by rack id, sorted for stable
+	// output.
+	PerRack []RackCount `json:"per_rack"`
+	// LastSampleNanos is the newest sample timestamp seen (simulated
+	// nanoseconds); dashboards alert when it stalls.
+	LastSampleNanos int64 `json:"last_sample_nanos"`
+}
+
+// RackCount is one rack's ingest volume.
+type RackCount struct {
+	Rack    uint32 `json:"rack"`
+	Samples uint64 `json:"samples"`
+}
+
+// Snapshot returns a copy of the current counters.
+func (s *IngestStats) Snapshot() Snapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := Snapshot{
+		Batches:         s.batches,
+		Samples:         s.samples,
+		LastSampleNanos: s.lastSample.Nanoseconds(),
+	}
+	for rack, n := range s.perRack {
+		snap.PerRack = append(snap.PerRack, RackCount{Rack: rack, Samples: n})
+	}
+	sort.Slice(snap.PerRack, func(i, j int) bool { return snap.PerRack[i].Rack < snap.PerRack[j].Rack })
+	return snap
+}
+
+// ServeHTTP implements http.Handler, answering GETs with the JSON
+// snapshot.
+func (s *IngestStats) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

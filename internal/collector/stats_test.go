@@ -1,0 +1,88 @@
+package collector
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"mburst/internal/wire"
+)
+
+func TestIngestStatsWrapAndSnapshot(t *testing.T) {
+	stats := &IngestStats{}
+	var forwarded int
+	h := stats.Wrap(func(b *wire.Batch) { forwarded += len(b.Samples) })
+	h(&wire.Batch{Rack: 1, Samples: []wire.Sample{mkSample(0), mkSample(1)}})
+	h(&wire.Batch{Rack: 2, Samples: []wire.Sample{mkSample(5)}})
+	h(&wire.Batch{Rack: 1, Samples: []wire.Sample{mkSample(9)}})
+
+	if forwarded != 4 {
+		t.Errorf("forwarded %d samples", forwarded)
+	}
+	snap := stats.Snapshot()
+	if snap.Batches != 3 || snap.Samples != 4 {
+		t.Errorf("snapshot = %+v", snap)
+	}
+	if len(snap.PerRack) != 2 || snap.PerRack[0].Rack != 1 || snap.PerRack[0].Samples != 3 {
+		t.Errorf("per-rack = %+v", snap.PerRack)
+	}
+	if snap.LastSampleNanos != mkSample(9).Time.Nanoseconds() {
+		t.Errorf("last sample = %d", snap.LastSampleNanos)
+	}
+}
+
+func TestIngestStatsNilNext(t *testing.T) {
+	stats := &IngestStats{}
+	h := stats.Wrap(nil)
+	h(&wire.Batch{Rack: 7, Samples: []wire.Sample{mkSample(0)}})
+	if stats.Snapshot().Samples != 1 {
+		t.Error("stats-only handler did not record")
+	}
+}
+
+func TestIngestStatsHTTP(t *testing.T) {
+	stats := &IngestStats{}
+	stats.Wrap(nil)(&wire.Batch{Rack: 3, Samples: []wire.Sample{mkSample(1), mkSample(2)}})
+
+	rec := httptest.NewRecorder()
+	stats.ServeHTTP(rec, httptest.NewRequest("GET", "/stats", nil))
+	if rec.Code != 200 {
+		t.Fatalf("status = %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, rec.Body.String())
+	}
+	if snap.Samples != 2 || len(snap.PerRack) != 1 || snap.PerRack[0].Rack != 3 {
+		t.Errorf("snapshot over HTTP = %+v", snap)
+	}
+
+	rec = httptest.NewRecorder()
+	stats.ServeHTTP(rec, httptest.NewRequest("POST", "/stats", nil))
+	if rec.Code != 405 {
+		t.Errorf("POST status = %d, want 405", rec.Code)
+	}
+}
+
+func TestIngestStatsConcurrent(t *testing.T) {
+	stats := &IngestStats{}
+	h := stats.Wrap(nil)
+	done := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 500; i++ {
+				h(&wire.Batch{Rack: uint32(g), Samples: []wire.Sample{mkSample(i)}})
+			}
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		<-done
+	}
+	if got := stats.Snapshot().Samples; got != 4000 {
+		t.Errorf("samples = %d, want 4000", got)
+	}
+}

@@ -1,0 +1,269 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/topo"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+// Experiment runs measurement campaigns under one Config.
+type Experiment struct {
+	cfg Config
+}
+
+// NewExperiment validates cfg and returns an Experiment.
+func NewExperiment(cfg Config) (*Experiment, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &Experiment{cfg: cfg}, nil
+}
+
+// Config returns the experiment's configuration.
+func (e *Experiment) Config() Config { return e.cfg }
+
+// Rack returns the rack topology used throughout the experiment.
+func (e *Experiment) Rack() topo.Rack { return topo.Default(e.cfg.Servers) }
+
+// threshold returns the configured hot threshold.
+func (e *Experiment) threshold() float64 {
+	if e.cfg.HotThreshold > 0 {
+		return e.cfg.HotThreshold
+	}
+	return analysis.DefaultHotThreshold
+}
+
+// loadScale returns the diurnal load factor for a window: a day-shaped
+// sinusoid between ~0.65 and ~1.35 of nominal load.
+func (e *Experiment) loadScale(window int) float64 {
+	if !e.cfg.Diurnal || e.cfg.Windows <= 1 {
+		return 1
+	}
+	phase := 2 * math.Pi * float64(window) / float64(e.cfg.Windows)
+	return 1 + 0.35*math.Sin(phase)
+}
+
+// windowSeed derives the deterministic seed for one (app, rack, window).
+func (e *Experiment) windowSeed(app workload.App, rack, window int) uint64 {
+	return rng.New(e.cfg.Seed).Split(fmt.Sprintf("%s/r%d/w%d", app, rack, window)).Uint64()
+}
+
+// newNet builds the simulated rack for one (app, rack, window).
+func (e *Experiment) newNet(app workload.App, rack, window int) (*simnet.Net, error) {
+	return simnet.New(simnet.Config{
+		Rack:        topo.Default(e.cfg.Servers),
+		Params:      e.cfg.params(app),
+		Seed:        e.windowSeed(app, rack, window),
+		RackID:      rack,
+		LoadScale:   e.loadScale(window),
+		Balancer:    e.cfg.Balancer,
+		FlowletGap:  e.cfg.FlowletGap,
+		BufferBytes: e.cfg.BufferBytes,
+		Alpha:       e.cfg.Alpha,
+	})
+}
+
+// pollWindow warms the simulation up, then records one window with the
+// collection framework and returns the captured samples. The poller's
+// randomness derives from the window seed, keeping the whole pipeline
+// deterministic.
+func (e *Experiment) pollWindow(net *simnet.Net, counters []collector.CounterSpec, interval simclock.Duration) ([]wire.Sample, error) {
+	return e.pollFor(net, counters, interval, e.cfg.WindowDur)
+}
+
+// pollFor is pollWindow with an explicit recording duration (Fig 2 uses a
+// longer continuous run than the standard window).
+func (e *Experiment) pollFor(net *simnet.Net, counters []collector.CounterSpec, interval, dur simclock.Duration) ([]wire.Sample, error) {
+	var captured []wire.Sample
+	p, err := collector.NewPoller(collector.PollerConfig{
+		Interval:      interval,
+		Counters:      counters,
+		DedicatedCore: true,
+	}, net.Switch(), rng.New(e.cfg.Seed^0x706f6c6c), collector.EmitterFunc(func(s wire.Sample) {
+		captured = append(captured, s)
+	}))
+	if err != nil {
+		return nil, err
+	}
+	net.Run(e.cfg.Warmup)
+	// Clear the peak register so warmup bursts don't leak into the
+	// first recorded sample.
+	net.Switch().ReadPeakBufferAndClear()
+	p.Install(net.Scheduler())
+	net.Run(dur)
+	p.Stop()
+	return captured, nil
+}
+
+// randomPort picks the window's measured port, mirroring §4.2 ("for each
+// rack, we pick a random port").
+func (e *Experiment) randomPort(app workload.App, rack, window int) int {
+	src := rng.New(e.cfg.Seed).Split(fmt.Sprintf("port/%s/r%d/w%d", app, rack, window))
+	return src.Intn(topo.Default(e.cfg.Servers).NumPorts())
+}
+
+// ByteCampaign is a single-counter byte campaign over random ports — the
+// highest-resolution data set, feeding Figs 3, 4, 6 and Table 2.
+type ByteCampaign struct {
+	App workload.App
+	// Interval is the sampling interval (25 µs, the paper's Fig 3).
+	Interval simclock.Duration
+	// WindowSeries holds one utilization series per (rack, window).
+	WindowSeries [][]analysis.UtilPoint
+	// Ports records which port each window measured.
+	Ports []int
+}
+
+// ByteCampaignInterval is the paper's finest byte-counter interval.
+const ByteCampaignInterval = 25 * simclock.Microsecond
+
+// RunByteCampaign records the single-byte-counter campaign for one app at
+// the given interval (0 = 25 µs).
+func (e *Experiment) RunByteCampaign(app workload.App, interval simclock.Duration) (*ByteCampaign, error) {
+	if interval <= 0 {
+		interval = ByteCampaignInterval
+	}
+	c := &ByteCampaign{App: app, Interval: interval}
+	for rack := 0; rack < e.cfg.Racks; rack++ {
+		for w := 0; w < e.cfg.Windows; w++ {
+			net, err := e.newNet(app, rack, w)
+			if err != nil {
+				return nil, err
+			}
+			port := e.randomPort(app, rack, w)
+			samples, err := e.pollWindow(net, []collector.CounterSpec{
+				{Port: port, Dir: asic.TX, Kind: asic.KindBytes},
+			}, interval)
+			if err != nil {
+				return nil, err
+			}
+			series, err := analysis.UtilizationSeries(samples, net.Switch().Port(port).Speed())
+			if err != nil {
+				return nil, fmt.Errorf("core: %s rack %d window %d: %w", app, rack, w, err)
+			}
+			c.WindowSeries = append(c.WindowSeries, series)
+			c.Ports = append(c.Ports, port)
+		}
+	}
+	return c, nil
+}
+
+// RecordCampaign runs a campaign for one app and persists it as a trace
+// directory (see internal/trace). countersFor chooses the counter plan per
+// (rack, window) — e.g. a random port's byte counter, or every port.
+// Window files are indexed rack-major: index = rack*Windows + window.
+func (e *Experiment) RecordCampaign(app workload.App, dir string, interval simclock.Duration, notes string,
+	countersFor func(rack topo.Rack, rackID, window int) []collector.CounterSpec) error {
+	if interval <= 0 {
+		interval = ByteCampaignInterval
+	}
+	rack := e.Rack()
+	probe := countersFor(rack, 0, 0)
+	w, err := trace.Create(dir, trace.Meta{
+		App:         app.String(),
+		NumServers:  rack.NumServers,
+		NumUplinks:  rack.NumUplinks,
+		ServerSpeed: rack.ServerSpeed,
+		UplinkSpeed: rack.UplinkSpeed,
+		Interval:    interval,
+		WindowDur:   e.cfg.WindowDur,
+		Windows:     e.cfg.Racks * e.cfg.Windows,
+		Seed:        e.cfg.Seed,
+		Counters:    probe,
+		Notes:       notes,
+	})
+	if err != nil {
+		return err
+	}
+	for rackID := 0; rackID < e.cfg.Racks; rackID++ {
+		for win := 0; win < e.cfg.Windows; win++ {
+			net, err := e.newNet(app, rackID, win)
+			if err != nil {
+				return err
+			}
+			samples, err := e.pollWindow(net, countersFor(rack, rackID, win), interval)
+			if err != nil {
+				return err
+			}
+			if err := w.WriteWindow(rackID*e.cfg.Windows+win, uint32(rackID), samples); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// RandomPortCounters returns a countersFor plan polling one random port's
+// egress byte counter per window — the Fig 3/4/6 campaign plan.
+func (e *Experiment) RandomPortCounters(app workload.App) func(rack topo.Rack, rackID, window int) []collector.CounterSpec {
+	return func(_ topo.Rack, rackID, window int) []collector.CounterSpec {
+		return []collector.CounterSpec{{
+			Port: e.randomPort(app, rackID, window),
+			Dir:  asic.TX,
+			Kind: asic.KindBytes,
+		}}
+	}
+}
+
+// AllPortCounters returns a countersFor plan polling every port's egress
+// byte counter (plus the shared-buffer peak if withBuffer) — the Fig 9/10
+// campaign plan.
+func AllPortCounters(withBuffer bool) func(rack topo.Rack, rackID, window int) []collector.CounterSpec {
+	return func(rack topo.Rack, _, _ int) []collector.CounterSpec {
+		var out []collector.CounterSpec
+		if withBuffer {
+			out = append(out, collector.CounterSpec{Kind: asic.KindBufferPeak})
+		}
+		for p := 0; p < rack.NumPorts(); p++ {
+			out = append(out, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
+		}
+		return out
+	}
+}
+
+// Bursts returns all bursts across windows at the threshold.
+func (c *ByteCampaign) Bursts(threshold float64) []analysis.Burst {
+	var out []analysis.Burst
+	for _, s := range c.WindowSeries {
+		out = append(out, analysis.Bursts(s, threshold)...)
+	}
+	return out
+}
+
+// BurstDurationsMicros returns every burst duration in µs (Fig 3).
+func (c *ByteCampaign) BurstDurationsMicros(threshold float64) []float64 {
+	var out []float64
+	for _, s := range c.WindowSeries {
+		out = append(out, analysis.BurstDurations(analysis.Bursts(s, threshold))...)
+	}
+	return out
+}
+
+// InterBurstGapsMicros returns every within-window inter-burst gap in µs
+// (Fig 4). Gaps across window boundaries are not observable and excluded.
+func (c *ByteCampaign) InterBurstGapsMicros(threshold float64) []float64 {
+	var out []float64
+	for _, s := range c.WindowSeries {
+		out = append(out, analysis.InterBurstGaps(analysis.Bursts(s, threshold))...)
+	}
+	return out
+}
+
+// Utils returns every utilization sample (Fig 6).
+func (c *ByteCampaign) Utils() []float64 {
+	var out []float64
+	for _, s := range c.WindowSeries {
+		out = append(out, analysis.Utils(s)...)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+// Package core is the public façade of the reproduction: it orchestrates
+// measurement campaigns over simulated racks and computes every table and
+// figure of the paper's evaluation.
+//
+// The methodology mirrors §4.2. A campaign covers several racks per
+// application class; for each rack and each "hour" window it builds a
+// fresh deterministic rack simulation (with a diurnal load factor),
+// attaches the high-resolution collection framework to the experiment's
+// counters, records a short window, and feeds the samples to the analysis
+// package. The paper used 10 racks × 24 windows × 2 minutes per
+// application; the defaults here are scaled down (~60×) but every scale
+// knob is in Config.
+//
+// One Experiment method per paper artifact:
+//
+//	Fig1 DropUtilScatter      Fig6 UtilizationCDF
+//	Fig2 DropTimeSeries       Fig7 UplinkMAD
+//	Table1 SamplingLoss       Fig8 ServerCorrelation
+//	Fig3 BurstDurations       Fig9 HotPortShare
+//	Table2 BurstMarkov        Fig10 BufferOccupancy
+//	Fig4 InterBurstGaps       (plus ablations, see bench_test.go)
+//	Fig5 PacketSizes
+package core
+
+import (
+	"fmt"
+
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/workload"
+)
+
+// Config scales and parameterizes an Experiment.
+type Config struct {
+	// Racks is the number of racks measured per application class
+	// (the paper used 10).
+	Racks int
+	// Windows is the number of measurement windows per rack (the paper
+	// used 24, one random 2-minute slice per hour of a day).
+	Windows int
+	// WindowDur is each window's recorded duration.
+	WindowDur simclock.Duration
+	// Warmup runs before recording so queues and flows reach steady
+	// state.
+	Warmup simclock.Duration
+	// Servers is the number of servers per rack.
+	Servers int
+	// Seed makes the whole experiment reproducible.
+	Seed uint64
+	// Diurnal modulates offered load across windows (the paper's windows
+	// span a day, capturing diurnal patterns).
+	Diurnal bool
+	// HotThreshold overrides the burst criterion (0 = the paper's 50%).
+	HotThreshold float64
+	// Balancer selects the uplink balancing scheme (ablations).
+	Balancer simnet.BalancerMode
+	// FlowletGap configures BalanceFlowlet.
+	FlowletGap simclock.Duration
+	// Paced enables the §7 pacing ablation in all workloads.
+	Paced bool
+	// BufferBytes / Alpha override the ASIC shared buffer (0 = defaults).
+	BufferBytes float64
+	Alpha       float64
+	// Params overrides workload parameters per app; nil uses
+	// workload.DefaultParams.
+	Params func(app workload.App) workload.Params
+}
+
+// DefaultConfig returns the standard scaled-down reproduction: 3 racks ×
+// 8 windows × 250 ms per application (≈ 6 s of 5 µs-resolution simulation
+// per app).
+func DefaultConfig() Config {
+	return Config{
+		Racks:     3,
+		Windows:   8,
+		WindowDur: 250 * simclock.Millisecond,
+		Warmup:    25 * simclock.Millisecond,
+		Servers:   32,
+		Seed:      1,
+		Diurnal:   true,
+	}
+}
+
+// QuickConfig returns a minimal configuration for tests and examples:
+// 1 rack × 2 windows × 100 ms.
+func QuickConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Racks = 1
+	cfg.Windows = 2
+	cfg.WindowDur = 100 * simclock.Millisecond
+	cfg.Warmup = 10 * simclock.Millisecond
+	cfg.Servers = 16
+	return cfg
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c Config) Validate() error {
+	switch {
+	case c.Racks <= 0:
+		return fmt.Errorf("core: Racks = %d", c.Racks)
+	case c.Windows <= 0:
+		return fmt.Errorf("core: Windows = %d", c.Windows)
+	case c.WindowDur <= 0:
+		return fmt.Errorf("core: WindowDur = %v", c.WindowDur)
+	case c.Warmup < 0:
+		return fmt.Errorf("core: Warmup = %v", c.Warmup)
+	case c.Servers <= 0:
+		return fmt.Errorf("core: Servers = %d", c.Servers)
+	case c.HotThreshold < 0 || c.HotThreshold >= 1:
+		return fmt.Errorf("core: HotThreshold = %v", c.HotThreshold)
+	}
+	return nil
+}
+
+// ResolvedParams returns the workload parameters the experiment will use
+// for an app, applying overrides and the pacing ablation. Exposed so
+// higher-level harnesses (internal/sweep) build identical rack simulations.
+func (c Config) ResolvedParams(app workload.App) workload.Params {
+	return c.params(app)
+}
+
+// params returns the workload parameters for an app, applying overrides
+// and the pacing ablation.
+func (c Config) params(app workload.App) workload.Params {
+	var p workload.Params
+	if c.Params != nil {
+		p = c.Params(app)
+	} else {
+		p = workload.DefaultParams(app)
+	}
+	if c.Paced {
+		p.Paced = true
+		if p.PacedCap == 0 {
+			p.PacedCap = 0.95
+		}
+	}
+	return p
+}

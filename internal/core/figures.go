@@ -1,0 +1,865 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/stats"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+// AppECDF holds one empirical distribution per application class.
+type AppECDF map[workload.App]*stats.ECDF
+
+// ---------------------------------------------------------------------------
+// Fig 1 — drop rate vs. utilization scatter at SNMP granularity.
+
+// Fig1Result is the drop/utilization scatter and its headline correlation
+// coefficient (the paper reports 0.098).
+type Fig1Result struct {
+	Points      []analysis.CoarsePoint
+	Correlation float64
+}
+
+// Fig1DropUtilScatter samples every downlink of every rack-window pair at
+// coarse (SNMP-like) granularity: one (utilization, drop-rate) point per
+// ToR-server link per window, mirroring Fig 1's methodology of hourly
+// sub-sampled 4-minute windows.
+func (e *Experiment) Fig1DropUtilScatter() (Fig1Result, error) {
+	var res Fig1Result
+	coarse := e.cfg.WindowDur / 5
+	if coarse <= 0 {
+		coarse = simclock.Millisecond
+	}
+	for _, app := range workload.Apps {
+		for rack := 0; rack < e.cfg.Racks; rack++ {
+			for w := 0; w < e.cfg.Windows; w++ {
+				net, err := e.newNet(app, rack, w)
+				if err != nil {
+					return res, err
+				}
+				var counters []collector.CounterSpec
+				for s := 0; s < e.cfg.Servers; s++ {
+					counters = append(counters,
+						collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindBytes},
+						collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindDrops},
+					)
+				}
+				samples, err := e.pollWindow(net, counters, coarse)
+				if err != nil {
+					return res, err
+				}
+				split := analysis.Split(samples)
+				for s := 0; s < e.cfg.Servers; s++ {
+					bytes := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}]
+					drops := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
+					pt, err := analysis.CoarseWindow(bytes, drops, net.Switch().Port(s).Speed())
+					if err != nil {
+						continue // window too short for this port; skip
+					}
+					res.Points = append(res.Points, pt)
+				}
+			}
+		}
+	}
+	res.Correlation = analysis.DropUtilCorrelation(res.Points)
+	return res, nil
+}
+
+// Format renders the Fig 1 summary.
+func (r Fig1Result) Format() string {
+	var drops int
+	for _, p := range r.Points {
+		if p.DropRate > 0 {
+			drops++
+		}
+	}
+	return fmt.Sprintf("Fig 1: %d port-windows, %d with drops; corr(util, drop rate) = %.3f (paper: 0.098)",
+		len(r.Points), drops, r.Correlation)
+}
+
+// ---------------------------------------------------------------------------
+// Fig 2 — drop time series on a low- and a high-utilization port.
+
+// Fig2Result holds per-bin drop counts for two contrasting ports.
+type Fig2Result struct {
+	BinDur    simclock.Duration
+	LowUtil   []uint64 // web-like port, ~low average utilization
+	HighUtil  []uint64 // hadoop-like port, ~high average utilization
+	LowStats  analysis.Burstiness
+	HighStats analysis.Burstiness
+	LowAvg    float64
+	HighAvg   float64
+}
+
+// Fig2DropTimeSeries records a continuous run on every downlink of a Web
+// rack and a Hadoop rack, picks the port with the most congestion
+// discards from each (the paper: "We chose two switch ports that were
+// experiencing congestion drops"), and bins their drops, reproducing
+// Fig 2's "drops occur in bursts, often lasting less than the measurement
+// granularity".
+func (e *Experiment) Fig2DropTimeSeries() (Fig2Result, error) {
+	res := Fig2Result{BinDur: e.cfg.WindowDur / 20}
+	if res.BinDur <= 0 {
+		res.BinDur = simclock.Millisecond
+	}
+	run := func(app workload.App) ([]uint64, analysis.Burstiness, float64, error) {
+		net, err := e.newNet(app, 0, 0)
+		if err != nil {
+			return nil, analysis.Burstiness{}, 0, err
+		}
+		// Drops are overwhelmingly in the ToR→server direction (§4.2:
+		// ~90%), so watch every downlink and keep the one that drops
+		// the most.
+		var counters []collector.CounterSpec
+		for s := 0; s < e.cfg.Servers; s++ {
+			counters = append(counters,
+				collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindDrops},
+				collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindBytes},
+			)
+		}
+		// Fig 2 is a continuous time series (12 h in the paper), not a
+		// windowed campaign; run 4× the standard window so rare drop
+		// events on the low-utilization port are observable.
+		samples, err := e.pollFor(net, counters, res.BinDur/4, 4*e.cfg.WindowDur)
+		if err != nil {
+			return nil, analysis.Burstiness{}, 0, err
+		}
+		split := analysis.Split(samples)
+		best, bestDrops := 0, uint64(0)
+		for s := 0; s < e.cfg.Servers; s++ {
+			ds := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
+			if len(ds) < 2 {
+				continue
+			}
+			if d := ds[len(ds)-1].Value - ds[0].Value; d > bestDrops {
+				best, bestDrops = s, d
+			}
+		}
+		drops := split[analysis.SeriesKey{Port: uint16(best), Dir: asic.TX, Kind: asic.KindDrops}]
+		bytes := split[analysis.SeriesKey{Port: uint16(best), Dir: asic.TX, Kind: asic.KindBytes}]
+		bins, err := analysis.DropTimeSeries(drops, res.BinDur)
+		if err != nil {
+			return nil, analysis.Burstiness{}, 0, err
+		}
+		series, err := analysis.UtilizationSeries(bytes, net.Switch().Port(best).Speed())
+		if err != nil {
+			return nil, analysis.Burstiness{}, 0, err
+		}
+		var avg float64
+		for _, p := range series {
+			avg += p.Util
+		}
+		avg /= float64(len(series))
+		return bins, analysis.DropBurstiness(bins), avg, nil
+	}
+	var err error
+	if res.LowUtil, res.LowStats, res.LowAvg, err = run(workload.Web); err != nil {
+		return res, err
+	}
+	if res.HighUtil, res.HighStats, res.HighAvg, err = run(workload.Hadoop); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// Format renders the Fig 2 summary.
+func (r Fig2Result) Format() string {
+	return fmt.Sprintf(
+		"Fig 2: low-util port (%.1f%% avg): %d drops, %.0f%% of bins empty, top bin %.0f%%\n"+
+			"       high-util port (%.1f%% avg): %d drops, %.0f%% of bins empty, top bin %.0f%%",
+		r.LowAvg*100, r.LowStats.Total, r.LowStats.ZeroBins*100, r.LowStats.TopBinShare*100,
+		r.HighAvg*100, r.HighStats.Total, r.HighStats.ZeroBins*100, r.HighStats.TopBinShare*100)
+}
+
+// ---------------------------------------------------------------------------
+// Table 1 — sampling interval vs. missed-interval rate.
+
+// Table1Row is one interval's measured sampling loss.
+type Table1Row struct {
+	Interval simclock.Duration
+	MissRate float64
+}
+
+// Table1Result reproduces the §4.1 byte-counter loss table.
+type Table1Result struct {
+	Rows []Table1Row
+}
+
+// Table1SamplingLoss measures the byte-counter miss rate at the paper's
+// three intervals (plus context points) against a live Web rack.
+func (e *Experiment) Table1SamplingLoss() (Table1Result, error) {
+	var res Table1Result
+	for _, us := range []int64{1, 10, 25, 50, 100} {
+		interval := simclock.Micros(us)
+		net, err := e.newNet(workload.Web, 0, 0)
+		if err != nil {
+			return res, err
+		}
+		p, err := collector.NewPoller(collector.PollerConfig{
+			Interval:      interval,
+			Counters:      []collector.CounterSpec{{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}},
+			DedicatedCore: true,
+		}, net.Switch(), rng.New(e.cfg.Seed^uint64(us)), collector.EmitterFunc(func(wire.Sample) {}))
+		if err != nil {
+			return res, err
+		}
+		p.Install(net.Scheduler())
+		net.Run(e.cfg.WindowDur)
+		res.Rows = append(res.Rows, Table1Row{Interval: interval, MissRate: p.MissRate()})
+	}
+	return res, nil
+}
+
+// Format renders Table 1.
+func (r Table1Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 1: sampling interval vs. missed intervals (paper: 1µs→100%, 10µs→~10%, 25µs→~1%)\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "  %8v  %6.2f%%\n", row.Interval, row.MissRate*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Fig 3 / Fig 4 / Table 2 / Fig 6 — single-counter byte campaigns.
+
+// Fig3Result is the µburst duration CDF per application.
+type Fig3Result struct {
+	Durations AppECDF
+}
+
+// Fig3BurstDurations runs the 25 µs byte campaigns and extracts burst
+// durations.
+func (e *Experiment) Fig3BurstDurations() (Fig3Result, error) {
+	res := Fig3Result{Durations: make(AppECDF)}
+	for _, app := range workload.Apps {
+		c, err := e.RunByteCampaign(app, 0)
+		if err != nil {
+			return res, err
+		}
+		res.Durations[app] = stats.NewECDF(c.BurstDurationsMicros(e.threshold()))
+	}
+	return res, nil
+}
+
+// Format renders the Fig 3 summary rows.
+func (r Fig3Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 3: µburst duration CDF @25µs (paper: p90 ≤ 200µs all apps; web p90 = 50µs)\n")
+	for _, app := range workload.Apps {
+		e := r.Durations[app]
+		if e == nil || e.N() == 0 {
+			fmt.Fprintf(&b, "  %-7s no bursts observed\n", app)
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s n=%-6d p50=%6.0fµs p90=%6.0fµs p99=%6.0fµs max=%6.0fµs ≤1period=%.0f%%\n",
+			app, e.N(), e.Quantile(0.5), e.Quantile(0.9), e.Quantile(0.99), e.Max(),
+			e.At(float64(ByteCampaignInterval.Microseconds()))*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Fig4Result is the inter-burst gap CDF per application plus the Poisson
+// goodness-of-fit rejection (§5.2).
+type Fig4Result struct {
+	Gaps AppECDF
+	KS   map[workload.App]stats.KSResult
+}
+
+// Fig4InterBurstGaps runs byte campaigns and extracts inter-burst gaps.
+func (e *Experiment) Fig4InterBurstGaps() (Fig4Result, error) {
+	res := Fig4Result{Gaps: make(AppECDF), KS: make(map[workload.App]stats.KSResult)}
+	for _, app := range workload.Apps {
+		c, err := e.RunByteCampaign(app, 0)
+		if err != nil {
+			return res, err
+		}
+		gaps := c.InterBurstGapsMicros(e.threshold())
+		res.Gaps[app] = stats.NewECDF(gaps)
+		res.KS[app] = analysis.PoissonTest(gaps)
+	}
+	return res, nil
+}
+
+// Format renders the Fig 4 summary rows.
+func (r Fig4Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 4: inter-burst gap CDF @25µs (paper: 40% of web/cache gaps <100µs; long tail; Poisson rejected)\n")
+	for _, app := range workload.Apps {
+		e := r.Gaps[app]
+		if e == nil || e.N() == 0 {
+			fmt.Fprintf(&b, "  %-7s no gaps observed\n", app)
+			continue
+		}
+		ks := r.KS[app]
+		fmt.Fprintf(&b, "  %-7s n=%-6d <100µs=%.0f%% p50=%8.0fµs p99=%10.0fµs KS D=%.3f p=%.2g poisson-rejected=%v\n",
+			app, e.N(), e.At(100)*100, e.Quantile(0.5), e.Quantile(0.99), ks.D, ks.PValue, ks.Rejects(0.001))
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Table2Result is the two-state Markov model per application.
+type Table2Result struct {
+	Models map[workload.App]stats.MarkovModel
+}
+
+// Table2BurstMarkov fits the burst Markov chains.
+func (e *Experiment) Table2BurstMarkov() (Table2Result, error) {
+	res := Table2Result{Models: make(map[workload.App]stats.MarkovModel)}
+	for _, app := range workload.Apps {
+		c, err := e.RunByteCampaign(app, 0)
+		if err != nil {
+			return res, err
+		}
+		models := make([]stats.MarkovModel, 0, len(c.WindowSeries))
+		for _, s := range c.WindowSeries {
+			models = append(models, analysis.BurstMarkov(s, e.threshold()))
+		}
+		res.Models[app] = stats.MergeMarkov(models...)
+	}
+	return res, nil
+}
+
+// Format renders Table 2.
+func (r Table2Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Table 2: burst Markov model (paper ratios: web 119.7, cache 45.1, hadoop 15.6)\n")
+	for _, app := range workload.Apps {
+		m, ok := r.Models[app]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s p(1|0)=%.4f p(1|1)=%.4f likelihood ratio r=%.1f stationary-hot=%.2f%%\n",
+			app, m.P[0][1], m.P[1][1], m.LikelihoodRatio(), m.StationaryHotFraction()*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// Fig6Result is the link-utilization CDF per application.
+type Fig6Result struct {
+	Utils   AppECDF
+	HotFrac map[workload.App]float64
+}
+
+// Fig6UtilizationCDF runs byte campaigns and collects utilization samples.
+func (e *Experiment) Fig6UtilizationCDF() (Fig6Result, error) {
+	res := Fig6Result{Utils: make(AppECDF), HotFrac: make(map[workload.App]float64)}
+	for _, app := range workload.Apps {
+		c, err := e.RunByteCampaign(app, 0)
+		if err != nil {
+			return res, err
+		}
+		utils := c.Utils()
+		res.Utils[app] = stats.NewECDF(utils)
+		hot := 0
+		for _, u := range utils {
+			if u > e.threshold() {
+				hot++
+			}
+		}
+		if len(utils) > 0 {
+			res.HotFrac[app] = float64(hot) / float64(len(utils))
+		}
+	}
+	return res, nil
+}
+
+// Format renders the Fig 6 summary rows.
+func (r Fig6Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 6: utilization CDF @25µs (paper: long-tailed; hadoop hot ~15% incl. ~10% near 100%)\n")
+	for _, app := range workload.Apps {
+		e := r.Utils[app]
+		if e == nil || e.N() == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s n=%-7d p50=%5.1f%% p90=%5.1f%% p99=%5.1f%% hot(>50%%)=%5.2f%% ≥95%%=%5.2f%%\n",
+			app, e.N(), e.Quantile(0.5)*100, e.Quantile(0.9)*100, e.Quantile(0.99)*100,
+			r.HotFrac[app]*100, (1-e.At(0.95))*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Fig 5 — packet sizes inside/outside bursts.
+
+// Fig5Result is the inside/outside packet-size mix per application.
+type Fig5Result struct {
+	Mix map[workload.App]analysis.PacketMixResult
+}
+
+// Fig5PacketSizes polls byte + size-bin counters together at 100 µs (the
+// §5.3 methodology) on random ports and classifies periods by utilization.
+func (e *Experiment) Fig5PacketSizes() (Fig5Result, error) {
+	res := Fig5Result{Mix: make(map[workload.App]analysis.PacketMixResult)}
+	interval := 100 * simclock.Microsecond
+	for _, app := range workload.Apps {
+		agg := analysis.PacketMixResult{Inside: analysis.NewSizeHistogram(), Outside: analysis.NewSizeHistogram()}
+		for rack := 0; rack < e.cfg.Racks; rack++ {
+			for w := 0; w < e.cfg.Windows; w++ {
+				net, err := e.newNet(app, rack, w)
+				if err != nil {
+					return res, err
+				}
+				port := e.randomPort(app, rack, w)
+				samples, err := e.pollWindow(net, []collector.CounterSpec{
+					{Port: port, Dir: asic.TX, Kind: asic.KindBytes},
+					{Port: port, Dir: asic.TX, Kind: asic.KindSizeBins},
+				}, interval)
+				if err != nil {
+					return res, err
+				}
+				split := analysis.Split(samples)
+				bytes := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindBytes}]
+				bins := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindSizeBins}]
+				mix, err := analysis.PacketMixInsideOutside(bytes, bins, net.Switch().Port(port).Speed(), e.threshold())
+				if err != nil {
+					return res, fmt.Errorf("core: fig5 %s rack %d window %d: %w", app, rack, w, err)
+				}
+				agg.Inside.Merge(mix.Inside)
+				agg.Outside.Merge(mix.Outside)
+				agg.InsidePeriods += mix.InsidePeriods
+				agg.OutsidePeriods += mix.OutsidePeriods
+			}
+		}
+		res.Mix[app] = agg
+	}
+	return res, nil
+}
+
+// Format renders the Fig 5 histograms.
+func (r Fig5Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 5: packet-size mix inside/outside bursts (paper: large-pkt share rises inside; web +60%, cache +20%, hadoop slight)\n")
+	for _, app := range workload.Apps {
+		mix, ok := r.Mix[app]
+		if !ok {
+			continue
+		}
+		in := mix.Inside.Normalized()
+		out := mix.Outside.Normalized()
+		fmt.Fprintf(&b, "  %-7s inside (n=%d periods): ", app, mix.InsidePeriods)
+		for i := 0; i < asic.NumSizeBins; i++ {
+			fmt.Fprintf(&b, "%s=%.2f ", asic.SizeBinLabel(i), in[i])
+		}
+		fmt.Fprintf(&b, "\n          outside (n=%d periods): ", mix.OutsidePeriods)
+		for i := 0; i < asic.NumSizeBins; i++ {
+			fmt.Fprintf(&b, "%s=%.2f ", asic.SizeBinLabel(i), out[i])
+		}
+		fmt.Fprintf(&b, "\n          large-packet shift inside vs outside: %+.0f%%\n", mix.LargeShift()*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Fig 7 — uplink load-balance MAD.
+
+// Fig7Curves holds the four CDFs for one application.
+type Fig7Curves struct {
+	EgressFine    *stats.ECDF // 40 µs
+	EgressCoarse  *stats.ECDF // 1 s-equivalent (WindowDur-scaled)
+	IngressFine   *stats.ECDF
+	IngressCoarse *stats.ECDF
+}
+
+// Fig7Result maps applications to their MAD curves.
+type Fig7Result struct {
+	MAD map[workload.App]Fig7Curves
+	// CoarseBin is the "1 s" rebin width used (scaled to the window).
+	CoarseBin simclock.Duration
+}
+
+// Fig7UplinkMAD polls all four uplinks (both directions) at 40 µs and
+// computes the normalized mean absolute deviation per sampling period,
+// plus a coarse rebin: the paper's contrast between 40 µs imbalance and
+// 1 s balance.
+func (e *Experiment) Fig7UplinkMAD() (Fig7Result, error) {
+	rack := e.Rack()
+	res := Fig7Result{MAD: make(map[workload.App]Fig7Curves)}
+	// The paper contrasts 40µs with 1s; a scaled window may be shorter
+	// than 1s, so coarse means the whole window, capped at 1s.
+	res.CoarseBin = e.cfg.WindowDur
+	if res.CoarseBin > simclock.Second {
+		res.CoarseBin = simclock.Second
+	}
+	interval := 40 * simclock.Microsecond
+	for _, app := range workload.Apps {
+		var egFine, egCoarse, inFine, inCoarse []float64
+		for rackID := 0; rackID < e.cfg.Racks; rackID++ {
+			for w := 0; w < e.cfg.Windows; w++ {
+				net, err := e.newNet(app, rackID, w)
+				if err != nil {
+					return res, err
+				}
+				var counters []collector.CounterSpec
+				for u := 0; u < rack.NumUplinks; u++ {
+					counters = append(counters,
+						collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.TX, Kind: asic.KindBytes},
+						collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.RX, Kind: asic.KindBytes},
+					)
+				}
+				samples, err := e.pollWindow(net, counters, interval)
+				if err != nil {
+					return res, err
+				}
+				split := analysis.Split(samples)
+				series := func(dir asic.Direction) [][]analysis.UtilPoint {
+					var out [][]analysis.UtilPoint
+					for u := 0; u < rack.NumUplinks; u++ {
+						key := analysis.SeriesKey{Port: uint16(rack.UplinkPort(u)), Dir: dir, Kind: asic.KindBytes}
+						s, err := analysis.UtilizationSeries(split[key], rack.UplinkSpeed)
+						if err != nil {
+							continue
+						}
+						out = append(out, s)
+					}
+					return out
+				}
+				eg := series(asic.TX)
+				in := series(asic.RX)
+				egFine = append(egFine, analysis.UplinkMAD(eg)...)
+				inFine = append(inFine, analysis.UplinkMAD(in)...)
+				egCoarse = append(egCoarse, analysis.UplinkMAD(rebinAll(eg, res.CoarseBin))...)
+				inCoarse = append(inCoarse, analysis.UplinkMAD(rebinAll(in, res.CoarseBin))...)
+			}
+		}
+		res.MAD[app] = Fig7Curves{
+			EgressFine:    stats.NewECDF(egFine),
+			EgressCoarse:  stats.NewECDF(egCoarse),
+			IngressFine:   stats.NewECDF(inFine),
+			IngressCoarse: stats.NewECDF(inCoarse),
+		}
+	}
+	return res, nil
+}
+
+func rebinAll(series [][]analysis.UtilPoint, width simclock.Duration) [][]analysis.UtilPoint {
+	out := make([][]analysis.UtilPoint, len(series))
+	for i, s := range series {
+		out[i] = analysis.Rebin(s, width)
+	}
+	return out
+}
+
+// Format renders the Fig 7 summary rows.
+func (r Fig7Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Fig 7: uplink MAD (paper: median >25%% @40µs, hadoop p90 ≈100%%; balanced at 1s; ingress ≈ egress)\n")
+	for _, app := range workload.Apps {
+		c, ok := r.MAD[app]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s egress @40µs p50=%5.1f%% p90=%6.1f%%   egress @%v p50=%5.1f%%\n",
+			app, c.EgressFine.Quantile(0.5)*100, c.EgressFine.Quantile(0.9)*100,
+			r.CoarseBin, c.EgressCoarse.Quantile(0.5)*100)
+		fmt.Fprintf(&b, "          ingress @40µs p50=%5.1f%% p90=%6.1f%%   ingress @%v p50=%5.1f%%\n",
+			c.IngressFine.Quantile(0.5)*100, c.IngressFine.Quantile(0.9)*100,
+			r.CoarseBin, c.IngressCoarse.Quantile(0.5)*100)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Fig 8 — server correlation heatmap.
+
+// Fig8Result is the per-app server correlation structure.
+type Fig8Result struct {
+	Corr map[workload.App][][]float64
+	// MeanOffDiag is the average |r| across server pairs.
+	MeanOffDiag map[workload.App]float64
+	// BlockScore is within-group minus across-group mean correlation for
+	// the app's known group structure (cache), 0 for ungrouped apps.
+	BlockScore map[workload.App]float64
+}
+
+// Fig8ServerCorrelation polls every downlink at 250 µs (ToR→server) and
+// computes the Pearson matrix.
+func (e *Experiment) Fig8ServerCorrelation() (Fig8Result, error) {
+	res := Fig8Result{
+		Corr:        make(map[workload.App][][]float64),
+		MeanOffDiag: make(map[workload.App]float64),
+		BlockScore:  make(map[workload.App]float64),
+	}
+	interval := 250 * simclock.Microsecond
+	for _, app := range workload.Apps {
+		// One representative rack-window per app: a heatmap is per-rack
+		// in the paper ("three representative racks").
+		net, err := e.newNet(app, 0, 0)
+		if err != nil {
+			return res, err
+		}
+		var counters []collector.CounterSpec
+		for s := 0; s < e.cfg.Servers; s++ {
+			counters = append(counters, collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindBytes})
+		}
+		samples, err := e.pollWindow(net, counters, interval)
+		if err != nil {
+			return res, err
+		}
+		split := analysis.Split(samples)
+		var series [][]analysis.UtilPoint
+		for s := 0; s < e.cfg.Servers; s++ {
+			key := analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}
+			ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(s).Speed())
+			if err != nil {
+				return res, err
+			}
+			series = append(series, ser)
+		}
+		corr := analysis.ServerCorrelation(series)
+		res.Corr[app] = corr
+
+		var sum float64
+		var n int
+		for i := range corr {
+			for j := i + 1; j < len(corr); j++ {
+				if v := corr[i][j]; v == v {
+					if v < 0 {
+						v = -v
+					}
+					sum += v
+					n++
+				}
+			}
+		}
+		if n > 0 {
+			res.MeanOffDiag[app] = sum / float64(n)
+		}
+
+		params := e.cfg.params(app)
+		if params.GroupCount > 0 && params.GroupSpan > 0 {
+			groupOf := make([]int, e.cfg.Servers)
+			for s := range groupOf {
+				groupOf[s] = (s / params.GroupSpan) % params.GroupCount
+			}
+			res.BlockScore[app] = analysis.GroupBlockScore(corr, groupOf)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the Fig 8 summary rows.
+func (r Fig8Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 8: server correlation @250µs (paper: web ≈ 0, hadoop modest, cache strong subsets)\n")
+	for _, app := range workload.Apps {
+		if _, ok := r.Corr[app]; !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s mean |pairwise r| = %.3f", app, r.MeanOffDiag[app])
+		if score, ok := r.BlockScore[app]; ok && score != 0 {
+			fmt.Fprintf(&b, "  group block score = %.3f (within-group − across-group)", score)
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Fig 9 — hot-port directionality.
+
+// Fig9Result is the uplink/downlink hot-sample split per application.
+type Fig9Result struct {
+	Share map[workload.App]analysis.HotShare
+}
+
+// Fig9HotPortShare polls every port at 300 µs and classifies hot samples.
+func (e *Experiment) Fig9HotPortShare() (Fig9Result, error) {
+	rack := e.Rack()
+	res := Fig9Result{Share: make(map[workload.App]analysis.HotShare)}
+	interval := 300 * simclock.Microsecond
+	for _, app := range workload.Apps {
+		var share analysis.HotShare
+		for rackID := 0; rackID < e.cfg.Racks; rackID++ {
+			for w := 0; w < e.cfg.Windows; w++ {
+				net, err := e.newNet(app, rackID, w)
+				if err != nil {
+					return res, err
+				}
+				var counters []collector.CounterSpec
+				for p := 0; p < rack.NumPorts(); p++ {
+					counters = append(counters, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
+				}
+				samples, err := e.pollWindow(net, counters, interval)
+				if err != nil {
+					return res, err
+				}
+				split := analysis.Split(samples)
+				var series [][]analysis.UtilPoint
+				for p := 0; p < rack.NumPorts(); p++ {
+					key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
+					ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(p).Speed())
+					if err != nil {
+						return res, err
+					}
+					series = append(series, ser)
+				}
+				s := analysis.HotPortShare(series, rack.IsUplink, e.threshold())
+				share.UplinkHot += s.UplinkHot
+				share.DownlinkHot += s.DownlinkHot
+			}
+		}
+		res.Share[app] = share
+	}
+	return res, nil
+}
+
+// Format renders the Fig 9 summary rows.
+func (r Fig9Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 9: hot-port direction @300µs (paper: hadoop uplink share 18%, web lower; cache majority uplink)\n")
+	for _, app := range workload.Apps {
+		s, ok := r.Share[app]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s uplink share of hot samples = %.0f%% (%d uplink / %d downlink)\n",
+			app, s.UplinkShare()*100, s.UplinkHot, s.DownlinkHot)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// ---------------------------------------------------------------------------
+// Fig 10 — buffer occupancy vs. hot ports.
+
+// Fig10Result is the per-app buffer/hot-port relationship.
+type Fig10Result struct {
+	Box        map[workload.App]map[int]stats.BoxplotSummary
+	MaxHotFrac map[workload.App]float64
+	// MeanPeakLow/High summarize the normalized occupancy at low (≤2) and
+	// high (top quartile) hot-port counts, quantifying the scaling claim.
+	MeanPeakLow  map[workload.App]float64
+	MeanPeakHigh map[workload.App]float64
+}
+
+// Fig10BufferOccupancy polls all ports' byte counters plus the shared
+// buffer's peak register at 300 µs and groups 50 ms-scaled windows by the
+// number of hot ports.
+func (e *Experiment) Fig10BufferOccupancy() (Fig10Result, error) {
+	rack := e.Rack()
+	res := Fig10Result{
+		Box:          make(map[workload.App]map[int]stats.BoxplotSummary),
+		MaxHotFrac:   make(map[workload.App]float64),
+		MeanPeakLow:  make(map[workload.App]float64),
+		MeanPeakHigh: make(map[workload.App]float64),
+	}
+	interval := 300 * simclock.Microsecond
+	// The paper groups by 50 ms spans; scale the span down with the
+	// window so each window still contributes several spans.
+	window := e.cfg.WindowDur / 12
+	if window > 50*simclock.Millisecond {
+		window = 50 * simclock.Millisecond
+	}
+	if window < simclock.Millisecond {
+		window = simclock.Millisecond
+	}
+	for _, app := range workload.Apps {
+		var windows []analysis.BufferWindow
+		for rackID := 0; rackID < e.cfg.Racks; rackID++ {
+			for w := 0; w < e.cfg.Windows; w++ {
+				net, err := e.newNet(app, rackID, w)
+				if err != nil {
+					return res, err
+				}
+				counters := []collector.CounterSpec{{Kind: asic.KindBufferPeak}}
+				for p := 0; p < rack.NumPorts(); p++ {
+					counters = append(counters, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
+				}
+				samples, err := e.pollWindow(net, counters, interval)
+				if err != nil {
+					return res, err
+				}
+				split := analysis.Split(samples)
+				var series [][]analysis.UtilPoint
+				for p := 0; p < rack.NumPorts(); p++ {
+					key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
+					ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(p).Speed())
+					if err != nil {
+						return res, err
+					}
+					series = append(series, ser)
+				}
+				var peaks []wire.Sample
+				for _, s := range samples {
+					if s.Kind == asic.KindBufferPeak {
+						peaks = append(peaks, s)
+					}
+				}
+				wins, err := analysis.BufferVsHotPorts(series, peaks, window, e.threshold())
+				if err != nil {
+					return res, err
+				}
+				windows = append(windows, wins...)
+			}
+		}
+		res.Box[app] = analysis.BufferBoxplots(windows)
+		res.MaxHotFrac[app] = analysis.MaxHotPortFraction(windows, rack.NumPorts())
+
+		// Normalize peaks (same normalization as the boxplots) and split
+		// into low/high hot-port regimes.
+		var maxPeak float64
+		for _, w := range windows {
+			if w.PeakBytes > maxPeak {
+				maxPeak = w.PeakBytes
+			}
+		}
+		hotCounts := make([]int, 0, len(windows))
+		for _, w := range windows {
+			hotCounts = append(hotCounts, w.HotPorts)
+		}
+		sort.Ints(hotCounts)
+		highCut := 3
+		if len(hotCounts) > 0 {
+			highCut = hotCounts[len(hotCounts)*3/4]
+			if highCut < 3 {
+				highCut = 3
+			}
+		}
+		var lowSum, highSum float64
+		var lowN, highN int
+		for _, w := range windows {
+			if maxPeak == 0 {
+				continue
+			}
+			v := w.PeakBytes / maxPeak
+			if w.HotPorts <= 2 {
+				lowSum += v
+				lowN++
+			}
+			if w.HotPorts >= highCut {
+				highSum += v
+				highN++
+			}
+		}
+		if lowN > 0 {
+			res.MeanPeakLow[app] = lowSum / float64(lowN)
+		}
+		if highN > 0 {
+			res.MeanPeakHigh[app] = highSum / float64(highN)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the Fig 10 summary rows.
+func (r Fig10Result) Format() string {
+	var b strings.Builder
+	b.WriteString("Fig 10: peak buffer vs hot ports (paper: grows with hot ports, hadoop ≫ web/cache, levels off; max hot: hadoop 100%, web 71%, cache 64%)\n")
+	for _, app := range workload.Apps {
+		if _, ok := r.Box[app]; !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-7s max simultaneous hot ports = %.0f%%; mean normalized peak: ≤2 hot %.2f → many hot %.2f\n",
+			app, r.MaxHotFrac[app]*100, r.MeanPeakLow[app], r.MeanPeakHigh[app])
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

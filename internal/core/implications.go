@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mburst/internal/analysis"
+	"mburst/internal/detect"
+	"mburst/internal/simclock"
+	"mburst/internal/stats"
+	"mburst/internal/workload"
+)
+
+// ImplicationsResult quantifies the §7 design implications on the
+// reproduced traffic:
+//
+//   - Congestion control: the fraction of µbursts already over before a
+//     congestion signal delayed by RTT/2 could reach the sender, for a
+//     range of data-center RTTs.
+//   - Load balancing: the fraction of inter-burst gaps long enough to
+//     re-path a flow without reordering (gap > one-way latency), which is
+//     the premise of flowlet switching.
+//   - Detection: how fast an online detector learns a burst started, and
+//     how much lag a smoothed (EWMA) estimator adds.
+type ImplicationsResult struct {
+	// SignalRTTs are the evaluated round-trip times.
+	SignalRTTs []simclock.Duration
+	// OverBeforeSignal[app][i] is the fraction of app's bursts shorter
+	// than SignalRTTs[i]/2.
+	OverBeforeSignal map[workload.App][]float64
+	// RepathableGaps[app] is the fraction of inter-burst gaps exceeding
+	// the one-way latency (taken as SignalRTTs[mid]/2).
+	RepathableGaps map[workload.App]float64
+	// ThresholdEval / EWMAEval evaluate online detectors against ground
+	// truth on the web campaign.
+	ThresholdEval detect.Evaluation
+	EWMAEval      detect.Evaluation
+}
+
+// Implications runs the §7 analyses over fresh byte campaigns.
+func (e *Experiment) Implications() (ImplicationsResult, error) {
+	res := ImplicationsResult{
+		SignalRTTs: []simclock.Duration{
+			50 * simclock.Microsecond,
+			100 * simclock.Microsecond,
+			250 * simclock.Microsecond,
+		},
+		OverBeforeSignal: make(map[workload.App][]float64),
+		RepathableGaps:   make(map[workload.App]float64),
+	}
+	th := e.threshold()
+	for _, app := range workload.Apps {
+		c, err := e.RunByteCampaign(app, 0)
+		if err != nil {
+			return res, err
+		}
+		durs := c.BurstDurationsMicros(th)
+		fracs := make([]float64, len(res.SignalRTTs))
+		for i, rtt := range res.SignalRTTs {
+			fracs[i] = detect.FractionOverBeforeSignal(durs, rtt/2)
+		}
+		res.OverBeforeSignal[app] = fracs
+
+		gaps := c.InterBurstGapsMicros(th)
+		oneWay := float64(res.SignalRTTs[len(res.SignalRTTs)/2]/2) / float64(simclock.Microsecond)
+		long := 0
+		for _, g := range gaps {
+			if g > oneWay {
+				long++
+			}
+		}
+		if len(gaps) > 0 {
+			res.RepathableGaps[app] = float64(long) / float64(len(gaps))
+		}
+
+		if app == workload.Web {
+			var allBursts []analysis.Burst
+			var thEvents, ewEvents []detect.Event
+			thDet, err := detect.NewThresholdDetector(th, 1, 1)
+			if err != nil {
+				return res, err
+			}
+			ewDet, err := detect.NewEWMADetector(0.3, th, th*0.6)
+			if err != nil {
+				return res, err
+			}
+			for _, s := range c.WindowSeries {
+				allBursts = append(allBursts, analysis.Bursts(s, th)...)
+				thDet.Reset()
+				ewDet.Reset()
+				thEvents = append(thEvents, detect.Run(thDet, s)...)
+				ewEvents = append(ewEvents, detect.Run(ewDet, s)...)
+			}
+			slack := 4 * ByteCampaignInterval
+			res.ThresholdEval = detect.Evaluate(allBursts, thEvents, slack)
+			res.EWMAEval = detect.Evaluate(allBursts, ewEvents, slack)
+		}
+	}
+	return res, nil
+}
+
+// Format renders the §7 summary.
+func (r ImplicationsResult) Format() string {
+	var b strings.Builder
+	b.WriteString("§7 implications (measured on the reproduced traffic)\n")
+	b.WriteString("  congestion control: fraction of bursts over before an RTT/2 signal arrives\n")
+	for _, app := range workload.Apps {
+		fracs, ok := r.OverBeforeSignal[app]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "    %-7s", app)
+		for i, rtt := range r.SignalRTTs {
+			fmt.Fprintf(&b, "  RTT=%v: %4.0f%%", rtt, fracs[i]*100)
+		}
+		b.WriteString("\n")
+	}
+	b.WriteString("  load balancing: fraction of inter-burst gaps exceeding one-way latency (flowlet-safe)\n")
+	for _, app := range workload.Apps {
+		if f, ok := r.RepathableGaps[app]; ok {
+			fmt.Fprintf(&b, "    %-7s %4.0f%%\n", app, f*100)
+		}
+	}
+	thLat := stats.NewECDF(r.ThresholdEval.LatenciesMicros)
+	ewLat := stats.NewECDF(r.EWMAEval.LatenciesMicros)
+	fmt.Fprintf(&b, "  online detection (web): threshold detector rate=%.0f%% p50 latency=%vµs; EWMA rate=%.0f%% p50 latency=%vµs\n",
+		r.ThresholdEval.DetectionRate()*100, fmtQuantile(thLat, 0.5),
+		r.EWMAEval.DetectionRate()*100, fmtQuantile(ewLat, 0.5))
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func fmtQuantile(e *stats.ECDF, q float64) string {
+	if e.N() == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f", e.Quantile(q))
+}

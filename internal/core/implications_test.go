@@ -1,0 +1,58 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"mburst/internal/workload"
+)
+
+func TestImplications(t *testing.T) {
+	exp, err := NewExperiment(QuickConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exp.Implications()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, app := range workload.Apps {
+		fracs := res.OverBeforeSignal[app]
+		if len(fracs) != len(res.SignalRTTs) {
+			t.Fatalf("%v: %d fractions for %d RTTs", app, len(fracs), len(res.SignalRTTs))
+		}
+		// Monotone: a slower signal misses at least as many bursts.
+		for i := 1; i < len(fracs); i++ {
+			if fracs[i] < fracs[i-1] {
+				t.Errorf("%v: fraction not monotone in RTT: %v", app, fracs)
+			}
+		}
+		// The §7 headline: at a 250µs RTT a large share of bursts are
+		// unreactable.
+		if fracs[len(fracs)-1] < 0.3 {
+			t.Errorf("%v: only %.2f of bursts over before 125µs signal; expected a large share", app, fracs[len(fracs)-1])
+		}
+	}
+	// Flowlet premise: most gaps exceed one-way latency (§7: "most
+	// observed inter-burst periods exceed typical end-to-end latencies").
+	for _, app := range workload.Apps {
+		if res.RepathableGaps[app] < 0.5 {
+			t.Errorf("%v: repathable gaps = %v, want majority", app, res.RepathableGaps[app])
+		}
+	}
+	// The immediate detector catches most bursts; the EWMA detector adds
+	// lag (lower rate or higher latency).
+	if res.ThresholdEval.DetectionRate() < 0.9 {
+		t.Errorf("threshold detection rate = %v", res.ThresholdEval.DetectionRate())
+	}
+	if res.EWMAEval.DetectionRate() > res.ThresholdEval.DetectionRate() {
+		t.Errorf("EWMA rate %v should not beat the immediate detector %v",
+			res.EWMAEval.DetectionRate(), res.ThresholdEval.DetectionRate())
+	}
+	out := res.Format()
+	for _, want := range []string{"congestion control", "load balancing", "online detection"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mburst/internal/asic"
+	"mburst/internal/plot"
+	"mburst/internal/stats"
+	"mburst/internal/workload"
+)
+
+// appSeries converts per-app ECDFs into plot series in display order.
+func appSeries(m AppECDF) []plot.Series {
+	var out []plot.Series
+	for _, app := range workload.Apps {
+		if e, ok := m[app]; ok {
+			out = append(out, plot.Series{Name: app.String(), ECDF: e})
+		}
+	}
+	return out
+}
+
+// FormatPlots renders the report's figures as terminal graphics, closely
+// mirroring the paper's visual presentation.
+func (r *Report) FormatPlots() string {
+	var b strings.Builder
+
+	b.WriteString("Fig 2 — drop time series (each cell is one bin; · = no drops)\n")
+	fmt.Fprintf(&b, "  low-util port  (%4.1f%% avg): %s\n", r.Fig2.LowAvg*100, plot.Sparkline(r.Fig2.LowUtil))
+	fmt.Fprintf(&b, "  high-util port (%4.1f%% avg): %s\n\n", r.Fig2.HighAvg*100, plot.Sparkline(r.Fig2.HighUtil))
+
+	b.WriteString("Fig 3 — CDF of µburst durations @25µs\n")
+	b.WriteString(plot.CDF(plot.CDFConfig{LogX: true, XLabel: "burst duration (µs)"}, appSeries(r.Fig3.Durations)...))
+	b.WriteByte('\n')
+
+	b.WriteString("Fig 4 — CDF of inter-burst gaps @25µs\n")
+	b.WriteString(plot.CDF(plot.CDFConfig{LogX: true, XLabel: "inter-burst gap (µs)"}, appSeries(r.Fig4.Gaps)...))
+	b.WriteByte('\n')
+
+	b.WriteString("Fig 5 — packet-size mix inside bursts (bars: packet-count fraction per bin)\n")
+	for _, app := range workload.Apps {
+		mix, ok := r.Fig5.Mix[app]
+		if !ok {
+			continue
+		}
+		labels := make([]string, asic.NumSizeBins)
+		for i := range labels {
+			labels[i] = fmt.Sprintf("%s inside  %s", app, asic.SizeBinLabel(i))
+		}
+		b.WriteString(plot.Bars(labels, mix.Inside.Normalized(), 30))
+	}
+	b.WriteByte('\n')
+
+	b.WriteString("Fig 6 — CDF of link utilization @25µs\n")
+	b.WriteString(plot.CDF(plot.CDFConfig{XLabel: "utilization (fraction of line rate)"}, appSeries(r.Fig6.Utils)...))
+	b.WriteByte('\n')
+
+	b.WriteString("Fig 7 — CDF of uplink MAD, egress @40µs\n")
+	fine := make(AppECDF)
+	for app, c := range r.Fig7.MAD {
+		fine[app] = c.EgressFine
+	}
+	b.WriteString(plot.CDF(plot.CDFConfig{XLabel: "normalized mean absolute deviation"}, appSeries(fine)...))
+	b.WriteByte('\n')
+
+	b.WriteString("Fig 8 — server correlation heatmaps @250µs (|r| ramp ' .:-=+*#%@')\n")
+	for _, app := range workload.Apps {
+		if corr, ok := r.Fig8.Corr[app]; ok {
+			fmt.Fprintf(&b, "%s rack:\n%s\n", app, plot.Heatmap(corr))
+		}
+	}
+
+	b.WriteString("Fig 9 — uplink share of hot ports @300µs\n")
+	var labels []string
+	var vals []float64
+	for _, app := range workload.Apps {
+		if s, ok := r.Fig9.Share[app]; ok {
+			labels = append(labels, app.String())
+			vals = append(vals, s.UplinkShare())
+		}
+	}
+	b.WriteString(plot.Bars(labels, vals, 40))
+	b.WriteByte('\n')
+
+	b.WriteString("Fig 10 — normalized peak buffer occupancy vs hot ports\n")
+	for _, app := range workload.Apps {
+		if box, ok := r.Fig10.Box[app]; ok {
+			fmt.Fprintf(&b, "%s rack:\n%s\n", app, plot.Boxplots(coalesceBoxGroups(box, 4), 50))
+		}
+	}
+	return b.String()
+}
+
+// coalesceBoxGroups merges hot-port counts into buckets of the given width
+// so sparse groups still render as readable boxplots.
+func coalesceBoxGroups(box map[int]stats.BoxplotSummary, width int) map[int]stats.BoxplotSummary {
+	if width <= 1 {
+		return box
+	}
+	// Re-aggregate medians by bucket using each group's summary values;
+	// reconstruct approximate member lists from the five-number summary.
+	merged := make(map[int][]float64)
+	for k, s := range box {
+		bucket := (k / width) * width
+		if s.N == 0 {
+			continue
+		}
+		// Representative values: quartiles weighted by N.
+		rep := []float64{s.Min, s.Q1, s.Median, s.Q3, s.Max}
+		for i := 0; i < s.N; i++ {
+			merged[bucket] = append(merged[bucket], rep[i%len(rep)])
+		}
+	}
+	out := make(map[int]stats.BoxplotSummary, len(merged))
+	for k, vs := range merged {
+		out[k] = stats.Boxplot(vs)
+	}
+	return out
+}

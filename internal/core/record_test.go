@@ -1,0 +1,124 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+	"mburst/internal/workload"
+)
+
+func TestRecordCampaignRoundTrip(t *testing.T) {
+	cfg := QuickConfig()
+	exp, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "cache")
+	err = exp.RecordCampaign(workload.Cache, dir, 0, "test", exp.RandomPortCounters(workload.Cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := trace.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta := r.Meta()
+	if meta.App != "cache" {
+		t.Errorf("app = %q", meta.App)
+	}
+	if meta.Windows != cfg.Racks*cfg.Windows {
+		t.Errorf("windows = %d", meta.Windows)
+	}
+	if meta.Interval != ByteCampaignInterval {
+		t.Errorf("interval = %v", meta.Interval)
+	}
+	totalBursts := 0
+	for i := 0; i < meta.Windows; i++ {
+		samples, err := r.Window(i)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		if len(samples) < 100 {
+			t.Fatalf("window %d has only %d samples", i, len(samples))
+		}
+		// Single-counter campaign: every sample is a TX byte counter.
+		for _, s := range samples {
+			if s.Kind != asic.KindBytes || s.Dir != asic.TX {
+				t.Fatalf("unexpected sample %+v", s)
+			}
+		}
+		speed := uint64(meta.ServerSpeed)
+		if int(samples[0].Port) >= meta.NumServers {
+			speed = meta.UplinkSpeed
+		}
+		series, err := analysis.UtilizationSeries(samples, speed)
+		if err != nil {
+			t.Fatalf("window %d: %v", i, err)
+		}
+		totalBursts += len(analysis.Bursts(series, 0))
+	}
+	if totalBursts == 0 {
+		t.Error("recorded campaign shows no bursts at all")
+	}
+}
+
+func TestRecordCampaignAllPorts(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Windows = 1
+	cfg.Racks = 1
+	cfg.WindowDur = 50 * simclock.Millisecond
+	exp, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "hadoop")
+	err = exp.RecordCampaign(workload.Hadoop, dir, 300*simclock.Microsecond, "fig10", AllPortCounters(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := trace.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	samples, err := r.Window(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := map[asic.CounterKind]int{}
+	ports := map[uint16]bool{}
+	for _, s := range samples {
+		kinds[s.Kind]++
+		if s.Kind == asic.KindBytes {
+			ports[s.Port] = true
+		}
+	}
+	if kinds[asic.KindBufferPeak] == 0 {
+		t.Error("no buffer peak samples in fig10 plan")
+	}
+	if want := exp.Rack().NumPorts(); len(ports) != want {
+		t.Errorf("byte samples cover %d ports, want %d", len(ports), want)
+	}
+}
+
+func TestRecordCampaignRefusesOverwrite(t *testing.T) {
+	cfg := QuickConfig()
+	cfg.Windows = 1
+	cfg.WindowDur = 10 * simclock.Millisecond
+	exp, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "c")
+	plan := exp.RandomPortCounters(workload.Web)
+	if err := exp.RecordCampaign(workload.Web, dir, 0, "", plan); err != nil {
+		t.Fatal(err)
+	}
+	if err := exp.RecordCampaign(workload.Web, dir, 0, "", plan); err == nil {
+		t.Error("second record into same dir succeeded")
+	}
+}

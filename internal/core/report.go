@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"mburst/internal/analysis"
+	"mburst/internal/stats"
+	"mburst/internal/workload"
+)
+
+// Report bundles every reproduced table and figure.
+type Report struct {
+	Fig1   Fig1Result
+	Fig2   Fig2Result
+	Table1 Table1Result
+	Fig3   Fig3Result
+	Fig4   Fig4Result
+	Table2 Table2Result
+	Fig5   Fig5Result
+	Fig6   Fig6Result
+	Fig7   Fig7Result
+	Fig8   Fig8Result
+	Fig9   Fig9Result
+	Fig10  Fig10Result
+	// Implications is the §7 quantification (extension; not a paper
+	// figure, but derived from the same campaigns).
+	Implications ImplicationsResult
+}
+
+// RunAll produces the full report. The byte campaigns feeding Figs 3, 4,
+// 6 and Table 2 are executed once per app and shared, mirroring the
+// paper's single-counter campaign reuse.
+func (e *Experiment) RunAll() (*Report, error) {
+	var r Report
+	var err error
+
+	// Shared 25µs byte campaigns.
+	campaigns := make(map[workload.App]*ByteCampaign)
+	for _, app := range workload.Apps {
+		campaigns[app], err = e.RunByteCampaign(app, 0)
+		if err != nil {
+			return nil, fmt.Errorf("byte campaign %v: %w", app, err)
+		}
+	}
+	th := e.threshold()
+	r.Fig3 = Fig3Result{Durations: make(AppECDF)}
+	r.Fig4 = Fig4Result{Gaps: make(AppECDF), KS: make(map[workload.App]stats.KSResult)}
+	r.Table2 = Table2Result{Models: make(map[workload.App]stats.MarkovModel)}
+	r.Fig6 = Fig6Result{Utils: make(AppECDF), HotFrac: make(map[workload.App]float64)}
+	for _, app := range workload.Apps {
+		c := campaigns[app]
+		r.Fig3.Durations[app] = stats.NewECDF(c.BurstDurationsMicros(th))
+		gaps := c.InterBurstGapsMicros(th)
+		r.Fig4.Gaps[app] = stats.NewECDF(gaps)
+		r.Fig4.KS[app] = analysis.PoissonTest(gaps)
+		models := make([]stats.MarkovModel, 0, len(c.WindowSeries))
+		for _, s := range c.WindowSeries {
+			models = append(models, analysis.BurstMarkov(s, th))
+		}
+		r.Table2.Models[app] = stats.MergeMarkov(models...)
+		utils := c.Utils()
+		r.Fig6.Utils[app] = stats.NewECDF(utils)
+		hot := 0
+		for _, u := range utils {
+			if u > th {
+				hot++
+			}
+		}
+		if len(utils) > 0 {
+			r.Fig6.HotFrac[app] = float64(hot) / float64(len(utils))
+		}
+	}
+
+	if r.Fig1, err = e.Fig1DropUtilScatter(); err != nil {
+		return nil, fmt.Errorf("fig1: %w", err)
+	}
+	if r.Fig2, err = e.Fig2DropTimeSeries(); err != nil {
+		return nil, fmt.Errorf("fig2: %w", err)
+	}
+	if r.Table1, err = e.Table1SamplingLoss(); err != nil {
+		return nil, fmt.Errorf("table1: %w", err)
+	}
+	if r.Fig5, err = e.Fig5PacketSizes(); err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	if r.Fig7, err = e.Fig7UplinkMAD(); err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	if r.Fig8, err = e.Fig8ServerCorrelation(); err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	if r.Fig9, err = e.Fig9HotPortShare(); err != nil {
+		return nil, fmt.Errorf("fig9: %w", err)
+	}
+	if r.Fig10, err = e.Fig10BufferOccupancy(); err != nil {
+		return nil, fmt.Errorf("fig10: %w", err)
+	}
+	if r.Implications, err = e.Implications(); err != nil {
+		return nil, fmt.Errorf("implications: %w", err)
+	}
+	return &r, nil
+}
+
+// Format renders the whole report in paper order.
+func (r *Report) Format() string {
+	sections := []string{
+		r.Fig1.Format(),
+		r.Fig2.Format(),
+		r.Table1.Format(),
+		r.Fig3.Format(),
+		r.Table2.Format(),
+		r.Fig4.Format(),
+		r.Fig5.Format(),
+		r.Fig6.Format(),
+		r.Fig7.Format(),
+		r.Fig8.Format(),
+		r.Fig9.Format(),
+		r.Fig10.Format(),
+		r.Implications.Format(),
+	}
+	return strings.Join(sections, "\n\n")
+}

@@ -1,0 +1,256 @@
+// Package detect implements online µburst detection over utilization
+// sample streams, and the signal-latency analysis behind the paper's §7
+// congestion-control implication: "our measurements show that a large
+// number of µbursts are shorter than a single RTT", so any control loop
+// whose congestion signal takes ≥ RTT/2 to reach the sender reacts to
+// bursts that are already over.
+//
+// Two detectors are provided. ThresholdDetector is the paper's offline
+// criterion made causal (a burst is declared after K consecutive hot
+// samples, cleared after M cold ones). EWMADetector low-pass-filters the
+// utilization first, modeling slower congestion estimators; its added lag
+// quantifies what smoothing costs at µburst timescales.
+package detect
+
+import (
+	"fmt"
+
+	"mburst/internal/analysis"
+	"mburst/internal/simclock"
+)
+
+// EventKind distinguishes burst-start and burst-end detections.
+type EventKind int
+
+const (
+	// Start marks a burst-start detection.
+	Start EventKind = iota
+	// End marks a burst-end detection.
+	End
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	if k == Start {
+		return "start"
+	}
+	return "end"
+}
+
+// Event is an online detection: the detector decided at DetectedAt that a
+// burst started (or ended) — necessarily after the fact, since samples
+// arrive at interval granularity.
+type Event struct {
+	Kind       EventKind
+	DetectedAt simclock.Time
+}
+
+// Detector consumes utilization spans in time order and emits detections.
+type Detector interface {
+	// Feed processes one sample span and returns any events it triggers.
+	Feed(p analysis.UtilPoint) []Event
+	// Reset returns the detector to its initial state.
+	Reset()
+}
+
+// ThresholdDetector declares a burst after ArmAfter consecutive hot
+// samples and clears it after DisarmAfter consecutive cold ones. With
+// ArmAfter=1 it is exactly the paper's burst definition, evaluated
+// causally.
+type ThresholdDetector struct {
+	Threshold   float64
+	ArmAfter    int
+	DisarmAfter int
+
+	hotRun, coldRun int
+	active          bool
+}
+
+// NewThresholdDetector validates and builds a threshold detector.
+func NewThresholdDetector(threshold float64, armAfter, disarmAfter int) (*ThresholdDetector, error) {
+	if threshold <= 0 || threshold >= 1 {
+		return nil, fmt.Errorf("detect: threshold %v out of (0,1)", threshold)
+	}
+	if armAfter < 1 || disarmAfter < 1 {
+		return nil, fmt.Errorf("detect: arm/disarm counts must be >= 1")
+	}
+	return &ThresholdDetector{Threshold: threshold, ArmAfter: armAfter, DisarmAfter: disarmAfter}, nil
+}
+
+// Feed implements Detector.
+func (d *ThresholdDetector) Feed(p analysis.UtilPoint) []Event {
+	var out []Event
+	if p.Util > d.Threshold {
+		d.hotRun++
+		d.coldRun = 0
+		if !d.active && d.hotRun >= d.ArmAfter {
+			d.active = true
+			out = append(out, Event{Kind: Start, DetectedAt: p.End})
+		}
+	} else {
+		d.coldRun++
+		d.hotRun = 0
+		if d.active && d.coldRun >= d.DisarmAfter {
+			d.active = false
+			out = append(out, Event{Kind: End, DetectedAt: p.End})
+		}
+	}
+	return out
+}
+
+// Reset implements Detector.
+func (d *ThresholdDetector) Reset() {
+	d.hotRun, d.coldRun, d.active = 0, 0, false
+}
+
+// EWMADetector smooths utilization with an exponential moving average
+// (weight Alpha per sample) and applies hysteresis thresholds to the
+// smoothed value. Small Alpha models slow congestion estimators.
+type EWMADetector struct {
+	Alpha   float64
+	OnThsh  float64
+	OffThsh float64
+
+	ewma   float64
+	primed bool
+	active bool
+}
+
+// NewEWMADetector validates and builds an EWMA detector. offThsh must be
+// below onThsh (hysteresis).
+func NewEWMADetector(alpha, onThsh, offThsh float64) (*EWMADetector, error) {
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("detect: alpha %v out of (0,1]", alpha)
+	}
+	if onThsh <= 0 || onThsh >= 1 || offThsh <= 0 || offThsh >= onThsh {
+		return nil, fmt.Errorf("detect: thresholds on=%v off=%v invalid", onThsh, offThsh)
+	}
+	return &EWMADetector{Alpha: alpha, OnThsh: onThsh, OffThsh: offThsh}, nil
+}
+
+// Feed implements Detector.
+func (d *EWMADetector) Feed(p analysis.UtilPoint) []Event {
+	if !d.primed {
+		d.ewma = p.Util
+		d.primed = true
+	} else {
+		d.ewma = d.Alpha*p.Util + (1-d.Alpha)*d.ewma
+	}
+	var out []Event
+	if !d.active && d.ewma > d.OnThsh {
+		d.active = true
+		out = append(out, Event{Kind: Start, DetectedAt: p.End})
+	} else if d.active && d.ewma < d.OffThsh {
+		d.active = false
+		out = append(out, Event{Kind: End, DetectedAt: p.End})
+	}
+	return out
+}
+
+// Reset implements Detector.
+func (d *EWMADetector) Reset() {
+	d.ewma, d.primed, d.active = 0, false, false
+}
+
+// Run feeds an entire series through a detector.
+func Run(d Detector, series []analysis.UtilPoint) []Event {
+	var out []Event
+	for _, p := range series {
+		out = append(out, d.Feed(p)...)
+	}
+	return out
+}
+
+// Evaluation compares online detections against ground-truth bursts.
+type Evaluation struct {
+	// Detected counts ground-truth bursts matched by a start detection
+	// that fired inside [burst.Start, burst.End + slack].
+	Detected int
+	// Missed counts bursts with no matching detection.
+	Missed int
+	// MissedAfterEnd counts bursts whose only matching detection fired
+	// after the burst was already over (late knowledge; §7's problem).
+	MissedAfterEnd int
+	// LatenciesMicros holds, for each detected burst, detection time −
+	// burst start, in µs.
+	LatenciesMicros []float64
+	// FalseStarts counts start detections matching no ground-truth burst.
+	FalseStarts int
+}
+
+// DetectionRate returns Detected / (Detected + Missed + MissedAfterEnd).
+func (e Evaluation) DetectionRate() float64 {
+	total := e.Detected + e.Missed + e.MissedAfterEnd
+	if total == 0 {
+		return 0
+	}
+	return float64(e.Detected) / float64(total)
+}
+
+// Evaluate matches start detections to ground-truth bursts. A detection
+// matches the first unmatched burst whose span (extended by slack) covers
+// it; detections after the burst ended (but within slack) count as
+// MissedAfterEnd — the burst was real but knowledge arrived too late.
+func Evaluate(bursts []analysis.Burst, events []Event, slack simclock.Duration) Evaluation {
+	var ev Evaluation
+	var starts []simclock.Time
+	for _, e := range events {
+		if e.Kind == Start {
+			starts = append(starts, e.DetectedAt)
+		}
+	}
+	used := make([]bool, len(starts))
+	for _, b := range bursts {
+		matched := false
+		late := false
+		for i, at := range starts {
+			if used[i] {
+				continue
+			}
+			if !at.Before(b.Start) && !at.After(b.End.Add(slack)) {
+				used[i] = true
+				if at.After(b.End) {
+					late = true
+				} else {
+					matched = true
+					ev.LatenciesMicros = append(ev.LatenciesMicros,
+						float64(at.Sub(b.Start))/float64(simclock.Microsecond))
+				}
+				break
+			}
+		}
+		switch {
+		case matched:
+			ev.Detected++
+		case late:
+			ev.MissedAfterEnd++
+		default:
+			ev.Missed++
+		}
+	}
+	for i := range starts {
+		if !used[i] {
+			ev.FalseStarts++
+		}
+	}
+	return ev
+}
+
+// FractionOverBeforeSignal returns the fraction of bursts whose duration
+// is shorter than signalDelay — bursts that are already over by the time a
+// congestion signal (drop echo, ECN mark, RTT gradient) could reach the
+// sender. The paper's §7 point is that for typical data-center RTTs this
+// fraction is large.
+func FractionOverBeforeSignal(durationsMicros []float64, signalDelay simclock.Duration) float64 {
+	if len(durationsMicros) == 0 {
+		return 0
+	}
+	delay := float64(signalDelay) / float64(simclock.Microsecond)
+	n := 0
+	for _, d := range durationsMicros {
+		if d < delay {
+			n++
+		}
+	}
+	return float64(n) / float64(len(durationsMicros))
+}

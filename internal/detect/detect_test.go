@@ -1,0 +1,186 @@
+package detect
+
+import (
+	"math"
+	"testing"
+
+	"mburst/internal/analysis"
+	"mburst/internal/simclock"
+)
+
+// seriesOf builds 25µs spans from utilization values.
+func seriesOf(utils ...float64) []analysis.UtilPoint {
+	out := make([]analysis.UtilPoint, len(utils))
+	for i, u := range utils {
+		out[i] = analysis.UtilPoint{
+			Start: simclock.Epoch.Add(simclock.Micros(int64(i) * 25)),
+			End:   simclock.Epoch.Add(simclock.Micros(int64(i+1) * 25)),
+			Util:  u,
+		}
+	}
+	return out
+}
+
+func TestThresholdDetectorValidation(t *testing.T) {
+	cases := []struct {
+		th          float64
+		arm, disarm int
+	}{
+		{0, 1, 1}, {1, 1, 1}, {0.5, 0, 1}, {0.5, 1, 0},
+	}
+	for _, c := range cases {
+		if _, err := NewThresholdDetector(c.th, c.arm, c.disarm); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+}
+
+func TestThresholdDetectorImmediate(t *testing.T) {
+	d, err := NewThresholdDetector(0.5, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := seriesOf(0.1, 0.9, 0.9, 0.1, 0.1)
+	events := Run(d, series)
+	if len(events) != 2 {
+		t.Fatalf("events = %+v", events)
+	}
+	if events[0].Kind != Start || events[0].DetectedAt != series[1].End {
+		t.Errorf("start = %+v", events[0])
+	}
+	if events[1].Kind != End || events[1].DetectedAt != series[3].End {
+		t.Errorf("end = %+v", events[1])
+	}
+}
+
+func TestThresholdDetectorDebounce(t *testing.T) {
+	d, err := NewThresholdDetector(0.5, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One-sample blips must not trigger with ArmAfter=2.
+	events := Run(d, seriesOf(0.9, 0.1, 0.9, 0.1, 0.9, 0.1))
+	if len(events) != 0 {
+		t.Errorf("blips triggered: %+v", events)
+	}
+	d.Reset()
+	// Two consecutive hot samples do.
+	events = Run(d, seriesOf(0.9, 0.9, 0.1, 0.1))
+	if len(events) != 2 || events[0].Kind != Start {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestEWMADetectorValidation(t *testing.T) {
+	cases := [][3]float64{
+		{0, 0.5, 0.3}, {1.5, 0.5, 0.3}, {0.5, 0, 0.3}, {0.5, 0.5, 0.5}, {0.5, 0.5, 0.9},
+	}
+	for _, c := range cases {
+		if _, err := NewEWMADetector(c[0], c[1], c[2]); err == nil {
+			t.Errorf("accepted %v", c)
+		}
+	}
+}
+
+func TestEWMADetectorLagsThreshold(t *testing.T) {
+	// The same step input: the EWMA detector (alpha 0.3) must fire later
+	// than the immediate threshold detector.
+	series := seriesOf(0.05, 0.05, 0.95, 0.95, 0.95, 0.95, 0.95, 0.95)
+	th, _ := NewThresholdDetector(0.5, 1, 1)
+	ew, _ := NewEWMADetector(0.3, 0.5, 0.3)
+	thEvents := Run(th, series)
+	ewEvents := Run(ew, series)
+	if len(thEvents) == 0 || len(ewEvents) == 0 {
+		t.Fatalf("missing detections: %v %v", thEvents, ewEvents)
+	}
+	if !thEvents[0].DetectedAt.Before(ewEvents[0].DetectedAt) {
+		t.Errorf("EWMA (%v) should lag threshold (%v)", ewEvents[0].DetectedAt, thEvents[0].DetectedAt)
+	}
+}
+
+func TestEWMADetectorHysteresis(t *testing.T) {
+	ew, _ := NewEWMADetector(1, 0.5, 0.3) // alpha 1: ewma = sample
+	// Oscillating between thresholds must not re-trigger.
+	series := seriesOf(0.9, 0.45, 0.9, 0.45, 0.2)
+	events := Run(ew, series)
+	if len(events) != 2 {
+		t.Fatalf("hysteresis broken: %+v", events)
+	}
+	if events[0].Kind != Start || events[1].Kind != End {
+		t.Errorf("events = %+v", events)
+	}
+}
+
+func TestEvaluate(t *testing.T) {
+	series := seriesOf(0.1, 0.9, 0.9, 0.1, 0.1, 0.9, 0.1, 0.1, 0.9, 0.9)
+	bursts := analysis.Bursts(series, 0.5)
+	if len(bursts) != 3 {
+		t.Fatalf("ground truth = %d bursts", len(bursts))
+	}
+	d, _ := NewThresholdDetector(0.5, 1, 1)
+	events := Run(d, series)
+	ev := Evaluate(bursts, events, simclock.Micros(25))
+	if ev.Detected != 3 || ev.Missed != 0 || ev.FalseStarts != 0 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+	if ev.DetectionRate() != 1 {
+		t.Errorf("rate = %v", ev.DetectionRate())
+	}
+	// Immediate detector latency: one sample = 25µs for each burst.
+	for _, l := range ev.LatenciesMicros {
+		if l != 25 {
+			t.Errorf("latency = %v, want 25", l)
+		}
+	}
+}
+
+func TestEvaluateMissAndLate(t *testing.T) {
+	bursts := []analysis.Burst{
+		{Start: 0, End: simclock.Time(simclock.Micros(50))},
+		{Start: simclock.Time(simclock.Micros(200)), End: simclock.Time(simclock.Micros(250))},
+	}
+	// One detection after burst 0 ended (within slack), none for burst 1.
+	events := []Event{{Kind: Start, DetectedAt: simclock.Time(simclock.Micros(60))}}
+	ev := Evaluate(bursts, events, simclock.Micros(25))
+	if ev.MissedAfterEnd != 1 || ev.Missed != 1 || ev.Detected != 0 {
+		t.Errorf("evaluation = %+v", ev)
+	}
+	// A stray detection matching nothing is a false start.
+	ev = Evaluate(nil, events, 0)
+	if ev.FalseStarts != 1 {
+		t.Errorf("false starts = %d", ev.FalseStarts)
+	}
+}
+
+func TestFractionOverBeforeSignal(t *testing.T) {
+	durs := []float64{10, 20, 30, 100, 500}
+	if f := FractionOverBeforeSignal(durs, simclock.Micros(50)); f != 0.6 {
+		t.Errorf("fraction = %v, want 0.6", f)
+	}
+	if f := FractionOverBeforeSignal(durs, simclock.Micros(1)); f != 0 {
+		t.Errorf("fraction = %v, want 0", f)
+	}
+	if f := FractionOverBeforeSignal(nil, simclock.Micros(1)); f != 0 {
+		t.Errorf("empty fraction = %v", f)
+	}
+}
+
+func TestSignalLatencyHeadline(t *testing.T) {
+	// §7's claim shape with paper-like numbers: with p90 ≤ 200µs and a
+	// majority of bursts ≤ tens of µs, a 100µs signal delay (an
+	// aggressive DC RTT) misses most bursts entirely.
+	durs := []float64{25, 25, 25, 25, 50, 50, 75, 100, 200, 500}
+	f := FractionOverBeforeSignal(durs, simclock.Micros(100))
+	if f < 0.5 {
+		t.Errorf("fraction over before signal = %v, want majority", f)
+	}
+	if math.IsNaN(f) {
+		t.Error("NaN")
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Start.String() != "start" || End.String() != "end" {
+		t.Error("kind names wrong")
+	}
+}

@@ -1,0 +1,175 @@
+// Package ecmp implements the uplink selection schemes whose load-balancing
+// efficacy §6.1 measures.
+//
+// Production ToRs spread egress traffic across their uplinks with
+// Equal-Cost MultiPath. The paper highlights the two sources of imbalance
+// a typical configuration accepts to avoid TCP reordering: hashing operates
+// on flows (not packets), and the hash is static/consistent, so a handful
+// of large flows can pile onto one uplink for their entire lifetime. That
+// is exactly the behaviour FlowHasher reproduces.
+//
+// Two alternative balancers are provided for the §7 design-implication
+// ablations: FlowletBalancer re-picks the uplink whenever a flow pauses
+// longer than a configurable gap (the "microflow" proposals §7 discusses),
+// and RoundRobin is the reordering-oblivious ideal that perfectly balances
+// packets.
+package ecmp
+
+import (
+	"fmt"
+
+	"mburst/internal/simclock"
+)
+
+// FlowKey identifies a transport flow (the 5-tuple ECMP hashes).
+type FlowKey struct {
+	SrcIP, DstIP     uint32
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+// String formats the key for diagnostics.
+func (k FlowKey) String() string {
+	return fmt.Sprintf("%d:%d->%d:%d/%d", k.SrcIP, k.SrcPort, k.DstIP, k.DstPort, k.Proto)
+}
+
+// hash64 is FNV-1a over the key fields plus a per-switch seed, mixing the
+// way switch ASICs fold header fields with a configured hash seed.
+func (k FlowKey) hash64(seed uint64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset) ^ seed
+	step := func(v uint64, bytes int) {
+		for i := 0; i < bytes; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime
+		}
+	}
+	step(uint64(k.SrcIP), 4)
+	step(uint64(k.DstIP), 4)
+	step(uint64(k.SrcPort), 2)
+	step(uint64(k.DstPort), 2)
+	step(uint64(k.Proto), 1)
+	return h
+}
+
+// Balancer selects an uplink index for a unit of traffic belonging to a
+// flow at a given time.
+type Balancer interface {
+	// Pick returns the uplink in [0, NumUplinks()) for this flow now.
+	Pick(flow FlowKey, now simclock.Time) int
+	// NumUplinks returns the number of uplinks being balanced over.
+	NumUplinks() int
+}
+
+// FlowHasher is static flow-level ECMP: a flow maps to one uplink for its
+// whole lifetime. This is the production configuration of §6.1.
+type FlowHasher struct {
+	n    int
+	seed uint64
+}
+
+// NewFlowHasher returns a flow hasher over n uplinks with the given hash
+// seed. It panics if n <= 0.
+func NewFlowHasher(n int, seed uint64) *FlowHasher {
+	if n <= 0 {
+		panic("ecmp: need at least one uplink")
+	}
+	return &FlowHasher{n: n, seed: seed}
+}
+
+// Pick implements Balancer. It ignores time: the mapping is static.
+func (f *FlowHasher) Pick(flow FlowKey, _ simclock.Time) int {
+	return int(flow.hash64(f.seed) % uint64(f.n))
+}
+
+// NumUplinks implements Balancer.
+func (f *FlowHasher) NumUplinks() int { return f.n }
+
+// FlowletBalancer splits flows at idle gaps: if a flow has been silent
+// longer than Gap, the next packet may safely take a different path without
+// risking reordering, so the balancer re-hashes with a new epoch. §7 notes
+// that most observed inter-burst periods exceed typical end-to-end
+// latencies, which is what makes this scheme attractive.
+type FlowletBalancer struct {
+	n    int
+	seed uint64
+	gap  simclock.Duration
+
+	last  map[FlowKey]simclock.Time
+	epoch map[FlowKey]uint64
+}
+
+// NewFlowletBalancer returns a flowlet balancer over n uplinks that starts
+// a new flowlet after gap of inactivity.
+func NewFlowletBalancer(n int, seed uint64, gap simclock.Duration) *FlowletBalancer {
+	if n <= 0 {
+		panic("ecmp: need at least one uplink")
+	}
+	if gap <= 0 {
+		panic("ecmp: non-positive flowlet gap")
+	}
+	return &FlowletBalancer{
+		n:     n,
+		seed:  seed,
+		gap:   gap,
+		last:  make(map[FlowKey]simclock.Time),
+		epoch: make(map[FlowKey]uint64),
+	}
+}
+
+// Pick implements Balancer, advancing the flow's flowlet epoch when the
+// idle gap is exceeded.
+func (f *FlowletBalancer) Pick(flow FlowKey, now simclock.Time) int {
+	if prev, ok := f.last[flow]; ok && now.Sub(prev) > f.gap {
+		f.epoch[flow]++
+	}
+	f.last[flow] = now
+	e := f.epoch[flow]
+	return int((flow.hash64(f.seed) ^ (e * 0x9e3779b97f4a7c15)) % uint64(f.n))
+}
+
+// NumUplinks implements Balancer.
+func (f *FlowletBalancer) NumUplinks() int { return f.n }
+
+// TrackedFlows returns how many flows currently hold flowlet state.
+func (f *FlowletBalancer) TrackedFlows() int { return len(f.last) }
+
+// Forget drops per-flow state for flows idle since before cutoff, bounding
+// memory in long campaigns.
+func (f *FlowletBalancer) Forget(cutoff simclock.Time) {
+	for k, t := range f.last {
+		if t.Before(cutoff) {
+			delete(f.last, k)
+			delete(f.epoch, k)
+		}
+	}
+}
+
+// RoundRobin is the idealized per-packet balancer: successive picks rotate
+// through the uplinks regardless of flow. It bounds how balanced Fig 7
+// could ever look.
+type RoundRobin struct {
+	n    int
+	next int
+}
+
+// NewRoundRobin returns a round-robin balancer over n uplinks.
+func NewRoundRobin(n int) *RoundRobin {
+	if n <= 0 {
+		panic("ecmp: need at least one uplink")
+	}
+	return &RoundRobin{n: n}
+}
+
+// Pick implements Balancer.
+func (r *RoundRobin) Pick(_ FlowKey, _ simclock.Time) int {
+	p := r.next
+	r.next = (r.next + 1) % r.n
+	return p
+}
+
+// NumUplinks implements Balancer.
+func (r *RoundRobin) NumUplinks() int { return r.n }

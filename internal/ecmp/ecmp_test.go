@@ -1,0 +1,160 @@
+package ecmp
+
+import (
+	"testing"
+	"testing/quick"
+
+	"mburst/internal/simclock"
+)
+
+func key(i uint32) FlowKey {
+	return FlowKey{SrcIP: i, DstIP: i ^ 0xffff, SrcPort: uint16(i), DstPort: 80, Proto: 6}
+}
+
+func TestFlowHasherStable(t *testing.T) {
+	h := NewFlowHasher(4, 42)
+	k := key(7)
+	first := h.Pick(k, 0)
+	for i := 0; i < 100; i++ {
+		if h.Pick(k, simclock.Time(i)*1e6) != first {
+			t.Fatal("flow hash not stable over time")
+		}
+	}
+	if first < 0 || first >= 4 {
+		t.Fatalf("pick out of range: %d", first)
+	}
+}
+
+func TestFlowHasherSpread(t *testing.T) {
+	h := NewFlowHasher(4, 1)
+	counts := make([]int, 4)
+	for i := uint32(0); i < 40000; i++ {
+		counts[h.Pick(key(i), 0)]++
+	}
+	for u, c := range counts {
+		if c < 8000 || c > 12000 {
+			t.Errorf("uplink %d got %d of 40000 flows; hash is skewed", u, c)
+		}
+	}
+}
+
+func TestFlowHasherSeedChangesMapping(t *testing.T) {
+	a := NewFlowHasher(4, 1)
+	b := NewFlowHasher(4, 2)
+	diff := 0
+	for i := uint32(0); i < 1000; i++ {
+		if a.Pick(key(i), 0) != b.Pick(key(i), 0) {
+			diff++
+		}
+	}
+	if diff < 500 {
+		t.Errorf("only %d/1000 flows remapped across seeds", diff)
+	}
+}
+
+func TestFlowletRepathsAfterGap(t *testing.T) {
+	gap := simclock.Micros(100)
+	fb := NewFlowletBalancer(4, 9, gap)
+	k := key(3)
+	// Back-to-back picks within the gap must not change path.
+	t0 := simclock.Epoch.Add(simclock.Micros(10))
+	p0 := fb.Pick(k, t0)
+	p1 := fb.Pick(k, t0.Add(simclock.Micros(50)))
+	if p0 != p1 {
+		t.Fatal("flowlet split within gap")
+	}
+	// After a long pause, the epoch advances; over many flows, paths
+	// must change for a fair share of them.
+	changed := 0
+	const flows = 1000
+	for i := uint32(0); i < flows; i++ {
+		k := key(i)
+		now := simclock.Epoch.Add(simclock.Micros(10))
+		before := fb.Pick(k, now)
+		after := fb.Pick(k, now.Add(simclock.Millis(5)))
+		if before != after {
+			changed++
+		}
+	}
+	// With 4 uplinks a re-hash changes path with p=3/4.
+	if changed < flows/2 {
+		t.Errorf("only %d/%d flows repathed after gap", changed, flows)
+	}
+}
+
+func TestFlowletForget(t *testing.T) {
+	fb := NewFlowletBalancer(4, 9, simclock.Micros(100))
+	for i := uint32(0); i < 100; i++ {
+		fb.Pick(key(i), simclock.Epoch.Add(simclock.Micros(int64(i))))
+	}
+	if len(fb.last) != 100 {
+		t.Fatalf("state size = %d", len(fb.last))
+	}
+	fb.Forget(simclock.Epoch.Add(simclock.Micros(50)))
+	if len(fb.last) != 50 {
+		t.Errorf("after Forget: %d entries, want 50", len(fb.last))
+	}
+}
+
+func TestRoundRobinPerfectBalance(t *testing.T) {
+	rr := NewRoundRobin(4)
+	counts := make([]int, 4)
+	for i := uint32(0); i < 4000; i++ {
+		counts[rr.Pick(key(i%3), 0)]++ // even a few flows balance perfectly
+	}
+	for u, c := range counts {
+		if c != 1000 {
+			t.Errorf("uplink %d = %d, want exactly 1000", u, c)
+		}
+	}
+}
+
+func TestConstructorsPanic(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewFlowHasher(0, 1) },
+		func() { NewFlowletBalancer(0, 1, simclock.Micros(1)) },
+		func() { NewFlowletBalancer(4, 1, 0) },
+		func() { NewRoundRobin(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid constructor did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBalancerInterfaces(t *testing.T) {
+	var _ Balancer = NewFlowHasher(4, 0)
+	var _ Balancer = NewFlowletBalancer(4, 0, simclock.Micros(1))
+	var _ Balancer = NewRoundRobin(4)
+	if NewFlowHasher(3, 0).NumUplinks() != 3 {
+		t.Error("NumUplinks wrong")
+	}
+}
+
+// Property: picks are always in range for all balancers.
+func TestQuickPickInRange(t *testing.T) {
+	f := func(src, dst uint32, sp, dp uint16, nRaw uint8, tRaw uint32) bool {
+		n := int(nRaw%8) + 1
+		k := FlowKey{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Proto: 6}
+		now := simclock.Epoch.Add(simclock.Duration(tRaw))
+		for _, b := range []Balancer{
+			NewFlowHasher(n, uint64(src)),
+			NewFlowletBalancer(n, uint64(dst), simclock.Micros(100)),
+			NewRoundRobin(n),
+		} {
+			p := b.Pick(k, now)
+			if p < 0 || p >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

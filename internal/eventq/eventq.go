@@ -1,0 +1,192 @@
+// Package eventq implements the discrete-event kernel that drives the rack
+// simulator and the collection framework's virtual scheduling.
+//
+// The kernel is a classic event-list design: a binary min-heap of events
+// ordered by (time, sequence number). The sequence number makes the order of
+// same-instant events deterministic — FIFO in scheduling order — which is
+// required for bit-reproducible campaigns (DESIGN.md §4).
+//
+// Events may be cancelled; cancellation is O(log n) thanks to an index
+// maintained inside each event handle. The scheduler exposes both a
+// run-to-completion loop and a bounded RunUntil used by the simulator's
+// tick engine to interleave event processing with per-tick fluid updates.
+package eventq
+
+import (
+	"container/heap"
+	"fmt"
+
+	"mburst/internal/simclock"
+)
+
+// Handler is the callback invoked when an event fires. now is the event's
+// scheduled time, which is also the scheduler clock's current time.
+type Handler func(now simclock.Time)
+
+// Event is a handle for a scheduled event, usable to cancel it.
+type Event struct {
+	at      simclock.Time
+	seq     uint64
+	fn      Handler
+	index   int // heap index; -1 when not queued
+	stopped bool
+}
+
+// At returns the time the event is (or was) scheduled to fire.
+func (e *Event) At() simclock.Time { return e.at }
+
+// Scheduled reports whether the event is still pending.
+func (e *Event) Scheduled() bool { return e != nil && e.index >= 0 && !e.stopped }
+
+// Scheduler owns the virtual clock and the pending event set.
+type Scheduler struct {
+	clock *simclock.Clock
+	pq    eventHeap
+	seq   uint64
+
+	// processed counts events fired since construction; exposed for tests
+	// and for the simulator's progress accounting.
+	processed uint64
+}
+
+// NewScheduler returns an empty scheduler positioned at the epoch.
+func NewScheduler() *Scheduler {
+	return &Scheduler{clock: simclock.NewClock()}
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() simclock.Time { return s.clock.Now() }
+
+// Clock exposes the underlying virtual clock (read-only use expected).
+func (s *Scheduler) Clock() *simclock.Clock { return s.clock }
+
+// Len returns the number of pending events.
+func (s *Scheduler) Len() int { return s.pq.Len() }
+
+// Processed returns the number of events fired so far.
+func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// At schedules fn to run at time t. Scheduling in the past panics: an
+// event that should already have happened indicates a logic error and
+// silently reordering it would corrupt counter timelines.
+func (s *Scheduler) At(t simclock.Time, fn Handler) *Event {
+	if t < s.clock.Now() {
+		panic(fmt.Sprintf("eventq: scheduling at %v, before now %v", t, s.clock.Now()))
+	}
+	if fn == nil {
+		panic("eventq: nil handler")
+	}
+	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.pq, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (s *Scheduler) After(d simclock.Duration, fn Handler) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("eventq: negative delay %v", d))
+	}
+	return s.At(s.clock.Now().Add(d), fn)
+}
+
+// Cancel removes a pending event. Cancelling a nil, already-fired, or
+// already-cancelled event is a no-op and returns false.
+func (s *Scheduler) Cancel(e *Event) bool {
+	if e == nil || e.index < 0 || e.stopped {
+		return false
+	}
+	e.stopped = true
+	heap.Remove(&s.pq, e.index)
+	return true
+}
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It returns false if no events are pending.
+func (s *Scheduler) Step() bool {
+	for s.pq.Len() > 0 {
+		e := heap.Pop(&s.pq).(*Event)
+		if e.stopped {
+			continue
+		}
+		s.clock.AdvanceTo(e.at)
+		s.processed++
+		e.fn(e.at)
+		return true
+	}
+	return false
+}
+
+// RunUntil fires all events scheduled at or before deadline, then advances
+// the clock to the deadline. Events scheduled during the run are processed
+// too if they fall within the deadline.
+func (s *Scheduler) RunUntil(deadline simclock.Time) {
+	for s.pq.Len() > 0 && s.pq[0].at <= deadline {
+		if !s.Step() {
+			break
+		}
+	}
+	if deadline > s.clock.Now() {
+		s.clock.AdvanceTo(deadline)
+	}
+}
+
+// Run fires events until none remain or until maxEvents have been
+// processed (0 means no limit). It returns the number of events fired.
+func (s *Scheduler) Run(maxEvents uint64) uint64 {
+	var n uint64
+	for maxEvents == 0 || n < maxEvents {
+		if !s.Step() {
+			break
+		}
+		n++
+	}
+	return n
+}
+
+// NextAt returns the time of the earliest pending event, and whether one
+// exists.
+func (s *Scheduler) NextAt() (simclock.Time, bool) {
+	for s.pq.Len() > 0 {
+		if s.pq[0].stopped { // lazily shed cancelled heads
+			heap.Pop(&s.pq)
+			continue
+		}
+		return s.pq[0].at, true
+	}
+	return 0, false
+}
+
+// eventHeap implements heap.Interface ordered by (time, seq).
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}

@@ -1,0 +1,275 @@
+// Package fabric extends the measurement study one tier up the Clos
+// topology — the paper's stated future work ("Due to current deployment
+// restrictions, we concentrate on ToR switches for this study and leave
+// the study of other network tiers to future work", §4.2).
+//
+// A Cluster runs several rack simulations in lockstep and stands up one
+// fabric switch per uplink index, wired the standard folded-Clos way:
+// uplink f of every ToR connects to fabric switch f. Each fabric switch
+// is a full asic.Switch, so the same collection framework (the poller,
+// the wire protocol, the analyses) measures it with zero changes:
+//
+//	fabric switch f ports [0, K)         one per rack (ToR-facing, 40G)
+//	fabric switch f ports [K, K+S)       spine-facing (100G)
+//
+// Traffic at the fabric tier is derived from the racks' uplink streams:
+// what a ToR sends up uplink f arrives at fabric f's rack port and is
+// forwarded to a spine port (per-rack static ECMP, as lumpy as real flow
+// hashing); what a ToR receives on uplink f must have left fabric f's
+// ToR-facing egress port. No traffic is invented or lost.
+//
+// The tier-comparison claim this enables (§4.2, citing Jupiter [19]):
+// ToR ports are burstier than fabric/spine ports — aggregation across
+// racks statistically multiplexes the µbursts away. CompareTiers
+// quantifies it; TestFabricSmoothsBursts and the extension bench check it.
+package fabric
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/topo"
+)
+
+// Config configures a cluster.
+type Config struct {
+	// RackConfigs lists the per-rack simulations (apps may differ). All
+	// racks must share the same topology shape and tick.
+	RackConfigs []simnet.Config
+	// SpinePorts is the number of spine-facing ports per fabric switch
+	// (default 2).
+	SpinePorts int
+	// SpineSpeed is the spine link rate (default 100G).
+	SpineSpeed uint64
+	// FabricBufferBytes / FabricAlpha configure each fabric switch's
+	// shared buffer (defaults 4 MB, alpha 2 — fabric chips are deeper).
+	FabricBufferBytes float64
+	FabricAlpha       float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.SpinePorts == 0 {
+		c.SpinePorts = 2
+	}
+	if c.SpineSpeed == 0 {
+		c.SpineSpeed = topo.Gbps100
+	}
+	if c.FabricBufferBytes == 0 {
+		c.FabricBufferBytes = 4 << 20
+	}
+	if c.FabricAlpha == 0 {
+		c.FabricAlpha = 2
+	}
+}
+
+// Cluster is a set of racks under a fabric-switch tier.
+type Cluster struct {
+	cfg     Config
+	racks   []*simnet.Net
+	fabrics []*asic.Switch
+	shape   topo.Rack
+	tick    simclock.Duration
+
+	// perTick[f][port] accumulates this tick's offered bytes/profile for
+	// fabric switch f, filled by the rack observers and flushed by Run.
+	pending []map[int]offer
+}
+
+type offer struct {
+	bytes   float64
+	profile asic.TrafficProfile
+}
+
+// New builds the cluster and wires the rack observers.
+func New(cfg Config) (*Cluster, error) {
+	cfg.applyDefaults()
+	if len(cfg.RackConfigs) == 0 {
+		return nil, fmt.Errorf("fabric: no racks")
+	}
+	c := &Cluster{cfg: cfg}
+	for i := range cfg.RackConfigs {
+		rc := cfg.RackConfigs[i]
+		net, err := simnet.New(rc)
+		if err != nil {
+			return nil, fmt.Errorf("fabric: rack %d: %w", i, err)
+		}
+		if i == 0 {
+			c.shape = net.Rack()
+			c.tick = net.Tick()
+		} else {
+			if net.Rack() != c.shape {
+				return nil, fmt.Errorf("fabric: rack %d shape differs", i)
+			}
+			if net.Tick() != c.tick {
+				return nil, fmt.Errorf("fabric: rack %d tick differs", i)
+			}
+		}
+		c.racks = append(c.racks, net)
+	}
+
+	k := len(c.racks)
+	for f := 0; f < c.shape.NumUplinks; f++ {
+		speeds := make([]uint64, 0, k+cfg.SpinePorts)
+		names := make([]string, 0, k+cfg.SpinePorts)
+		for r := 0; r < k; r++ {
+			speeds = append(speeds, c.shape.UplinkSpeed)
+			names = append(names, fmt.Sprintf("tor%d", r))
+		}
+		for s := 0; s < cfg.SpinePorts; s++ {
+			speeds = append(speeds, cfg.SpineSpeed)
+			names = append(names, fmt.Sprintf("spine%d", s))
+		}
+		c.fabrics = append(c.fabrics, asic.New(asic.Config{
+			PortSpeeds:  speeds,
+			PortNames:   names,
+			BufferBytes: cfg.FabricBufferBytes,
+			Alpha:       cfg.FabricAlpha,
+		}))
+		c.pending = append(c.pending, make(map[int]offer))
+	}
+
+	for r, net := range c.racks {
+		r := r
+		net.SetTxObserver(func(_ simclock.Time, port int, nbytes float64, profile asic.TrafficProfile) {
+			c.onRackTx(r, port, nbytes, profile)
+		})
+		net.SetRxObserver(func(_ simclock.Time, port int, nbytes float64, profile asic.TrafficProfile) {
+			c.onRackRx(r, port, nbytes, profile)
+		})
+	}
+	return c, nil
+}
+
+// onRackTx handles ToR→fabric traffic: the ToR's uplink-f egress arrives
+// at fabric f's rack port (RX) and is forwarded to a spine port.
+func (c *Cluster) onRackTx(rack, port int, nbytes float64, profile asic.TrafficProfile) {
+	if !c.shape.IsUplink(port) {
+		return
+	}
+	f := port - c.shape.NumServers
+	sw := c.fabrics[f]
+	sw.OfferRx(rack, nbytes, profile)
+	// Spine egress: per-rack static assignment mimics flow-hash lumpiness
+	// at rack granularity.
+	spine := c.spinePortIndex(rack)
+	c.accumulate(f, spine, nbytes, profile)
+}
+
+// onRackRx handles fabric→ToR traffic: what the ToR receives on uplink f
+// was forwarded by fabric f out of its rack-facing port, having arrived
+// from a spine port.
+func (c *Cluster) onRackRx(rack, port int, nbytes float64, profile asic.TrafficProfile) {
+	if !c.shape.IsUplink(port) {
+		return
+	}
+	f := port - c.shape.NumServers
+	sw := c.fabrics[f]
+	// Arrived from the spine.
+	sw.OfferRx(c.spinePortIndex(rack), nbytes, profile)
+	// Leaves toward the rack.
+	c.accumulate(f, rack, nbytes, profile)
+}
+
+// accumulate merges an egress offer into the tick-pending set for fabric f.
+func (c *Cluster) accumulate(f, port int, nbytes float64, profile asic.TrafficProfile) {
+	o := c.pending[f][port]
+	if o.bytes == 0 {
+		o.profile = profile
+	} else {
+		total := o.bytes + nbytes
+		for i := range o.profile {
+			o.profile[i] = (o.profile[i]*o.bytes + profile[i]*nbytes) / total
+		}
+	}
+	o.bytes += nbytes
+	c.pending[f][port] = o
+}
+
+// spinePortIndex returns the fabric-switch port index of the spine port
+// assigned to a rack.
+func (c *Cluster) spinePortIndex(rack int) int {
+	return len(c.racks) + rack%c.cfg.SpinePorts
+}
+
+// NumRacks returns the rack count.
+func (c *Cluster) NumRacks() int { return len(c.racks) }
+
+// Rack returns rack i's simulation.
+func (c *Cluster) Rack(i int) *simnet.Net { return c.racks[i] }
+
+// NumFabrics returns the fabric-switch count (= uplinks per ToR).
+func (c *Cluster) NumFabrics() int { return len(c.fabrics) }
+
+// Fabric returns fabric switch f's ASIC; poll it like any switch.
+func (c *Cluster) Fabric(f int) *asic.Switch { return c.fabrics[f] }
+
+// SpinePort returns the port index of spine port s on a fabric switch.
+func (c *Cluster) SpinePort(s int) int {
+	if s < 0 || s >= c.cfg.SpinePorts {
+		panic(fmt.Sprintf("fabric: spine port %d out of range", s))
+	}
+	return len(c.racks) + s
+}
+
+// ToRPort returns the fabric-switch port index facing rack r.
+func (c *Cluster) ToRPort(r int) int {
+	if r < 0 || r >= len(c.racks) {
+		panic(fmt.Sprintf("fabric: rack %d out of range", r))
+	}
+	return r
+}
+
+// Shape returns the common rack topology.
+func (c *Cluster) Shape() topo.Rack { return c.shape }
+
+// Tick returns the cluster's native tick.
+func (c *Cluster) Tick() simclock.Duration { return c.tick }
+
+// Now returns the cluster time (all racks advance in lockstep).
+func (c *Cluster) Now() simclock.Time { return c.racks[0].Now() }
+
+// InstallPoller attaches the standard collection framework to fabric
+// switch f — the same Poller that samples ToRs, demonstrating that the
+// framework ports unchanged to higher tiers. Rack 0's scheduler serves as
+// the time base; the cluster advances all racks in lockstep, so it is the
+// cluster clock. The fabric ASIC applies its tick right after the racks',
+// so fabric counter reads lag the racks' by at most one native tick.
+func (c *Cluster) InstallPoller(f int, cfg collector.PollerConfig, src *rng.Source, emit collector.Emitter) (*collector.Poller, error) {
+	if f < 0 || f >= len(c.fabrics) {
+		return nil, fmt.Errorf("fabric: switch %d out of range", f)
+	}
+	p, err := collector.NewPoller(cfg, c.fabrics[f], src, emit)
+	if err != nil {
+		return nil, err
+	}
+	p.Install(c.racks[0].Scheduler())
+	return p, nil
+}
+
+// Run advances every rack and the fabric tier in lockstep by d.
+func (c *Cluster) Run(d simclock.Duration) {
+	if d < 0 {
+		panic("fabric: negative run duration")
+	}
+	end := c.Now().Add(d)
+	for c.Now().Before(end) {
+		step := c.tick
+		if remaining := end.Sub(c.Now()); remaining < step {
+			step = remaining
+		}
+		for _, net := range c.racks {
+			net.Run(step) // observers fill c.pending
+		}
+		for f, sw := range c.fabrics {
+			for port, o := range c.pending[f] {
+				sw.OfferTx(port, o.bytes, o.profile)
+				delete(c.pending[f], port)
+			}
+			sw.Tick(step)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Package pktqueue is a packet-granularity egress-port model used to
+// validate the fluid approximation the main simulator makes (DESIGN.md §4:
+// "Fluid-per-tick traffic, statistical packet mix").
+//
+// The ASIC model advances whole ticks of bytes; this package queues and
+// serializes individual packets against a finite buffer. Driving both with
+// identical offered traffic and comparing transmitted bytes, drop counts
+// and queue peaks (see TestFluidModelAgreesWithPacketModel) bounds the
+// error the fluid shortcut introduces at the counter level — which is the
+// only level the paper's analyses observe.
+package pktqueue
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+)
+
+// Packet is one arrival.
+type Packet struct {
+	// Arrival is when the last bit of the packet reaches the egress
+	// queue. Packets must be enqueued in non-decreasing arrival order.
+	Arrival simclock.Time
+	// Size is the packet length in bytes.
+	Size int
+}
+
+// Port is a single egress port with a tail-drop FIFO of bounded byte
+// depth, serializing at line rate.
+type Port struct {
+	speed       uint64
+	bufferBytes int
+
+	now     simclock.Time
+	queue   int     // bytes waiting (excluding the bit currently on the wire)
+	partial float64 // bytes of the head already serialized
+
+	txBytes   uint64
+	txPackets uint64
+	drops     uint64
+	peakQueue int
+}
+
+// New returns a port with the given line rate and buffer depth.
+func New(speedBps uint64, bufferBytes int) *Port {
+	if speedBps == 0 {
+		panic("pktqueue: zero speed")
+	}
+	if bufferBytes <= 0 {
+		panic("pktqueue: non-positive buffer")
+	}
+	return &Port{speed: speedBps, bufferBytes: bufferBytes}
+}
+
+// Now returns the port's current time.
+func (p *Port) Now() simclock.Time { return p.now }
+
+// QueueBytes returns the current backlog.
+func (p *Port) QueueBytes() int { return p.queue }
+
+// TxBytes returns cumulative transmitted bytes.
+func (p *Port) TxBytes() uint64 { return p.txBytes }
+
+// TxPackets returns cumulative transmitted packets (counted when their
+// last byte leaves; partially sent packets at the end of a run count
+// their serialized bytes but not the packet).
+func (p *Port) TxPackets() uint64 { return p.txPackets }
+
+// Drops returns cumulative tail drops (packets).
+func (p *Port) Drops() uint64 { return p.drops }
+
+// PeakQueue returns the maximum backlog observed.
+func (p *Port) PeakQueue() int { return p.peakQueue }
+
+// Advance drains the queue up to time t.
+func (p *Port) Advance(t simclock.Time) {
+	if t.Before(p.now) {
+		panic(fmt.Sprintf("pktqueue: time moved backwards %v -> %v", p.now, t))
+	}
+	budget := float64(p.speed) / 8 * t.Sub(p.now).Seconds()
+	p.now = t
+	drained := budget
+	if avail := float64(p.queue) - p.partial; drained > avail {
+		drained = avail
+	}
+	if drained > 0 {
+		p.partial += drained
+		p.txBytes += uint64(drained + 0.5)
+		// Retire fully-serialized head bytes from the queue. We track
+		// only aggregate bytes, so retire floor(partial) whole bytes.
+		whole := int(p.partial)
+		p.queue -= whole
+		p.partial -= float64(whole)
+	}
+}
+
+// Enqueue admits a packet (after advancing to its arrival time) or tail-
+// drops it when the buffer is full.
+func (p *Port) Enqueue(pkt Packet) {
+	if pkt.Size <= 0 {
+		panic("pktqueue: non-positive packet size")
+	}
+	p.Advance(pkt.Arrival)
+	if p.queue+pkt.Size > p.bufferBytes {
+		p.drops++
+		return
+	}
+	p.queue += pkt.Size
+	p.txPackets++ // will be transmitted eventually; simpler accounting
+	if p.queue > p.peakQueue {
+		p.peakQueue = p.queue
+	}
+}
+
+// GeneratePoisson draws packets from a Poisson arrival process at the
+// given byte rate over [start, start+dur), with sizes drawn from the
+// count-mix implied by the byte profile. Useful for feeding both this
+// model and the fluid ASIC with statistically identical traffic.
+func GeneratePoisson(src *rng.Source, start simclock.Time, dur simclock.Duration,
+	bytesPerSec float64, profile asic.TrafficProfile) []Packet {
+	if bytesPerSec <= 0 || dur <= 0 {
+		return nil
+	}
+	// Convert byte fractions to packet-count weights.
+	var weights [asic.NumSizeBins]float64
+	var meanSize float64
+	{
+		var total float64
+		for i, f := range profile {
+			weights[i] = f / asic.RepresentativeSize(i)
+			total += weights[i]
+		}
+		if total == 0 {
+			return nil
+		}
+		for i := range weights {
+			weights[i] /= total
+		}
+		for i, w := range weights {
+			meanSize += w * asic.RepresentativeSize(i)
+		}
+	}
+	pktPerSec := bytesPerSec / meanSize
+	var out []Packet
+	t := float64(start.Nanoseconds())
+	end := float64(start.Add(dur).Nanoseconds())
+	for {
+		t += src.Exp(1e9 / pktPerSec)
+		if t >= end {
+			return out
+		}
+		bin := src.Categorical(weights[:])
+		out = append(out, Packet{
+			Arrival: simclock.Time(int64(t)),
+			Size:    int(asic.RepresentativeSize(bin)),
+		})
+	}
+}

@@ -1,0 +1,184 @@
+package pktqueue
+
+import (
+	"math"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+)
+
+const gbps10 = uint64(10_000_000_000)
+
+var fullMTU = asic.TrafficProfile{0, 0, 0, 0, 0, 1}
+
+func TestConstructorGuards(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 100) },
+		func() { New(gbps10, 0) },
+		func() { New(gbps10, 100).Enqueue(Packet{Size: 0}) },
+		func() {
+			p := New(gbps10, 100)
+			p.Advance(10)
+			p.Advance(5)
+		},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid call did not panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSerializationAtLineRate(t *testing.T) {
+	p := New(gbps10, 1<<20)
+	// A 1500B packet at 10G takes 1.2µs to serialize.
+	p.Enqueue(Packet{Arrival: 0, Size: 1500})
+	p.Advance(simclock.Time(simclock.Micros(1))) // 1250 bytes drained
+	if p.QueueBytes() > 300 || p.QueueBytes() < 200 {
+		t.Errorf("queue after 1µs = %d, want ~250", p.QueueBytes())
+	}
+	p.Advance(simclock.Time(simclock.Micros(2)))
+	if p.QueueBytes() != 0 {
+		t.Errorf("queue not drained: %d", p.QueueBytes())
+	}
+	if got := p.TxBytes(); got < 1499 || got > 1501 {
+		t.Errorf("tx bytes = %d", got)
+	}
+	if p.TxPackets() != 1 {
+		t.Errorf("tx packets = %d", p.TxPackets())
+	}
+}
+
+func TestTailDrop(t *testing.T) {
+	p := New(gbps10, 3000)
+	// Three back-to-back packets: third exceeds the 3000B buffer.
+	p.Enqueue(Packet{Arrival: 0, Size: 1500})
+	p.Enqueue(Packet{Arrival: 0, Size: 1400})
+	p.Enqueue(Packet{Arrival: 0, Size: 1500})
+	if p.Drops() != 1 {
+		t.Errorf("drops = %d, want 1", p.Drops())
+	}
+	if p.PeakQueue() > 3000 {
+		t.Errorf("peak %d exceeds buffer", p.PeakQueue())
+	}
+}
+
+func TestWorkConservation(t *testing.T) {
+	// All accepted bytes eventually transmit.
+	src := rng.New(3)
+	p := New(gbps10, 64<<10)
+	pkts := GeneratePoisson(src, 0, 10*simclock.Millisecond, 0.4*float64(gbps10)/8, fullMTU)
+	var offered uint64
+	for _, pkt := range pkts {
+		p.Enqueue(pkt)
+		offered += uint64(pkt.Size)
+	}
+	p.Advance(p.Now().Add(simclock.Millis(1))) // final drain
+	dropped := p.Drops() * 1500
+	if got := p.TxBytes() + uint64(p.QueueBytes()) + dropped; absDiff(got, offered) > uint64(len(pkts)) {
+		t.Errorf("conservation: tx+queue+drops = %d, offered = %d", got, offered)
+	}
+}
+
+func absDiff(a, b uint64) uint64 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}
+
+func TestGeneratePoissonStatistics(t *testing.T) {
+	src := rng.New(7)
+	rate := 0.5 * float64(gbps10) / 8 // bytes/sec
+	dur := 50 * simclock.Millisecond
+	pkts := GeneratePoisson(src, 0, dur, rate, fullMTU)
+	var total float64
+	for _, p := range pkts {
+		total += float64(p.Size)
+		if p.Size != 1500 {
+			t.Fatalf("MTU profile produced %dB packet", p.Size)
+		}
+	}
+	want := rate * dur.Seconds()
+	if math.Abs(total-want) > 0.05*want {
+		t.Errorf("generated %v bytes, want ~%v", total, want)
+	}
+	// Arrivals are ordered.
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Arrival < pkts[i-1].Arrival {
+			t.Fatal("arrivals out of order")
+		}
+	}
+	if GeneratePoisson(src, 0, dur, 0, fullMTU) != nil {
+		t.Error("zero rate should produce nil")
+	}
+	if GeneratePoisson(src, 0, dur, rate, asic.TrafficProfile{}) != nil {
+		t.Error("zero profile should produce nil")
+	}
+}
+
+// TestFluidModelAgreesWithPacketModel is the validation experiment for the
+// simulator's core approximation: feed the same Poisson packet stream to
+// (a) this packet-level port and (b) the fluid ASIC (as per-tick byte
+// sums), and compare the counter-level outcomes the paper's analyses
+// consume.
+func TestFluidModelAgreesWithPacketModel(t *testing.T) {
+	src := rng.New(11)
+	const bufferBytes = 100 << 10
+	dur := 50 * simclock.Millisecond
+	tick := 5 * simclock.Microsecond
+
+	// ON/OFF traffic: 200µs at 150% line rate (builds queue + drops),
+	// 800µs off, repeated — a µburst caricature.
+	var pkts []Packet
+	for start := simclock.Time(0); start.Before(simclock.Time(dur)); start = start.Add(simclock.Millis(1)) {
+		burst := GeneratePoisson(src, start, 200*simclock.Microsecond, 1.5*float64(gbps10)/8, fullMTU)
+		pkts = append(pkts, burst...)
+	}
+
+	// (a) Packet model.
+	pp := New(gbps10, bufferBytes)
+	for _, pkt := range pkts {
+		pp.Enqueue(pkt)
+	}
+	pp.Advance(simclock.Time(dur).Add(simclock.Millis(2)))
+
+	// (b) Fluid ASIC: per-tick byte sums of the identical packet stream.
+	sw := asic.New(asic.Config{
+		PortSpeeds:  []uint64{gbps10},
+		BufferBytes: bufferBytes,
+		Alpha:       1000, // single port: effectively a plain FIFO bound
+	})
+	idx := 0
+	for now := simclock.Time(0); now.Before(simclock.Time(dur) + simclock.Time(simclock.Millis(2))); now = now.Add(tick) {
+		var bytes float64
+		for idx < len(pkts) && pkts[idx].Arrival.Before(now.Add(tick)) {
+			bytes += float64(pkts[idx].Size)
+			idx++
+		}
+		if bytes > 0 {
+			sw.OfferTx(0, bytes, fullMTU)
+		}
+		sw.Tick(tick)
+	}
+
+	// Compare the counter-level outcomes.
+	fluidTx := float64(sw.Port(0).Bytes(asic.TX))
+	pktTx := float64(pp.TxBytes())
+	if rel := math.Abs(fluidTx-pktTx) / pktTx; rel > 0.02 {
+		t.Errorf("tx bytes diverge: fluid %v vs packet %v (%.1f%%)", fluidTx, pktTx, rel*100)
+	}
+	fluidDrops := float64(sw.Port(0).Drops())
+	pktDrops := float64(pp.Drops())
+	if pktDrops > 0 {
+		if rel := math.Abs(fluidDrops-pktDrops) / pktDrops; rel > 0.25 {
+			t.Errorf("drops diverge: fluid %v vs packet %v (%.0f%%)", fluidDrops, pktDrops, rel*100)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package pktsample implements the packet-sampling measurement baseline
+// the paper contrasts against (§2): sFlow-style sampling where "only one
+// packet in thousands or tens of thousands [is] recorded — Facebook, for
+// instance, typically samples packets with a probability of 1 in 30,000."
+//
+// The sampler taps the simulator's per-tick port traffic, draws sampled
+// packet records with the configured probability, and offers estimators
+// that reconstruct utilization from those records the way an sFlow
+// collector would (scaling each sampled packet by the sampling rate).
+//
+// The point of the baseline — demonstrated by BenchmarkBaselinePacketSampling
+// and the pktsample tests — is the paper's motivating claim: sampled
+// estimates converge over minutes and recover long-term traffic shares,
+// but at microburst timescales almost every interval contains zero
+// sampled packets, so µbursts are invisible.
+package pktsample
+
+import (
+	"fmt"
+	"math"
+
+	"mburst/internal/asic"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+)
+
+// Record is one sampled packet, the sFlow datagram payload equivalent.
+type Record struct {
+	// Time is when the packet was forwarded.
+	Time simclock.Time
+	// Port is the egress port.
+	Port int
+	// Size is the packet size in bytes.
+	Size int
+}
+
+// Sampler draws packet samples from offered traffic at a fixed 1-in-N
+// probability. It is driven per simulation tick via Observe.
+type Sampler struct {
+	rate    float64 // sampling probability (1/N)
+	n       uint64  // the N in 1-in-N
+	src     *rng.Source
+	records []Record
+
+	// remainders carry expected sampled-packet fractions per port so
+	// sampling is unbiased even when a tick's expected count is ≪ 1.
+	seenPackets float64
+}
+
+// DefaultRate is the production sampling rate the paper quotes: 1 in
+// 30,000 packets.
+const DefaultRate uint64 = 30000
+
+// NewSampler returns a sampler with probability 1/n. It panics if n == 0.
+func NewSampler(n uint64, src *rng.Source) *Sampler {
+	if n == 0 {
+		panic("pktsample: zero sampling divisor")
+	}
+	if src == nil {
+		panic("pktsample: nil random source")
+	}
+	return &Sampler{rate: 1 / float64(n), n: n, src: src}
+}
+
+// N returns the sampling divisor (the N in 1-in-N).
+func (s *Sampler) N() uint64 { return s.n }
+
+// Observe accounts nbytes of traffic leaving port during the tick ending
+// at now, spread across packet sizes per profile, and samples packets from
+// it. The number of sampled packets in a tick is drawn Poisson with mean
+// packets × rate, which matches independent per-packet coin flips.
+func (s *Sampler) Observe(now simclock.Time, port int, nbytes float64, profile asic.TrafficProfile) {
+	if nbytes <= 0 {
+		return
+	}
+	for bin, frac := range profile {
+		if frac == 0 {
+			continue
+		}
+		size := asic.RepresentativeSize(bin)
+		pkts := nbytes * frac / size
+		s.seenPackets += pkts
+		k := s.src.Poisson(pkts * s.rate)
+		for i := 0; i < k; i++ {
+			s.records = append(s.records, Record{Time: now, Port: port, Size: int(size)})
+		}
+	}
+}
+
+// Records returns all sampled packets so far. The slice is owned by the
+// sampler.
+func (s *Sampler) Records() []Record { return s.records }
+
+// SeenPackets returns the (fractional) ground-truth packet count observed.
+func (s *Sampler) SeenPackets() float64 { return s.seenPackets }
+
+// UtilEstimate is a per-interval utilization estimate reconstructed from
+// sampled packets.
+type UtilEstimate struct {
+	Start simclock.Time
+	// Estimate is the reconstructed utilization (scaled by the sampling
+	// rate), in fraction of line rate.
+	Estimate float64
+	// SampledPackets is how many sampled records landed in the interval.
+	SampledPackets int
+}
+
+// EstimateUtilization reconstructs a port's utilization time series at the
+// given interval from sampled records, exactly as an sFlow collector
+// would: each sampled packet stands for N packets of its size.
+func EstimateUtilization(records []Record, port int, speedBps uint64, n uint64,
+	start, end simclock.Time, interval simclock.Duration) ([]UtilEstimate, error) {
+	if interval <= 0 {
+		return nil, fmt.Errorf("pktsample: non-positive interval %v", interval)
+	}
+	if end <= start {
+		return nil, fmt.Errorf("pktsample: empty time range")
+	}
+	bins := int(end.Sub(start) / interval)
+	if bins <= 0 {
+		bins = 1
+	}
+	out := make([]UtilEstimate, bins)
+	for i := range out {
+		out[i].Start = start.Add(simclock.Duration(i) * interval)
+	}
+	lineBytesPerInterval := float64(speedBps) / 8 * interval.Seconds()
+	for _, r := range records {
+		if r.Port != port || r.Time.Before(start) || !r.Time.Before(end) {
+			continue
+		}
+		bi := int(r.Time.Sub(start) / interval)
+		if bi >= bins {
+			bi = bins - 1
+		}
+		out[bi].SampledPackets++
+		out[bi].Estimate += float64(r.Size) * float64(n) / lineBytesPerInterval
+	}
+	return out, nil
+}
+
+// CoverageStats summarizes how well sampling resolves a timescale.
+type CoverageStats struct {
+	// Intervals is the number of estimation intervals.
+	Intervals int
+	// EmptyFrac is the fraction of intervals containing zero sampled
+	// packets — at µburst timescales this approaches 1 and the estimator
+	// is blind.
+	EmptyFrac float64
+	// MeanSamplesPerInterval is the average sampled-packet count.
+	MeanSamplesPerInterval float64
+}
+
+// Coverage computes CoverageStats over a set of estimates.
+func Coverage(estimates []UtilEstimate) CoverageStats {
+	st := CoverageStats{Intervals: len(estimates)}
+	if len(estimates) == 0 {
+		return st
+	}
+	empty := 0
+	var total float64
+	for _, e := range estimates {
+		if e.SampledPackets == 0 {
+			empty++
+		}
+		total += float64(e.SampledPackets)
+	}
+	st.EmptyFrac = float64(empty) / float64(len(estimates))
+	st.MeanSamplesPerInterval = total / float64(len(estimates))
+	return st
+}
+
+// RelativeError compares estimated vs true utilization series (same
+// binning) and returns the root-mean-square relative error over intervals
+// where the truth is at least minUtil. NaN when no interval qualifies.
+func RelativeError(estimates []UtilEstimate, truth []float64, minUtil float64) float64 {
+	n := len(estimates)
+	if len(truth) < n {
+		n = len(truth)
+	}
+	var ss float64
+	var count int
+	for i := 0; i < n; i++ {
+		if truth[i] < minUtil {
+			continue
+		}
+		rel := (estimates[i].Estimate - truth[i]) / truth[i]
+		ss += rel * rel
+		count++
+	}
+	if count == 0 {
+		return math.NaN()
+	}
+	return math.Sqrt(ss / float64(count))
+}

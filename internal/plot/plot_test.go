@@ -1,0 +1,160 @@
+package plot
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mburst/internal/rng"
+	"mburst/internal/stats"
+)
+
+func expECDF(seed uint64, mean float64, n int) *stats.ECDF {
+	src := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = src.Exp(mean)
+	}
+	return stats.NewECDF(xs)
+}
+
+func TestCDFBasics(t *testing.T) {
+	out := CDF(CDFConfig{XLabel: "burst duration (µs)"},
+		Series{Name: "web", ECDF: expECDF(1, 30, 1000)},
+		Series{Name: "hadoop", ECDF: expECDF(2, 100, 1000)},
+	)
+	if !strings.Contains(out, "web (n=1000)") || !strings.Contains(out, "hadoop (n=1000)") {
+		t.Errorf("legend missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1.00 |") || !strings.Contains(out, "0.00 |") {
+		t.Errorf("y ticks missing:\n%s", out)
+	}
+	if !strings.Contains(out, "burst duration (µs)") {
+		t.Error("x label missing")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Error("curve marks missing")
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 16 {
+		t.Errorf("plot too short: %d lines", len(lines))
+	}
+}
+
+func TestCDFLogScale(t *testing.T) {
+	out := CDF(CDFConfig{LogX: true, XLabel: "gap (µs)"},
+		Series{Name: "gaps", ECDF: expECDF(3, 500, 500)})
+	if !strings.Contains(out, "log scale") {
+		t.Error("log scale annotation missing")
+	}
+}
+
+func TestCDFEmpty(t *testing.T) {
+	if out := CDF(CDFConfig{}); out != "(no data)\n" {
+		t.Errorf("empty plot = %q", out)
+	}
+	out := CDF(CDFConfig{}, Series{Name: "empty", ECDF: stats.NewECDF(nil)})
+	if out != "(no data)\n" {
+		t.Errorf("all-empty plot = %q", out)
+	}
+}
+
+func TestCDFMixedEmptyAndData(t *testing.T) {
+	out := CDF(CDFConfig{},
+		Series{Name: "has", ECDF: expECDF(5, 10, 100)},
+		Series{Name: "empty", ECDF: stats.NewECDF(nil)},
+	)
+	if !strings.Contains(out, "empty (n=0)") {
+		t.Error("empty series should still be listed")
+	}
+}
+
+func TestCDFSingleValue(t *testing.T) {
+	// Degenerate distribution must not divide by zero.
+	e := stats.NewECDF([]float64{25, 25, 25})
+	out := CDF(CDFConfig{}, Series{Name: "const", ECDF: e})
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked into plot:\n%s", out)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]float64{
+		{1, 0.9, 0},
+		{0.9, 1, math.NaN()},
+		{0, math.NaN(), 1},
+	}
+	out := Heatmap(m)
+	if !strings.Contains(out, "@") {
+		t.Error("strong correlation should render as @")
+	}
+	if !strings.Contains(out, "?") {
+		t.Error("NaN should render as ?")
+	}
+	if len(strings.Split(strings.TrimRight(out, "\n"), "\n")) != 4 {
+		t.Errorf("unexpected heatmap shape:\n%s", out)
+	}
+}
+
+func TestBoxplots(t *testing.T) {
+	groups := map[int]stats.BoxplotSummary{
+		2: stats.Boxplot([]float64{0.1, 0.15, 0.2}),
+		8: stats.Boxplot([]float64{0.5, 0.7, 0.9}),
+	}
+	out := Boxplots(groups, 40)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// header + 2 groups + axis
+	if len(lines) != 4 {
+		t.Fatalf("boxplot shape:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "2") || !strings.Contains(lines[2], "8") {
+		t.Error("groups not sorted")
+	}
+	if !strings.Contains(out, "=") || !strings.Contains(out, "|") {
+		t.Error("box glyphs missing")
+	}
+}
+
+func TestBoxplotsEmptyGroup(t *testing.T) {
+	groups := map[int]stats.BoxplotSummary{0: stats.Boxplot(nil)}
+	out := Boxplots(groups, 20)
+	if strings.Contains(out, "NaN") {
+		t.Errorf("NaN leaked:\n%s", out)
+	}
+}
+
+func TestBars(t *testing.T) {
+	out := Bars([]string{"web", "cache", "hadoop"}, []float64{0.0, 0.99, 0.18}, 20)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("bars shape:\n%s", out)
+	}
+	if !strings.Contains(lines[1], "99.0%") {
+		t.Errorf("value missing: %s", lines[1])
+	}
+	if strings.Count(lines[1], "█") <= strings.Count(lines[2], "█") {
+		t.Error("bar lengths not proportional")
+	}
+	// Clamping: out-of-range values must not panic or overflow.
+	_ = Bars([]string{"a", "b"}, []float64{-0.5, 2.0}, 10)
+}
+
+func TestSparkline(t *testing.T) {
+	out := Sparkline([]uint64{0, 0, 50, 0, 0, 10, 0})
+	runes := []rune(out)
+	if len(runes) != 7 {
+		t.Fatalf("sparkline length = %d", len(runes))
+	}
+	if runes[0] != '·' || runes[3] != '·' {
+		t.Error("zeros should render as ·")
+	}
+	if runes[2] != '█' {
+		t.Errorf("max should render full block, got %c", runes[2])
+	}
+	if runes[5] == '·' || runes[5] == '█' {
+		t.Errorf("mid value rendered as %c", runes[5])
+	}
+	if Sparkline(nil) != "" {
+		t.Error("empty sparkline should be empty")
+	}
+}

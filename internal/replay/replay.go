@@ -1,0 +1,132 @@
+// Package replay streams a recorded campaign back out as a live batch
+// feed — the standard trick for exercising collector deployments and
+// dashboards with realistic data without re-running switches (or, here,
+// simulations).
+//
+// Samples keep their original virtual timestamps; pacing maps virtual time
+// onto wall-clock time with a configurable speedup, so a 2-minute campaign
+// can replay in seconds while preserving inter-batch spacing.
+package replay
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+)
+
+// Options configures a replay.
+type Options struct {
+	// Speedup divides virtual time when pacing: 0 or 1 replays in "real"
+	// time, 100 replays 100× faster, and Unpaced skips sleeping entirely.
+	Speedup float64
+	// Unpaced streams as fast as the transport accepts.
+	Unpaced bool
+	// BatchSamples re-batches the stream into chunks of this many samples
+	// (default 2048).
+	BatchSamples int
+	// Sleep is injectable for tests (default time.Sleep).
+	Sleep func(time.Duration)
+	// Windows optionally restricts replay to these window indices
+	// (default: every window present on disk, in order).
+	Windows []int
+}
+
+func (o *Options) applyDefaults() {
+	if o.BatchSamples <= 0 {
+		o.BatchSamples = 2048
+	}
+	if o.Speedup <= 0 {
+		o.Speedup = 1
+	}
+	if o.Sleep == nil {
+		o.Sleep = time.Sleep
+	}
+}
+
+// Stats reports what a replay delivered.
+type Stats struct {
+	Windows int
+	Batches int
+	Samples int
+	// VirtualSpan is the covered virtual time, summed per window (each
+	// window's simulation restarts its clock).
+	VirtualSpan simclock.Duration
+}
+
+// Run replays the campaign at dir into w as wire batches.
+func Run(dir string, w io.Writer, opts Options) (Stats, error) {
+	opts.applyDefaults()
+	var st Stats
+	r, err := trace.Open(dir)
+	if err != nil {
+		return st, err
+	}
+	meta := r.Meta()
+	windows := opts.Windows
+	if windows == nil {
+		for i := 0; i < meta.Windows; i++ {
+			if r.HasWindow(i) {
+				windows = append(windows, i)
+			}
+		}
+	}
+	bw := wire.NewWriter(w)
+	for _, idx := range windows {
+		var pending []wire.Sample
+		var rack uint32
+		var batchStart simclock.Time
+		var winFirst, winLast simclock.Time
+		winSeen := false
+		flush := func() error {
+			if len(pending) == 0 {
+				return nil
+			}
+			if err := bw.WriteBatch(&wire.Batch{Rack: rack, Samples: pending}); err != nil {
+				return err
+			}
+			st.Batches++
+			st.Samples += len(pending)
+			pending = pending[:0]
+			return nil
+		}
+		err := r.IterWindow(idx, func(b *wire.Batch) error {
+			rack = b.Rack
+			for _, s := range b.Samples {
+				if !winSeen {
+					winFirst, winSeen = s.Time, true
+					batchStart = s.Time
+				}
+				winLast = s.Time
+				pending = append(pending, s)
+				if len(pending) >= opts.BatchSamples {
+					if !opts.Unpaced {
+						span := s.Time.Sub(batchStart)
+						if span > 0 {
+							opts.Sleep(time.Duration(float64(span.Std()) / opts.Speedup))
+						}
+					}
+					batchStart = s.Time
+					if err := flush(); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return st, fmt.Errorf("replay: window %d: %w", idx, err)
+		}
+		if err := flush(); err != nil {
+			return st, fmt.Errorf("replay: window %d: %w", idx, err)
+		}
+		st.Windows++
+		if winSeen {
+			st.VirtualSpan += winLast.Sub(winFirst)
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,167 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestUnits(t *testing.T) {
+	if Microsecond != 1000 {
+		t.Fatalf("Microsecond = %d, want 1000", Microsecond)
+	}
+	if Second != 1e9 {
+		t.Fatalf("Second = %d, want 1e9", Second)
+	}
+	if Micros(25) != 25000 {
+		t.Fatalf("Micros(25) = %d", Micros(25))
+	}
+	if Millis(4) != 4*Millisecond {
+		t.Fatalf("Millis(4) = %v", Millis(4))
+	}
+	if Seconds(2) != 2*Second {
+		t.Fatalf("Seconds(2) = %v", Seconds(2))
+	}
+}
+
+func TestTimeArithmetic(t *testing.T) {
+	t0 := Epoch.Add(Micros(100))
+	t1 := t0.Add(Micros(25))
+	if got := t1.Sub(t0); got != Micros(25) {
+		t.Errorf("Sub = %v, want 25µs", got)
+	}
+	if !t0.Before(t1) || t1.Before(t0) {
+		t.Errorf("Before ordering wrong: %v vs %v", t0, t1)
+	}
+	if !t1.After(t0) || t0.After(t1) {
+		t.Errorf("After ordering wrong: %v vs %v", t0, t1)
+	}
+	if t1.Microseconds() != 125 {
+		t.Errorf("Microseconds = %d, want 125", t1.Microseconds())
+	}
+	if t1.Nanoseconds() != 125000 {
+		t.Errorf("Nanoseconds = %d, want 125000", t1.Nanoseconds())
+	}
+}
+
+func TestStdConversion(t *testing.T) {
+	d := FromStd(3 * time.Millisecond)
+	if d != Millis(3) {
+		t.Fatalf("FromStd = %v, want 3ms", d)
+	}
+	if d.Std() != 3*time.Millisecond {
+		t.Fatalf("Std = %v", d.Std())
+	}
+}
+
+func TestDurationString(t *testing.T) {
+	cases := []struct {
+		d    Duration
+		want string
+	}{
+		{0, "0ns"},
+		{500, "500ns"},
+		{Micros(25), "25µs"},
+		{Micros(200), "200µs"},
+		{2500 * Nanosecond, "2.5µs"},
+		{Millis(1), "1ms"},
+		{1500 * Microsecond, "1.5ms"},
+		{Seconds(4), "4s"},
+		{-Micros(40), "-40µs"},
+	}
+	for _, c := range cases {
+		if got := c.d.String(); got != c.want {
+			t.Errorf("String(%d) = %q, want %q", int64(c.d), got, c.want)
+		}
+	}
+}
+
+func TestTicks(t *testing.T) {
+	if n := Micros(100).Ticks(Micros(25)); n != 4 {
+		t.Errorf("Ticks = %d, want 4", n)
+	}
+	if n := Micros(99).Ticks(Micros(25)); n != 3 {
+		t.Errorf("Ticks = %d, want 3", n)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Ticks(0) did not panic")
+		}
+	}()
+	Micros(1).Ticks(0)
+}
+
+func TestTruncate(t *testing.T) {
+	if got := Micros(130).Truncate(Micros(25)); got != Micros(125) {
+		t.Errorf("Duration.Truncate = %v", got)
+	}
+	if got := Epoch.Add(Micros(130)).Truncate(Micros(25)); got != Epoch.Add(Micros(125)) {
+		t.Errorf("Time.Truncate = %v", got)
+	}
+	if got := Micros(130).Truncate(0); got != Micros(130) {
+		t.Errorf("Truncate(0) = %v", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	c := NewClock()
+	if c.Now() != Epoch {
+		t.Fatalf("new clock not at epoch: %v", c.Now())
+	}
+	c.Advance(Micros(5))
+	c.AdvanceTo(Epoch.Add(Micros(30)))
+	if c.Now() != Epoch.Add(Micros(30)) {
+		t.Fatalf("Now = %v, want 30µs", c.Now())
+	}
+	// Advancing to the same instant is legal (zero-duration events).
+	c.AdvanceTo(c.Now())
+}
+
+func TestClockPanicsOnRewind(t *testing.T) {
+	c := NewClock()
+	c.Advance(Micros(10))
+	defer func() {
+		if recover() == nil {
+			t.Error("AdvanceTo into the past did not panic")
+		}
+	}()
+	c.AdvanceTo(Epoch)
+}
+
+func TestClockPanicsOnNegativeAdvance(t *testing.T) {
+	c := NewClock()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Advance did not panic")
+		}
+	}()
+	c.Advance(-1)
+}
+
+// Property: Add and Sub are inverses for any pair of instants.
+func TestQuickAddSubInverse(t *testing.T) {
+	f := func(a, b int32) bool {
+		t0 := Time(a)
+		d := Duration(b)
+		return t0.Add(d).Sub(t0) == d
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Truncate is idempotent and never increases the value.
+func TestQuickTruncateIdempotent(t *testing.T) {
+	f := func(v int64, unitRaw uint16) bool {
+		if v < 0 {
+			v = -v
+		}
+		unit := Duration(unitRaw) + 1
+		d := Duration(v)
+		tr := d.Truncate(unit)
+		return tr <= d && tr.Truncate(unit) == tr && tr%unit == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,367 @@
+// Package simnet is the rack simulator: it binds a workload generator, the
+// rack topology, ECMP uplink selection, and the switch ASIC model into a
+// single deterministic discrete-time machine.
+//
+// Traffic is fluid at a fixed native tick (default 5 µs — finer than the
+// paper's finest 25 µs sampling so that sub-sample µbursts exist, §5.1):
+// active flows contribute rate × tick bytes to their ports each tick, the
+// ASIC transmits/queues/drops, and counter-reading components (the
+// collection framework) observe the ASIC through scheduler events
+// interleaved with ticks.
+//
+// Port usage per flow kind (see workload.FlowKind):
+//
+//	FlowIn    fabric → server: RX on an uplink chosen by the fabric-side
+//	          hasher, TX on the server's downlink.
+//	FlowOut   server → fabric: RX on the server's downlink, TX on an
+//	          uplink chosen by the ToR's balancer (the §6.1 subject).
+//	FlowIntra peer → server inside the rack: RX on the peer's downlink,
+//	          TX on the server's downlink.
+package simnet
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/ecmp"
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/topo"
+	"mburst/internal/workload"
+)
+
+// BalancerMode selects the uplink balancing scheme for rack egress.
+type BalancerMode int
+
+const (
+	// BalanceFlow is production flow-level ECMP (static consistent hash).
+	BalanceFlow BalancerMode = iota
+	// BalanceFlowlet re-picks paths after idle gaps (§7 ablation).
+	BalanceFlowlet
+	// BalanceRoundRobin is the idealized per-pick rotation (§7 ablation).
+	BalanceRoundRobin
+)
+
+// String names the mode.
+func (m BalancerMode) String() string {
+	switch m {
+	case BalanceFlow:
+		return "flow"
+	case BalanceFlowlet:
+		return "flowlet"
+	case BalanceRoundRobin:
+		return "roundrobin"
+	default:
+		return fmt.Sprintf("BalancerMode(%d)", int(m))
+	}
+}
+
+// Config configures one simulated rack.
+type Config struct {
+	// Rack is the physical shape; zero value means topo.Default(32).
+	Rack topo.Rack
+	// Params is the workload; zero value is rejected (use
+	// workload.DefaultParams).
+	Params workload.Params
+	// Tick is the native simulation step (default 5 µs).
+	Tick simclock.Duration
+	// BufferBytes is the ToR's shared buffer (default 4 MB).
+	BufferBytes float64
+	// Alpha is the dynamic-threshold factor (default 2).
+	Alpha float64
+	// Seed makes the run reproducible.
+	Seed uint64
+	// RackID distinguishes racks within a campaign (affects flow IPs).
+	RackID int
+	// LoadScale scales offered load (diurnal factor; default 1).
+	LoadScale float64
+	// Balancer selects the uplink balancing scheme (default BalanceFlow).
+	Balancer BalancerMode
+	// FlowletGap is the idle gap that splits flowlets in BalanceFlowlet
+	// mode (default 500 µs).
+	FlowletGap simclock.Duration
+	// ECNThresholdBytes enables DCTCP-style marking in the ASIC
+	// (extension; 0 disables).
+	ECNThresholdBytes float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Rack.NumServers == 0 {
+		c.Rack = topo.Default(32)
+	}
+	if c.Tick == 0 {
+		c.Tick = 5 * simclock.Microsecond
+	}
+	if c.BufferBytes == 0 {
+		// A shallow-buffer ToR share: production chips of the paper's era
+		// carried ~12 MB across ~100+ ports; 1.5 MB approximates the slice
+		// available to a 36-port rack under typical pool partitioning.
+		c.BufferBytes = 1.5 * (1 << 20)
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 1
+	}
+	if c.LoadScale == 0 {
+		c.LoadScale = 1
+	}
+	if c.FlowletGap == 0 {
+		c.FlowletGap = 500 * simclock.Microsecond
+	}
+}
+
+// Net is a running rack simulation.
+type Net struct {
+	cfg   Config
+	rack  topo.Rack
+	sched *eventq.Scheduler
+	sw    *asic.Switch
+	gen   *workload.Generator
+
+	upTx ecmp.Balancer // ToR's egress balancer (measured in Fig 7a)
+	upRx ecmp.Balancer // fabric's arrival spread (measured in Fig 7b)
+
+	txRate []float64
+	rxRate []float64
+	txProf [][asic.NumSizeBins]float64
+	rxProf [][asic.NumSizeBins]float64
+
+	bindings map[*workload.Flow]binding
+
+	activeFlows int
+	maxActive   int
+
+	txObserver TrafficObserver
+	rxObserver TrafficObserver
+}
+
+// TrafficObserver receives every port's offered traffic once per tick,
+// before the ASIC applies queueing. Measurement baselines (e.g.
+// sFlow-style packet sampling, internal/pktsample) and higher network
+// tiers (internal/fabric) tap the data path here.
+type TrafficObserver func(now simclock.Time, port int, nbytes float64, profile asic.TrafficProfile)
+
+type binding struct {
+	rxPort, txPort int
+}
+
+// New builds a simulation from the config.
+func New(cfg Config) (*Net, error) {
+	cfg.applyDefaults()
+	if err := cfg.Rack.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Tick <= 0 {
+		return nil, fmt.Errorf("simnet: non-positive tick %v", cfg.Tick)
+	}
+	seed := rng.New(cfg.Seed)
+	gen, err := workload.NewGenerator(cfg.Params, cfg.Rack, cfg.RackID, cfg.LoadScale, seed.Split("workload"))
+	if err != nil {
+		return nil, err
+	}
+
+	n := cfg.Rack.NumPorts()
+	net := &Net{
+		cfg:   cfg,
+		rack:  cfg.Rack,
+		sched: eventq.NewScheduler(),
+		sw: asic.New(asic.Config{
+			PortSpeeds:        cfg.Rack.PortSpeeds(),
+			PortNames:         cfg.Rack.PortNames(),
+			BufferBytes:       cfg.BufferBytes,
+			Alpha:             cfg.Alpha,
+			ECNThresholdBytes: cfg.ECNThresholdBytes,
+		}),
+		gen:      gen,
+		txRate:   make([]float64, n),
+		rxRate:   make([]float64, n),
+		txProf:   make([][asic.NumSizeBins]float64, n),
+		rxProf:   make([][asic.NumSizeBins]float64, n),
+		bindings: make(map[*workload.Flow]binding),
+	}
+
+	hashSeed := seed.Split("ecmp").Uint64()
+	switch cfg.Balancer {
+	case BalanceFlow:
+		net.upTx = ecmp.NewFlowHasher(cfg.Rack.NumUplinks, hashSeed)
+	case BalanceFlowlet:
+		fb := ecmp.NewFlowletBalancer(cfg.Rack.NumUplinks, hashSeed, cfg.FlowletGap)
+		net.upTx = fb
+		// Long campaigns would otherwise accumulate per-flow state for
+		// every 5-tuple ever seen; shed flows idle for many gaps.
+		var gc func(simclock.Time)
+		gc = func(now simclock.Time) {
+			cutoff := now.Add(-100 * cfg.FlowletGap)
+			if cutoff > 0 {
+				fb.Forget(cutoff)
+			}
+			net.sched.After(50*cfg.FlowletGap, gc)
+		}
+		net.sched.After(50*cfg.FlowletGap, gc)
+	case BalanceRoundRobin:
+		net.upTx = ecmp.NewRoundRobin(cfg.Rack.NumUplinks)
+	default:
+		return nil, fmt.Errorf("simnet: unknown balancer mode %v", cfg.Balancer)
+	}
+	// The fabric hashes arriving flows independently of our ToR.
+	net.upRx = ecmp.NewFlowHasher(cfg.Rack.NumUplinks, seed.Split("fabric").Uint64())
+
+	gen.Install(net.sched, net)
+	return net, nil
+}
+
+// Scheduler returns the simulation's event scheduler; components such as
+// the collector register their polling events on it.
+func (n *Net) Scheduler() *eventq.Scheduler { return n.sched }
+
+// Switch returns the ASIC model for counter reads.
+func (n *Net) Switch() *asic.Switch { return n.sw }
+
+// Rack returns the topology.
+func (n *Net) Rack() topo.Rack { return n.rack }
+
+// Now returns the current simulated time.
+func (n *Net) Now() simclock.Time { return n.sched.Now() }
+
+// Tick returns the native tick duration.
+func (n *Net) Tick() simclock.Duration { return n.cfg.Tick }
+
+// ActiveFlows returns the number of currently active flows.
+func (n *Net) ActiveFlows() int { return n.activeFlows }
+
+// MaxActiveFlows returns the high-water mark of concurrent flows.
+func (n *Net) MaxActiveFlows() int { return n.maxActive }
+
+// Generator exposes the workload generator (for flow accounting in tests).
+func (n *Net) Generator() *workload.Generator { return n.gen }
+
+// StartFlow implements workload.Sink.
+func (n *Net) StartFlow(f *workload.Flow) {
+	if _, dup := n.bindings[f]; dup {
+		panic("simnet: flow started twice")
+	}
+	var b binding
+	switch f.Kind {
+	case workload.FlowIn:
+		b.rxPort = n.rack.UplinkPort(n.upRx.Pick(f.Key, n.sched.Now()))
+		b.txPort = n.rack.ServerPort(f.Server)
+	case workload.FlowOut:
+		b.rxPort = n.rack.ServerPort(f.Server)
+		b.txPort = n.rack.UplinkPort(n.upTx.Pick(f.Key, n.sched.Now()))
+	case workload.FlowIntra:
+		b.rxPort = n.rack.ServerPort(f.Peer)
+		b.txPort = n.rack.ServerPort(f.Server)
+	default:
+		panic(fmt.Sprintf("simnet: unknown flow kind %v", f.Kind))
+	}
+	n.bindings[f] = b
+	n.addRate(b, f, +1)
+	n.activeFlows++
+	if n.activeFlows > n.maxActive {
+		n.maxActive = n.activeFlows
+	}
+}
+
+// EndFlow implements workload.Sink.
+func (n *Net) EndFlow(f *workload.Flow) {
+	b, ok := n.bindings[f]
+	if !ok {
+		panic("simnet: ending unknown flow")
+	}
+	delete(n.bindings, f)
+	n.addRate(b, f, -1)
+	n.activeFlows--
+}
+
+func (n *Net) addRate(b binding, f *workload.Flow, sign float64) {
+	r := sign * f.Rate
+	n.rxRate[b.rxPort] += r
+	n.txRate[b.txPort] += r
+	for i, frac := range f.Profile {
+		n.rxProf[b.rxPort][i] += r * frac
+		n.txProf[b.txPort][i] += r * frac
+	}
+	// Clamp float drift after removals.
+	if sign < 0 {
+		if n.rxRate[b.rxPort] < 0 {
+			n.rxRate[b.rxPort] = 0
+		}
+		if n.txRate[b.txPort] < 0 {
+			n.txRate[b.txPort] = 0
+		}
+	}
+}
+
+// Run advances the simulation by d, processing scheduled events and
+// applying the fluid data path every tick.
+func (n *Net) Run(d simclock.Duration) {
+	if d < 0 {
+		panic("simnet: negative run duration")
+	}
+	end := n.sched.Now().Add(d)
+	for n.sched.Now().Before(end) {
+		step := n.cfg.Tick
+		if remaining := end.Sub(n.sched.Now()); remaining < step {
+			step = remaining
+		}
+		tickEnd := n.sched.Now().Add(step)
+		n.sched.RunUntil(tickEnd)
+		n.applyTick(step)
+	}
+}
+
+// SetTxObserver installs an egress traffic observer (nil to remove).
+func (n *Net) SetTxObserver(obs TrafficObserver) { n.txObserver = obs }
+
+// SetRxObserver installs an ingress traffic observer (nil to remove).
+// For uplink ports this is the fabric→ToR direction, which is how the
+// fabric tier learns what it must have forwarded down to this rack.
+func (n *Net) SetRxObserver(obs TrafficObserver) { n.rxObserver = obs }
+
+// applyTick charges each port's accumulated rate into the ASIC and
+// advances the data path one tick.
+func (n *Net) applyTick(step simclock.Duration) {
+	sec := step.Seconds()
+	for p := range n.txRate {
+		if r := n.txRate[p]; r > 1e-9 {
+			profile := normalizeProfile(n.txProf[p], r)
+			if n.txObserver != nil {
+				n.txObserver(n.sched.Now(), p, r*sec, profile)
+			}
+			n.sw.OfferTx(p, r*sec, profile)
+		}
+		if r := n.rxRate[p]; r > 1e-9 {
+			profile := normalizeProfile(n.rxProf[p], r)
+			if n.rxObserver != nil {
+				n.rxObserver(n.sched.Now(), p, r*sec, profile)
+			}
+			n.sw.OfferRx(p, r*sec, profile)
+		}
+	}
+	n.sw.Tick(step)
+}
+
+// normalizeProfile converts a rate-weighted profile sum into fractions.
+// Negative drift from float subtraction is clamped to zero and the vector
+// renormalized.
+func normalizeProfile(sum [asic.NumSizeBins]float64, _ float64) asic.TrafficProfile {
+	var total float64
+	var p asic.TrafficProfile
+	for i, v := range sum {
+		if v < 0 {
+			v = 0
+		}
+		p[i] = v
+		total += v
+	}
+	if total <= 0 {
+		// Degenerate: all drift; attribute to full-size packets.
+		p = asic.TrafficProfile{}
+		p[asic.NumSizeBins-1] = 1
+		return p
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
+}

@@ -1,0 +1,168 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or NaN for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance, or NaN for an empty slice.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// MeanAbsDev returns the mean absolute deviation around the mean:
+// mean(|x_i - mean|). Fig 7 reports the MAD of the four uplinks'
+// utilization within a sampling period, normalized by the mean (see
+// NormalizedMAD), so that "deviation of 100%" means the links are, on
+// average, a full mean's worth away from balanced.
+func MeanAbsDev(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		sum += math.Abs(x - m)
+	}
+	return sum / float64(len(xs))
+}
+
+// NormalizedMAD returns MeanAbsDev(xs)/Mean(xs), the relative imbalance
+// metric plotted in Fig 7. A value of 0 means perfectly balanced. When the
+// mean is zero (an idle period across all links) the deviation is defined
+// as 0: idle links are trivially balanced.
+func NormalizedMAD(xs []float64) float64 {
+	m := Mean(xs)
+	if math.IsNaN(m) {
+		return math.NaN()
+	}
+	if m == 0 {
+		return 0
+	}
+	return MeanAbsDev(xs) / m
+}
+
+// Pearson returns the Pearson linear correlation coefficient between two
+// equal-length series. It returns NaN if the lengths differ, are zero, or
+// either series has zero variance.
+func Pearson(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) == 0 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var sxy, sxx, syy float64
+	for i := range xs {
+		dx := xs[i] - mx
+		dy := ys[i] - my
+		sxy += dx * dy
+		sxx += dx * dx
+		syy += dy * dy
+	}
+	if sxx == 0 || syy == 0 {
+		return math.NaN()
+	}
+	return sxy / math.Sqrt(sxx*syy)
+}
+
+// CorrelationMatrix returns the symmetric matrix of pairwise Pearson
+// coefficients between the rows of series. Diagonal entries are 1 when the
+// row has variance, NaN otherwise. This is the Fig 8 heatmap payload.
+func CorrelationMatrix(series [][]float64) [][]float64 {
+	n := len(series)
+	m := make([][]float64, n)
+	for i := range m {
+		m[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i; j < n; j++ {
+			var r float64
+			if i == j {
+				if Variance(series[i]) > 0 {
+					r = 1
+				} else {
+					r = math.NaN()
+				}
+			} else {
+				r = Pearson(series[i], series[j])
+			}
+			m[i][j] = r
+			m[j][i] = r
+		}
+	}
+	return m
+}
+
+// BoxplotSummary is the five-number summary plus mean used to render the
+// Fig 10 boxplots.
+type BoxplotSummary struct {
+	N            int
+	Min, Max     float64
+	Q1, Median   float64
+	Q3           float64
+	Mean         float64
+	WhiskerLow   float64 // lowest point within 1.5*IQR of Q1
+	WhiskerHigh  float64 // highest point within 1.5*IQR of Q3
+	OutlierCount int
+}
+
+// Boxplot computes the summary for a sample. An empty sample yields a
+// zero-count summary with NaN fields.
+func Boxplot(xs []float64) BoxplotSummary {
+	if len(xs) == 0 {
+		nan := math.NaN()
+		return BoxplotSummary{Min: nan, Max: nan, Q1: nan, Median: nan, Q3: nan, Mean: nan, WhiskerLow: nan, WhiskerHigh: nan}
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+	e := &ECDF{sorted: s}
+	b := BoxplotSummary{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     e.Quantile(0.25),
+		Median: e.Quantile(0.5),
+		Q3:     e.Quantile(0.75),
+		Mean:   Mean(s),
+	}
+	iqr := b.Q3 - b.Q1
+	lo := b.Q1 - 1.5*iqr
+	hi := b.Q3 + 1.5*iqr
+	b.WhiskerLow, b.WhiskerHigh = b.Max, b.Min
+	for _, v := range s {
+		if v >= lo && v < b.WhiskerLow {
+			b.WhiskerLow = v
+		}
+		if v <= hi && v > b.WhiskerHigh {
+			b.WhiskerHigh = v
+		}
+		if v < lo || v > hi {
+			b.OutlierCount++
+		}
+	}
+	return b
+}

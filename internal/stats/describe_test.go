@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestMeanVariance(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Errorf("Variance = %v", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Error("empty input should give NaN")
+	}
+}
+
+func TestMeanAbsDev(t *testing.T) {
+	// MAD of {1,1,1,1} is 0; of {0,2} is 1.
+	if d := MeanAbsDev([]float64{1, 1, 1, 1}); d != 0 {
+		t.Errorf("MAD uniform = %v", d)
+	}
+	if d := MeanAbsDev([]float64{0, 2}); d != 1 {
+		t.Errorf("MAD {0,2} = %v", d)
+	}
+}
+
+func TestNormalizedMAD(t *testing.T) {
+	// Perfectly balanced uplinks.
+	if d := NormalizedMAD([]float64{0.5, 0.5, 0.5, 0.5}); d != 0 {
+		t.Errorf("balanced MAD = %v", d)
+	}
+	// One busy uplink out of four: mean=0.25, MAD=(0.75+3*0.25)/4=0.375,
+	// normalized 1.5 — severe imbalance, as in Fig 7's tail.
+	if d := NormalizedMAD([]float64{1, 0, 0, 0}); !almost(d, 1.5, 1e-12) {
+		t.Errorf("skewed MAD = %v", d)
+	}
+	// Idle period: defined as balanced.
+	if d := NormalizedMAD([]float64{0, 0, 0, 0}); d != 0 {
+		t.Errorf("idle MAD = %v", d)
+	}
+}
+
+func TestPearson(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	yPos := []float64{2, 4, 6, 8, 10}
+	yNeg := []float64{10, 8, 6, 4, 2}
+	if r := Pearson(x, yPos); !almost(r, 1, 1e-12) {
+		t.Errorf("perfect positive r = %v", r)
+	}
+	if r := Pearson(x, yNeg); !almost(r, -1, 1e-12) {
+		t.Errorf("perfect negative r = %v", r)
+	}
+	if r := Pearson(x, []float64{7, 7, 7, 7, 7}); !math.IsNaN(r) {
+		t.Errorf("constant series r = %v, want NaN", r)
+	}
+	if r := Pearson(x, []float64{1, 2}); !math.IsNaN(r) {
+		t.Errorf("mismatched lengths r = %v, want NaN", r)
+	}
+}
+
+func TestCorrelationMatrix(t *testing.T) {
+	series := [][]float64{
+		{1, 2, 3, 4},
+		{2, 4, 6, 8},
+		{4, 3, 2, 1},
+	}
+	m := CorrelationMatrix(series)
+	if !almost(m[0][1], 1, 1e-12) || !almost(m[0][2], -1, 1e-12) {
+		t.Errorf("matrix = %v", m)
+	}
+	for i := range m {
+		if m[i][i] != 1 {
+			t.Errorf("diagonal[%d] = %v", i, m[i][i])
+		}
+		for j := range m {
+			if m[i][j] != m[j][i] && !(math.IsNaN(m[i][j]) && math.IsNaN(m[j][i])) {
+				t.Errorf("asymmetric at %d,%d", i, j)
+			}
+		}
+	}
+}
+
+func TestBoxplot(t *testing.T) {
+	b := Boxplot([]float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	if b.N != 10 || b.Min != 1 || b.Max != 10 {
+		t.Errorf("boxplot extremes: %+v", b)
+	}
+	if b.Median != 5 {
+		t.Errorf("median = %v", b.Median)
+	}
+	if b.Q1 != 3 || b.Q3 != 8 {
+		t.Errorf("quartiles = %v, %v", b.Q1, b.Q3)
+	}
+	if b.OutlierCount != 0 {
+		t.Errorf("outliers = %d", b.OutlierCount)
+	}
+}
+
+func TestBoxplotOutliers(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 1000}
+	b := Boxplot(xs)
+	if b.OutlierCount != 1 {
+		t.Errorf("outliers = %d, want 1", b.OutlierCount)
+	}
+	if b.WhiskerHigh >= 1000 {
+		t.Errorf("whisker includes outlier: %v", b.WhiskerHigh)
+	}
+	if b.Max != 1000 {
+		t.Errorf("max = %v", b.Max)
+	}
+}
+
+func TestBoxplotEmpty(t *testing.T) {
+	b := Boxplot(nil)
+	if b.N != 0 || !math.IsNaN(b.Median) {
+		t.Errorf("empty boxplot = %+v", b)
+	}
+}
+
+// Property: Pearson is symmetric and bounded in [-1, 1].
+func TestQuickPearsonBounds(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n < 2 {
+			return true
+		}
+		xs, ys = xs[:n], ys[:n]
+		for i := 0; i < n; i++ {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) {
+				xs[i] = float64(i)
+			}
+			if math.IsNaN(ys[i]) || math.IsInf(ys[i], 0) {
+				ys[i] = float64(-i)
+			}
+			// Clamp magnitudes so sums of squares do not overflow.
+			xs[i] = math.Mod(xs[i], 1e6)
+			ys[i] = math.Mod(ys[i], 1e6)
+		}
+		r := Pearson(xs, ys)
+		if math.IsNaN(r) {
+			return true // zero-variance input
+		}
+		r2 := Pearson(ys, xs)
+		return r >= -1-1e-9 && r <= 1+1e-9 && almost(r, r2, 1e-12)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the boxplot five-number summary is ordered.
+func TestQuickBoxplotOrdered(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		b := Boxplot(raw)
+		return b.Min <= b.Q1 && b.Q1 <= b.Median && b.Median <= b.Q3 && b.Q3 <= b.Max &&
+			b.WhiskerLow >= b.Min && b.WhiskerHigh <= b.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,113 @@
+// Package stats implements the statistical machinery the paper's analyses
+// rely on: empirical CDFs and quantiles (Figs 3, 4, 6, 7), histograms
+// (Fig 5), Pearson correlation matrices (Fig 8), mean absolute deviation
+// (Fig 7), five-number boxplot summaries (Fig 10), first-order Markov MLE
+// and likelihood ratios (Table 2), a Kolmogorov–Smirnov goodness-of-fit
+// test against the exponential distribution (§5.2), and ordinary linear
+// correlation (Fig 1).
+//
+// Everything is plain float64 slices in, summary values out; no hidden
+// state, no goroutines. Inputs are never mutated — functions copy before
+// sorting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// ECDF is an empirical cumulative distribution function over a fixed
+// sample. The zero value is unusable; construct with NewECDF.
+type ECDF struct {
+	sorted []float64
+}
+
+// NewECDF builds an ECDF from the sample. The input is copied, so the
+// caller may keep mutating its slice. An empty sample is allowed; all
+// queries on it return NaN.
+func NewECDF(sample []float64) *ECDF {
+	s := make([]float64, len(sample))
+	copy(s, sample)
+	sort.Float64s(s)
+	return &ECDF{sorted: s}
+}
+
+// N returns the sample size.
+func (e *ECDF) N() int { return len(e.sorted) }
+
+// At returns P(X <= x), the fraction of the sample at or below x.
+func (e *ECDF) At(x float64) float64 {
+	if len(e.sorted) == 0 {
+		return math.NaN()
+	}
+	// First index with value > x.
+	i := sort.SearchFloat64s(e.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(e.sorted))
+}
+
+// Quantile returns the q-th quantile (0 <= q <= 1) using the nearest-rank
+// method, which matches how measurement papers typically report pXX values.
+// Quantile(0) is the minimum and Quantile(1) the maximum.
+func (e *ECDF) Quantile(q float64) float64 {
+	n := len(e.sorted)
+	if n == 0 || math.IsNaN(q) {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return e.sorted[0]
+	}
+	if q >= 1 {
+		return e.sorted[n-1]
+	}
+	rank := int(math.Ceil(q*float64(n))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= n {
+		rank = n - 1
+	}
+	return e.sorted[rank]
+}
+
+// Min returns the smallest sample value.
+func (e *ECDF) Min() float64 { return e.Quantile(0) }
+
+// Max returns the largest sample value.
+func (e *ECDF) Max() float64 { return e.Quantile(1) }
+
+// Median returns the 50th percentile.
+func (e *ECDF) Median() float64 { return e.Quantile(0.5) }
+
+// Values returns the sorted sample. The returned slice is owned by the
+// ECDF and must not be modified.
+func (e *ECDF) Values() []float64 { return e.sorted }
+
+// Points returns (x, P(X<=x)) pairs suitable for plotting the CDF as a
+// step function, deduplicating repeated x values. This is the series format
+// the figure harness prints.
+func (e *ECDF) Points() []CDFPoint {
+	n := len(e.sorted)
+	if n == 0 {
+		return nil
+	}
+	pts := make([]CDFPoint, 0, n)
+	for i := 0; i < n; i++ {
+		// Emit only the last occurrence of each distinct value so the
+		// cumulative fraction is correct at that value.
+		if i+1 < n && e.sorted[i+1] == e.sorted[i] {
+			continue
+		}
+		pts = append(pts, CDFPoint{X: e.sorted[i], P: float64(i+1) / float64(n)})
+	}
+	return pts
+}
+
+// CDFPoint is one step of an empirical CDF: P = P(X <= X-value).
+type CDFPoint struct {
+	X float64
+	P float64
+}
+
+// String formats the point as "x p" with compact precision.
+func (p CDFPoint) String() string { return fmt.Sprintf("%g %.6f", p.X, p.P) }

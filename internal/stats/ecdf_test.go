@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestECDFBasics(t *testing.T) {
+	e := NewECDF([]float64{3, 1, 2, 2, 5})
+	if e.N() != 5 {
+		t.Fatalf("N = %d", e.N())
+	}
+	cases := []struct {
+		x    float64
+		want float64
+	}{
+		{0, 0},
+		{1, 0.2},
+		{2, 0.6},
+		{2.5, 0.6},
+		{5, 1},
+		{100, 1},
+	}
+	for _, c := range cases {
+		if got := e.At(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("At(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+}
+
+func TestECDFDoesNotAliasInput(t *testing.T) {
+	in := []float64{5, 1, 3}
+	e := NewECDF(in)
+	in[0] = -100
+	if e.Min() != 1 {
+		t.Errorf("ECDF aliased caller slice: min = %v", e.Min())
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	e := NewECDF([]float64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100})
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 10}, {0.1, 10}, {0.5, 50}, {0.9, 90}, {0.91, 100}, {1, 100},
+	}
+	for _, c := range cases {
+		if got := e.Quantile(c.q); got != c.want {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if e.Median() != 50 {
+		t.Errorf("Median = %v", e.Median())
+	}
+}
+
+func TestEmptyECDF(t *testing.T) {
+	e := NewECDF(nil)
+	if !math.IsNaN(e.At(1)) || !math.IsNaN(e.Quantile(0.5)) {
+		t.Error("empty ECDF should return NaN")
+	}
+	if pts := e.Points(); pts != nil {
+		t.Errorf("empty ECDF Points = %v", pts)
+	}
+}
+
+func TestECDFPoints(t *testing.T) {
+	e := NewECDF([]float64{1, 1, 2, 3, 3, 3})
+	pts := e.Points()
+	want := []CDFPoint{{1, 2.0 / 6}, {2, 3.0 / 6}, {3, 1}}
+	if len(pts) != len(want) {
+		t.Fatalf("Points = %v", pts)
+	}
+	for i := range want {
+		if pts[i].X != want[i].X || math.Abs(pts[i].P-want[i].P) > 1e-12 {
+			t.Errorf("point %d = %v, want %v", i, pts[i], want[i])
+		}
+	}
+	// The last point of any non-empty CDF is P=1.
+	if pts[len(pts)-1].P != 1 {
+		t.Error("CDF does not reach 1")
+	}
+}
+
+// Property: At is monotone nondecreasing and bounded in [0,1]; Quantile and
+// At roundtrip: At(Quantile(q)) >= q.
+func TestQuickECDFMonotone(t *testing.T) {
+	f := func(raw []float64, probe float64) bool {
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				raw[i] = 0
+			}
+		}
+		if len(raw) == 0 {
+			return true
+		}
+		e := NewECDF(raw)
+		vals := e.Values()
+		if !sort.Float64sAreSorted(vals) {
+			return false
+		}
+		prev := 0.0
+		for _, v := range vals {
+			p := e.At(v)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		q := math.Abs(math.Mod(probe, 1))
+		return e.At(e.Quantile(q)) >= q-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

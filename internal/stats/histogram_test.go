@@ -1,0 +1,123 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram([]float64{0, 100, 500, 1500})
+	h.Add(50)    // bin 0
+	h.Add(100)   // bin 1 (left-closed)
+	h.Add(499)   // bin 1
+	h.Add(500)   // bin 2
+	h.Add(1499)  // bin 2
+	h.Add(1500)  // overflow (right-open last edge)
+	h.Add(-1)    // underflow
+	h.AddN(0, 3) // bin 0, exactly on first edge
+	if h.Count(0) != 4 || h.Count(1) != 2 || h.Count(2) != 2 {
+		t.Fatalf("counts = %d %d %d", h.Count(0), h.Count(1), h.Count(2))
+	}
+	if h.Underflow != 1 || h.Overflow != 1 {
+		t.Errorf("under=%d over=%d", h.Underflow, h.Overflow)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramNormalized(t *testing.T) {
+	h := NewHistogram([]float64{0, 1, 2})
+	h.AddN(0.5, 3)
+	h.AddN(1.5, 1)
+	norm := h.Normalized()
+	if !almost(norm[0], 0.75, 1e-12) || !almost(norm[1], 0.25, 1e-12) {
+		t.Errorf("normalized = %v", norm)
+	}
+	empty := NewHistogram([]float64{0, 1})
+	if !math.IsNaN(empty.Normalized()[0]) {
+		t.Error("empty normalized should be NaN")
+	}
+}
+
+func TestHistogramAddBinAndMerge(t *testing.T) {
+	a := NewHistogram([]float64{0, 64, 512, 1518})
+	b := NewHistogram([]float64{0, 64, 512, 1518})
+	a.AddBin(0, 10)
+	a.AddBin(2, 5)
+	b.AddBin(0, 1)
+	b.AddBin(1, 2)
+	b.Underflow = 7
+	a.Merge(b)
+	if a.Count(0) != 11 || a.Count(1) != 2 || a.Count(2) != 5 || a.Underflow != 7 {
+		t.Errorf("after merge: %v under=%d", []int64{a.Count(0), a.Count(1), a.Count(2)}, a.Underflow)
+	}
+}
+
+func TestHistogramMergeMismatchPanics(t *testing.T) {
+	a := NewHistogram([]float64{0, 1, 2})
+	b := NewHistogram([]float64{0, 1, 3})
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched merge did not panic")
+		}
+	}()
+	a.Merge(b)
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram([]float64{0, 10})
+	h.AddN(5, 100)
+	h.Add(-1)
+	h.Add(11)
+	h.Reset()
+	if h.Total() != 0 || h.Underflow != 0 || h.Overflow != 0 {
+		t.Error("reset did not zero counts")
+	}
+}
+
+func TestHistogramInvalidConstruction(t *testing.T) {
+	for _, edges := range [][]float64{nil, {1}, {1, 1}, {2, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewHistogram(%v) did not panic", edges)
+				}
+			}()
+			NewHistogram(edges)
+		}()
+	}
+}
+
+func TestHistogramNegativeCountPanics(t *testing.T) {
+	h := NewHistogram([]float64{0, 1})
+	defer func() {
+		if recover() == nil {
+			t.Error("negative AddN did not panic")
+		}
+	}()
+	h.AddN(0.5, -1)
+}
+
+// Property: every added in-range value lands in exactly one bin, and the
+// total always equals the number of in-range additions.
+func TestQuickHistogramConservation(t *testing.T) {
+	edges := []float64{0, 64, 128, 256, 512, 1024, 1519}
+	f := func(raw []uint16) bool {
+		h := NewHistogram(edges)
+		inRange := 0
+		for _, r := range raw {
+			v := float64(r % 2000)
+			h.Add(v)
+			if v >= edges[0] && v < edges[len(edges)-1] {
+				inRange++
+			}
+		}
+		return h.Total() == int64(inRange) &&
+			h.Total()+h.Underflow+h.Overflow == int64(len(raw))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

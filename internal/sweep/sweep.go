@@ -1,0 +1,270 @@
+// Package sweep runs parameter sweeps over the reproduction: one knob
+// varied, everything else held at the experiment config, one table row per
+// value. Sweeps answer the "what if" questions around the paper's design
+// points:
+//
+//   - SamplingInterval extends Table 1 into a full curve (miss rate and
+//     observable bursts vs. polling interval).
+//   - BufferSize varies the ToR's shared buffer and watches congestion
+//     discards and peak occupancy (the §7 buffering discussion: "if
+//     buffers become comparatively smaller ... lower-latency congestion
+//     signals may be required").
+//   - Oversubscription varies the server count under fixed uplinks and
+//     watches where the hot ports move (§6.3's explanation of cache
+//     directionality).
+//   - HotThreshold varies the burst criterion (§5.4's robustness claim).
+package sweep
+
+import (
+	"fmt"
+	"strings"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/core"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/simnet"
+	"mburst/internal/stats"
+	"mburst/internal/topo"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+// Point is one sweep row.
+type Point struct {
+	// Label is the parameter value, formatted.
+	Label string
+	// Metrics holds the measured values keyed by metric name.
+	Metrics map[string]float64
+}
+
+// Result is a completed sweep.
+type Result struct {
+	// Name identifies the sweep; ParamName the varied knob.
+	Name, ParamName string
+	// MetricNames fixes column order.
+	MetricNames []string
+	// Points are the rows, in parameter order.
+	Points []Point
+}
+
+// Format renders the sweep as an aligned table.
+func (r Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sweep %s (varying %s)\n", r.Name, r.ParamName)
+	fmt.Fprintf(&b, "  %-12s", r.ParamName)
+	for _, m := range r.MetricNames {
+		fmt.Fprintf(&b, " %14s", m)
+	}
+	b.WriteString("\n")
+	for _, p := range r.Points {
+		fmt.Fprintf(&b, "  %-12s", p.Label)
+		for _, m := range r.MetricNames {
+			fmt.Fprintf(&b, " %14.4g", p.Metrics[m])
+		}
+		b.WriteString("\n")
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// SamplingInterval sweeps the poller interval against a live rack,
+// reporting the miss rate (Table 1's metric) and how many bursts remain
+// visible at that granularity (§5.1's motivation).
+func SamplingInterval(cfg core.Config, app workload.App, intervals []simclock.Duration) (Result, error) {
+	res := Result{
+		Name:        "sampling-interval",
+		ParamName:   "interval",
+		MetricNames: []string{"miss-rate-%", "bursts", "p90-burst-µs", "cpu-busy-%"},
+	}
+	for _, interval := range intervals {
+		net, err := simnet.New(simnet.Config{
+			Rack:   topo.Default(cfg.Servers),
+			Params: cfg.ResolvedParams(app),
+			Seed:   cfg.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		var samples []wire.Sample
+		const port = 0
+		p, err := collector.NewPoller(collector.PollerConfig{
+			Interval:      interval,
+			Counters:      []collector.CounterSpec{{Port: port, Dir: asic.TX, Kind: asic.KindBytes}},
+			DedicatedCore: true,
+		}, net.Switch(), rng.New(cfg.Seed^uint64(interval)), collector.EmitterFunc(func(s wire.Sample) {
+			samples = append(samples, s)
+		}))
+		if err != nil {
+			return res, err
+		}
+		net.Run(cfg.Warmup)
+		p.Install(net.Scheduler())
+		net.Run(cfg.WindowDur)
+		p.Stop()
+
+		metrics := map[string]float64{
+			"miss-rate-%": p.MissRate() * 100,
+			"cpu-busy-%":  p.CPUBusyFrac() * 100,
+		}
+		if series, err := analysis.UtilizationSeries(samples, net.Switch().Port(port).Speed()); err == nil {
+			durs := analysis.BurstDurations(analysis.Bursts(series, cfg.HotThreshold))
+			metrics["bursts"] = float64(len(durs))
+			if len(durs) > 0 {
+				metrics["p90-burst-µs"] = stats.NewECDF(durs).Quantile(0.9)
+			}
+		}
+		res.Points = append(res.Points, Point{Label: interval.String(), Metrics: metrics})
+	}
+	return res, nil
+}
+
+// BufferSize sweeps the ToR's shared buffer capacity and reports drops
+// and normalized peak occupancy on a hadoop-class rack.
+func BufferSize(cfg core.Config, app workload.App, sizes []float64) (Result, error) {
+	res := Result{
+		Name:        "buffer-size",
+		ParamName:   "buffer",
+		MetricNames: []string{"drops", "drops-per-ms", "peak-frac", "hot-%"},
+	}
+	for _, size := range sizes {
+		net, err := simnet.New(simnet.Config{
+			Rack:        topo.Default(cfg.Servers),
+			Params:      cfg.ResolvedParams(app),
+			Seed:        cfg.Seed,
+			BufferBytes: size,
+		})
+		if err != nil {
+			return res, err
+		}
+		net.Run(cfg.Warmup)
+		net.Switch().ReadPeakBufferAndClear()
+		start := net.Switch().TotalDropped()
+		var peak float64
+		var hot, total int
+		prev := make([]uint64, net.Rack().NumPorts())
+		for p := range prev {
+			prev[p] = net.Switch().Port(p).Bytes(asic.TX)
+		}
+		interval := 300 * simclock.Microsecond
+		steps := int(cfg.WindowDur.Ticks(interval))
+		for i := 0; i < steps; i++ {
+			net.Run(interval)
+			if pk := net.Switch().ReadPeakBufferAndClear(); pk > peak {
+				peak = pk
+			}
+			for p := 0; p < net.Rack().NumPorts(); p++ {
+				cur := net.Switch().Port(p).Bytes(asic.TX)
+				util := float64(cur-prev[p]) * 8 / (float64(net.Switch().Port(p).Speed()) * interval.Seconds())
+				prev[p] = cur
+				total++
+				if util > analysis.DefaultHotThreshold {
+					hot++
+				}
+			}
+		}
+		drops := float64(net.Switch().TotalDropped() - start)
+		res.Points = append(res.Points, Point{
+			Label: fmt.Sprintf("%.0fKB", size/1024),
+			Metrics: map[string]float64{
+				"drops":        drops,
+				"drops-per-ms": drops / (cfg.WindowDur.Seconds() * 1000),
+				"peak-frac":    peak / size,
+				"hot-%":        float64(hot) / float64(total) * 100,
+			},
+		})
+	}
+	return res, nil
+}
+
+// Oversubscription sweeps the number of servers under the fixed 4×40G
+// uplinks and reports the uplink share of hot samples and mean uplink
+// utilization for an application.
+func Oversubscription(cfg core.Config, app workload.App, serverCounts []int) (Result, error) {
+	res := Result{
+		Name:        "oversubscription",
+		ParamName:   "servers",
+		MetricNames: []string{"oversub", "uplink-share-%", "uplink-mean-%"},
+	}
+	for _, servers := range serverCounts {
+		c := cfg
+		c.Servers = servers
+		exp, err := core.NewExperiment(c)
+		if err != nil {
+			return res, err
+		}
+		fig9, err := exp.Fig9HotPortShare()
+		if err != nil {
+			return res, err
+		}
+		// Mean uplink utilization from a short direct run.
+		net, err := simnet.New(simnet.Config{
+			Rack:   topo.Default(servers),
+			Params: c.ResolvedParams(app),
+			Seed:   c.Seed,
+		})
+		if err != nil {
+			return res, err
+		}
+		net.Run(cfg.Warmup)
+		rack := net.Rack()
+		before := make([]uint64, rack.NumUplinks)
+		for u := range before {
+			before[u] = net.Switch().Port(rack.UplinkPort(u)).Bytes(asic.TX)
+		}
+		net.Run(cfg.WindowDur)
+		var mean float64
+		for u := 0; u < rack.NumUplinks; u++ {
+			delta := float64(net.Switch().Port(rack.UplinkPort(u)).Bytes(asic.TX) - before[u])
+			mean += delta * 8 / (float64(rack.UplinkSpeed) * cfg.WindowDur.Seconds())
+		}
+		mean /= float64(rack.NumUplinks)
+
+		res.Points = append(res.Points, Point{
+			Label: fmt.Sprintf("%d", servers),
+			Metrics: map[string]float64{
+				"oversub":        topo.Default(servers).Oversubscription(),
+				"uplink-share-%": fig9.Share[app].UplinkShare() * 100,
+				"uplink-mean-%":  mean * 100,
+			},
+		})
+	}
+	return res, nil
+}
+
+// HotThreshold sweeps the burst criterion and reports how the burst count
+// and p90 duration respond (§5.4: weakly, because utilization is
+// multimodal).
+func HotThreshold(cfg core.Config, app workload.App, thresholds []float64) (Result, error) {
+	res := Result{
+		Name:        "hot-threshold",
+		ParamName:   "threshold",
+		MetricNames: []string{"bursts", "p90-burst-µs", "hot-%"},
+	}
+	exp, err := core.NewExperiment(cfg)
+	if err != nil {
+		return res, err
+	}
+	campaign, err := exp.RunByteCampaign(app, 0)
+	if err != nil {
+		return res, err
+	}
+	for _, th := range thresholds {
+		durs := campaign.BurstDurationsMicros(th)
+		var hot, total float64
+		for _, s := range campaign.WindowSeries {
+			hot += analysis.HotFraction(s, th) * float64(len(s))
+			total += float64(len(s))
+		}
+		metrics := map[string]float64{
+			"bursts": float64(len(durs)),
+			"hot-%":  hot / total * 100,
+		}
+		if len(durs) > 0 {
+			metrics["p90-burst-µs"] = stats.NewECDF(durs).Quantile(0.9)
+		}
+		res.Points = append(res.Points, Point{Label: fmt.Sprintf("%.0f%%", th*100), Metrics: metrics})
+	}
+	return res, nil
+}

@@ -1,0 +1,242 @@
+// Package trace persists measurement campaigns on disk.
+//
+// The paper's data set is organized as campaigns: for each rack, a random
+// port (or port set) is polled for a short window in every hour of a day,
+// and the resulting sample streams are retained for offline analysis
+// (§4.2: 720 two-minute intervals, ~5M points each). This package mirrors
+// that layout:
+//
+//	<dir>/campaign.json    — Meta: application, rack shape, interval,
+//	                          counters, window plan, seed
+//	<dir>/window_0000.mbw  — wire-format batches for window 0
+//	<dir>/window_0001.mbw  — ...
+//
+// Windows are independent files so a partial campaign is loadable and
+// windows can be processed streamingly.
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"mburst/internal/collector"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// MetaFileName is the campaign metadata file name.
+const MetaFileName = "campaign.json"
+
+// Meta describes a campaign. It is stored as JSON for human inspection;
+// the bulky sample data lives in the binary window files.
+type Meta struct {
+	// App is the workload name ("web", "cache", "hadoop").
+	App string `json:"app"`
+	// RackID identifies the rack within the study.
+	RackID int `json:"rack_id"`
+	// NumServers / NumUplinks / speeds describe the rack shape.
+	NumServers  int    `json:"num_servers"`
+	NumUplinks  int    `json:"num_uplinks"`
+	ServerSpeed uint64 `json:"server_speed_bps"`
+	UplinkSpeed uint64 `json:"uplink_speed_bps"`
+	// Interval is the target sampling interval in nanoseconds.
+	Interval simclock.Duration `json:"interval_ns"`
+	// WindowDur is each window's duration in nanoseconds.
+	WindowDur simclock.Duration `json:"window_ns"`
+	// Windows is the number of measurement windows (one per "hour").
+	Windows int `json:"windows"`
+	// Seed reproduces the campaign bit-for-bit.
+	Seed uint64 `json:"seed"`
+	// Counters lists what was polled.
+	Counters []collector.CounterSpec `json:"counters"`
+	// Notes is free-form context (which figure the campaign feeds, etc).
+	Notes string `json:"notes,omitempty"`
+}
+
+// Validate checks meta for obvious inconsistencies.
+func (m *Meta) Validate() error {
+	switch {
+	case m.App == "":
+		return errors.New("trace: empty app")
+	case m.NumServers <= 0 || m.NumUplinks <= 0:
+		return fmt.Errorf("trace: bad rack shape %d/%d", m.NumServers, m.NumUplinks)
+	case m.Interval <= 0:
+		return fmt.Errorf("trace: bad interval %v", m.Interval)
+	case m.WindowDur <= 0:
+		return fmt.Errorf("trace: bad window duration %v", m.WindowDur)
+	case m.Windows <= 0:
+		return fmt.Errorf("trace: bad window count %d", m.Windows)
+	case len(m.Counters) == 0:
+		return errors.New("trace: no counters recorded")
+	}
+	return nil
+}
+
+func windowFileName(i int) string { return fmt.Sprintf("window_%04d.mbw", i) }
+
+// batchSize is the number of samples per batch in window files.
+const batchSize = 8192
+
+// Writer writes a campaign to a directory.
+type Writer struct {
+	dir  string
+	meta Meta
+	done map[int]bool
+}
+
+// Create initializes a campaign directory (creating it if needed) and
+// writes the metadata file. It refuses to reuse a directory that already
+// contains a campaign: measurement data should never be silently
+// overwritten.
+func Create(dir string, meta Meta) (*Writer, error) {
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	metaPath := filepath.Join(dir, MetaFileName)
+	if _, err := os.Stat(metaPath); err == nil {
+		return nil, fmt.Errorf("trace: %s already holds a campaign", dir)
+	}
+	data, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("trace: encoding meta: %w", err)
+	}
+	if err := os.WriteFile(metaPath, append(data, '\n'), 0o644); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	return &Writer{dir: dir, meta: meta, done: make(map[int]bool)}, nil
+}
+
+// Meta returns the campaign metadata.
+func (w *Writer) Meta() Meta { return w.meta }
+
+// WriteWindow persists one window's samples. Each window may be written
+// exactly once; idx must be in [0, meta.Windows).
+func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error {
+	if idx < 0 || idx >= w.meta.Windows {
+		return fmt.Errorf("trace: window %d out of range [0,%d)", idx, w.meta.Windows)
+	}
+	if w.done[idx] {
+		return fmt.Errorf("trace: window %d already written", idx)
+	}
+	f, err := os.Create(filepath.Join(w.dir, windowFileName(idx)))
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	bw := wire.NewWriter(f)
+	for off := 0; off < len(samples); off += batchSize {
+		end := off + batchSize
+		if end > len(samples) {
+			end = len(samples)
+		}
+		if err := bw.WriteBatch(&wire.Batch{Rack: rack, Samples: samples[off:end]}); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: writing window %d: %w", idx, err)
+		}
+	}
+	// An empty window still produces a (valid, empty) file so Open can
+	// distinguish "empty" from "missing".
+	if len(samples) == 0 {
+		if err := bw.WriteBatch(&wire.Batch{Rack: rack}); err != nil {
+			f.Close()
+			return fmt.Errorf("trace: writing window %d: %w", idx, err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("trace: closing window %d: %w", idx, err)
+	}
+	w.done[idx] = true
+	return nil
+}
+
+// Reader reads a campaign from a directory.
+type Reader struct {
+	dir  string
+	meta Meta
+}
+
+// Open loads a campaign's metadata.
+func Open(dir string) (*Reader, error) {
+	data, err := os.ReadFile(filepath.Join(dir, MetaFileName))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	var meta Meta
+	if err := json.Unmarshal(data, &meta); err != nil {
+		return nil, fmt.Errorf("trace: decoding meta: %w", err)
+	}
+	if err := meta.Validate(); err != nil {
+		return nil, err
+	}
+	return &Reader{dir: dir, meta: meta}, nil
+}
+
+// Meta returns the campaign metadata.
+func (r *Reader) Meta() Meta { return r.meta }
+
+// HasWindow reports whether window idx exists on disk.
+func (r *Reader) HasWindow(idx int) bool {
+	_, err := os.Stat(filepath.Join(r.dir, windowFileName(idx)))
+	return err == nil
+}
+
+// IterWindow streams window idx batch-by-batch through fn without loading
+// the whole window into memory — a 2-minute 25 µs campaign holds ~5M
+// samples per counter, so analyses over many counters should stream.
+// Iteration stops early if fn returns a non-nil error, which is returned.
+func (r *Reader) IterWindow(idx int, fn func(batch *wire.Batch) error) error {
+	if idx < 0 || idx >= r.meta.Windows {
+		return fmt.Errorf("trace: window %d out of range [0,%d)", idx, r.meta.Windows)
+	}
+	if fn == nil {
+		return fmt.Errorf("trace: nil batch handler")
+	}
+	f, err := os.Open(filepath.Join(r.dir, windowFileName(idx)))
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	br := wire.NewReader(f)
+	for {
+		b, err := br.ReadBatch()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("trace: window %d: %w", idx, err)
+		}
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+}
+
+// Window loads all samples of window idx.
+func (r *Reader) Window(idx int) ([]wire.Sample, error) {
+	if idx < 0 || idx >= r.meta.Windows {
+		return nil, fmt.Errorf("trace: window %d out of range [0,%d)", idx, r.meta.Windows)
+	}
+	f, err := os.Open(filepath.Join(r.dir, windowFileName(idx)))
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	br := wire.NewReader(f)
+	var samples []wire.Sample
+	for {
+		b, err := br.ReadBatch()
+		if err == io.EOF {
+			return samples, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: window %d: %w", idx, err)
+		}
+		samples = append(samples, b.Samples...)
+	}
+}

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+// FuzzReadBatch throws arbitrary bytes at the decoder: it must either
+// return a batch, a clean EOF, or a wrapped error — never panic, never
+// allocate unboundedly, and any successfully decoded batch must re-encode
+// to a decodable batch (idempotence of the round trip).
+func FuzzReadBatch(f *testing.F) {
+	// Seeds: a valid single-batch stream, a valid two-batch stream,
+	// truncations, and flipped bytes.
+	valid := AppendBatch(nil, &Batch{
+		Rack: 3,
+		Samples: []Sample{
+			{Time: simclock.Epoch.Add(simclock.Micros(25)), Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Value: 999},
+			{Time: simclock.Epoch.Add(simclock.Micros(50)), Port: 1, Dir: asic.TX, Kind: asic.KindSizeBins,
+				Bins: [asic.NumSizeBins]uint64{1, 2, 3, 4, 5, 6}},
+		},
+	})
+	f.Add(valid)
+	f.Add(AppendBatch(valid, &Batch{Rack: 9}))
+	f.Add(valid[:len(valid)/2])
+	f.Add([]byte{})
+	f.Add([]byte("garbage that is definitely not a batch"))
+	corrupted := append([]byte(nil), valid...)
+	corrupted[len(corrupted)/2] ^= 0xff
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewReader(bytes.NewReader(data))
+		for i := 0; i < 100; i++ { // bound iterations for pathological inputs
+			b, err := r.ReadBatch()
+			if err != nil {
+				if errors.Is(err, io.EOF) || errors.Is(err, ErrCorrupt) ||
+					errors.Is(err, io.ErrUnexpectedEOF) {
+					return
+				}
+				// Any other error must still be a wrapped read failure,
+				// not a panic-worthy state; accept and stop.
+				return
+			}
+			// A decoded batch must round-trip.
+			re := AppendBatch(nil, b)
+			b2, err := NewReader(bytes.NewReader(re)).ReadBatch()
+			if err != nil {
+				t.Fatalf("re-encoded batch failed to decode: %v", err)
+			}
+			if len(b2.Samples) != len(b.Samples) || b2.Rack != b.Rack {
+				t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
+					b.Rack, len(b.Samples), b2.Rack, len(b2.Samples))
+			}
+		}
+	})
+}

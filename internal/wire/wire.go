@@ -1,0 +1,281 @@
+// Package wire defines the sample data model and the binary wire/file
+// format the collection framework uses to move counter samples from switch
+// CPUs to the distributed collector service (§4.1: "The CPU batches the
+// samples before sending them to a distributed collector service").
+//
+// Design goals, in order: compact (a 2-minute campaign at 25 µs holds ~5M
+// samples per counter; the paper stored 250 GB for 720 such intervals),
+// self-describing enough to be replayed later, and corruption-evident
+// (each batch carries a CRC-32 so a torn TCP stream or truncated file is
+// detected rather than silently mis-parsed).
+//
+// Format. A stream is a sequence of batches:
+//
+//	magic   uint32  "MBW1" (big-endian on the wire)
+//	length  uvarint  byte length of the payload that follows
+//	payload []byte   varint-encoded records (see below)
+//	crc32   uint32   IEEE CRC of the payload
+//
+// Payload layout: a batch header (rack id, record count) followed by
+// records. Record integers are delta-encoded against the previous record
+// where it pays (timestamps, values), because successive samples of a
+// cumulative counter differ by small amounts at microsecond granularity.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+// Magic identifies a batch boundary.
+const Magic uint32 = 0x4d425731 // "MBW1"
+
+// MaxBatchPayload bounds a single batch's payload; a reader rejects
+// anything larger as corruption rather than allocating unboundedly.
+const MaxBatchPayload = 16 << 20
+
+// ErrCorrupt is returned when framing, CRC, or field validation fails.
+var ErrCorrupt = errors.New("wire: corrupt batch")
+
+// Sample is one counter observation.
+//
+// For cumulative counters (bytes, packets, drops, size bins) Value and
+// Bins hold the running totals at Time; consumers difference successive
+// samples. For the buffer-peak register, Value holds the clear-on-read
+// peak in bytes since the previous sample.
+type Sample struct {
+	// Time is when the read completed. The paper's framework guarantees
+	// a correct timestamp even when sampling intervals are missed, which
+	// is what keeps throughput computable (Table 1 caption).
+	Time simclock.Time
+	// Port is the switch port index (ignored for KindBufferPeak, which is
+	// a switch-wide register).
+	Port uint16
+	// Dir is the counter direction (RX/TX); meaningless for drops and
+	// buffer peak, which are TX-side by definition.
+	Dir asic.Direction
+	// Kind is the counter family.
+	Kind asic.CounterKind
+	// Missed is how many scheduled sampling intervals elapsed without a
+	// sample since the previous completed poll (0 when on schedule).
+	Missed uint32
+	// Value is the counter value (see type comment).
+	Value uint64
+	// Bins holds the size-bin counters when Kind == KindSizeBins.
+	Bins [asic.NumSizeBins]uint64
+}
+
+// Batch is a group of samples from one rack, the unit of transfer and of
+// file framing.
+type Batch struct {
+	Rack    uint32
+	Samples []Sample
+}
+
+// AppendBatch encodes b and appends it to dst, returning the extended
+// slice.
+func AppendBatch(dst []byte, b *Batch) []byte {
+	payload := appendPayload(nil, b)
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], Magic)
+	dst = append(dst, hdr[:]...)
+	dst = binary.AppendUvarint(dst, uint64(len(payload)))
+	dst = append(dst, payload...)
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	return append(dst, crc[:]...)
+}
+
+func appendPayload(dst []byte, b *Batch) []byte {
+	dst = binary.AppendUvarint(dst, uint64(b.Rack))
+	dst = binary.AppendUvarint(dst, uint64(len(b.Samples)))
+	var prevTime int64
+	var prevValue uint64
+	for i := range b.Samples {
+		s := &b.Samples[i]
+		dst = binary.AppendVarint(dst, s.Time.Nanoseconds()-prevTime)
+		prevTime = s.Time.Nanoseconds()
+		dst = binary.AppendUvarint(dst, uint64(s.Port))
+		dst = append(dst, byte(s.Dir)|byte(s.Kind)<<1)
+		dst = binary.AppendUvarint(dst, uint64(s.Missed))
+		dst = binary.AppendVarint(dst, int64(s.Value-prevValue))
+		prevValue = s.Value
+		if s.Kind == asic.KindSizeBins {
+			for _, v := range s.Bins {
+				dst = binary.AppendUvarint(dst, v)
+			}
+		}
+	}
+	return dst
+}
+
+// decodePayload parses a batch payload.
+func decodePayload(payload []byte) (*Batch, error) {
+	r := payloadReader{buf: payload}
+	rack := r.uvarint()
+	n := r.uvarint()
+	if r.err != nil {
+		return nil, fmt.Errorf("%w: header", ErrCorrupt)
+	}
+	// A record is at least 5 bytes; reject absurd counts before
+	// allocating.
+	if n > uint64(len(payload)) {
+		return nil, fmt.Errorf("%w: record count %d exceeds payload", ErrCorrupt, n)
+	}
+	b := &Batch{Rack: uint32(rack)}
+	if n > 0 {
+		b.Samples = make([]Sample, 0, n)
+	}
+	var prevTime int64
+	var prevValue uint64
+	for i := uint64(0); i < n; i++ {
+		var s Sample
+		prevTime += r.varint()
+		s.Time = simclock.Time(prevTime)
+		s.Port = uint16(r.uvarint())
+		dk := r.byte()
+		s.Dir = asic.Direction(dk & 1)
+		s.Kind = asic.CounterKind(dk >> 1)
+		s.Missed = uint32(r.uvarint())
+		prevValue += uint64(r.varint())
+		s.Value = prevValue
+		if s.Kind == asic.KindSizeBins {
+			for j := range s.Bins {
+				s.Bins[j] = r.uvarint()
+			}
+		}
+		if r.err != nil {
+			return nil, fmt.Errorf("%w: record %d", ErrCorrupt, i)
+		}
+		b.Samples = append(b.Samples, s)
+	}
+	if len(r.buf) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
+	}
+	return b, nil
+}
+
+type payloadReader struct {
+	buf []byte
+	err error
+}
+
+func (r *payloadReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *payloadReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf)
+	if n <= 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *payloadReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if len(r.buf) == 0 {
+		r.err = ErrCorrupt
+		return 0
+	}
+	b := r.buf[0]
+	r.buf = r.buf[1:]
+	return b
+}
+
+// Writer frames batches onto an io.Writer.
+type Writer struct {
+	w   io.Writer
+	buf []byte
+}
+
+// NewWriter returns a batch writer.
+func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+
+// WriteBatch encodes and writes one batch.
+func (w *Writer) WriteBatch(b *Batch) error {
+	w.buf = AppendBatch(w.buf[:0], b)
+	_, err := w.w.Write(w.buf)
+	return err
+}
+
+// Reader decodes a stream of batches from an io.Reader.
+type Reader struct {
+	r   io.Reader
+	hdr [4]byte
+}
+
+// NewReader returns a batch reader.
+func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// ReadBatch reads the next batch. It returns io.EOF at a clean end of
+// stream, and ErrCorrupt (wrapped) on framing or checksum failure.
+func (r *Reader) ReadBatch() (*Batch, error) {
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("wire: reading magic: %w", err)
+	}
+	if got := binary.BigEndian.Uint32(r.hdr[:]); got != Magic {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+	}
+	length, err := readUvarint(r.r)
+	if err != nil {
+		return nil, fmt.Errorf("wire: reading length: %w", err)
+	}
+	if length > MaxBatchPayload {
+		return nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r.r, payload); err != nil {
+		return nil, fmt.Errorf("wire: reading payload: %w", err)
+	}
+	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
+		return nil, fmt.Errorf("wire: reading crc: %w", err)
+	}
+	if want := binary.BigEndian.Uint32(r.hdr[:]); want != crc32.ChecksumIEEE(payload) {
+		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return decodePayload(payload)
+}
+
+// readUvarint reads a uvarint byte-by-byte from an io.Reader.
+func readUvarint(r io.Reader) (uint64, error) {
+	var x uint64
+	var s uint
+	var b [1]byte
+	for i := 0; i < binary.MaxVarintLen64; i++ {
+		if _, err := io.ReadFull(r, b[:]); err != nil {
+			return 0, err
+		}
+		if b[0] < 0x80 {
+			return x | uint64(b[0])<<s, nil
+		}
+		x |= uint64(b[0]&0x7f) << s
+		s += 7
+	}
+	return 0, ErrCorrupt
+}

@@ -1,0 +1,202 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+func sampleBatch() *Batch {
+	return &Batch{
+		Rack: 7,
+		Samples: []Sample{
+			{Time: simclock.Epoch.Add(simclock.Micros(25)), Port: 3, Dir: asic.TX, Kind: asic.KindBytes, Value: 10_000},
+			{Time: simclock.Epoch.Add(simclock.Micros(50)), Port: 3, Dir: asic.TX, Kind: asic.KindBytes, Value: 16_250, Missed: 0},
+			{Time: simclock.Epoch.Add(simclock.Micros(100)), Port: 3, Dir: asic.TX, Kind: asic.KindBytes, Value: 16_250, Missed: 1},
+			{Time: simclock.Epoch.Add(simclock.Micros(125)), Port: 9, Dir: asic.RX, Kind: asic.KindSizeBins, Value: 0,
+				Bins: [asic.NumSizeBins]uint64{100, 20, 3, 0, 7, 999}},
+			{Time: simclock.Epoch.Add(simclock.Micros(150)), Port: 0, Dir: asic.TX, Kind: asic.KindBufferPeak, Value: 123456},
+		},
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	in := sampleBatch()
+	if err := w.WriteBatch(in); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	out, err := r.ReadBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+	if _, err := r.ReadBatch(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+}
+
+func TestMultipleBatches(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for i := 0; i < 5; i++ {
+		b := sampleBatch()
+		b.Rack = uint32(i)
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i := 0; i < 5; i++ {
+		b, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if b.Rack != uint32(i) {
+			t.Errorf("batch %d rack = %d", i, b.Rack)
+		}
+	}
+	if _, err := r.ReadBatch(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewWriter(&buf).WriteBatch(&Batch{Rack: 1}); err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewReader(&buf).ReadBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Rack != 1 || len(b.Samples) != 0 {
+		t.Errorf("batch = %+v", b)
+	}
+}
+
+func TestCorruptMagic(t *testing.T) {
+	data := AppendBatch(nil, sampleBatch())
+	data[0] ^= 0xff
+	_, err := NewReader(bytes.NewReader(data)).ReadBatch()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptPayload(t *testing.T) {
+	data := AppendBatch(nil, sampleBatch())
+	// Flip a bit inside the payload: the CRC must catch it.
+	data[len(data)/2] ^= 0x40
+	_, err := NewReader(bytes.NewReader(data)).ReadBatch()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCorruptCRC(t *testing.T) {
+	data := AppendBatch(nil, sampleBatch())
+	data[len(data)-1] ^= 0x01
+	_, err := NewReader(bytes.NewReader(data)).ReadBatch()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedStream(t *testing.T) {
+	data := AppendBatch(nil, sampleBatch())
+	for _, cut := range []int{1, 4, 6, len(data) - 2} {
+		_, err := NewReader(bytes.NewReader(data[:cut])).ReadBatch()
+		if err == nil || err == io.EOF {
+			t.Errorf("cut at %d: err = %v, want failure", cut, err)
+		}
+	}
+}
+
+func TestOversizePayloadRejected(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [4]byte
+	hdr[0], hdr[1], hdr[2], hdr[3] = 0x4d, 0x42, 0x57, 0x31
+	buf.Write(hdr[:])
+	// Claim a payload far over the limit.
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0x7f})
+	_, err := NewReader(&buf).ReadBatch()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestDecodeRejectsAbsurdRecordCount(t *testing.T) {
+	// A payload that claims many records but contains none.
+	payload := []byte{1, 0xff, 0xff, 0xff, 0x0f}
+	_, err := decodePayload(payload)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestCumulativeValueWrap(t *testing.T) {
+	// Deltas survive value regressions (e.g. a buffer gauge going down).
+	in := &Batch{Rack: 0, Samples: []Sample{
+		{Time: 1, Kind: asic.KindBufferPeak, Value: 1 << 40},
+		{Time: 2, Kind: asic.KindBufferPeak, Value: 10},
+		{Time: 3, Kind: asic.KindBufferPeak, Value: 1 << 50},
+	}}
+	data := AppendBatch(nil, in)
+	out, err := NewReader(bytes.NewReader(data)).ReadBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("mismatch: %+v vs %+v", in, out)
+	}
+}
+
+// Property: any batch of generated samples round-trips exactly.
+func TestQuickRoundTrip(t *testing.T) {
+	f := func(rack uint32, raw []struct {
+		T    uint32
+		Port uint16
+		DK   uint8
+		Miss uint16
+		Val  uint64
+		B0   uint16
+	}) bool {
+		in := &Batch{Rack: rack}
+		var lastT int64
+		for _, r := range raw {
+			lastT += int64(r.T)
+			s := Sample{
+				Time:   simclock.Time(lastT),
+				Port:   r.Port,
+				Dir:    asic.Direction(r.DK & 1),
+				Kind:   asic.CounterKind(int(r.DK>>1) % 5),
+				Missed: uint32(r.Miss),
+				Value:  r.Val,
+			}
+			if s.Kind == asic.KindSizeBins {
+				s.Bins[0] = uint64(r.B0)
+			}
+			in.Samples = append(in.Samples, s)
+		}
+		data := AppendBatch(nil, in)
+		out, err := NewReader(bytes.NewReader(data)).ReadBatch()
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(in, out)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,77 @@
+package workload
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/ecmp"
+)
+
+// FlowKind classifies a flow by how it crosses the ToR.
+type FlowKind int
+
+const (
+	// FlowIn enters the rack from the fabric and terminates at Server:
+	// RX on an uplink, TX on the server's downlink.
+	FlowIn FlowKind = iota
+	// FlowOut leaves the rack from Server toward the fabric:
+	// RX on the server's downlink, TX on an uplink.
+	FlowOut
+	// FlowIntra goes from Peer to Server without leaving the rack:
+	// RX on Peer's downlink, TX on Server's downlink.
+	FlowIntra
+)
+
+// String names the flow kind.
+func (k FlowKind) String() string {
+	switch k {
+	case FlowIn:
+		return "in"
+	case FlowOut:
+		return "out"
+	case FlowIntra:
+		return "intra"
+	default:
+		return fmt.Sprintf("FlowKind(%d)", int(k))
+	}
+}
+
+// Flow is a constant-rate transport flow traversing the ToR. Flows are
+// identified by pointer; the simulator tracks active flows between
+// StartFlow and EndFlow callbacks.
+type Flow struct {
+	// Key is the 5-tuple ECMP hashes.
+	Key ecmp.FlowKey
+	// Kind determines which ports the flow touches.
+	Kind FlowKind
+	// Server is the rack-local endpoint (destination for FlowIn/FlowIntra,
+	// source for FlowOut).
+	Server int
+	// Peer is the rack-local source for FlowIntra; unused otherwise.
+	Peer int
+	// Rate is the flow's offered rate in bytes per second.
+	Rate float64
+	// Profile is the packet-size byte mix the flow carries.
+	Profile asic.TrafficProfile
+}
+
+// Sink receives flow lifecycle callbacks from a Generator. The simulator
+// implements Sink; tests may substitute recorders.
+type Sink interface {
+	// StartFlow begins accounting f's rate against its ports.
+	StartFlow(f *Flow)
+	// EndFlow stops accounting f. The generator guarantees every started
+	// flow is ended exactly once (or remains active at campaign end).
+	EndFlow(f *Flow)
+}
+
+// serverIP returns a stable synthetic IPv4 address for rack-local server s.
+func serverIP(rackID, s int) uint32 {
+	return 0x0a<<24 | uint32(rackID&0xffff)<<8 | uint32(s&0xff)
+}
+
+// externalIP returns a synthetic out-of-rack address derived from n.
+func externalIP(n uint32) uint32 {
+	// 100.64.0.0/10-ish space, always distinct from serverIP values.
+	return 0x64<<24 | (n & 0x00ffffff)
+}

@@ -1,0 +1,496 @@
+package workload
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/ecmp"
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/topo"
+)
+
+// Generator drives one rack's servers with an application's traffic
+// process, emitting Flow start/end callbacks into a Sink through an event
+// scheduler. All randomness comes from a Source split per subprocess, so a
+// generator is deterministic for a given (params, rack, rackID, seed).
+type Generator struct {
+	params    Params
+	rack      topo.Rack
+	rackID    int
+	loadScale float64
+
+	inside  asic.TrafficProfile
+	outside asic.TrafficProfile
+
+	sched *eventq.Scheduler
+	sink  Sink
+
+	// Independent streams per concern keep parameter changes in one
+	// process from perturbing another's draws.
+	fanInSrc []*rng.Source // per server
+	outSrc   []*rng.Source // per server
+	baseSrc  []*rng.Source // per server
+	groupSrc *rng.Source
+	waveSrc  *rng.Source
+	keySrc   *rng.Source
+
+	flowSeq uint32
+
+	// stats for tests and sanity reporting
+	started, ended uint64
+}
+
+// NewGenerator validates the configuration and builds a generator.
+// loadScale scales traffic intensity over time-of-day (1 = nominal);
+// it multiplies episode arrival rates and base loads.
+func NewGenerator(params Params, rack topo.Rack, rackID int, loadScale float64, seed *rng.Source) (*Generator, error) {
+	if err := params.Validate(); err != nil {
+		return nil, err
+	}
+	if err := rack.Validate(); err != nil {
+		return nil, err
+	}
+	if loadScale <= 0 {
+		return nil, fmt.Errorf("workload: loadScale = %v, need > 0", loadScale)
+	}
+	if seed == nil {
+		return nil, fmt.Errorf("workload: nil random source")
+	}
+	g := &Generator{
+		params:    params,
+		rack:      rack,
+		rackID:    rackID,
+		loadScale: loadScale,
+		inside:    params.InsideMix.Profile(),
+		outside:   params.OutsideMix.Profile(),
+		groupSrc:  seed.Split("groups"),
+		waveSrc:   seed.Split("waves"),
+		keySrc:    seed.Split("keys"),
+	}
+	g.fanInSrc = make([]*rng.Source, rack.NumServers)
+	g.outSrc = make([]*rng.Source, rack.NumServers)
+	g.baseSrc = make([]*rng.Source, rack.NumServers)
+	for s := 0; s < rack.NumServers; s++ {
+		g.fanInSrc[s] = seed.Split(fmt.Sprintf("fanin/%d", s))
+		g.outSrc[s] = seed.Split(fmt.Sprintf("out/%d", s))
+		g.baseSrc[s] = seed.Split(fmt.Sprintf("base/%d", s))
+	}
+	return g, nil
+}
+
+// FlowsStarted returns the number of flows started so far.
+func (g *Generator) FlowsStarted() uint64 { return g.started }
+
+// FlowsEnded returns the number of flows ended so far.
+func (g *Generator) FlowsEnded() uint64 { return g.ended }
+
+// Install wires the generator into a scheduler and sink and schedules the
+// initial events for every traffic process. It must be called exactly once.
+func (g *Generator) Install(sched *eventq.Scheduler, sink Sink) {
+	if g.sched != nil {
+		panic("workload: Install called twice")
+	}
+	if sched == nil || sink == nil {
+		panic("workload: nil scheduler or sink")
+	}
+	g.sched = sched
+	g.sink = sink
+
+	// Leaders (§4.2: cache coherency handlers) respond far less than
+	// followers; their Out process runs with stretched gaps instead.
+	leaderOut := g.params.Out
+	leaderOut.GapShortMean *= 3
+	leaderOut.IdleScale *= 2
+	if leaderOut.IdleMax < leaderOut.IdleScale {
+		leaderOut.IdleMax = leaderOut.IdleScale * 2
+	}
+	for s := 0; s < g.rack.NumServers; s++ {
+		g.startBaseFlows(s)
+		g.scheduleEpisodeLoop(s, &g.params.FanIn, g.fanInSrc[s], g.fireFanIn, true)
+		if g.isLeader(s) {
+			out := leaderOut
+			g.scheduleEpisodeLoop(s, &out, g.outSrc[s], g.fireOut, true)
+			if g.params.CoherencyRate > 0 && g.params.CoherencyFanout > 0 && g.rack.NumServers > 1 {
+				g.scheduleCoherencyLoop(s)
+			}
+		} else {
+			g.scheduleEpisodeLoop(s, &g.params.Out, g.outSrc[s], g.fireOut, true)
+		}
+	}
+	if g.params.GroupCount > 0 && g.params.GroupRate > 0 {
+		for grp := 0; grp < g.params.GroupCount; grp++ {
+			g.scheduleGroupLoop(grp)
+		}
+	}
+	if g.params.WaveRate > 0 && g.params.WaveFrac > 0 {
+		g.scheduleWaveLoop()
+	}
+}
+
+// serverLineBytesPerSec returns the server downlink rate in bytes/sec, the
+// reference for episode intensities.
+func (g *Generator) serverLineBytesPerSec() float64 {
+	return float64(g.rack.ServerSpeed) / 8
+}
+
+// nextGap samples the time between the end of one episode and the start of
+// the next: a clustered short gap with probability PShortGap, otherwise a
+// long heavy-tailed idle period. loadScale compresses gaps uniformly.
+func (g *Generator) nextGap(ep *EpisodeParams, src *rng.Source) simclock.Duration {
+	var gap float64
+	if src.Bool(ep.PShortGap) {
+		gap = src.Exp(float64(ep.GapShortMean))
+	} else {
+		gap = src.BoundedPareto(float64(ep.IdleScale), float64(ep.IdleMax), ep.IdleAlpha)
+	}
+	gap /= g.loadScale
+	if gap < 1 {
+		gap = 1
+	}
+	return simclock.Duration(gap)
+}
+
+// sampleEpisode draws (duration, intensity) for one burst, applying the
+// pacing ablation if configured.
+func (g *Generator) sampleEpisode(ep *EpisodeParams, src *rng.Source) (simclock.Duration, float64) {
+	dur := simclock.Duration(src.BoundedPareto(float64(ep.DurScale), float64(ep.DurMax), ep.DurAlpha))
+	intensity := ep.IntensityMin + src.Float64()*(ep.IntensityMax-ep.IntensityMin)
+	if ep.PSpike > 0 && src.Bool(ep.PSpike) {
+		intensity *= 1.5 + src.Float64()*(ep.SpikeMax-1.5)
+		// An incast spike is more senders converging, so it carries more
+		// total bytes: stretch the duration too (bounded so spikes stay
+		// µbursts).
+		dur = simclock.Duration(float64(dur) * 1.5)
+		if max := ep.DurMax * 3 / 2; dur > max {
+			dur = max
+		}
+	}
+	if g.params.Paced && intensity > g.params.PacedCap {
+		// Conserve volume: stretch the burst to fit under the cap.
+		dur = simclock.Duration(float64(dur) * intensity / g.params.PacedCap)
+		intensity = g.params.PacedCap
+	}
+	return dur, intensity
+}
+
+// scheduleEpisodeLoop arms the recurring episode process for one server.
+// When warmStart is true the first firing is delayed by a random fraction
+// of a gap so servers do not start in phase.
+func (g *Generator) scheduleEpisodeLoop(server int, ep *EpisodeParams, src *rng.Source,
+	fire func(server int, ep *EpisodeParams, src *rng.Source) simclock.Duration, warmStart bool) {
+	delay := g.nextGap(ep, src)
+	if warmStart {
+		delay = simclock.Duration(float64(delay) * src.Float64())
+	}
+	var loop func(simclock.Time)
+	loop = func(simclock.Time) {
+		dur := fire(server, ep, src)
+		g.sched.After(dur+g.nextGap(ep, src), loop)
+	}
+	g.sched.After(delay, loop)
+}
+
+// fireFanIn starts one fan-in burst converging on server and returns its
+// duration.
+func (g *Generator) fireFanIn(server int, ep *EpisodeParams, src *rng.Source) simclock.Duration {
+	dur, intensity := g.sampleEpisode(ep, src)
+	g.startFanInFlows(server, ep, src, dur, intensity)
+	return dur
+}
+
+// episodeProfile selects the packet mix an episode carries: intense
+// episodes (the ones that register as bursts) are made of the large-heavy
+// inside mix — bulk responses and full segments — while weak episodes look
+// like background traffic. This is the mechanism behind Fig 5: the size
+// mix shifts *because* the traffic causing bursts is different, "bursts at
+// the ToR layer are often a result of application-behavior changes" (§5.3).
+func (g *Generator) episodeProfile(intensity float64) asic.TrafficProfile {
+	if intensity >= 0.5 {
+		return g.inside
+	}
+	return g.outside
+}
+
+// startFanInFlows creates the flow set for a fan-in burst of the given
+// duration and aggregate intensity.
+func (g *Generator) startFanInFlows(server int, ep *EpisodeParams, src *rng.Source, dur simclock.Duration, intensity float64) {
+	totalRate := intensity * g.serverLineBytesPerSec()
+	nf := ep.FlowsMin
+	if ep.FlowsMax > ep.FlowsMin {
+		nf += src.Intn(ep.FlowsMax - ep.FlowsMin + 1)
+	}
+	profile := g.episodeProfile(intensity)
+	weights := g.flowWeights(src, nf)
+	for i := 0; i < nf; i++ {
+		f := &Flow{
+			Kind:    FlowIn,
+			Server:  server,
+			Rate:    totalRate * weights[i],
+			Profile: profile,
+		}
+		if !src.Bool(g.params.InRemoteFrac) && g.rack.NumServers > 1 {
+			f.Kind = FlowIntra
+			f.Peer = g.otherServer(src, server)
+			f.Key = g.intraKey(f.Peer, server)
+		} else {
+			f.Key = g.inKey(server)
+		}
+		g.runFlow(f, dur)
+	}
+}
+
+// fireOut starts one egress burst from server toward the fabric and
+// returns its duration.
+func (g *Generator) fireOut(server int, ep *EpisodeParams, src *rng.Source) simclock.Duration {
+	dur, intensity := g.sampleEpisode(ep, src)
+	g.startOutFlows(server, ep, src, dur, intensity)
+	return dur
+}
+
+func (g *Generator) startOutFlows(server int, ep *EpisodeParams, src *rng.Source, dur simclock.Duration, intensity float64) {
+	totalRate := intensity * g.serverLineBytesPerSec()
+	nf := ep.FlowsMin
+	if ep.FlowsMax > ep.FlowsMin {
+		nf += src.Intn(ep.FlowsMax - ep.FlowsMin + 1)
+	}
+	profile := g.episodeProfile(intensity)
+	weights := g.flowWeights(src, nf)
+	for i := 0; i < nf; i++ {
+		f := &Flow{
+			Kind:    FlowOut,
+			Server:  server,
+			Rate:    totalRate * weights[i],
+			Profile: profile,
+			Key:     g.outKey(server),
+		}
+		g.runFlow(f, dur)
+	}
+}
+
+// scheduleGroupLoop arms the scatter-gather process for one server group:
+// Poisson events that hit every member with a synchronized request burst
+// and a synchronized (larger) response burst.
+func (g *Generator) scheduleGroupLoop(grp int) {
+	src := g.groupSrc.Split(fmt.Sprintf("g%d", grp))
+	members := g.groupMembers(grp)
+	rate := g.params.GroupRate * g.loadScale
+	var loop func(simclock.Time)
+	loop = func(simclock.Time) {
+		for _, m := range members {
+			// Scatter: small synchronized fan-in (requests).
+			dur, intensity := g.sampleEpisode(&g.params.FanIn, src)
+			g.startFanInFlows(m, &g.params.FanIn, src, dur, intensity)
+			// Gather: synchronized response burst out of the rack.
+			durOut, intOut := g.sampleEpisode(&g.params.Out, src)
+			g.startOutFlows(m, &g.params.Out, src, durOut, intOut)
+		}
+		g.sched.After(simclock.Duration(src.Exp(1e9/rate)), loop)
+	}
+	g.sched.After(simclock.Duration(src.Exp(1e9/rate)*src.Float64()), loop)
+}
+
+// groupMembers returns the fixed membership of group grp.
+func (g *Generator) groupMembers(grp int) []int {
+	span := g.params.GroupSpan
+	if span > g.rack.NumServers {
+		span = g.rack.NumServers
+	}
+	members := make([]int, 0, span)
+	for i := 0; i < span; i++ {
+		members = append(members, (grp*span+i)%g.rack.NumServers)
+	}
+	return members
+}
+
+// scheduleWaveLoop arms the rack-wide wave process: Poisson events that
+// trigger fan-in episodes on a random subset of servers simultaneously.
+func (g *Generator) scheduleWaveLoop() {
+	src := g.waveSrc
+	rate := g.params.WaveRate * g.loadScale
+	n := g.rack.NumServers
+	var loop func(simclock.Time)
+	loop = func(simclock.Time) {
+		perm := src.Perm(n)
+		k := int(g.params.WaveFrac * float64(n))
+		if k < 1 {
+			k = 1
+		}
+		for _, s := range perm[:k] {
+			dur, intensity := g.sampleEpisode(&g.params.FanIn, src)
+			g.startFanInFlows(s, &g.params.FanIn, src, dur, intensity)
+			// Shuffle waves also synchronize the send side: half the
+			// participants emit toward the fabric at the same moment,
+			// which is what lets a 40G uplink exceed 50% from 10G NICs.
+			if src.Bool(0.5) {
+				durOut, intOut := g.sampleEpisode(&g.params.Out, src)
+				g.startOutFlows(s, &g.params.Out, src, durOut, intOut)
+			}
+		}
+		g.sched.After(simclock.Duration(src.Exp(1e9/rate)), loop)
+	}
+	g.sched.After(simclock.Duration(src.Exp(1e9/rate)*src.Float64()), loop)
+}
+
+// isLeader reports whether server s is a cache leader.
+func (g *Generator) isLeader(s int) bool { return s < g.params.LeaderCount }
+
+// scheduleCoherencyLoop arms a leader's invalidation process: Poisson
+// events, each sending a short small-packet intra-rack flow to several
+// followers (cache coherency fan-out, [15]).
+func (g *Generator) scheduleCoherencyLoop(leader int) {
+	src := g.outSrc[leader].Split("coherency")
+	rate := g.params.CoherencyRate * g.loadScale
+	line := g.serverLineBytesPerSec()
+	var loop func(simclock.Time)
+	loop = func(simclock.Time) {
+		fanout := g.params.CoherencyFanout
+		if fanout > g.rack.NumServers-1 {
+			fanout = g.rack.NumServers - 1
+		}
+		dur := simclock.Duration(10e3 + src.Exp(20e3)) // 10–100µs messages
+		for i := 0; i < fanout; i++ {
+			dst := g.otherServer(src, leader)
+			f := &Flow{
+				Kind:    FlowIntra,
+				Server:  dst,
+				Peer:    leader,
+				Rate:    line * (0.01 + 0.03*src.Float64()),
+				Profile: g.outside, // invalidations are small packets
+				Key:     g.intraKey(leader, dst),
+			}
+			g.runFlow(f, dur)
+		}
+		g.sched.After(simclock.Duration(src.Exp(1e9/rate)), loop)
+	}
+	g.sched.After(simclock.Duration(src.Exp(1e9/rate)*src.Float64()), loop)
+}
+
+// startBaseFlows creates the continuous background flows for a server and
+// schedules their periodic renewal (re-keying re-rolls ECMP placement).
+func (g *Generator) startBaseFlows(server int) {
+	src := g.baseSrc[server]
+	line := g.serverLineBytesPerSec()
+	var active []*Flow
+
+	start := func() {
+		active = active[:0]
+		// A single flow per direction keeps base traffic lumpy under
+		// ECMP: one hash decides where a server's whole floor lands,
+		// which is part of why uplinks are unbalanced at small
+		// timescales (§6.1).
+		jitter := func() float64 { return 0.6 + 0.8*src.Float64() }
+		if g.params.BaseIn > 0 {
+			f := &Flow{
+				Kind:    FlowIn,
+				Server:  server,
+				Rate:    g.params.BaseIn * g.loadScale * line * jitter(),
+				Profile: g.outside,
+				Key:     g.inKey(server),
+			}
+			g.sink.StartFlow(f)
+			g.started++
+			active = append(active, f)
+		}
+		if g.params.BaseOut > 0 {
+			f := &Flow{
+				Kind:    FlowOut,
+				Server:  server,
+				Rate:    g.params.BaseOut * g.loadScale * line * jitter(),
+				Profile: g.outside,
+				Key:     g.outKey(server),
+			}
+			g.sink.StartFlow(f)
+			g.started++
+			active = append(active, f)
+		}
+	}
+	stop := func() {
+		for _, f := range active {
+			g.sink.EndFlow(f)
+			g.ended++
+		}
+	}
+
+	start()
+	if g.params.BaseFlowRenew > 0 {
+		var renew func(simclock.Time)
+		renew = func(simclock.Time) {
+			stop()
+			start()
+			g.sched.After(g.params.BaseFlowRenew, renew)
+		}
+		// Desynchronize renewals across servers.
+		g.sched.After(simclock.Duration(float64(g.params.BaseFlowRenew)*(0.5+src.Float64())), renew)
+	}
+}
+
+// runFlow starts f and schedules its end after dur.
+func (g *Generator) runFlow(f *Flow, dur simclock.Duration) {
+	if dur <= 0 {
+		dur = 1
+	}
+	g.sink.StartFlow(f)
+	g.started++
+	g.sched.After(dur, func(simclock.Time) {
+		g.sink.EndFlow(f)
+		g.ended++
+	})
+}
+
+// flowWeights returns n random positive weights summing to 1.
+func (g *Generator) flowWeights(src *rng.Source, n int) []float64 {
+	w := make([]float64, n)
+	var total float64
+	for i := range w {
+		w[i] = 0.2 + src.Float64()
+		total += w[i]
+	}
+	for i := range w {
+		w[i] /= total
+	}
+	return w
+}
+
+// otherServer picks a uniformly random server other than s.
+func (g *Generator) otherServer(src *rng.Source, s int) int {
+	p := src.Intn(g.rack.NumServers - 1)
+	if p >= s {
+		p++
+	}
+	return p
+}
+
+func (g *Generator) inKey(server int) ecmp.FlowKey {
+	g.flowSeq++
+	return ecmp.FlowKey{
+		SrcIP:   externalIP(uint32(g.keySrc.Uint64())),
+		DstIP:   serverIP(g.rackID, server),
+		SrcPort: uint16(1024 + g.keySrc.Intn(64000)),
+		DstPort: g.params.DstPort,
+		Proto:   6,
+	}
+}
+
+func (g *Generator) outKey(server int) ecmp.FlowKey {
+	g.flowSeq++
+	return ecmp.FlowKey{
+		SrcIP:   serverIP(g.rackID, server),
+		DstIP:   externalIP(uint32(g.keySrc.Uint64())),
+		SrcPort: g.params.DstPort,
+		DstPort: uint16(1024 + g.keySrc.Intn(64000)),
+		Proto:   6,
+	}
+}
+
+func (g *Generator) intraKey(peer, server int) ecmp.FlowKey {
+	g.flowSeq++
+	return ecmp.FlowKey{
+		SrcIP:   serverIP(g.rackID, peer),
+		DstIP:   serverIP(g.rackID, server),
+		SrcPort: uint16(1024 + g.keySrc.Intn(64000)),
+		DstPort: g.params.DstPort,
+		Proto:   6,
+	}
+}

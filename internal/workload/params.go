@@ -1,0 +1,364 @@
+// Package workload synthesizes the rack traffic of the three applications
+// the paper measures (§4.2): Web, Cache, and Hadoop. Entire racks are
+// dedicated to one role in the measured data center, so each Generator
+// drives every server of a rack with one application's traffic process.
+//
+// The generators are mechanistic rather than curve-fitted: each encodes the
+// traffic structure the paper attributes to its application, with dials
+// exposed in Params.
+//
+//   - Web servers "receive web requests and assemble a dynamic web page
+//     using data from many remote sources": request-driven fan-in episodes
+//     of several concurrent remote flows converging on one server, very
+//     short, arriving in clustered bunches. Bursts here are downlink-
+//     dominated (Fig 9) and the shortest of the three apps (Fig 3).
+//   - Cache followers serve reads whose "responses are typically much
+//     larger than the requests", so the rack sends far more than it
+//     receives and, combined with ToR oversubscription, its bursts land on
+//     the uplinks (Fig 9). Requests are "initiated in groups from web
+//     servers", which synchronizes subsets of servers and produces the
+//     correlated blocks of Fig 8.
+//   - Hadoop racks run offline shuffles: heavy-tailed episodes of one or
+//     two near-MTU bulk flows, partly intra-rack, with rack-wide waves
+//     that drive many ports hot simultaneously and put the most pressure
+//     on the shared buffer (Fig 10).
+//
+// Every episode is realized as a set of constant-rate flows with explicit
+// 5-tuples so that ECMP (Fig 7) sees realistic flow granularity.
+package workload
+
+import (
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+// App identifies one of the three measured application classes.
+type App int
+
+const (
+	// Web serves interactive web requests (front-end tier).
+	Web App = iota
+	// Cache is the in-memory caching tier (leaders and followers).
+	Cache
+	// Hadoop runs offline analysis and data mining.
+	Hadoop
+	numApps
+)
+
+// Apps lists all application classes in presentation order.
+var Apps = [...]App{Web, Cache, Hadoop}
+
+// String names the application.
+func (a App) String() string {
+	switch a {
+	case Web:
+		return "web"
+	case Cache:
+		return "cache"
+	case Hadoop:
+		return "hadoop"
+	default:
+		return fmt.Sprintf("App(%d)", int(a))
+	}
+}
+
+// ParseApp converts a name produced by String back into an App.
+func ParseApp(s string) (App, error) {
+	for _, a := range Apps {
+		if a.String() == s {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown app %q", s)
+}
+
+// PacketMix describes a packet-size distribution as packet-count fractions
+// over the ASIC's size bins. Count fractions are what Fig 5 plots; the
+// Profile method converts to the byte fractions the data path consumes.
+type PacketMix [asic.NumSizeBins]float64
+
+// Valid reports whether the fractions are non-negative and sum to ~1.
+func (m PacketMix) Valid() bool {
+	var sum float64
+	for _, f := range m {
+		if f < 0 {
+			return false
+		}
+		sum += f
+	}
+	return sum > 0.999 && sum < 1.001
+}
+
+// Profile converts packet-count fractions into the byte-fraction
+// TrafficProfile used by the ASIC model: byte share of bin i is
+// proportional to countFrac_i × representativeSize_i.
+func (m PacketMix) Profile() asic.TrafficProfile {
+	var p asic.TrafficProfile
+	var total float64
+	for i, f := range m {
+		p[i] = f * asic.RepresentativeSize(i)
+		total += p[i]
+	}
+	if total == 0 {
+		return p
+	}
+	for i := range p {
+		p[i] /= total
+	}
+	return p
+}
+
+// EpisodeParams parameterizes one episode process: a stream of bursts, each
+// a set of concurrent flows offering Intensity × line-rate for a
+// heavy-tailed duration, separated by a mixture of short clustered gaps and
+// long idle periods (the Fig 4 shape).
+type EpisodeParams struct {
+	// DurScale/DurAlpha/DurMax define the bounded-Pareto burst duration.
+	DurScale simclock.Duration
+	DurAlpha float64
+	DurMax   simclock.Duration
+
+	// IntensityMin/Max bound the uniform offered load during a burst, as a
+	// fraction of the reference line rate (>1 overcommits and queues).
+	IntensityMin, IntensityMax float64
+
+	// PSpike is the probability a burst is an incast spike: many senders
+	// converging at once, multiplying the sampled intensity by a uniform
+	// factor in [1.5, SpikeMax]. Spikes are what push queues past the
+	// dynamic threshold and produce the congestion discards of Figs 1–2.
+	PSpike   float64
+	SpikeMax float64
+
+	// PShortGap is the probability the gap to the next burst is a short
+	// clustered gap (exponential with GapShortMean) rather than a long
+	// idle period (bounded Pareto IdleScale/IdleAlpha/IdleMax).
+	PShortGap    float64
+	GapShortMean simclock.Duration
+	IdleScale    simclock.Duration
+	IdleAlpha    float64
+	IdleMax      simclock.Duration
+
+	// FlowsMin/Max bound the number of concurrent flows per episode.
+	FlowsMin, FlowsMax int
+}
+
+// Validate returns an error for the first invalid field, or nil.
+func (e EpisodeParams) Validate() error {
+	switch {
+	case e.DurScale <= 0 || e.DurMax < e.DurScale || e.DurAlpha <= 0:
+		return fmt.Errorf("workload: invalid episode duration (scale=%v max=%v alpha=%v)", e.DurScale, e.DurMax, e.DurAlpha)
+	case e.IntensityMin < 0 || e.IntensityMax < e.IntensityMin:
+		return fmt.Errorf("workload: invalid intensity [%v,%v]", e.IntensityMin, e.IntensityMax)
+	case e.PSpike < 0 || e.PSpike > 1:
+		return fmt.Errorf("workload: PSpike = %v", e.PSpike)
+	case e.PSpike > 0 && e.SpikeMax < 1.5:
+		return fmt.Errorf("workload: SpikeMax = %v, need >= 1.5 when PSpike > 0", e.SpikeMax)
+	case e.PShortGap < 0 || e.PShortGap > 1:
+		return fmt.Errorf("workload: PShortGap = %v", e.PShortGap)
+	case e.GapShortMean <= 0:
+		return fmt.Errorf("workload: GapShortMean = %v", e.GapShortMean)
+	case e.IdleScale <= 0 || e.IdleMax < e.IdleScale || e.IdleAlpha <= 0:
+		return fmt.Errorf("workload: invalid idle (scale=%v max=%v alpha=%v)", e.IdleScale, e.IdleMax, e.IdleAlpha)
+	case e.FlowsMin <= 0 || e.FlowsMax < e.FlowsMin:
+		return fmt.Errorf("workload: invalid flow count [%d,%d]", e.FlowsMin, e.FlowsMax)
+	}
+	return nil
+}
+
+// Params configures a Generator for one application rack.
+type Params struct {
+	App App
+
+	// FanIn drives bursts converging on each server (ToR→server egress);
+	// intensities are relative to the server downlink rate.
+	FanIn EpisodeParams
+	// Out drives bursts each server sends toward the fabric (uplink
+	// egress); intensities are relative to the server downlink rate (a
+	// server cannot exceed its own NIC).
+	Out EpisodeParams
+
+	// InRemoteFrac is the probability a fan-in flow originates outside the
+	// rack (arriving over an uplink) rather than from a rack peer.
+	InRemoteFrac float64
+
+	// BaseIn/BaseOut are continuous background loads per server as
+	// fractions of the downlink rate (request/ack/heartbeat floor).
+	BaseIn, BaseOut float64
+	// BaseFlowRenew is how often base flows are re-keyed (re-hashed by
+	// ECMP); zero disables renewal.
+	BaseFlowRenew simclock.Duration
+
+	// InsideMix/OutsideMix are the packet-size mixes inside bursts and for
+	// base traffic (Fig 5).
+	InsideMix, OutsideMix PacketMix
+
+	// GroupCount/GroupSpan define correlated server groups; GroupRate is
+	// the per-group event rate (events/sec). Group events trigger
+	// synchronized fan-in requests and Out responses across the group
+	// (Cache scatter-gather).
+	GroupCount int
+	GroupSpan  int
+	GroupRate  float64
+
+	// LeaderCount marks the first N servers as cache leaders (§4.2,
+	// citing [15]): leaders handle coherency rather than serving most
+	// reads, so they emit fewer response bursts but broadcast small
+	// intra-rack invalidation flows to followers.
+	LeaderCount int
+	// CoherencyRate is invalidation events per second per leader.
+	CoherencyRate float64
+	// CoherencyFanout is how many followers each invalidation touches.
+	CoherencyFanout int
+
+	// WaveRate is the rack-wide wave rate (waves/sec); each wave triggers
+	// fan-in episodes on WaveFrac of the servers (Hadoop shuffle waves).
+	WaveRate float64
+	WaveFrac float64
+
+	// Paced caps burst intensity at PacedCap and stretches the duration to
+	// conserve volume — the §7 pacing ablation.
+	Paced    bool
+	PacedCap float64
+
+	// DstPort is the application's well-known port used in flow keys.
+	DstPort uint16
+}
+
+// Validate returns an error for the first invalid field, or nil.
+func (p Params) Validate() error {
+	if p.App < 0 || p.App >= numApps {
+		return fmt.Errorf("workload: bad app %d", int(p.App))
+	}
+	if err := p.FanIn.Validate(); err != nil {
+		return fmt.Errorf("FanIn: %w", err)
+	}
+	if err := p.Out.Validate(); err != nil {
+		return fmt.Errorf("Out: %w", err)
+	}
+	switch {
+	case p.InRemoteFrac < 0 || p.InRemoteFrac > 1:
+		return fmt.Errorf("workload: InRemoteFrac = %v", p.InRemoteFrac)
+	case p.BaseIn < 0 || p.BaseOut < 0:
+		return fmt.Errorf("workload: negative base load")
+	case !p.InsideMix.Valid():
+		return fmt.Errorf("workload: invalid InsideMix %v", p.InsideMix)
+	case !p.OutsideMix.Valid():
+		return fmt.Errorf("workload: invalid OutsideMix %v", p.OutsideMix)
+	case p.GroupCount < 0 || p.GroupSpan < 0 || p.GroupRate < 0:
+		return fmt.Errorf("workload: negative group parameter")
+	case p.GroupCount > 0 && p.GroupSpan == 0:
+		return fmt.Errorf("workload: GroupCount without GroupSpan")
+	case p.LeaderCount < 0 || p.CoherencyRate < 0 || p.CoherencyFanout < 0:
+		return fmt.Errorf("workload: negative leader/coherency parameter")
+	case p.LeaderCount > 0 && p.CoherencyRate > 0 && p.CoherencyFanout == 0:
+		return fmt.Errorf("workload: coherency without fanout")
+	case p.WaveRate < 0 || p.WaveFrac < 0 || p.WaveFrac > 1:
+		return fmt.Errorf("workload: invalid wave parameters")
+	case p.Paced && (p.PacedCap <= 0 || p.PacedCap > 1):
+		return fmt.Errorf("workload: PacedCap = %v", p.PacedCap)
+	}
+	return nil
+}
+
+// DefaultParams returns the calibrated parameter set for an application.
+// The values are tuned (see calibration tests) so the resulting counter
+// time series reproduce the paper's reported shapes: burst-duration CDFs
+// and Markov statistics of §5.1, inter-burst mixtures of §5.2, packet-mix
+// shifts of §5.3, utilization distributions of §5.4, and the cross-port
+// behaviours of §6.
+func DefaultParams(app App) Params {
+	us := func(n int64) simclock.Duration { return simclock.Micros(n) }
+	ms := func(n int64) simclock.Duration { return simclock.Millis(n) }
+	switch app {
+	case Web:
+		return Params{
+			App: Web,
+			FanIn: EpisodeParams{
+				DurScale: us(8), DurAlpha: 1.7, DurMax: us(300),
+				IntensityMin: 0.6, IntensityMax: 1.35,
+				PSpike: 0.04, SpikeMax: 6,
+				PShortGap: 0.62, GapShortMean: us(55),
+				IdleScale: ms(1) + us(200), IdleAlpha: 1.05, IdleMax: ms(800),
+				FlowsMin: 4, FlowsMax: 10,
+			},
+			Out: EpisodeParams{
+				DurScale: us(10), DurAlpha: 1.6, DurMax: us(400),
+				IntensityMin: 0.15, IntensityMax: 0.65,
+				PShortGap: 0.5, GapShortMean: us(90),
+				IdleScale: ms(2), IdleAlpha: 1.0, IdleMax: ms(800),
+				FlowsMin: 2, FlowsMax: 4,
+			},
+			InRemoteFrac:  0.95,
+			BaseIn:        0.035,
+			BaseOut:       0.03,
+			BaseFlowRenew: ms(40),
+			OutsideMix:    PacketMix{0.30, 0.20, 0.14, 0.11, 0.10, 0.15},
+			InsideMix:     PacketMix{0.21, 0.16, 0.12, 0.11, 0.12, 0.28},
+			DstPort:       80,
+		}
+	case Cache:
+		return Params{
+			App: Cache,
+			FanIn: EpisodeParams{ // request scatter: small but bursty
+				DurScale: us(8), DurAlpha: 1.5, DurMax: us(200),
+				IntensityMin: 0.45, IntensityMax: 0.75,
+				PSpike: 0.03, SpikeMax: 3,
+				PShortGap: 0.58, GapShortMean: us(55),
+				IdleScale: ms(6), IdleAlpha: 0.95, IdleMax: simclock.Seconds(2),
+				FlowsMin: 2, FlowsMax: 5,
+			},
+			Out: EpisodeParams{ // responses: much larger than requests
+				DurScale: us(20), DurAlpha: 1.4, DurMax: us(800),
+				IntensityMin: 0.55, IntensityMax: 1.0,
+				PShortGap: 0.6, GapShortMean: us(45),
+				IdleScale: us(700), IdleAlpha: 0.95, IdleMax: ms(250),
+				FlowsMin: 2, FlowsMax: 4,
+			},
+			InRemoteFrac:    1.0,
+			BaseIn:          0.02,
+			BaseOut:         0.13,
+			BaseFlowRenew:   ms(40),
+			OutsideMix:      PacketMix{0.35, 0.25, 0.15, 0.08, 0.07, 0.10},
+			InsideMix:       PacketMix{0.29, 0.22, 0.14, 0.08, 0.09, 0.18},
+			GroupCount:      4,
+			GroupSpan:       8,
+			GroupRate:       1400,
+			LeaderCount:     4,
+			CoherencyRate:   2000,
+			CoherencyFanout: 4,
+			DstPort:         11211,
+		}
+	case Hadoop:
+		return Params{
+			App: Hadoop,
+			FanIn: EpisodeParams{ // shuffle fan-in: heavy-tailed bulk
+				DurScale: us(15), DurAlpha: 1.3, DurMax: us(400),
+				IntensityMin: 0.7, IntensityMax: 1.8,
+				PSpike: 0.06, SpikeMax: 3.5,
+				PShortGap: 0.45, GapShortMean: us(80),
+				IdleScale: us(400), IdleAlpha: 1.4, IdleMax: ms(80),
+				FlowsMin: 1, FlowsMax: 3,
+			},
+			Out: EpisodeParams{
+				DurScale: us(30), DurAlpha: 1.3, DurMax: us(600),
+				IntensityMin: 0.6, IntensityMax: 1.0,
+				PShortGap: 0.55, GapShortMean: us(80),
+				IdleScale: us(700), IdleAlpha: 1.2, IdleMax: ms(120),
+				FlowsMin: 1, FlowsMax: 1,
+			},
+			InRemoteFrac:  0.35,
+			BaseIn:        0.12,
+			BaseOut:       0.12,
+			BaseFlowRenew: ms(60),
+			OutsideMix:    PacketMix{0.10, 0.03, 0.02, 0.01, 0.04, 0.80},
+			InsideMix:     PacketMix{0.08, 0.02, 0.02, 0.01, 0.04, 0.83},
+			WaveRate:      60,
+			WaveFrac:      0.6,
+			DstPort:       50010,
+		}
+	default:
+		panic(fmt.Sprintf("workload: unknown app %d", int(app)))
+	}
+}

@@ -1,0 +1,127 @@
+package workload
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/topo"
+)
+
+// Property: flow weights always sum to 1 and are strictly positive.
+func TestQuickFlowWeights(t *testing.T) {
+	gen, err := NewGenerator(DefaultParams(Web), topo.Default(4), 0, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(2)
+	f := func(nRaw uint8) bool {
+		n := int(nRaw%12) + 1
+		w := gen.flowWeights(src, n)
+		if len(w) != n {
+			return false
+		}
+		var sum float64
+		for _, v := range w {
+			if v <= 0 {
+				return false
+			}
+			sum += v
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: otherServer never returns the excluded server and stays in
+// range.
+func TestQuickOtherServer(t *testing.T) {
+	gen, err := NewGenerator(DefaultParams(Hadoop), topo.Default(16), 0, 1, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(4)
+	f := func(sRaw uint8) bool {
+		s := int(sRaw % 16)
+		p := gen.otherServer(src, s)
+		return p != s && p >= 0 && p < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: sampled episodes respect their configured bounds, including
+// the spike-stretch cap of 1.5 × DurMax.
+func TestQuickEpisodeBounds(t *testing.T) {
+	params := DefaultParams(Hadoop)
+	gen, err := NewGenerator(params, topo.Default(4), 0, 1, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(6)
+	ep := params.FanIn
+	maxDur := ep.DurMax * 3 / 2
+	maxIntensity := ep.IntensityMax * ep.SpikeMax
+	f := func(uint8) bool {
+		dur, intensity := gen.sampleEpisode(&ep, src)
+		if dur < ep.DurScale/2 || dur > maxDur {
+			return false
+		}
+		return intensity >= ep.IntensityMin && intensity <= maxIntensity
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: gaps are always at least 1ns and finite for any load scale.
+func TestQuickGapPositivity(t *testing.T) {
+	params := DefaultParams(Cache)
+	f := func(scaleRaw uint8) bool {
+		scale := 0.25 + float64(scaleRaw%16)/4
+		gen, err := NewGenerator(params, topo.Default(4), 0, scale, rng.New(7))
+		if err != nil {
+			return false
+		}
+		src := rng.New(8)
+		for i := 0; i < 50; i++ {
+			g := gen.nextGap(&params.FanIn, src)
+			if g < 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every started flow is eventually ended when the scheduler
+// drains far past the last scheduled event (no flow leaks).
+func TestQuickFlowLifecycleBalance(t *testing.T) {
+	f := func(seed uint16, appRaw uint8) bool {
+		app := Apps[int(appRaw)%len(Apps)]
+		gen, err := NewGenerator(DefaultParams(app), topo.Default(4), 0, 1, rng.New(uint64(seed)))
+		if err != nil {
+			return false
+		}
+		sched := eventq.NewScheduler()
+		rec := newRecorder()
+		gen.Install(sched, rec)
+		sched.RunUntil(simclock.Epoch.Add(simclock.Millis(10)))
+		// Active flows = started - ended; each must correspond to a
+		// pending end event or a base flow (base flows live until renewed).
+		active := int(gen.FlowsStarted() - gen.FlowsEnded())
+		return active == len(rec.active) && active >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}

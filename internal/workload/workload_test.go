@@ -1,0 +1,394 @@
+package workload
+
+import (
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/topo"
+)
+
+// recorder is a Sink capturing flow lifecycle events.
+type recorder struct {
+	started []*Flow
+	ended   []*Flow
+	active  map[*Flow]bool
+}
+
+func newRecorder() *recorder { return &recorder{active: make(map[*Flow]bool)} }
+
+func (r *recorder) StartFlow(f *Flow) {
+	if r.active[f] {
+		panic("double start")
+	}
+	r.active[f] = true
+	r.started = append(r.started, f)
+}
+
+func (r *recorder) EndFlow(f *Flow) {
+	if !r.active[f] {
+		panic("end before start")
+	}
+	delete(r.active, f)
+	r.ended = append(r.ended, f)
+}
+
+func TestAppNames(t *testing.T) {
+	for _, a := range Apps {
+		parsed, err := ParseApp(a.String())
+		if err != nil || parsed != a {
+			t.Errorf("round trip of %v failed: %v %v", a, parsed, err)
+		}
+	}
+	if _, err := ParseApp("nosql"); err == nil {
+		t.Error("ParseApp accepted junk")
+	}
+}
+
+func TestDefaultParamsValidate(t *testing.T) {
+	for _, a := range Apps {
+		p := DefaultParams(a)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%v defaults invalid: %v", a, err)
+		}
+		if p.App != a {
+			t.Errorf("%v defaults carry app %v", a, p.App)
+		}
+	}
+}
+
+func TestPacketMixProfile(t *testing.T) {
+	// A count mix with only MTU packets maps to a byte profile with all
+	// bytes in the last bin.
+	mtuOnly := PacketMix{0, 0, 0, 0, 0, 1}
+	p := mtuOnly.Profile()
+	if p[asic.NumSizeBins-1] != 1 {
+		t.Errorf("MTU-only profile = %v", p)
+	}
+	// Equal counts of tiny and MTU packets put most BYTES in the MTU bin.
+	mixed := PacketMix{0.5, 0, 0, 0, 0, 0.5}
+	p = mixed.Profile()
+	if p[5] <= p[0] {
+		t.Errorf("byte fractions should favor large packets: %v", p)
+	}
+	if !p.Valid() {
+		t.Errorf("converted profile invalid: %v", p)
+	}
+	if (PacketMix{}).Profile() != (asic.TrafficProfile{}) {
+		t.Error("zero mix should convert to zero profile")
+	}
+}
+
+func TestParamsValidateRejections(t *testing.T) {
+	base := DefaultParams(Web)
+	mutations := []func(*Params){
+		func(p *Params) { p.App = App(99) },
+		func(p *Params) { p.FanIn.DurScale = 0 },
+		func(p *Params) { p.FanIn.DurMax = p.FanIn.DurScale - 1 },
+		func(p *Params) { p.FanIn.IntensityMax = p.FanIn.IntensityMin - 1 },
+		func(p *Params) { p.FanIn.PShortGap = 1.5 },
+		func(p *Params) { p.FanIn.FlowsMin = 0 },
+		func(p *Params) { p.Out.GapShortMean = 0 },
+		func(p *Params) { p.InRemoteFrac = 2 },
+		func(p *Params) { p.BaseIn = -0.1 },
+		func(p *Params) { p.InsideMix = PacketMix{} },
+		func(p *Params) { p.GroupCount = 2; p.GroupSpan = 0 },
+		func(p *Params) { p.WaveFrac = 1.5 },
+		func(p *Params) { p.Paced = true; p.PacedCap = 0 },
+	}
+	for i, mut := range mutations {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("mutation %d validated", i)
+		}
+	}
+}
+
+func TestGeneratorConstructorErrors(t *testing.T) {
+	rack := topo.Default(8)
+	good := DefaultParams(Web)
+	if _, err := NewGenerator(good, rack, 0, 0, rng.New(1)); err == nil {
+		t.Error("zero loadScale accepted")
+	}
+	if _, err := NewGenerator(good, rack, 0, 1, nil); err == nil {
+		t.Error("nil source accepted")
+	}
+	bad := good
+	bad.FanIn.DurScale = 0
+	if _, err := NewGenerator(bad, rack, 0, 1, rng.New(1)); err == nil {
+		t.Error("invalid params accepted")
+	}
+	if _, err := NewGenerator(good, topo.Rack{}, 0, 1, rng.New(1)); err == nil {
+		t.Error("invalid rack accepted")
+	}
+}
+
+func runGenerator(t *testing.T, app App, seed uint64, dur simclock.Duration) (*recorder, *Generator) {
+	t.Helper()
+	rack := topo.Default(8)
+	gen, err := NewGenerator(DefaultParams(app), rack, 1, 1, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := eventq.NewScheduler()
+	rec := newRecorder()
+	gen.Install(sched, rec)
+	sched.RunUntil(simclock.Epoch.Add(dur))
+	return rec, gen
+}
+
+func TestGeneratorProducesFlows(t *testing.T) {
+	for _, app := range Apps {
+		rec, gen := runGenerator(t, app, 7, simclock.Millis(50))
+		if len(rec.started) == 0 {
+			t.Errorf("%v produced no flows in 50ms", app)
+			continue
+		}
+		if gen.FlowsStarted() != uint64(len(rec.started)) {
+			t.Errorf("%v started accounting mismatch", app)
+		}
+		// Ends never exceed starts, and most short flows have ended.
+		if len(rec.ended) > len(rec.started) {
+			t.Errorf("%v ended %d > started %d", app, len(rec.ended), len(rec.started))
+		}
+		// Base flows (4 per server × 8 servers) stay active plus episode
+		// remnants; active set should be modest, not leaking.
+		if len(rec.active) > len(rec.started)/2+64 {
+			t.Errorf("%v active=%d of %d looks like a leak", app, len(rec.active), len(rec.started))
+		}
+	}
+}
+
+func TestGeneratorFlowFieldsValid(t *testing.T) {
+	for _, app := range Apps {
+		rec, _ := runGenerator(t, app, 11, simclock.Millis(20))
+		for _, f := range rec.started {
+			if f.Rate < 0 {
+				t.Fatalf("%v: negative rate %v", app, f.Rate)
+			}
+			if f.Server < 0 || f.Server >= 8 {
+				t.Fatalf("%v: server %d out of range", app, f.Server)
+			}
+			if f.Kind == FlowIntra {
+				if f.Peer == f.Server || f.Peer < 0 || f.Peer >= 8 {
+					t.Fatalf("%v: bad intra peer %d -> %d", app, f.Peer, f.Server)
+				}
+			}
+			if !f.Profile.Valid() {
+				t.Fatalf("%v: invalid profile %v", app, f.Profile)
+			}
+			if f.Key.Proto != 6 {
+				t.Fatalf("%v: proto %d", app, f.Key.Proto)
+			}
+		}
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a, _ := runGenerator(t, Cache, 42, simclock.Millis(20))
+	b, _ := runGenerator(t, Cache, 42, simclock.Millis(20))
+	if len(a.started) != len(b.started) {
+		t.Fatalf("flow counts differ: %d vs %d", len(a.started), len(b.started))
+	}
+	for i := range a.started {
+		fa, fb := a.started[i], b.started[i]
+		if fa.Key != fb.Key || fa.Rate != fb.Rate || fa.Kind != fb.Kind || fa.Server != fb.Server {
+			t.Fatalf("flow %d differs: %+v vs %+v", i, fa, fb)
+		}
+	}
+	c, _ := runGenerator(t, Cache, 43, simclock.Millis(20))
+	if len(a.started) == len(c.started) {
+		same := true
+		for i := range a.started {
+			if a.started[i].Key != c.started[i].Key {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Error("different seeds produced identical flow sequences")
+		}
+	}
+}
+
+func TestAppDirectionality(t *testing.T) {
+	// Cache must generate more egress (out) volume than fan-in volume;
+	// Web and Hadoop the opposite (§6.3).
+	vol := func(app App) (in, out float64) {
+		rec, _ := runGenerator(t, app, 13, simclock.Millis(100))
+		for _, f := range rec.started {
+			switch f.Kind {
+			case FlowOut:
+				out += f.Rate
+			default:
+				in += f.Rate
+			}
+		}
+		return
+	}
+	in, out := vol(Cache)
+	if out <= in {
+		t.Errorf("cache out-rate %v should exceed in-rate %v", out, in)
+	}
+	in, out = vol(Web)
+	if in <= out {
+		t.Errorf("web in-rate %v should exceed out-rate %v", in, out)
+	}
+	in, out = vol(Hadoop)
+	if in <= out {
+		t.Errorf("hadoop in-rate %v should exceed out-rate %v", in, out)
+	}
+}
+
+func TestHadoopUsesIntraRackFlows(t *testing.T) {
+	rec, _ := runGenerator(t, Hadoop, 17, simclock.Millis(50))
+	intra := 0
+	for _, f := range rec.started {
+		if f.Kind == FlowIntra {
+			intra++
+		}
+	}
+	if intra == 0 {
+		t.Error("hadoop generated no intra-rack flows despite InRemoteFrac < 1")
+	}
+	recWeb, _ := runGenerator(t, Web, 17, simclock.Millis(50))
+	intraWeb := 0
+	for _, f := range recWeb.started {
+		if f.Kind == FlowIntra {
+			intraWeb++
+		}
+	}
+	if intraWeb >= intra {
+		t.Errorf("web intra flows (%d) should be rarer than hadoop (%d)", intraWeb, intra)
+	}
+}
+
+func TestPacedStretchesBursts(t *testing.T) {
+	rack := topo.Default(4)
+	params := DefaultParams(Hadoop)
+	params.Paced = true
+	params.PacedCap = 0.9
+	gen, err := NewGenerator(params, rack, 0, 1, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := eventq.NewScheduler()
+	rec := newRecorder()
+	gen.Install(sched, rec)
+	sched.RunUntil(simclock.Epoch.Add(simclock.Millis(50)))
+	// Paced flows never exceed cap × line rate in aggregate per episode.
+	// Individual flow rates are shares of that total, so each flow's rate
+	// must be <= 0.9 × 1.25GB/s.
+	line := float64(rack.ServerSpeed) / 8
+	for _, f := range rec.started {
+		if f.Kind != FlowOut && f.Rate > 0.9*line*1.0001 {
+			t.Fatalf("paced flow rate %v exceeds cap", f.Rate)
+		}
+	}
+}
+
+func TestInstallGuards(t *testing.T) {
+	gen, err := NewGenerator(DefaultParams(Web), topo.Default(2), 0, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nil sink did not panic")
+			}
+		}()
+		gen.Install(eventq.NewScheduler(), nil)
+	}()
+	sched := eventq.NewScheduler()
+	gen.Install(sched, newRecorder())
+	defer func() {
+		if recover() == nil {
+			t.Error("double Install did not panic")
+		}
+	}()
+	gen.Install(sched, newRecorder())
+}
+
+func TestCacheLeadersBehaveDifferently(t *testing.T) {
+	// Leaders (servers [0, LeaderCount)) emit fewer Out bursts than
+	// followers and generate intra-rack coherency flows.
+	rec, _ := runGenerator(t, Cache, 21, simclock.Millis(200))
+	params := DefaultParams(Cache)
+	if params.LeaderCount == 0 {
+		t.Fatal("cache defaults should have leaders")
+	}
+	leaderOut, followerOut := 0, 0
+	coherency := 0
+	for _, f := range rec.started {
+		switch f.Kind {
+		case FlowOut:
+			if f.Server < params.LeaderCount {
+				leaderOut++
+			} else {
+				followerOut++
+			}
+		case FlowIntra:
+			if f.Peer < params.LeaderCount {
+				coherency++
+			}
+		}
+	}
+	if coherency == 0 {
+		t.Error("no coherency flows from leaders")
+	}
+	// Rate-normalize: per-leader vs per-follower out flows. The 8-server
+	// test rack has LeaderCount=4 leaders.
+	leaders := params.LeaderCount
+	if leaders > 8 {
+		leaders = 8
+	}
+	followers := 8 - leaders
+	if followers <= 0 {
+		t.Skip("test rack too small for follower comparison")
+	}
+	perLeader := float64(leaderOut) / float64(leaders)
+	perFollower := float64(followerOut) / float64(followers)
+	if perLeader >= perFollower {
+		t.Errorf("leaders (%v out flows each) should respond less than followers (%v)", perLeader, perFollower)
+	}
+}
+
+func TestLeaderParamValidation(t *testing.T) {
+	p := DefaultParams(Cache)
+	p.LeaderCount = -1
+	if p.Validate() == nil {
+		t.Error("negative LeaderCount validated")
+	}
+	p = DefaultParams(Cache)
+	p.CoherencyFanout = 0
+	if p.Validate() == nil {
+		t.Error("coherency without fanout validated")
+	}
+	p = DefaultParams(Cache)
+	p.CoherencyRate = 0 // disabling coherency entirely is fine
+	if err := p.Validate(); err != nil {
+		t.Errorf("disabled coherency rejected: %v", err)
+	}
+}
+
+func TestGroupMembersSpanClamped(t *testing.T) {
+	params := DefaultParams(Cache)
+	params.GroupSpan = 100 // larger than the rack
+	gen, err := NewGenerator(params, topo.Default(4), 0, 1, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := gen.groupMembers(0)
+	if len(members) != 4 {
+		t.Errorf("members = %v", members)
+	}
+	for _, m := range members {
+		if m < 0 || m >= 4 {
+			t.Errorf("member %d out of range", m)
+		}
+	}
+}
