@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: build test race vet bench ci
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+ci:
+	./scripts/ci.sh

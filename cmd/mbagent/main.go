@@ -7,10 +7,12 @@
 // Usage:
 //
 //	mbcollectd -listen 127.0.0.1:9900 &
-//	mbagent -collector 127.0.0.1:9900 -app cache -port 5 -interval 25µs -dur 2s
+//	mbagent -collector 127.0.0.1:9900 -app cache -port 5 -interval 25µs -dur 2s [-http :9902]
 //
-// The agent prints delivery accounting on exit (delivered, locally
+// The agent logs delivery accounting on exit (delivered, locally
 // dropped, redials), so collector restarts during the run are visible.
+// With -http it serves /metrics, /stats, /healthz, and /debug/pprof/
+// while running (see README "Observability").
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 
 	"mburst/internal/asic"
 	"mburst/internal/collector"
+	"mburst/internal/obs"
 	"mburst/internal/rng"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
@@ -39,11 +42,16 @@ func main() {
 	servers := flag.Int("servers", 32, "servers per rack")
 	seed := flag.Uint64("seed", 1, "seed")
 	rackID := flag.Uint("rack", 0, "rack id tag")
+	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
+
+	logger := obs.DaemonLogger("mbagent")
+	reg := obs.NewRegistry()
+	obs.RegisterGoRuntime(reg)
 
 	app, err := workload.ParseApp(*appName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbagent: %v\n", err)
+		logger.Error("parsing app", "err", err)
 		os.Exit(2)
 	}
 	net_, err := simnet.New(simnet.Config{
@@ -53,37 +61,55 @@ func main() {
 		RackID: int(*rackID),
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbagent: %v\n", err)
+		logger.Error("building rack", "err", err)
 		os.Exit(1)
 	}
 	if *port < 0 || *port >= net_.Rack().NumPorts() {
-		fmt.Fprintf(os.Stderr, "mbagent: port %d out of range [0,%d)\n", *port, net_.Rack().NumPorts())
+		logger.Error("port out of range", "port", *port, "ports", net_.Rack().NumPorts())
 		os.Exit(2)
 	}
+	net_.RegisterMetrics(reg, obs.L("rack", fmt.Sprint(*rackID)))
+	net_.Scheduler().Instrument(reg)
 
 	client := collector.NewReconnectingClient(func() (io.WriteCloser, error) {
 		return net.DialTimeout("tcp", *collectorAddr, 2*time.Second)
-	}, collector.ReconnectingClientConfig{Rack: uint32(*rackID)})
+	}, collector.ReconnectingClientConfig{
+		Rack:    uint32(*rackID),
+		Metrics: collector.NewClientMetrics(reg),
+	})
 
 	poller, err := collector.NewPoller(collector.PollerConfig{
 		Interval:      simclock.FromStd(*interval),
 		Counters:      []collector.CounterSpec{{Port: *port, Dir: asic.TX, Kind: asic.KindBytes}},
 		DedicatedCore: true,
+		Metrics:       collector.NewPollerMetrics(reg),
 	}, net_.Switch(), rng.New(*seed^0xa9e47), client)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbagent: %v\n", err)
+		logger.Error("building poller", "err", err)
 		os.Exit(1)
 	}
 
-	fmt.Printf("mbagent: %s rack, polling port %d (%s) every %v for %v of simulated time, collector %s\n",
-		app, *port, net_.Switch().Port(*port).Name(), *interval, *dur, *collectorAddr)
+	if *httpAddr != "" {
+		ds, err := obs.StartDebug(*httpAddr, obs.NewDebugMux(reg, nil))
+		if err != nil {
+			logger.Error("debug http", "addr", *httpAddr, "err", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		logger.Info("debug http listening", "url", fmt.Sprintf("http://%s/metrics", ds.Addr()))
+	}
+
+	logger.Info("polling",
+		"app", app.String(), "port", *port, "counter", net_.Switch().Port(*port).Name(),
+		"interval", *interval, "dur", *dur, "collector", *collectorAddr)
 	net_.Run(25 * simclock.Millisecond) // warmup
 	poller.Install(net_.Scheduler())
 	net_.Run(simclock.FromStd(*dur))
 	poller.Stop()
 	if err := client.Close(); err != nil {
-		fmt.Fprintf(os.Stderr, "mbagent: close: %v\n", err)
+		logger.Error("closing client", "err", err)
 	}
-	fmt.Printf("mbagent: %d samples taken, miss rate %.2f%%; %s\n",
-		poller.Samples(), poller.MissRate()*100, client)
+	logger.Info("done",
+		"samples", poller.Samples(), "miss_rate", fmt.Sprintf("%.2f%%", poller.MissRate()*100),
+		"delivery", client.String())
 }

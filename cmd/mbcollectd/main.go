@@ -5,7 +5,12 @@
 //
 // Usage:
 //
-//	mbcollectd -listen 127.0.0.1:9900 [-out samples.mbw] [-stats 5s]
+//	mbcollectd -listen 127.0.0.1:9900 [-out samples.mbw] [-stats 5s] [-http :9901]
+//
+// With -http the daemon serves its debug surface (see README
+// "Observability"): Prometheus metrics at /metrics, a JSON snapshot at
+// /stats, the legacy ingest snapshot at /stats/ingest, /healthz, and
+// /debug/pprof/.
 //
 // Shut down with SIGINT/SIGTERM; the listener drains connections before
 // exiting.
@@ -15,7 +20,6 @@ import (
 	"flag"
 	"fmt"
 	"net"
-	"net/http"
 	"os"
 	"os/signal"
 	"sync"
@@ -23,59 +27,69 @@ import (
 	"time"
 
 	"mburst/internal/collector"
+	"mburst/internal/obs"
 	"mburst/internal/wire"
 )
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9900", "listen address")
 	out := flag.String("out", "", "optional file to append raw batches to")
-	statsEvery := flag.Duration("stats", 5*time.Second, "stats print interval")
-	httpAddr := flag.String("http", "", "optional address serving GET /stats as JSON")
+	statsEvery := flag.Duration("stats", 5*time.Second, "stats log interval")
+	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
 
+	logger := obs.DaemonLogger("mbcollectd")
+	reg := obs.NewRegistry()
+	obs.RegisterGoRuntime(reg)
+
+	// mu serializes batch archival and, on shutdown, the file close — a
+	// connection goroutine must never race WriteBatch against Close.
 	var (
-		mu     sync.Mutex
-		fileW  *wire.Writer
-		closer *os.File
+		mu    sync.Mutex
+		fileW *wire.Writer
+		outF  *os.File
 	)
 	if *out != "" {
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mbcollectd: %v\n", err)
+			logger.Error("opening output file", "err", err)
 			os.Exit(1)
 		}
 		fileW = wire.NewWriter(f)
-		closer = f
+		outF = f
 	}
 
 	stats := &collector.IngestStats{}
+	stats.Attach(reg)
 	handler := stats.Wrap(func(b *wire.Batch) {
 		if fileW != nil {
 			mu.Lock()
 			if err := fileW.WriteBatch(b); err != nil {
-				fmt.Fprintf(os.Stderr, "mbcollectd: write: %v\n", err)
+				logger.Error("archiving batch", "err", err)
 			}
 			mu.Unlock()
 		}
 	})
-	if *httpAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/stats", stats)
-		go func() {
-			if err := http.ListenAndServe(*httpAddr, mux); err != nil {
-				fmt.Fprintf(os.Stderr, "mbcollectd: http: %v\n", err)
-			}
-		}()
-		fmt.Printf("mbcollectd: stats at http://%s/stats\n", *httpAddr)
-	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbcollectd: %v\n", err)
+		logger.Error("listening", "addr", *listen, "err", err)
 		os.Exit(1)
 	}
-	srv := collector.Serve(ln, handler)
-	fmt.Printf("mbcollectd: listening on %s\n", srv.Addr())
+	srv := collector.ServeWith(ln, handler, collector.NewServerMetrics(reg))
+	logger.Info("listening", "addr", srv.Addr().String())
+
+	if *httpAddr != "" {
+		mux := obs.NewDebugMux(reg, nil)
+		mux.Handle("/stats/ingest", stats)
+		ds, err := obs.StartDebug(*httpAddr, mux)
+		if err != nil {
+			logger.Error("debug http", "addr", *httpAddr, "err", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		logger.Info("debug http listening", "url", fmt.Sprintf("http://%s/metrics", ds.Addr()))
+	}
 
 	ticker := time.NewTicker(*statsEvery)
 	defer ticker.Stop()
@@ -86,20 +100,33 @@ func main() {
 		select {
 		case <-ticker.C:
 			snap := stats.Snapshot()
-			fmt.Printf("mbcollectd: %d batches, %d samples received\n", snap.Batches, snap.Samples)
+			logger.Info("ingest", "batches", snap.Batches, "samples", snap.Samples, "racks", len(snap.PerRack))
 			if err := srv.LastErr(); err != nil {
-				fmt.Fprintf(os.Stderr, "mbcollectd: stream error: %v\n", err)
+				logger.Warn("stream error", "err", err)
 			}
 		case s := <-sig:
-			fmt.Printf("mbcollectd: %v, draining\n", s)
+			logger.Info("draining", "signal", s.String())
 			if err := srv.Close(); err != nil {
-				fmt.Fprintf(os.Stderr, "mbcollectd: close: %v\n", err)
+				logger.Error("closing listener", "err", err)
 			}
-			if closer != nil {
-				closer.Close()
+			if outF != nil {
+				// Serialize with any in-flight WriteBatch and surface the
+				// final sync error — a silently truncated archive is worse
+				// than a noisy exit.
+				mu.Lock()
+				syncErr := outF.Sync()
+				closeErr := outF.Close()
+				fileW = nil
+				mu.Unlock()
+				if syncErr != nil {
+					logger.Error("syncing output file", "err", syncErr)
+				}
+				if closeErr != nil {
+					logger.Error("closing output file", "err", closeErr)
+				}
 			}
 			snap := stats.Snapshot()
-			fmt.Printf("mbcollectd: final: %d batches, %d samples\n", snap.Batches, snap.Samples)
+			logger.Info("final", "batches", snap.Batches, "samples", snap.Samples)
 			return
 		}
 	}

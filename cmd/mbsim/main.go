@@ -6,7 +6,7 @@
 //
 //	mbsim -app web|cache|hadoop -out DIR [-plan randomport|allports|buffer]
 //	      [-interval 25µs] [-racks N] [-windows N] [-window 250ms]
-//	      [-servers N] [-seed N]
+//	      [-servers N] [-seed N] [-http :9903]
 //
 // Plans:
 //
@@ -14,6 +14,10 @@
 //	            paper's Fig 3/4/6 single-counter campaign)
 //	allports    every port's egress byte counter (Fig 9)
 //	buffer      allports plus the shared-buffer peak register (Fig 10)
+//
+// With -http the campaign's live telemetry (windows recorded, samples
+// captured, poller cost) is scrapeable at /metrics while it runs, and
+// /debug/pprof/ profiles the simulation itself.
 package main
 
 import (
@@ -24,6 +28,7 @@ import (
 
 	"mburst/internal/collector"
 	"mburst/internal/core"
+	"mburst/internal/obs"
 	"mburst/internal/simclock"
 	"mburst/internal/topo"
 	"mburst/internal/workload"
@@ -39,15 +44,20 @@ func main() {
 	window := flag.Duration("window", 0, "window duration (0 = default)")
 	servers := flag.Int("servers", 0, "servers per rack (0 = default)")
 	seed := flag.Uint64("seed", 0, "seed (0 = default)")
+	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
 
+	logger := obs.DaemonLogger("mbsim")
+	reg := obs.NewRegistry()
+	obs.RegisterGoRuntime(reg)
+
 	if *out == "" {
-		fmt.Fprintln(os.Stderr, "mbsim: -out is required")
+		logger.Error("-out is required")
 		os.Exit(2)
 	}
 	app, err := workload.ParseApp(*appName)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbsim: %v\n", err)
+		logger.Error("parsing app", "err", err)
 		os.Exit(2)
 	}
 
@@ -67,9 +77,10 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Metrics = reg
 	exp, err := core.NewExperiment(cfg)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbsim: %v\n", err)
+		logger.Error("configuring experiment", "err", err)
 		os.Exit(1)
 	}
 
@@ -82,16 +93,27 @@ func main() {
 	case "buffer":
 		countersFor = core.AllPortCounters(true)
 	default:
-		fmt.Fprintf(os.Stderr, "mbsim: unknown plan %q\n", *plan)
+		logger.Error("unknown plan", "plan", *plan)
 		os.Exit(2)
+	}
+
+	if *httpAddr != "" {
+		ds, err := obs.StartDebug(*httpAddr, obs.NewDebugMux(reg, nil))
+		if err != nil {
+			logger.Error("debug http", "addr", *httpAddr, "err", err)
+			os.Exit(1)
+		}
+		defer ds.Close()
+		logger.Info("debug http listening", "url", fmt.Sprintf("http://%s/metrics", ds.Addr()))
 	}
 
 	start := time.Now()
 	err = exp.RecordCampaign(app, *out, simclock.FromStd(*interval), "plan="+*plan, countersFor)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbsim: %v\n", err)
+		logger.Error("recording campaign", "err", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mbsim: recorded %s campaign (%d windows × %v @ %v) to %s in %v\n",
-		app, cfg.Racks*cfg.Windows, cfg.WindowDur, *interval, *out, time.Since(start).Round(time.Millisecond))
+	logger.Info("recorded campaign",
+		"app", app.String(), "windows", cfg.Racks*cfg.Windows, "window_dur", cfg.WindowDur.String(),
+		"interval", interval.String(), "out", *out, "elapsed", time.Since(start).Round(time.Millisecond).String())
 }

@@ -1,0 +1,132 @@
+package collector
+
+import (
+	"io"
+
+	"mburst/internal/obs"
+)
+
+// This file defines the collection pipeline's telemetry instruments (see
+// internal/obs). Every constructor accepts a nil *obs.Registry and then
+// returns instruments whose updates are no-ops, so the pipeline can be
+// built identically with telemetry on or off — the disabled cost is one
+// predicted branch per update.
+
+// PollerMetrics instruments the sampling loop. Share one instance across
+// pollers to aggregate a campaign, or register per-poller label sets.
+type PollerMetrics struct {
+	// Polls counts completed polls (each may emit several samples).
+	Polls *obs.Counter
+	// Missed counts missed sampling intervals — the Table 1 numerator.
+	Missed *obs.Counter
+	// BusyNanos accumulates simulated time spent inside polls.
+	BusyNanos *obs.Counter
+	// CPUBusy is the running busy fraction (busy / elapsed).
+	CPUBusy *obs.Gauge
+	// PollCost is the per-poll cost distribution in microseconds.
+	PollCost *obs.Histogram
+}
+
+// NewPollerMetrics registers the poller instrument set on reg.
+func NewPollerMetrics(reg *obs.Registry, labels ...obs.Label) *PollerMetrics {
+	return &PollerMetrics{
+		Polls: reg.Counter("mburst_poller_polls_total",
+			"Completed polls of the counter set.", labels...),
+		Missed: reg.Counter("mburst_poller_missed_intervals_total",
+			"Sampling intervals in which no sample was taken (Table 1).", labels...),
+		BusyNanos: reg.Counter("mburst_poller_busy_ns_total",
+			"Simulated nanoseconds spent inside polls.", labels...),
+		CPUBusy: reg.Gauge("mburst_poller_cpu_busy_frac",
+			"Fraction of elapsed time spent polling.", labels...),
+		PollCost: reg.Histogram("mburst_poller_poll_cost_us",
+			"Per-poll cost in microseconds (access latency + jitter + interrupts).",
+			obs.DefLatencyBucketsUS, labels...),
+	}
+}
+
+// ClientMetrics instruments the switch→collector transport (Client and
+// ReconnectingClient).
+type ClientMetrics struct {
+	// Batches counts batches flushed to the transport.
+	Batches *obs.Counter
+	// Bytes counts wire bytes written (framing included).
+	Bytes *obs.Counter
+	// FlushErrors counts failed batch writes.
+	FlushErrors *obs.Counter
+	// Delivered counts samples written to a live transport.
+	Delivered *obs.Counter
+	// Dropped counts samples discarded during outages (buffer overflow or
+	// shutdown with an unreachable collector).
+	Dropped *obs.Counter
+	// Redials counts transport re-establishments.
+	Redials *obs.Counter
+	// Backoff is the current reconnect backoff in seconds (0 when
+	// connected).
+	Backoff *obs.Gauge
+	// Pending is the number of samples buffered awaiting flush.
+	Pending *obs.Gauge
+}
+
+// NewClientMetrics registers the client instrument set on reg.
+func NewClientMetrics(reg *obs.Registry, labels ...obs.Label) *ClientMetrics {
+	return &ClientMetrics{
+		Batches: reg.Counter("mburst_client_batches_flushed_total",
+			"Sample batches flushed to the collector transport.", labels...),
+		Bytes: reg.Counter("mburst_client_bytes_flushed_total",
+			"Wire bytes written to the collector transport.", labels...),
+		FlushErrors: reg.Counter("mburst_client_flush_errors_total",
+			"Batch writes that failed.", labels...),
+		Delivered: reg.Counter("mburst_client_samples_delivered_total",
+			"Samples successfully written to a transport.", labels...),
+		Dropped: reg.Counter("mburst_client_samples_dropped_total",
+			"Samples discarded while the collector was unreachable.", labels...),
+		Redials: reg.Counter("mburst_client_redials_total",
+			"Times the transport was (re)established.", labels...),
+		Backoff: reg.Gauge("mburst_client_backoff_seconds",
+			"Current reconnect backoff; 0 while connected.", labels...),
+		Pending: reg.Gauge("mburst_client_pending_samples",
+			"Samples buffered awaiting flush.", labels...),
+	}
+}
+
+// ServerMetrics instruments the collector service (Serve side).
+type ServerMetrics struct {
+	// Conns counts accepted switch connections.
+	Conns *obs.Counter
+	// ActiveConns is the number of currently connected switches.
+	ActiveConns *obs.Gauge
+	// DecodeErrors counts connections torn down by stream corruption.
+	DecodeErrors *obs.Counter
+	// IngestLatency is the wall-clock cost of handling one decoded batch
+	// (the handler chain: stats accounting + archival), in microseconds.
+	IngestLatency *obs.Histogram
+}
+
+// NewServerMetrics registers the server instrument set on reg.
+func NewServerMetrics(reg *obs.Registry, labels ...obs.Label) *ServerMetrics {
+	return &ServerMetrics{
+		Conns: reg.Counter("mburst_server_connections_total",
+			"Switch connections accepted.", labels...),
+		ActiveConns: reg.Gauge("mburst_server_active_connections",
+			"Currently open switch connections.", labels...),
+		DecodeErrors: reg.Counter("mburst_server_decode_errors_total",
+			"Connections that failed batch decoding.", labels...),
+		IngestLatency: reg.Histogram("mburst_ingest_latency_us",
+			"Wall-clock batch handling latency in microseconds.",
+			obs.DefLatencyBucketsUS, labels...),
+	}
+}
+
+// countingWriter counts bytes successfully written to the underlying
+// writer. The count is read by the single flushing goroutine only; the
+// metrics counters it feeds are atomic.
+type countingWriter struct {
+	w io.Writer
+	n uint64
+}
+
+func (cw *countingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += uint64(n)
+	return n, err
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"mburst/internal/wire"
 )
@@ -18,10 +19,12 @@ import (
 // Client is not safe for concurrent use; a switch runs one sampling loop.
 type Client struct {
 	w        *wire.Writer
+	cw       countingWriter
 	closer   io.Closer
 	batch    wire.Batch
 	maxBatch int
 	err      error
+	m        ClientMetrics
 }
 
 // DefaultBatchSize is the flush threshold in samples. At 25 µs sampling a
@@ -37,14 +40,23 @@ func NewClient(w io.Writer, rack uint32, maxBatch int) *Client {
 		maxBatch = DefaultBatchSize
 	}
 	c := &Client{
-		w:        wire.NewWriter(w),
+		cw:       countingWriter{w: w},
 		batch:    wire.Batch{Rack: rack},
 		maxBatch: maxBatch,
 	}
+	c.w = wire.NewWriter(&c.cw)
 	if cl, ok := w.(io.Closer); ok {
 		c.closer = cl
 	}
 	return c
+}
+
+// SetMetrics attaches transport telemetry (batches, bytes, flush errors,
+// delivered samples). Call before the first Emit; m may be nil.
+func (c *Client) SetMetrics(m *ClientMetrics) {
+	if m != nil {
+		c.m = *m
+	}
 }
 
 // Emit implements Emitter, buffering s and flushing a full batch.
@@ -72,7 +84,15 @@ func (c *Client) flushLocked() error {
 	if len(c.batch.Samples) == 0 {
 		return nil
 	}
+	before := c.cw.n
 	err := c.w.WriteBatch(&c.batch)
+	c.m.Bytes.Add(c.cw.n - before)
+	if err != nil {
+		c.m.FlushErrors.Inc()
+	} else {
+		c.m.Batches.Inc()
+		c.m.Delivered.Add(uint64(len(c.batch.Samples)))
+	}
 	c.batch.Samples = c.batch.Samples[:0]
 	return err
 }
@@ -97,6 +117,7 @@ type BatchHandler func(b *wire.Batch)
 type Server struct {
 	ln      net.Listener
 	handler BatchHandler
+	m       ServerMetrics
 
 	mu     sync.Mutex
 	closed bool
@@ -111,10 +132,19 @@ type Server struct {
 // Serve starts accepting connections on ln, dispatching every decoded
 // batch to handler. It returns immediately; Close shuts the service down.
 func Serve(ln net.Listener, handler BatchHandler) *Server {
+	return ServeWith(ln, handler, nil)
+}
+
+// ServeWith is Serve with service telemetry attached (connection counts,
+// decode errors, per-batch ingest latency). m may be nil.
+func ServeWith(ln net.Listener, handler BatchHandler, m *ServerMetrics) *Server {
 	if handler == nil {
 		panic("collector: nil handler")
 	}
 	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
+	if m != nil {
+		s.m = *m
+	}
 	s.wg.Add(1)
 	go s.acceptLoop()
 	return s
@@ -159,8 +189,11 @@ func (s *Server) acceptLoop() {
 
 func (s *Server) serveConn(conn net.Conn) {
 	defer s.wg.Done()
+	s.m.Conns.Inc()
+	s.m.ActiveConns.Add(1)
 	defer func() {
 		conn.Close()
+		s.m.ActiveConns.Add(-1)
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -170,11 +203,18 @@ func (s *Server) serveConn(conn net.Conn) {
 		b, err := r.ReadBatch()
 		if err != nil {
 			if !errors.Is(err, io.EOF) && !isClosedConn(err) {
+				s.m.DecodeErrors.Inc()
 				s.setErr(fmt.Errorf("collector: conn %v: %w", conn.RemoteAddr(), err))
 			}
 			return
 		}
-		s.handler(b)
+		if s.m.IngestLatency != nil {
+			t0 := time.Now()
+			s.handler(b)
+			s.m.IngestLatency.Observe(float64(time.Since(t0)) / 1e3)
+		} else {
+			s.handler(b)
+		}
 	}
 }
 

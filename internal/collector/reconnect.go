@@ -30,6 +30,9 @@ type ReconnectingClientConfig struct {
 	MaxBackoff   time.Duration
 	// Sleep is injectable for tests (default time.Sleep).
 	Sleep func(time.Duration)
+	// Metrics, when non-nil, receives transport telemetry (delivered,
+	// dropped, redials, backoff state, pending depth).
+	Metrics *ClientMetrics
 }
 
 func (c *ReconnectingClientConfig) applyDefaults() {
@@ -67,6 +70,9 @@ type ReconnectingClient struct {
 	dropped   uint64
 	delivered uint64
 	redials   uint64
+
+	// m holds nil-safe instruments; the zero value disables telemetry.
+	m ClientMetrics
 }
 
 // NewReconnectingClient starts the background flusher.
@@ -80,6 +86,9 @@ func NewReconnectingClient(dial Dialer, cfg ReconnectingClientConfig) *Reconnect
 		dial: dial,
 		wake: make(chan struct{}, 1),
 		done: make(chan struct{}),
+	}
+	if cfg.Metrics != nil {
+		c.m = *cfg.Metrics
 	}
 	go c.flushLoop()
 	return c
@@ -98,7 +107,9 @@ func (c *ReconnectingClient) Emit(s wire.Sample) {
 	if over := len(c.pending) - c.cfg.BufferLimit; over > 0 {
 		c.pending = c.pending[over:]
 		c.dropped += uint64(over)
+		c.m.Dropped.Add(uint64(over))
 	}
+	c.m.Pending.Set(float64(len(c.pending)))
 	notify := len(c.pending) >= c.cfg.MaxBatch
 	c.mu.Unlock()
 	if notify {
@@ -161,6 +172,7 @@ func (c *ReconnectingClient) takeBatch() []wire.Sample {
 	out := make([]wire.Sample, n)
 	copy(out, c.pending[:n])
 	c.pending = c.pending[:copy(c.pending, c.pending[n:])]
+	c.m.Pending.Set(float64(len(c.pending)))
 	return out
 }
 
@@ -172,13 +184,16 @@ func (c *ReconnectingClient) putBack(batch []wire.Sample) {
 	if over := len(c.pending) - c.cfg.BufferLimit; over > 0 {
 		c.pending = c.pending[over:]
 		c.dropped += uint64(over)
+		c.m.Dropped.Add(uint64(over))
 	}
+	c.m.Pending.Set(float64(len(c.pending)))
 }
 
 func (c *ReconnectingClient) flushLoop() {
 	defer close(c.done)
 	var (
 		conn    io.WriteCloser
+		cw      countingWriter
 		w       *wire.Writer
 		backoff = c.cfg.RetryBackoff
 	)
@@ -209,11 +224,15 @@ func (c *ReconnectingClient) flushLoop() {
 					// Shutting down with an unreachable collector:
 					// account the remainder as dropped and exit.
 					c.mu.Lock()
-					c.dropped += uint64(len(c.pending))
+					n := uint64(len(c.pending))
+					c.dropped += n
 					c.pending = nil
 					c.mu.Unlock()
+					c.m.Dropped.Add(n)
+					c.m.Pending.Set(0)
 					return
 				}
+				c.m.Backoff.Set(backoff.Seconds())
 				c.cfg.Sleep(backoff)
 				backoff *= 2
 				if backoff > c.cfg.MaxBackoff {
@@ -221,17 +240,25 @@ func (c *ReconnectingClient) flushLoop() {
 				}
 				continue
 			}
-			conn, w = nc, wire.NewWriter(nc)
+			conn = nc
+			cw = countingWriter{w: nc}
+			w = wire.NewWriter(&cw)
 			c.mu.Lock()
 			c.redials++
 			c.mu.Unlock()
+			c.m.Redials.Inc()
+			c.m.Backoff.Set(0)
 			backoff = c.cfg.RetryBackoff
 		}
 		batch := c.takeBatch()
 		if batch == nil {
 			continue
 		}
-		if err := w.WriteBatch(&wire.Batch{Rack: c.cfg.Rack, Samples: batch}); err != nil {
+		before := cw.n
+		err := w.WriteBatch(&wire.Batch{Rack: c.cfg.Rack, Samples: batch})
+		c.m.Bytes.Add(cw.n - before)
+		if err != nil {
+			c.m.FlushErrors.Inc()
 			closeConn()
 			c.putBack(batch)
 			continue
@@ -239,6 +266,8 @@ func (c *ReconnectingClient) flushLoop() {
 		c.mu.Lock()
 		c.delivered += uint64(len(batch))
 		c.mu.Unlock()
+		c.m.Batches.Inc()
+		c.m.Delivered.Add(uint64(len(batch)))
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"mburst/internal/analysis"
 	"mburst/internal/asic"
 	"mburst/internal/collector"
+	"mburst/internal/obs"
 	"mburst/internal/rng"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
@@ -19,6 +20,13 @@ import (
 // Experiment runs measurement campaigns under one Config.
 type Experiment struct {
 	cfg Config
+
+	// Campaign telemetry (nil-safe; see Config.Metrics). All pollers the
+	// experiment builds share pollerM, aggregating poll/miss/cost totals
+	// across windows.
+	pollerM *collector.PollerMetrics
+	windows *obs.Counter
+	samples *obs.Counter
 }
 
 // NewExperiment validates cfg and returns an Experiment.
@@ -26,7 +34,15 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &Experiment{cfg: cfg}, nil
+	e := &Experiment{cfg: cfg}
+	if reg := cfg.Metrics; reg != nil {
+		e.pollerM = collector.NewPollerMetrics(reg)
+		e.windows = reg.Counter("mburst_campaign_windows_total",
+			"Measurement windows recorded across campaigns.")
+		e.samples = reg.Counter("mburst_campaign_samples_total",
+			"Counter samples captured across campaigns.")
+	}
+	return e, nil
 }
 
 // Config returns the experiment's configuration.
@@ -89,6 +105,7 @@ func (e *Experiment) pollFor(net *simnet.Net, counters []collector.CounterSpec, 
 		Interval:      interval,
 		Counters:      counters,
 		DedicatedCore: true,
+		Metrics:       e.pollerM,
 	}, net.Switch(), rng.New(e.cfg.Seed^0x706f6c6c), collector.EmitterFunc(func(s wire.Sample) {
 		captured = append(captured, s)
 	}))
@@ -102,6 +119,8 @@ func (e *Experiment) pollFor(net *simnet.Net, counters []collector.CounterSpec, 
 	p.Install(net.Scheduler())
 	net.Run(dur)
 	p.Stop()
+	e.windows.Inc()
+	e.samples.Add(uint64(len(captured)))
 	return captured, nil
 }
 

@@ -25,6 +25,7 @@ package core
 import (
 	"fmt"
 
+	"mburst/internal/obs"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
 	"mburst/internal/workload"
@@ -64,6 +65,11 @@ type Config struct {
 	// Params overrides workload parameters per app; nil uses
 	// workload.DefaultParams.
 	Params func(app workload.App) workload.Params
+	// Metrics, when non-nil, receives campaign telemetry: every poller the
+	// experiment builds reports into one shared PollerMetrics set, and
+	// window/sample progress counters are updated as campaigns run. Nil
+	// (the default) keeps campaigns telemetry-free at no cost.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the standard scaled-down reproduction: 3 racks ×

@@ -207,6 +207,7 @@ func (e *Experiment) Table1SamplingLoss() (Table1Result, error) {
 			Interval:      interval,
 			Counters:      []collector.CounterSpec{{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}},
 			DedicatedCore: true,
+			Metrics:       e.pollerM,
 		}, net.Switch(), rng.New(e.cfg.Seed^uint64(us)), collector.EmitterFunc(func(wire.Sample) {}))
 		if err != nil {
 			return res, err

@@ -16,6 +16,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"mburst/internal/obs"
 	"mburst/internal/simclock"
 )
 
@@ -47,6 +48,11 @@ type Scheduler struct {
 	// processed counts events fired since construction; exposed for tests
 	// and for the simulator's progress accounting.
 	processed uint64
+
+	// dispatched/depth are nil-safe telemetry hooks (see Instrument);
+	// nil (the default) costs one predicted branch per event.
+	dispatched *obs.Counter
+	depth      *obs.Gauge
 }
 
 // NewScheduler returns an empty scheduler positioned at the epoch.
@@ -65,6 +71,21 @@ func (s *Scheduler) Len() int { return s.pq.Len() }
 
 // Processed returns the number of events fired so far.
 func (s *Scheduler) Processed() uint64 { return s.processed }
+
+// Instrument exposes kernel health on reg: events dispatched and the
+// pending-queue depth. The depth gauge is updated from Step (an atomic
+// store per event) rather than read at scrape time, so concurrent
+// scrapes never touch the unsynchronized heap. Nil reg is a no-op.
+func (s *Scheduler) Instrument(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	s.dispatched = reg.Counter("mburst_eventq_dispatched_total",
+		"Events fired by the discrete-event kernel.", labels...)
+	s.depth = reg.Gauge("mburst_eventq_depth",
+		"Pending events in the kernel's queue (updated per dispatch).", labels...)
+	s.depth.Set(float64(s.pq.Len()))
+}
 
 // At schedules fn to run at time t. Scheduling in the past panics: an
 // event that should already have happened indicates a logic error and
@@ -111,6 +132,8 @@ func (s *Scheduler) Step() bool {
 		}
 		s.clock.AdvanceTo(e.at)
 		s.processed++
+		s.dispatched.Inc()
+		s.depth.Set(float64(s.pq.Len()))
 		e.fn(e.at)
 		return true
 	}

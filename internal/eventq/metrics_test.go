@@ -1,0 +1,44 @@
+package eventq
+
+import (
+	"testing"
+
+	"mburst/internal/obs"
+	"mburst/internal/simclock"
+)
+
+func TestSchedulerInstrument(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler()
+	s.Instrument(reg)
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		s.At(simclock.Epoch.Add(simclock.Duration(i)), func(simclock.Time) { fired++ })
+	}
+	s.Run(0)
+	if fired != 5 {
+		t.Fatalf("fired = %d", fired)
+	}
+	snap := reg.Snapshot()
+	vals := map[string]float64{}
+	for _, f := range snap.Families {
+		vals[f.Name] = f.Series[0].Value
+	}
+	if vals["mburst_eventq_dispatched_total"] != 5 {
+		t.Errorf("dispatched = %v, want 5", vals["mburst_eventq_dispatched_total"])
+	}
+	if vals["mburst_eventq_depth"] != 0 {
+		t.Errorf("depth = %v, want 0 after drain", vals["mburst_eventq_depth"])
+	}
+}
+
+func TestSchedulerUninstrumentedUnchanged(t *testing.T) {
+	// The nil hooks must not perturb behaviour.
+	s := NewScheduler()
+	n := 0
+	s.After(simclock.Microsecond, func(simclock.Time) { n++ })
+	s.Run(0)
+	if n != 1 || s.Processed() != 1 {
+		t.Errorf("n = %d processed = %d", n, s.Processed())
+	}
+}

@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func testRegistry() *Registry {
+	reg := NewRegistry()
+	reg.Counter("mburst_polls_total", "Completed polls.").Add(42)
+	reg.Gauge("mburst_depth", "Queue depth.", L("q", "ev\"x")).Set(3)
+	h := reg.Histogram("mburst_cost_us", "Poll cost.", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+	return reg
+}
+
+func TestPrometheusText(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, testRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP mburst_polls_total Completed polls.",
+		"# TYPE mburst_polls_total counter",
+		"mburst_polls_total 42",
+		"# TYPE mburst_depth gauge",
+		`mburst_depth{q="ev\"x"} 3`,
+		"# TYPE mburst_cost_us histogram",
+		`mburst_cost_us_bucket{le="1"} 1`,
+		`mburst_cost_us_bucket{le="10"} 2`,
+		`mburst_cost_us_bucket{le="+Inf"} 3`,
+		"mburst_cost_us_sum 55.5",
+		"mburst_cost_us_count 3",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in exposition:\n%s", want, out)
+		}
+	}
+}
+
+func TestJSONExposition(t *testing.T) {
+	srv := httptest.NewServer(JSONHandler(testRegistry()))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content-type = %q", ct)
+	}
+	var snap Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Families) != 3 {
+		t.Fatalf("families = %d, want 3", len(snap.Families))
+	}
+	if snap.Families[0].Name != "mburst_polls_total" || snap.Families[0].Series[0].Value != 42 {
+		t.Errorf("counter family = %+v", snap.Families[0])
+	}
+	hist := snap.Families[2].Series[0].Histogram
+	if hist == nil || hist.Count != 3 {
+		t.Errorf("histogram = %+v", hist)
+	}
+}
+
+func TestDebugMuxEndpoints(t *testing.T) {
+	mux := NewDebugMux(testRegistry(), nil)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "mburst_polls_total 42") {
+		t.Errorf("/metrics: code %d body %q", code, body)
+	}
+	if code, body := get("/stats"); code != 200 || !strings.Contains(body, `"mburst_polls_total"`) {
+		t.Errorf("/stats: code %d body %q", code, body)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz: code %d body %q", code, body)
+	}
+	if code, body := get("/debug/pprof/"); code != 200 || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/: code %d body %q", code, body)
+	}
+}
+
+func TestHealthzFailure(t *testing.T) {
+	boom := func() error { return io.ErrUnexpectedEOF }
+	srv := httptest.NewServer(HealthHandler(boom))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("status = %d, want 503", resp.StatusCode)
+	}
+}
+
+func TestStartDebugServes(t *testing.T) {
+	ds, err := StartDebug("127.0.0.1:0", NewDebugMux(testRegistry(), nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	resp, err := http.Get("http://" + ds.Addr() + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestGoRuntimeMetrics(t *testing.T) {
+	reg := NewRegistry()
+	RegisterGoRuntime(reg)
+	snap := reg.Snapshot()
+	found := map[string]float64{}
+	for _, f := range snap.Families {
+		found[f.Name] = f.Series[0].Value
+	}
+	if found["go_goroutines"] < 1 {
+		t.Errorf("go_goroutines = %v", found["go_goroutines"])
+	}
+	if found["go_memstats_heap_alloc_bytes"] <= 0 {
+		t.Errorf("heap_alloc = %v", found["go_memstats_heap_alloc_bytes"])
+	}
+}

@@ -1,0 +1,71 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+)
+
+// NewDebugMux builds the standard daemon debug surface:
+//
+//	/metrics       Prometheus text format
+//	/stats         JSON snapshot of the same registry
+//	/healthz       200 "ok" (or 503 with the check error)
+//	/debug/pprof/  the standard net/http/pprof handlers
+//
+// healthz may be nil for an always-healthy endpoint. Callers mount extra
+// paths (e.g. a legacy ingest snapshot) on the returned mux.
+func NewDebugMux(reg *Registry, healthz func() error) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", PrometheusHandler(reg))
+	mux.Handle("/stats", JSONHandler(reg))
+	mux.Handle("/healthz", HealthHandler(healthz))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// HealthHandler returns a /healthz handler. check may be nil (always
+// healthy); a non-nil error answers 503 with the error text.
+func HealthHandler(check func() error) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if check != nil {
+			if err := check(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+}
+
+// DebugServer is a started debug HTTP server. Close releases the
+// listener; in-flight scrapes are abandoned (these endpoints are
+// best-effort diagnostics, not user traffic).
+type DebugServer struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartDebug listens on addr (":0" picks a free port) and serves handler
+// in a background goroutine.
+func StartDebug(addr string, handler http.Handler) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	d := &DebugServer{srv: &http.Server{Handler: handler}, ln: ln}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return d, nil
+}
+
+// Addr returns the bound address, e.g. "127.0.0.1:43211".
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close shuts the server down immediately.
+func (d *DebugServer) Close() error { return d.srv.Close() }

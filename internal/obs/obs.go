@@ -1,0 +1,458 @@
+// Package obs is the reproduction's unified telemetry layer: an
+// allocation-light metrics registry with Prometheus text-format and JSON
+// exposition, a debug HTTP mux (/metrics, /stats, /healthz,
+// /debug/pprof/), and shared structured-logging setup for the daemons.
+//
+// The paper's framework is an operational measurement system — a sampler
+// on the switch CPU shipping to a distributed collector service (§4.1) —
+// so the pipeline must be able to observe itself: poll cost, missed
+// intervals, reconnect churn, ingest volume. Every instrument here is
+// designed for hot paths:
+//
+//   - Counter, Gauge and Histogram updates are single atomic operations
+//     (Histogram adds one CAS for the sum); no locks, no allocations.
+//   - Every method is nil-safe: a nil *Counter (what a nil *Registry
+//     hands out) is a no-op, so library code can instrument
+//     unconditionally and pay only a predicted branch when telemetry is
+//     disabled.
+//   - Funcs (CounterFunc/GaugeFunc) are evaluated only at scrape time,
+//     the right shape for adapters over existing state such as the
+//     simulated switch's drop and ECN totals.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one name="value" pair attached to a metric series.
+type Label struct {
+	Key, Value string
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing uint64. The zero value is ready to
+// use; a nil Counter is a no-op.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 for nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 that can go up and down. The zero value is ready to
+// use; a nil Gauge is a no-op.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add adds d (CAS loop; safe for concurrent adders).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value (0 for nil).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram counts observations into fixed buckets. Bounds are upper
+// bounds in ascending order; an implicit +Inf bucket catches the rest.
+// Observe is lock-free: one atomic bucket increment, one atomic count
+// increment, one CAS for the sum. A nil Histogram is a no-op.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Uint64 // len(bounds)+1; last is +Inf
+	count   atomic.Uint64
+	sumBits atomic.Uint64
+}
+
+// DefLatencyBucketsUS is a general-purpose latency bucket layout in
+// microseconds, spanning sub-µs ASIC reads to multi-ms stalls.
+var DefLatencyBucketsUS = []float64{1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, buckets: make([]atomic.Uint64, len(bs)+1)}
+}
+
+// Observe records v.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Local returns a LocalHistogram feeding h. Nil h → nil (no-op local).
+func (h *Histogram) Local() *LocalHistogram {
+	if h == nil {
+		return nil
+	}
+	return &LocalHistogram{h: h, counts: make([]uint64, len(h.buckets))}
+}
+
+// LocalHistogram batches observations for a single-goroutine hot path:
+// Observe touches only plain fields — no atomics, no CAS — and Flush
+// folds the accumulated buckets into the shared Histogram in one pass.
+// On a ~100 ns poll loop the three atomic RMWs of Histogram.Observe are
+// measurable; amortizing them across a flush interval is not. A nil
+// LocalHistogram (what a nil Histogram's Local returns) is a no-op.
+//
+// Not safe for concurrent use; observations are invisible to scrapes
+// until Flush, so flush periodically and before the owning loop exits.
+type LocalHistogram struct {
+	h      *Histogram
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+// Observe records v locally.
+func (l *LocalHistogram) Observe(v float64) {
+	if l == nil {
+		return
+	}
+	i := 0
+	for i < len(l.h.bounds) && v > l.h.bounds[i] {
+		i++
+	}
+	l.counts[i]++
+	l.sum += v
+	l.n++
+}
+
+// Flush folds accumulated observations into the shared histogram and
+// resets the local state.
+func (l *LocalHistogram) Flush() {
+	if l == nil || l.n == 0 {
+		return
+	}
+	for i, c := range l.counts {
+		if c != 0 {
+			l.h.buckets[i].Add(c)
+			l.counts[i] = 0
+		}
+	}
+	l.h.count.Add(l.n)
+	l.n = 0
+	for {
+		old := l.h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + l.sum)
+		if l.h.sumBits.CompareAndSwap(old, next) {
+			break
+		}
+	}
+	l.sum = 0
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sumBits.Load())
+}
+
+// snapshot returns bounds plus per-bucket (non-cumulative) counts.
+func (h *Histogram) snapshot() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: make([]uint64, len(h.buckets)),
+		Count:  h.count.Load(),
+		Sum:    math.Float64frombits(h.sumBits.Load()),
+	}
+	for i := range h.buckets {
+		s.Counts[i] = h.buckets[i].Load()
+	}
+	return s
+}
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state.
+// Counts are per-bucket (not cumulative); Counts[len(Bounds)] is +Inf.
+type HistogramSnapshot struct {
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+}
+
+// Kind discriminates metric families in snapshots and exposition.
+type Kind string
+
+// Metric family kinds, matching Prometheus TYPE names.
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// series is one labeled instance within a family.
+type series struct {
+	labels []Label
+	c      *Counter
+	g      *Gauge
+	fn     func() float64
+	h      *Histogram
+}
+
+// family groups all series sharing a metric name.
+type family struct {
+	name string
+	help string
+	kind Kind
+
+	order []*series
+	byKey map[string]*series
+}
+
+// Registry holds registered metrics. A nil Registry hands out nil
+// instruments, whose methods are no-ops — callers never need to branch.
+// Registration takes a lock; instrument updates never do.
+type Registry struct {
+	mu    sync.Mutex
+	fams  map[string]*family
+	order []*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{fams: make(map[string]*family)}
+}
+
+// labelKey serializes sorted labels for series identity.
+func labelKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for _, l := range labels {
+		b.WriteString(l.Key)
+		b.WriteByte('\x00')
+		b.WriteString(l.Value)
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// getSeries finds or creates the (family, series) slot for name+labels,
+// panicking on a kind conflict — mixing kinds under one name is a
+// programming error that would corrupt exposition.
+func (r *Registry) getSeries(name, help string, kind Kind, labels []Label) (*family, *series, bool) {
+	sorted := append([]Label(nil), labels...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.fams[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, byKey: make(map[string]*series)}
+		r.fams[name] = f
+		r.order = append(r.order, f)
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, f.kind, kind))
+	}
+	key := labelKey(sorted)
+	if s, ok := f.byKey[key]; ok {
+		return f, s, false
+	}
+	s := &series{labels: sorted}
+	f.byKey[key] = s
+	f.order = append(f.order, s)
+	return f, s, true
+}
+
+// Counter registers (or fetches) a counter series. Nil registry → nil
+// counter (no-op).
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	_, s, fresh := r.getSeries(name, help, KindCounter, labels)
+	if fresh {
+		s.c = &Counter{}
+	}
+	return s.c
+}
+
+// Gauge registers (or fetches) a gauge series. Nil registry → nil gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	_, s, fresh := r.getSeries(name, help, KindGauge, labels)
+	if fresh {
+		s.g = &Gauge{}
+	}
+	return s.g
+}
+
+// GaugeFunc registers a gauge whose value is computed by fn at scrape
+// time — the scrape-time adapter shape for exposing existing state.
+// Re-registering the same series replaces fn.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	_, s, _ := r.getSeries(name, help, KindGauge, labels)
+	s.fn = fn
+	s.g = nil
+}
+
+// CounterFunc registers a counter whose value is computed by fn at scrape
+// time. The caller guarantees monotonicity (e.g. a cumulative hardware
+// counter). Re-registering the same series replaces fn.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil || fn == nil {
+		return
+	}
+	_, s, _ := r.getSeries(name, help, KindCounter, labels)
+	s.fn = fn
+	s.c = nil
+}
+
+// Histogram registers (or fetches) a histogram series with the given
+// bucket upper bounds (+Inf implicit). Re-registration returns the
+// existing histogram; bounds are fixed at first registration.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	_, s, fresh := r.getSeries(name, help, KindHistogram, labels)
+	if fresh {
+		s.h = newHistogram(bounds)
+	}
+	return s.h
+}
+
+// SeriesSnapshot is one series' state inside a Snapshot.
+type SeriesSnapshot struct {
+	Labels    []Label            `json:"labels,omitempty"`
+	Value     float64            `json:"value"`
+	Histogram *HistogramSnapshot `json:"histogram,omitempty"`
+}
+
+// FamilySnapshot is one metric family's state inside a Snapshot.
+type FamilySnapshot struct {
+	Name   string           `json:"name"`
+	Help   string           `json:"help,omitempty"`
+	Kind   Kind             `json:"type"`
+	Series []SeriesSnapshot `json:"series"`
+}
+
+// Snapshot is a point-in-time copy of every registered metric, in
+// registration order. It backs both exposition formats.
+type Snapshot struct {
+	Families []FamilySnapshot `json:"metrics"`
+}
+
+// Snapshot reads every series. Funcs are evaluated here, on the scraping
+// goroutine. Nil registry → empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	fams := append([]*family(nil), r.order...)
+	// Copy each family's series list under the lock; the instruments
+	// themselves are atomics and are read outside it.
+	type famCopy struct {
+		f      *family
+		series []*series
+	}
+	copies := make([]famCopy, len(fams))
+	for i, f := range fams {
+		copies[i] = famCopy{f: f, series: append([]*series(nil), f.order...)}
+	}
+	r.mu.Unlock()
+
+	snap := Snapshot{Families: make([]FamilySnapshot, 0, len(copies))}
+	for _, fc := range copies {
+		fs := FamilySnapshot{Name: fc.f.name, Help: fc.f.help, Kind: fc.f.kind}
+		for _, s := range fc.series {
+			ss := SeriesSnapshot{Labels: s.labels}
+			switch {
+			case s.fn != nil:
+				ss.Value = s.fn()
+			case s.c != nil:
+				ss.Value = float64(s.c.Value())
+			case s.g != nil:
+				ss.Value = s.g.Value()
+			case s.h != nil:
+				hs := s.h.snapshot()
+				ss.Histogram = &hs
+			}
+			fs.Series = append(fs.Series, ss)
+		}
+		snap.Families = append(snap.Families, fs)
+	}
+	return snap
+}

@@ -1,0 +1,238 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := reg.Gauge("g", "help")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+	// Re-registration returns the same instrument.
+	if reg.Counter("c_total", "help") != c {
+		t.Error("re-registered counter is a different instance")
+	}
+	if reg.Gauge("g", "help") != g {
+		t.Error("re-registered gauge is a different instance")
+	}
+}
+
+func TestLabeledSeriesAreDistinct(t *testing.T) {
+	reg := NewRegistry()
+	a := reg.Counter("racks_total", "", L("rack", "0"))
+	b := reg.Counter("racks_total", "", L("rack", "1"))
+	if a == b {
+		t.Fatal("distinct labels returned the same series")
+	}
+	a.Add(3)
+	b.Add(7)
+	snap := reg.Snapshot()
+	if len(snap.Families) != 1 || len(snap.Families[0].Series) != 2 {
+		t.Fatalf("snapshot shape: %+v", snap)
+	}
+	// Label order is normalized, so key order at registration is irrelevant.
+	x := reg.Gauge("multi", "", L("b", "2"), L("a", "1"))
+	y := reg.Gauge("multi", "", L("a", "1"), L("b", "2"))
+	if x != y {
+		t.Error("label order created distinct series")
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("gauge registration under a counter name did not panic")
+		}
+	}()
+	reg.Gauge("x_total", "")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_us", "", []float64{1, 10, 100})
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-9 {
+		t.Errorf("sum = %v, want 556.5", got)
+	}
+	snap := h.snapshot()
+	// 0.5 and 1 land in ≤1; 5 in ≤10; 50 in ≤100; 500 in +Inf.
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+}
+
+func TestLocalHistogramFlush(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_us", "", []float64{1, 10, 100})
+	l := h.Local()
+	for _, v := range []float64{0.5, 1, 5, 50, 500} {
+		l.Observe(v)
+	}
+	if h.Count() != 0 {
+		t.Errorf("observations visible before Flush: count = %d", h.Count())
+	}
+	l.Flush()
+	l.Flush() // second flush must be a no-op
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-556.5) > 1e-9 {
+		t.Errorf("sum = %v, want 556.5", got)
+	}
+	snap := h.snapshot()
+	want := []uint64{2, 1, 1, 1}
+	for i, w := range want {
+		if snap.Counts[i] != w {
+			t.Errorf("bucket %d = %d, want %d", i, snap.Counts[i], w)
+		}
+	}
+	// A second batch folds on top of the first.
+	l.Observe(5)
+	l.Flush()
+	if h.Count() != 6 || h.snapshot().Counts[1] != 2 {
+		t.Errorf("after second batch: count = %d, ≤10 bucket = %d", h.Count(), h.snapshot().Counts[1])
+	}
+
+	var nilH *Histogram
+	nl := nilH.Local()
+	nl.Observe(1) // nil local must no-op
+	nl.Flush()
+	if allocs := testing.AllocsPerRun(1000, func() { l.Observe(3) }); allocs != 0 {
+		t.Errorf("LocalHistogram.Observe: %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var reg *Registry
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h", "", []float64{1})
+	reg.GaugeFunc("f", "", func() float64 { return 1 })
+	c.Inc()
+	c.Add(2)
+	g.Set(1)
+	g.Add(1)
+	h.Observe(1)
+	if c.Value() != 0 || g.Value() != 0 || h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil instruments returned non-zero values")
+	}
+	if len(reg.Snapshot().Families) != 0 {
+		t.Error("nil registry snapshot not empty")
+	}
+}
+
+func TestHotPathNoAllocs(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	g := reg.Gauge("g", "")
+	h := reg.Histogram("h_us", "", DefLatencyBucketsUS)
+	var nilC *Counter
+	var nilH *Histogram
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"counter", func() { c.Add(3) }},
+		{"gauge", func() { g.Set(1.5) }},
+		{"histogram", func() { h.Observe(42) }},
+		{"nil-counter", func() { nilC.Inc() }},
+		{"nil-histogram", func() { nilH.Observe(42) }},
+	}
+	for _, tc := range cases {
+		if allocs := testing.AllocsPerRun(1000, tc.fn); allocs != 0 {
+			t.Errorf("%s: %v allocs/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+func TestConcurrentUpdates(t *testing.T) {
+	reg := NewRegistry()
+	c := reg.Counter("c_total", "")
+	h := reg.Histogram("h", "", []float64{10})
+	g := reg.Gauge("g", "")
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(float64(i % 20))
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if g.Value() != workers*per {
+		t.Errorf("gauge = %v, want %d", g.Value(), workers*per)
+	}
+}
+
+func TestSnapshotEvaluatesFuncs(t *testing.T) {
+	reg := NewRegistry()
+	v := 1.0
+	reg.GaugeFunc("fn_gauge", "", func() float64 { return v })
+	reg.CounterFunc("fn_total", "", func() float64 { return 2 * v })
+	v = 21
+	snap := reg.Snapshot()
+	byName := map[string]float64{}
+	for _, f := range snap.Families {
+		byName[f.Name] = f.Series[0].Value
+	}
+	if byName["fn_gauge"] != 21 || byName["fn_total"] != 42 {
+		t.Errorf("func values = %v", byName)
+	}
+}
+
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("c_total", "")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("h_us", "", DefLatencyBucketsUS)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}

@@ -1,0 +1,32 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// RegisterGoRuntime exposes process-level health every daemon wants:
+// goroutine count, heap usage, GC cycles and uptime. All are scrape-time
+// funcs — the process pays nothing between scrapes. ReadMemStats
+// stop-the-worlds briefly, which is acceptable at scrape frequency.
+func RegisterGoRuntime(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	start := time.Now()
+	reg.GaugeFunc("go_goroutines",
+		"Number of live goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	reg.GaugeFunc("go_memstats_heap_alloc_bytes",
+		"Bytes of allocated heap objects.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapAlloc) })
+	reg.CounterFunc("go_memstats_total_alloc_bytes_total",
+		"Cumulative bytes allocated on the heap.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.TotalAlloc) })
+	reg.CounterFunc("go_gc_cycles_total",
+		"Completed GC cycles.",
+		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.NumGC) })
+	reg.GaugeFunc("process_uptime_seconds",
+		"Seconds since the process registered its telemetry.",
+		func() float64 { return time.Since(start).Seconds() })
+}

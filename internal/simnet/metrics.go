@@ -1,0 +1,43 @@
+package simnet
+
+import (
+	"mburst/internal/obs"
+)
+
+// RegisterMetrics exposes the rack's data-plane health on reg as
+// scrape-time adapters over existing switch state — the simulation pays
+// nothing between scrapes. Drop and ECN totals are the signals the paper
+// correlates with microbursts (Fig 1, §7), surfaced here so a live
+// campaign can watch them without a separate analysis pass.
+//
+// The funcs read the switch's cumulative counters without locks; a
+// scrape concurrent with a running simulation may observe a value that
+// is a tick stale, which is harmless for monotone counters. Labels
+// (e.g. rack="3") distinguish multiple racks on one registry.
+func (n *Net) RegisterMetrics(reg *obs.Registry, labels ...obs.Label) {
+	if reg == nil {
+		return
+	}
+	sw := n.sw
+	reg.CounterFunc("mburst_simnet_drops_total",
+		"Cumulative packets discarded by the shared-buffer ASIC.",
+		func() float64 { return float64(sw.TotalDropped()) }, labels...)
+	reg.CounterFunc("mburst_simnet_ecn_marks_total",
+		"Cumulative packets ECN-marked at egress, summed over ports.",
+		func() float64 {
+			var total uint64
+			for p := 0; p < sw.NumPorts(); p++ {
+				total += sw.Port(p).ECNMarks()
+			}
+			return float64(total)
+		}, labels...)
+	reg.GaugeFunc("mburst_simnet_buffer_used_bytes",
+		"Shared buffer occupancy in bytes.",
+		sw.BufferUsed, labels...)
+	reg.GaugeFunc("mburst_simnet_active_flows",
+		"Flows currently in flight on the rack.",
+		func() float64 { return float64(n.activeFlows) }, labels...)
+	reg.GaugeFunc("mburst_simnet_sim_time_ns",
+		"Current simulated time in nanoseconds.",
+		func() float64 { return float64(n.sched.Now().Nanoseconds()) }, labels...)
+}

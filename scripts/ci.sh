@@ -1,0 +1,10 @@
+#!/bin/sh
+# CI gate: vet, build, and run the full test suite under the race
+# detector. Run from the repository root (or any subdirectory).
+set -eux
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+go build ./...
+go test -race ./...
