@@ -11,6 +11,7 @@
 package mburst
 
 import (
+	"context"
 	"testing"
 
 	"mburst/internal/analysis"
@@ -46,7 +47,7 @@ func quickExperiment(b *testing.B) *core.Experiment {
 func BenchmarkFig1DropUtilizationScatter(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig1DropUtilScatter()
+		res, err := exp.Fig1DropUtilScatter(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkFig1DropUtilizationScatter(b *testing.B) {
 func BenchmarkFig2DropTimeSeries(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig2DropTimeSeries()
+		res, err := exp.Fig2DropTimeSeries(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -69,7 +70,7 @@ func BenchmarkFig2DropTimeSeries(b *testing.B) {
 func BenchmarkTable1SamplingLoss(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Table1SamplingLoss()
+		res, err := exp.Table1SamplingLoss(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -84,7 +85,7 @@ func BenchmarkTable1SamplingLoss(b *testing.B) {
 func BenchmarkFig3BurstDurationCDF(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig3BurstDurations()
+		res, err := exp.Fig3BurstDurations(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -96,7 +97,7 @@ func BenchmarkFig3BurstDurationCDF(b *testing.B) {
 func BenchmarkTable2MarkovModel(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Table2BurstMarkov()
+		res, err := exp.Table2BurstMarkov(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -107,7 +108,7 @@ func BenchmarkTable2MarkovModel(b *testing.B) {
 func BenchmarkFig4InterBurstCDF(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig4InterBurstGaps()
+		res, err := exp.Fig4InterBurstGaps(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -118,7 +119,7 @@ func BenchmarkFig4InterBurstCDF(b *testing.B) {
 func BenchmarkFig5PacketSizeMix(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig5PacketSizes()
+		res, err := exp.Fig5PacketSizes(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -129,7 +130,7 @@ func BenchmarkFig5PacketSizeMix(b *testing.B) {
 func BenchmarkFig6UtilizationCDF(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig6UtilizationCDF()
+		res, err := exp.Fig6UtilizationCDF(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -140,7 +141,7 @@ func BenchmarkFig6UtilizationCDF(b *testing.B) {
 func BenchmarkFig7UplinkMAD(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig7UplinkMAD()
+		res, err := exp.Fig7UplinkMAD(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -151,7 +152,7 @@ func BenchmarkFig7UplinkMAD(b *testing.B) {
 func BenchmarkFig8ServerCorrelation(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig8ServerCorrelation()
+		res, err := exp.Fig8ServerCorrelation(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -162,7 +163,7 @@ func BenchmarkFig8ServerCorrelation(b *testing.B) {
 func BenchmarkFig9HotPortShare(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig9HotPortShare()
+		res, err := exp.Fig9HotPortShare(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -173,7 +174,7 @@ func BenchmarkFig9HotPortShare(b *testing.B) {
 func BenchmarkFig10BufferOccupancy(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		res, err := exp.Fig10BufferOccupancy()
+		res, err := exp.Fig10BufferOccupancy(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -197,7 +198,7 @@ func BenchmarkAblationHotThreshold(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				c, err := exp.RunByteCampaign(workload.Hadoop, 0)
+				c, err := exp.RunByteCampaign(context.Background(), workload.Hadoop, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -221,7 +222,7 @@ func BenchmarkAblationGranularity(b *testing.B) {
 		b.Run(interval.String(), func(b *testing.B) {
 			exp := quickExperiment(b)
 			for i := 0; i < b.N; i++ {
-				c, err := exp.RunByteCampaign(workload.Hadoop, interval)
+				c, err := exp.RunByteCampaign(context.Background(), workload.Hadoop, interval)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -250,7 +251,7 @@ func BenchmarkAblationECMPFlowlet(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				res, err := exp.Fig7UplinkMAD()
+				res, err := exp.Fig7UplinkMAD(context.Background())
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -277,7 +278,7 @@ func BenchmarkAblationPacing(b *testing.B) {
 				b.Fatal(err)
 			}
 			for i := 0; i < b.N; i++ {
-				c, err := exp.RunByteCampaign(workload.Hadoop, 0)
+				c, err := exp.RunByteCampaign(context.Background(), workload.Hadoop, 0)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -333,7 +334,7 @@ func BenchmarkBaselinePacketSampling(b *testing.B) {
 func BenchmarkExtensionSignalLatency(b *testing.B) {
 	exp := quickExperiment(b)
 	for i := 0; i < b.N; i++ {
-		c, err := exp.RunByteCampaign(workload.Web, 0)
+		c, err := exp.RunByteCampaign(context.Background(), workload.Web, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

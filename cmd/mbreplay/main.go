@@ -8,10 +8,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mburst/internal/replay"
@@ -35,8 +38,11 @@ func main() {
 	}
 	defer conn.Close()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	st, err := replay.Run(*dir, conn, replay.Options{Speedup: *speedup, Unpaced: *unpaced})
+	st, err := replay.Run(ctx, *dir, conn, replay.Options{Speedup: *speedup, Unpaced: *unpaced})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mbreplay: %v\n", err)
 		os.Exit(1)

@@ -4,16 +4,20 @@
 // Usage:
 //
 //	mbreport [-quick] [-racks N] [-windows N] [-window 250ms] [-servers N]
-//	         [-seed N] [-balancer flow|flowlet|roundrobin] [-paced]
+//	         [-seed N] [-workers N] [-balancer flow|flowlet|roundrobin]
+//	         [-paced]
 //
 // The defaults run the standard scaled-down campaign (see DESIGN.md §1);
 // -quick runs the minimal configuration used by the test suite.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mburst/internal/core"
@@ -28,6 +32,7 @@ func main() {
 	window := flag.Duration("window", 0, "window duration (0 = config default)")
 	servers := flag.Int("servers", 0, "servers per rack (0 = config default)")
 	seed := flag.Uint64("seed", 0, "experiment seed (0 = config default)")
+	workers := flag.Int("workers", 0, "concurrent campaign cells (0 = all CPUs)")
 	balancer := flag.String("balancer", "flow", "uplink balancer: flow, flowlet, roundrobin")
 	paced := flag.Bool("paced", false, "enable the pacing ablation")
 	plots := flag.Bool("plot", false, "also render figures as terminal graphics")
@@ -52,6 +57,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	cfg.Paced = *paced
 	switch *balancer {
 	case "flow":
@@ -72,8 +78,10 @@ func main() {
 	}
 	fmt.Printf("mburst report: %d racks × %d windows × %v per app, %d servers/rack, seed %d\n\n",
 		cfg.Racks, cfg.Windows, cfg.WindowDur, cfg.Servers, cfg.Seed)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	start := time.Now()
-	rep, err := exp.RunAll()
+	rep, err := exp.RunAll(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mbreport: %v\n", err)
 		os.Exit(1)

@@ -6,7 +6,7 @@
 //
 //	mbsim -app web|cache|hadoop -out DIR [-plan randomport|allports|buffer]
 //	      [-interval 25µs] [-racks N] [-windows N] [-window 250ms]
-//	      [-servers N] [-seed N] [-http :9903]
+//	      [-servers N] [-seed N] [-workers N] [-http :9903]
 //
 // Plans:
 //
@@ -18,19 +18,25 @@
 // With -http the campaign's live telemetry (windows recorded, samples
 // captured, poller cost) is scrapeable at /metrics while it runs, and
 // /debug/pprof/ profiles the simulation itself.
+//
+// -workers bounds how many (rack, window) cells simulate concurrently
+// (0 = all CPUs); the recorded trace is byte-identical for every worker
+// count. SIGINT/SIGTERM cancels the campaign and discards the partial
+// trace directory.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
-	"mburst/internal/collector"
 	"mburst/internal/core"
 	"mburst/internal/obs"
 	"mburst/internal/simclock"
-	"mburst/internal/topo"
 	"mburst/internal/workload"
 )
 
@@ -44,6 +50,7 @@ func main() {
 	window := flag.Duration("window", 0, "window duration (0 = default)")
 	servers := flag.Int("servers", 0, "servers per rack (0 = default)")
 	seed := flag.Uint64("seed", 0, "seed (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent campaign cells (0 = all CPUs)")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
 
@@ -77,6 +84,7 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
 	cfg.Metrics = reg
 	exp, err := core.NewExperiment(cfg)
 	if err != nil {
@@ -84,7 +92,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	var countersFor func(rack topo.Rack, rackID, window int) []collector.CounterSpec
+	var countersFor core.CounterPlan
 	switch *plan {
 	case "randomport":
 		countersFor = exp.RandomPortCounters(app)
@@ -107,8 +115,11 @@ func main() {
 		logger.Info("debug http listening", "url", fmt.Sprintf("http://%s/metrics", ds.Addr()))
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	start := time.Now()
-	err = exp.RecordCampaign(app, *out, simclock.FromStd(*interval), "plan="+*plan, countersFor)
+	err = exp.RecordCampaign(ctx, app, *out, simclock.FromStd(*interval), "plan="+*plan, countersFor)
 	if err != nil {
 		logger.Error("recording campaign", "err", err)
 		os.Exit(1)

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	mbsweep -sweep interval|buffer|oversub|threshold|all [-app hadoop]
-//	        [-window 250ms] [-servers 32] [-seed 1]
+//	        [-window 250ms] [-servers 32] [-seed 1] [-workers N]
 //
 // Sweeps:
 //
@@ -15,9 +15,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"mburst/internal/core"
@@ -32,6 +35,7 @@ func main() {
 	window := flag.Duration("window", 0, "window duration (0 = default)")
 	servers := flag.Int("servers", 0, "servers per rack (0 = default)")
 	seed := flag.Uint64("seed", 0, "seed (0 = default)")
+	workers := flag.Int("workers", 0, "concurrent campaign cells (0 = all CPUs)")
 	flag.Parse()
 
 	app, err := workload.ParseApp(*appName)
@@ -50,6 +54,10 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Workers = *workers
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	us := func(n int64) simclock.Duration { return simclock.Micros(n) }
 	run := func(name string, f func() (sweep.Result, error)) {
@@ -65,24 +73,24 @@ func main() {
 	start := time.Now()
 	if *which == "interval" || *which == "all" {
 		run("interval", func() (sweep.Result, error) {
-			return sweep.SamplingInterval(cfg, app,
+			return sweep.SamplingInterval(ctx, cfg, app,
 				[]simclock.Duration{us(1), us(5), us(10), us(25), us(50), us(100), us(250), us(1000)})
 		})
 	}
 	if *which == "buffer" || *which == "all" {
 		run("buffer", func() (sweep.Result, error) {
-			return sweep.BufferSize(cfg, app,
+			return sweep.BufferSize(ctx, cfg, app,
 				[]float64{128 << 10, 512 << 10, 1536 << 10, 4 << 20, 16 << 20})
 		})
 	}
 	if *which == "oversub" || *which == "all" {
 		run("oversub", func() (sweep.Result, error) {
-			return sweep.Oversubscription(cfg, app, []int{8, 16, 32, 48, 64})
+			return sweep.Oversubscription(ctx, cfg, app, []int{8, 16, 32, 48, 64})
 		})
 	}
 	if *which == "threshold" || *which == "all" {
 		run("threshold", func() (sweep.Result, error) {
-			return sweep.HotThreshold(cfg, app, []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
+			return sweep.HotThreshold(ctx, cfg, app, []float64{0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8})
 		})
 	}
 	fmt.Printf("completed in %v\n", time.Since(start).Round(time.Millisecond))

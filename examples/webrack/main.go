@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -23,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 
-	campaign, err := exp.RunByteCampaign(workload.Web, 0)
+	campaign, err := exp.RunByteCampaign(context.Background(), workload.Web, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package mburst
 
 import (
+	"context"
 	"net"
 	"path/filepath"
 	"testing"
@@ -118,7 +119,7 @@ func TestEndToEndPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := replay.Run(dir, conn2, replay.Options{Unpaced: true})
+	st, err := replay.Run(context.Background(), dir, conn2, replay.Options{Unpaced: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,11 +171,11 @@ func TestQuickReportDeterminism(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		fig3, err := exp.Fig3BurstDurations()
+		fig3, err := exp.Fig3BurstDurations(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}
-		t2, err := exp.Table2BurstMarkov()
+		t2, err := exp.Table2BurstMarkov(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

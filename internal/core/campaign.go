@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
+	"sync"
 
 	"mburst/internal/analysis"
 	"mburst/internal/asic"
@@ -13,7 +15,6 @@ import (
 	"mburst/internal/simnet"
 	"mburst/internal/topo"
 	"mburst/internal/trace"
-	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
@@ -27,6 +28,9 @@ type Experiment struct {
 	pollerM *collector.PollerMetrics
 	windows *obs.Counter
 	samples *obs.Counter
+	// Runner telemetry: cells currently executing and cells completed.
+	cellsInFlight  *obs.Gauge
+	cellsCompleted *obs.Counter
 }
 
 // NewExperiment validates cfg and returns an Experiment.
@@ -41,6 +45,10 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 			"Measurement windows recorded across campaigns.")
 		e.samples = reg.Counter("mburst_campaign_samples_total",
 			"Counter samples captured across campaigns.")
+		e.cellsInFlight = reg.Gauge("mburst_runner_cells_in_flight",
+			"Campaign cells currently executing on the worker pool.")
+		e.cellsCompleted = reg.Counter("mburst_runner_cells_completed_total",
+			"Campaign cells completed by the worker pool.")
 	}
 	return e, nil
 }
@@ -89,41 +97,6 @@ func (e *Experiment) newNet(app workload.App, rack, window int) (*simnet.Net, er
 	})
 }
 
-// pollWindow warms the simulation up, then records one window with the
-// collection framework and returns the captured samples. The poller's
-// randomness derives from the window seed, keeping the whole pipeline
-// deterministic.
-func (e *Experiment) pollWindow(net *simnet.Net, counters []collector.CounterSpec, interval simclock.Duration) ([]wire.Sample, error) {
-	return e.pollFor(net, counters, interval, e.cfg.WindowDur)
-}
-
-// pollFor is pollWindow with an explicit recording duration (Fig 2 uses a
-// longer continuous run than the standard window).
-func (e *Experiment) pollFor(net *simnet.Net, counters []collector.CounterSpec, interval, dur simclock.Duration) ([]wire.Sample, error) {
-	var captured []wire.Sample
-	p, err := collector.NewPoller(collector.PollerConfig{
-		Interval:      interval,
-		Counters:      counters,
-		DedicatedCore: true,
-		Metrics:       e.pollerM,
-	}, net.Switch(), rng.New(e.cfg.Seed^0x706f6c6c), collector.EmitterFunc(func(s wire.Sample) {
-		captured = append(captured, s)
-	}))
-	if err != nil {
-		return nil, err
-	}
-	net.Run(e.cfg.Warmup)
-	// Clear the peak register so warmup bursts don't leak into the
-	// first recorded sample.
-	net.Switch().ReadPeakBufferAndClear()
-	p.Install(net.Scheduler())
-	net.Run(dur)
-	p.Stop()
-	e.windows.Inc()
-	e.samples.Add(uint64(len(captured)))
-	return captured, nil
-}
-
 // randomPort picks the window's measured port, mirroring §4.2 ("for each
 // rack, we pick a random port").
 func (e *Experiment) randomPort(app workload.App, rack, window int) int {
@@ -147,47 +120,53 @@ type ByteCampaign struct {
 const ByteCampaignInterval = 25 * simclock.Microsecond
 
 // RunByteCampaign records the single-byte-counter campaign for one app at
-// the given interval (0 = 25 µs).
-func (e *Experiment) RunByteCampaign(app workload.App, interval simclock.Duration) (*ByteCampaign, error) {
+// the given interval (0 = 25 µs), fanning the (rack, window) cells across
+// the experiment's worker pool.
+func (e *Experiment) RunByteCampaign(ctx context.Context, app workload.App, interval simclock.Duration) (*ByteCampaign, error) {
 	if interval <= 0 {
 		interval = ByteCampaignInterval
 	}
-	c := &ByteCampaign{App: app, Interval: interval}
-	for rack := 0; rack < e.cfg.Racks; rack++ {
-		for w := 0; w < e.cfg.Windows; w++ {
-			net, err := e.newNet(app, rack, w)
-			if err != nil {
-				return nil, err
-			}
-			port := e.randomPort(app, rack, w)
-			samples, err := e.pollWindow(net, []collector.CounterSpec{
-				{Port: port, Dir: asic.TX, Kind: asic.KindBytes},
-			}, interval)
-			if err != nil {
-				return nil, err
-			}
-			series, err := analysis.UtilizationSeries(samples, net.Switch().Port(port).Speed())
-			if err != nil {
-				return nil, fmt.Errorf("core: %s rack %d window %d: %w", app, rack, w, err)
-			}
-			c.WindowSeries = append(c.WindowSeries, series)
-			c.Ports = append(c.Ports, port)
+	type window struct {
+		series []analysis.UtilPoint
+		port   int
+	}
+	cells := e.campaignCells([]workload.App{app}, e.RandomPortCounters(app), interval, 0)
+	wins, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (window, error) {
+		port := e.randomPort(app, run.Cell.RackID, run.Cell.Window)
+		series, err := analysis.UtilizationSeries(run.Samples, run.Net.Switch().Port(port).Speed())
+		if err != nil {
+			return window{}, err
 		}
+		return window{series: series, port: port}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &ByteCampaign{App: app, Interval: interval}
+	for _, w := range wins {
+		c.WindowSeries = append(c.WindowSeries, w.series)
+		c.Ports = append(c.Ports, w.port)
 	}
 	return c, nil
 }
 
 // RecordCampaign runs a campaign for one app and persists it as a trace
-// directory (see internal/trace). countersFor chooses the counter plan per
+// directory (see internal/trace). plan chooses the counters per
 // (rack, window) — e.g. a random port's byte counter, or every port.
-// Window files are indexed rack-major: index = rack*Windows + window.
-func (e *Experiment) RecordCampaign(app workload.App, dir string, interval simclock.Duration, notes string,
-	countersFor func(rack topo.Rack, rackID, window int) []collector.CounterSpec) error {
+// Window files are indexed rack-major: index = rack*Windows + window; each
+// window is an independent file, so the directory is byte-identical
+// regardless of worker count or completion order. A canceled or failed
+// campaign discards everything it wrote — partial results are removed, not
+// left as a half-trace.
+func (e *Experiment) RecordCampaign(ctx context.Context, app workload.App, dir string, interval simclock.Duration, notes string, plan CounterPlan) error {
+	if plan == nil {
+		return fmt.Errorf("core: RecordCampaign without a counter plan")
+	}
 	if interval <= 0 {
 		interval = ByteCampaignInterval
 	}
 	rack := e.Rack()
-	probe := countersFor(rack, 0, 0)
+	probe := plan(rack, 0, 0)
 	w, err := trace.Create(dir, trace.Meta{
 		App:         app.String(),
 		NumServers:  rack.NumServers,
@@ -204,27 +183,23 @@ func (e *Experiment) RecordCampaign(app workload.App, dir string, interval simcl
 	if err != nil {
 		return err
 	}
-	for rackID := 0; rackID < e.cfg.Racks; rackID++ {
-		for win := 0; win < e.cfg.Windows; win++ {
-			net, err := e.newNet(app, rackID, win)
-			if err != nil {
-				return err
-			}
-			samples, err := e.pollWindow(net, countersFor(rack, rackID, win), interval)
-			if err != nil {
-				return err
-			}
-			if err := w.WriteWindow(rackID*e.cfg.Windows+win, uint32(rackID), samples); err != nil {
-				return err
-			}
-		}
+	var mu sync.Mutex // trace.Writer is not safe for concurrent WriteWindow
+	cells := e.campaignCells([]workload.App{app}, plan, interval, 0)
+	err = e.Runner().Run(ctx, cells, func(i int, run *CellRun) error {
+		mu.Lock()
+		defer mu.Unlock()
+		return w.WriteWindow(i, uint32(run.Cell.RackID), run.Samples)
+	})
+	if err != nil {
+		w.Discard()
+		return err
 	}
 	return nil
 }
 
-// RandomPortCounters returns a countersFor plan polling one random port's
+// RandomPortCounters returns a CounterPlan polling one random port's
 // egress byte counter per window — the Fig 3/4/6 campaign plan.
-func (e *Experiment) RandomPortCounters(app workload.App) func(rack topo.Rack, rackID, window int) []collector.CounterSpec {
+func (e *Experiment) RandomPortCounters(app workload.App) CounterPlan {
 	return func(_ topo.Rack, rackID, window int) []collector.CounterSpec {
 		return []collector.CounterSpec{{
 			Port: e.randomPort(app, rackID, window),
@@ -234,10 +209,10 @@ func (e *Experiment) RandomPortCounters(app workload.App) func(rack topo.Rack, r
 	}
 }
 
-// AllPortCounters returns a countersFor plan polling every port's egress
-// byte counter (plus the shared-buffer peak if withBuffer) — the Fig 9/10
+// AllPortCounters returns a CounterPlan polling every port's egress byte
+// counter (plus the shared-buffer peak if withBuffer) — the Fig 9/10
 // campaign plan.
-func AllPortCounters(withBuffer bool) func(rack topo.Rack, rackID, window int) []collector.CounterSpec {
+func AllPortCounters(withBuffer bool) CounterPlan {
 	return func(rack topo.Rack, _, _ int) []collector.CounterSpec {
 		var out []collector.CounterSpec
 		if withBuffer {

@@ -65,6 +65,11 @@ type Config struct {
 	// Params overrides workload parameters per app; nil uses
 	// workload.DefaultParams.
 	Params func(app workload.App) workload.Params
+	// Workers bounds the campaign runner's worker pool: how many
+	// (app, rack, window) cells simulate concurrently. 0 means
+	// runtime.GOMAXPROCS(0). Campaign output is byte-identical for every
+	// worker count (see Runner).
+	Workers int
 	// Metrics, when non-nil, receives campaign telemetry: every poller the
 	// experiment builds reports into one shared PollerMetrics set, and
 	// window/sample progress counters are updated as campaigns run. Nil
@@ -114,6 +119,8 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: Servers = %d", c.Servers)
 	case c.HotThreshold < 0 || c.HotThreshold >= 1:
 		return fmt.Errorf("core: HotThreshold = %v", c.HotThreshold)
+	case c.Workers < 0:
+		return fmt.Errorf("core: Workers = %d", c.Workers)
 	}
 	return nil
 }

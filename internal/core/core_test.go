@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"strings"
 	"sync"
@@ -101,7 +102,7 @@ func quickReport(t *testing.T) (*Experiment, *Report) {
 		if quickErr != nil {
 			return
 		}
-		quickRep, quickErr = quickExp.RunAll()
+		quickRep, quickErr = quickExp.RunAll(context.Background())
 	})
 	if quickErr != nil {
 		t.Fatal(quickErr)
@@ -346,11 +347,11 @@ func TestTable1Shape(t *testing.T) {
 
 func TestByteCampaignDeterminism(t *testing.T) {
 	e, _ := NewExperiment(QuickConfig())
-	a, err := e.RunByteCampaign(workload.Cache, 0)
+	a, err := e.RunByteCampaign(context.Background(), workload.Cache, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := e.RunByteCampaign(workload.Cache, 0)
+	b, err := e.RunByteCampaign(context.Background(), workload.Cache, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

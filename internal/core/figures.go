@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,15 +9,42 @@ import (
 	"mburst/internal/analysis"
 	"mburst/internal/asic"
 	"mburst/internal/collector"
-	"mburst/internal/rng"
 	"mburst/internal/simclock"
 	"mburst/internal/stats"
+	"mburst/internal/topo"
 	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
 // AppECDF holds one empirical distribution per application class.
 type AppECDF map[workload.App]*stats.ECDF
+
+// perCell groups a cell's reduced result with the app that produced it, so
+// multi-app campaign grids can be re-aggregated per app after a single
+// parallel run.
+type perCell[T any] struct {
+	app workload.App
+	v   T
+}
+
+// appGrid builds the rack-major campaign grid for every application class
+// with one shared plan — the layout most figures fan out over.
+func (e *Experiment) appGrid(plan CounterPlan, interval simclock.Duration) []Cell {
+	return e.campaignCells(workload.Apps[:], plan, interval, 0)
+}
+
+// downlinkCounters returns every ToR→server counter of the given kinds.
+func downlinkCounters(servers int, kinds ...asic.CounterKind) CounterPlan {
+	return func(_ topo.Rack, _, _ int) []collector.CounterSpec {
+		var out []collector.CounterSpec
+		for s := 0; s < servers; s++ {
+			for _, k := range kinds {
+				out = append(out, collector.CounterSpec{Port: s, Dir: asic.TX, Kind: k})
+			}
+		}
+		return out
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Fig 1 — drop rate vs. utilization scatter at SNMP granularity.
@@ -32,42 +60,32 @@ type Fig1Result struct {
 // coarse (SNMP-like) granularity: one (utilization, drop-rate) point per
 // ToR-server link per window, mirroring Fig 1's methodology of hourly
 // sub-sampled 4-minute windows.
-func (e *Experiment) Fig1DropUtilScatter() (Fig1Result, error) {
+func (e *Experiment) Fig1DropUtilScatter(ctx context.Context) (Fig1Result, error) {
 	var res Fig1Result
 	coarse := e.cfg.WindowDur / 5
 	if coarse <= 0 {
 		coarse = simclock.Millisecond
 	}
-	for _, app := range workload.Apps {
-		for rack := 0; rack < e.cfg.Racks; rack++ {
-			for w := 0; w < e.cfg.Windows; w++ {
-				net, err := e.newNet(app, rack, w)
-				if err != nil {
-					return res, err
-				}
-				var counters []collector.CounterSpec
-				for s := 0; s < e.cfg.Servers; s++ {
-					counters = append(counters,
-						collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindBytes},
-						collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindDrops},
-					)
-				}
-				samples, err := e.pollWindow(net, counters, coarse)
-				if err != nil {
-					return res, err
-				}
-				split := analysis.Split(samples)
-				for s := 0; s < e.cfg.Servers; s++ {
-					bytes := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}]
-					drops := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
-					pt, err := analysis.CoarseWindow(bytes, drops, net.Switch().Port(s).Speed())
-					if err != nil {
-						continue // window too short for this port; skip
-					}
-					res.Points = append(res.Points, pt)
-				}
+	cells := e.appGrid(downlinkCounters(e.cfg.Servers, asic.KindBytes, asic.KindDrops), coarse)
+	pts, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) ([]analysis.CoarsePoint, error) {
+		split := analysis.Split(run.Samples)
+		var out []analysis.CoarsePoint
+		for s := 0; s < e.cfg.Servers; s++ {
+			bytes := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}]
+			drops := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
+			pt, err := analysis.CoarseWindow(bytes, drops, run.Net.Switch().Port(s).Speed())
+			if err != nil {
+				continue // window too short for this port; skip
 			}
+			out = append(out, pt)
 		}
+		return out, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, p := range pts {
+		res.Points = append(res.Points, p...)
 	}
 	res.Correlation = analysis.DropUtilCorrelation(res.Points)
 	return res, nil
@@ -105,34 +123,28 @@ type Fig2Result struct {
 // experiencing congestion drops"), and bins their drops, reproducing
 // Fig 2's "drops occur in bursts, often lasting less than the measurement
 // granularity".
-func (e *Experiment) Fig2DropTimeSeries() (Fig2Result, error) {
+func (e *Experiment) Fig2DropTimeSeries(ctx context.Context) (Fig2Result, error) {
 	res := Fig2Result{BinDur: e.cfg.WindowDur / 20}
 	if res.BinDur <= 0 {
 		res.BinDur = simclock.Millisecond
 	}
-	run := func(app workload.App) ([]uint64, analysis.Burstiness, float64, error) {
-		net, err := e.newNet(app, 0, 0)
-		if err != nil {
-			return nil, analysis.Burstiness{}, 0, err
-		}
-		// Drops are overwhelmingly in the ToR→server direction (§4.2:
-		// ~90%), so watch every downlink and keep the one that drops
-		// the most.
-		var counters []collector.CounterSpec
-		for s := 0; s < e.cfg.Servers; s++ {
-			counters = append(counters,
-				collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindDrops},
-				collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindBytes},
-			)
-		}
-		// Fig 2 is a continuous time series (12 h in the paper), not a
-		// windowed campaign; run 4× the standard window so rare drop
-		// events on the low-utilization port are observable.
-		samples, err := e.pollFor(net, counters, res.BinDur/4, 4*e.cfg.WindowDur)
-		if err != nil {
-			return nil, analysis.Burstiness{}, 0, err
-		}
-		split := analysis.Split(samples)
+	type port struct {
+		bins  []uint64
+		stats analysis.Burstiness
+		avg   float64
+	}
+	// Drops are overwhelmingly in the ToR→server direction (§4.2: ~90%),
+	// so watch every downlink and keep the one that drops the most. Fig 2
+	// is a continuous time series (12 h in the paper), not a windowed
+	// campaign; run 4× the standard window so rare drop events on the
+	// low-utilization port are observable.
+	plan := downlinkCounters(e.cfg.Servers, asic.KindDrops, asic.KindBytes)
+	cells := []Cell{
+		{App: workload.Web, Plan: plan, Interval: res.BinDur / 4, Duration: 4 * e.cfg.WindowDur},
+		{App: workload.Hadoop, Plan: plan, Interval: res.BinDur / 4, Duration: 4 * e.cfg.WindowDur},
+	}
+	ports, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (port, error) {
+		split := analysis.Split(run.Samples)
 		best, bestDrops := 0, uint64(0)
 		for s := 0; s < e.cfg.Servers; s++ {
 			ds := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
@@ -147,26 +159,24 @@ func (e *Experiment) Fig2DropTimeSeries() (Fig2Result, error) {
 		bytes := split[analysis.SeriesKey{Port: uint16(best), Dir: asic.TX, Kind: asic.KindBytes}]
 		bins, err := analysis.DropTimeSeries(drops, res.BinDur)
 		if err != nil {
-			return nil, analysis.Burstiness{}, 0, err
+			return port{}, err
 		}
-		series, err := analysis.UtilizationSeries(bytes, net.Switch().Port(best).Speed())
+		series, err := analysis.UtilizationSeries(bytes, run.Net.Switch().Port(best).Speed())
 		if err != nil {
-			return nil, analysis.Burstiness{}, 0, err
+			return port{}, err
 		}
 		var avg float64
 		for _, p := range series {
 			avg += p.Util
 		}
 		avg /= float64(len(series))
-		return bins, analysis.DropBurstiness(bins), avg, nil
-	}
-	var err error
-	if res.LowUtil, res.LowStats, res.LowAvg, err = run(workload.Web); err != nil {
+		return port{bins: bins, stats: analysis.DropBurstiness(bins), avg: avg}, nil
+	})
+	if err != nil {
 		return res, err
 	}
-	if res.HighUtil, res.HighStats, res.HighAvg, err = run(workload.Hadoop); err != nil {
-		return res, err
-	}
+	res.LowUtil, res.LowStats, res.LowAvg = ports[0].bins, ports[0].stats, ports[0].avg
+	res.HighUtil, res.HighStats, res.HighAvg = ports[1].bins, ports[1].stats, ports[1].avg
 	return res, nil
 }
 
@@ -195,27 +205,22 @@ type Table1Result struct {
 
 // Table1SamplingLoss measures the byte-counter miss rate at the paper's
 // three intervals (plus context points) against a live Web rack.
-func (e *Experiment) Table1SamplingLoss() (Table1Result, error) {
+func (e *Experiment) Table1SamplingLoss(ctx context.Context) (Table1Result, error) {
 	var res Table1Result
-	for _, us := range []int64{1, 10, 25, 50, 100} {
-		interval := simclock.Micros(us)
-		net, err := e.newNet(workload.Web, 0, 0)
-		if err != nil {
-			return res, err
-		}
-		p, err := collector.NewPoller(collector.PollerConfig{
-			Interval:      interval,
-			Counters:      []collector.CounterSpec{{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}},
-			DedicatedCore: true,
-			Metrics:       e.pollerM,
-		}, net.Switch(), rng.New(e.cfg.Seed^uint64(us)), collector.EmitterFunc(func(wire.Sample) {}))
-		if err != nil {
-			return res, err
-		}
-		p.Install(net.Scheduler())
-		net.Run(e.cfg.WindowDur)
-		res.Rows = append(res.Rows, Table1Row{Interval: interval, MissRate: p.MissRate()})
+	plan := func(topo.Rack, int, int) []collector.CounterSpec {
+		return []collector.CounterSpec{{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}}
 	}
+	var cells []Cell
+	for _, us := range []int64{1, 10, 25, 50, 100} {
+		cells = append(cells, Cell{App: workload.Web, Plan: plan, Interval: simclock.Micros(us)})
+	}
+	rows, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (Table1Row, error) {
+		return Table1Row{Interval: run.Cell.Interval, MissRate: run.MissRate}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Rows = rows
 	return res, nil
 }
 
@@ -239,10 +244,10 @@ type Fig3Result struct {
 
 // Fig3BurstDurations runs the 25 µs byte campaigns and extracts burst
 // durations.
-func (e *Experiment) Fig3BurstDurations() (Fig3Result, error) {
+func (e *Experiment) Fig3BurstDurations(ctx context.Context) (Fig3Result, error) {
 	res := Fig3Result{Durations: make(AppECDF)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(app, 0)
+		c, err := e.RunByteCampaign(ctx, app, 0)
 		if err != nil {
 			return res, err
 		}
@@ -276,10 +281,10 @@ type Fig4Result struct {
 }
 
 // Fig4InterBurstGaps runs byte campaigns and extracts inter-burst gaps.
-func (e *Experiment) Fig4InterBurstGaps() (Fig4Result, error) {
+func (e *Experiment) Fig4InterBurstGaps(ctx context.Context) (Fig4Result, error) {
 	res := Fig4Result{Gaps: make(AppECDF), KS: make(map[workload.App]stats.KSResult)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(app, 0)
+		c, err := e.RunByteCampaign(ctx, app, 0)
 		if err != nil {
 			return res, err
 		}
@@ -313,10 +318,10 @@ type Table2Result struct {
 }
 
 // Table2BurstMarkov fits the burst Markov chains.
-func (e *Experiment) Table2BurstMarkov() (Table2Result, error) {
+func (e *Experiment) Table2BurstMarkov(ctx context.Context) (Table2Result, error) {
 	res := Table2Result{Models: make(map[workload.App]stats.MarkovModel)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(app, 0)
+		c, err := e.RunByteCampaign(ctx, app, 0)
 		if err != nil {
 			return res, err
 		}
@@ -351,10 +356,10 @@ type Fig6Result struct {
 }
 
 // Fig6UtilizationCDF runs byte campaigns and collects utilization samples.
-func (e *Experiment) Fig6UtilizationCDF() (Fig6Result, error) {
+func (e *Experiment) Fig6UtilizationCDF(ctx context.Context) (Fig6Result, error) {
 	res := Fig6Result{Utils: make(AppECDF), HotFrac: make(map[workload.App]float64)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(app, 0)
+		c, err := e.RunByteCampaign(ctx, app, 0)
 		if err != nil {
 			return res, err
 		}
@@ -399,39 +404,46 @@ type Fig5Result struct {
 
 // Fig5PacketSizes polls byte + size-bin counters together at 100 µs (the
 // §5.3 methodology) on random ports and classifies periods by utilization.
-func (e *Experiment) Fig5PacketSizes() (Fig5Result, error) {
+func (e *Experiment) Fig5PacketSizes(ctx context.Context) (Fig5Result, error) {
 	res := Fig5Result{Mix: make(map[workload.App]analysis.PacketMixResult)}
 	interval := 100 * simclock.Microsecond
+	var cells []Cell
 	for _, app := range workload.Apps {
-		agg := analysis.PacketMixResult{Inside: analysis.NewSizeHistogram(), Outside: analysis.NewSizeHistogram()}
-		for rack := 0; rack < e.cfg.Racks; rack++ {
-			for w := 0; w < e.cfg.Windows; w++ {
-				net, err := e.newNet(app, rack, w)
-				if err != nil {
-					return res, err
-				}
-				port := e.randomPort(app, rack, w)
-				samples, err := e.pollWindow(net, []collector.CounterSpec{
-					{Port: port, Dir: asic.TX, Kind: asic.KindBytes},
-					{Port: port, Dir: asic.TX, Kind: asic.KindSizeBins},
-				}, interval)
-				if err != nil {
-					return res, err
-				}
-				split := analysis.Split(samples)
-				bytes := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindBytes}]
-				bins := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindSizeBins}]
-				mix, err := analysis.PacketMixInsideOutside(bytes, bins, net.Switch().Port(port).Speed(), e.threshold())
-				if err != nil {
-					return res, fmt.Errorf("core: fig5 %s rack %d window %d: %w", app, rack, w, err)
-				}
-				agg.Inside.Merge(mix.Inside)
-				agg.Outside.Merge(mix.Outside)
-				agg.InsidePeriods += mix.InsidePeriods
-				agg.OutsidePeriods += mix.OutsidePeriods
+		app := app
+		plan := func(_ topo.Rack, rackID, window int) []collector.CounterSpec {
+			port := e.randomPort(app, rackID, window)
+			return []collector.CounterSpec{
+				{Port: port, Dir: asic.TX, Kind: asic.KindBytes},
+				{Port: port, Dir: asic.TX, Kind: asic.KindSizeBins},
 			}
 		}
-		res.Mix[app] = agg
+		cells = append(cells, e.campaignCells([]workload.App{app}, plan, interval, 0)...)
+	}
+	mixes, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[analysis.PacketMixResult], error) {
+		c := run.Cell
+		port := e.randomPort(c.App, c.RackID, c.Window)
+		split := analysis.Split(run.Samples)
+		bytes := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindBytes}]
+		bins := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindSizeBins}]
+		mix, err := analysis.PacketMixInsideOutside(bytes, bins, run.Net.Switch().Port(port).Speed(), e.threshold())
+		if err != nil {
+			return perCell[analysis.PacketMixResult]{}, fmt.Errorf("fig5: %w", err)
+		}
+		return perCell[analysis.PacketMixResult]{app: c.App, v: mix}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, m := range mixes {
+		agg, ok := res.Mix[m.app]
+		if !ok {
+			agg = analysis.PacketMixResult{Inside: analysis.NewSizeHistogram(), Outside: analysis.NewSizeHistogram()}
+		}
+		agg.Inside.Merge(m.v.Inside)
+		agg.Outside.Merge(m.v.Outside)
+		agg.InsidePeriods += m.v.InsidePeriods
+		agg.OutsidePeriods += m.v.OutsidePeriods
+		res.Mix[m.app] = agg
 	}
 	return res, nil
 }
@@ -482,7 +494,7 @@ type Fig7Result struct {
 // computes the normalized mean absolute deviation per sampling period,
 // plus a coarse rebin: the paper's contrast between 40 µs imbalance and
 // 1 s balance.
-func (e *Experiment) Fig7UplinkMAD() (Fig7Result, error) {
+func (e *Experiment) Fig7UplinkMAD(ctx context.Context) (Fig7Result, error) {
 	rack := e.Rack()
 	res := Fig7Result{MAD: make(map[workload.App]Fig7Curves)}
 	// The paper contrasts 40µs with 1s; a scaled window may be shorter
@@ -492,51 +504,60 @@ func (e *Experiment) Fig7UplinkMAD() (Fig7Result, error) {
 		res.CoarseBin = simclock.Second
 	}
 	interval := 40 * simclock.Microsecond
-	for _, app := range workload.Apps {
-		var egFine, egCoarse, inFine, inCoarse []float64
-		for rackID := 0; rackID < e.cfg.Racks; rackID++ {
-			for w := 0; w < e.cfg.Windows; w++ {
-				net, err := e.newNet(app, rackID, w)
+	plan := func(rack topo.Rack, _, _ int) []collector.CounterSpec {
+		var out []collector.CounterSpec
+		for u := 0; u < rack.NumUplinks; u++ {
+			out = append(out,
+				collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.TX, Kind: asic.KindBytes},
+				collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.RX, Kind: asic.KindBytes},
+			)
+		}
+		return out
+	}
+	type mads struct{ egFine, egCoarse, inFine, inCoarse []float64 }
+	cells := e.appGrid(plan, interval)
+	wins, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[mads], error) {
+		split := analysis.Split(run.Samples)
+		series := func(dir asic.Direction) [][]analysis.UtilPoint {
+			var out [][]analysis.UtilPoint
+			for u := 0; u < rack.NumUplinks; u++ {
+				key := analysis.SeriesKey{Port: uint16(rack.UplinkPort(u)), Dir: dir, Kind: asic.KindBytes}
+				s, err := analysis.UtilizationSeries(split[key], rack.UplinkSpeed)
 				if err != nil {
-					return res, err
+					continue
 				}
-				var counters []collector.CounterSpec
-				for u := 0; u < rack.NumUplinks; u++ {
-					counters = append(counters,
-						collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.TX, Kind: asic.KindBytes},
-						collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.RX, Kind: asic.KindBytes},
-					)
-				}
-				samples, err := e.pollWindow(net, counters, interval)
-				if err != nil {
-					return res, err
-				}
-				split := analysis.Split(samples)
-				series := func(dir asic.Direction) [][]analysis.UtilPoint {
-					var out [][]analysis.UtilPoint
-					for u := 0; u < rack.NumUplinks; u++ {
-						key := analysis.SeriesKey{Port: uint16(rack.UplinkPort(u)), Dir: dir, Kind: asic.KindBytes}
-						s, err := analysis.UtilizationSeries(split[key], rack.UplinkSpeed)
-						if err != nil {
-							continue
-						}
-						out = append(out, s)
-					}
-					return out
-				}
-				eg := series(asic.TX)
-				in := series(asic.RX)
-				egFine = append(egFine, analysis.UplinkMAD(eg)...)
-				inFine = append(inFine, analysis.UplinkMAD(in)...)
-				egCoarse = append(egCoarse, analysis.UplinkMAD(rebinAll(eg, res.CoarseBin))...)
-				inCoarse = append(inCoarse, analysis.UplinkMAD(rebinAll(in, res.CoarseBin))...)
+				out = append(out, s)
 			}
+			return out
+		}
+		eg := series(asic.TX)
+		in := series(asic.RX)
+		return perCell[mads]{app: run.Cell.App, v: mads{
+			egFine:   analysis.UplinkMAD(eg),
+			inFine:   analysis.UplinkMAD(in),
+			egCoarse: analysis.UplinkMAD(rebinAll(eg, res.CoarseBin)),
+			inCoarse: analysis.UplinkMAD(rebinAll(in, res.CoarseBin)),
+		}}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, app := range workload.Apps {
+		var m mads
+		for _, w := range wins {
+			if w.app != app {
+				continue
+			}
+			m.egFine = append(m.egFine, w.v.egFine...)
+			m.egCoarse = append(m.egCoarse, w.v.egCoarse...)
+			m.inFine = append(m.inFine, w.v.inFine...)
+			m.inCoarse = append(m.inCoarse, w.v.inCoarse...)
 		}
 		res.MAD[app] = Fig7Curves{
-			EgressFine:    stats.NewECDF(egFine),
-			EgressCoarse:  stats.NewECDF(egCoarse),
-			IngressFine:   stats.NewECDF(inFine),
-			IngressCoarse: stats.NewECDF(inCoarse),
+			EgressFine:    stats.NewECDF(m.egFine),
+			EgressCoarse:  stats.NewECDF(m.egCoarse),
+			IngressFine:   stats.NewECDF(m.inFine),
+			IngressCoarse: stats.NewECDF(m.inCoarse),
 		}
 	}
 	return res, nil
@@ -584,39 +605,39 @@ type Fig8Result struct {
 
 // Fig8ServerCorrelation polls every downlink at 250 µs (ToR→server) and
 // computes the Pearson matrix.
-func (e *Experiment) Fig8ServerCorrelation() (Fig8Result, error) {
+func (e *Experiment) Fig8ServerCorrelation(ctx context.Context) (Fig8Result, error) {
 	res := Fig8Result{
 		Corr:        make(map[workload.App][][]float64),
 		MeanOffDiag: make(map[workload.App]float64),
 		BlockScore:  make(map[workload.App]float64),
 	}
 	interval := 250 * simclock.Microsecond
+	// One representative rack-window per app: a heatmap is per-rack in the
+	// paper ("three representative racks").
+	var cells []Cell
 	for _, app := range workload.Apps {
-		// One representative rack-window per app: a heatmap is per-rack
-		// in the paper ("three representative racks").
-		net, err := e.newNet(app, 0, 0)
-		if err != nil {
-			return res, err
-		}
-		var counters []collector.CounterSpec
-		for s := 0; s < e.cfg.Servers; s++ {
-			counters = append(counters, collector.CounterSpec{Port: s, Dir: asic.TX, Kind: asic.KindBytes})
-		}
-		samples, err := e.pollWindow(net, counters, interval)
-		if err != nil {
-			return res, err
-		}
-		split := analysis.Split(samples)
+		cells = append(cells, Cell{
+			App: app, Plan: downlinkCounters(e.cfg.Servers, asic.KindBytes), Interval: interval,
+		})
+	}
+	corrs, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) ([][]float64, error) {
+		split := analysis.Split(run.Samples)
 		var series [][]analysis.UtilPoint
 		for s := 0; s < e.cfg.Servers; s++ {
 			key := analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}
-			ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(s).Speed())
+			ser, err := analysis.UtilizationSeries(split[key], run.Net.Switch().Port(s).Speed())
 			if err != nil {
-				return res, err
+				return nil, err
 			}
 			series = append(series, ser)
 		}
-		corr := analysis.ServerCorrelation(series)
+		return analysis.ServerCorrelation(series), nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for i, app := range workload.Apps {
+		corr := corrs[i]
 		res.Corr[app] = corr
 
 		var sum float64
@@ -674,44 +695,45 @@ type Fig9Result struct {
 }
 
 // Fig9HotPortShare polls every port at 300 µs and classifies hot samples.
-func (e *Experiment) Fig9HotPortShare() (Fig9Result, error) {
+func (e *Experiment) Fig9HotPortShare(ctx context.Context) (Fig9Result, error) {
 	rack := e.Rack()
 	res := Fig9Result{Share: make(map[workload.App]analysis.HotShare)}
 	interval := 300 * simclock.Microsecond
-	for _, app := range workload.Apps {
-		var share analysis.HotShare
-		for rackID := 0; rackID < e.cfg.Racks; rackID++ {
-			for w := 0; w < e.cfg.Windows; w++ {
-				net, err := e.newNet(app, rackID, w)
-				if err != nil {
-					return res, err
-				}
-				var counters []collector.CounterSpec
-				for p := 0; p < rack.NumPorts(); p++ {
-					counters = append(counters, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
-				}
-				samples, err := e.pollWindow(net, counters, interval)
-				if err != nil {
-					return res, err
-				}
-				split := analysis.Split(samples)
-				var series [][]analysis.UtilPoint
-				for p := 0; p < rack.NumPorts(); p++ {
-					key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
-					ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(p).Speed())
-					if err != nil {
-						return res, err
-					}
-					series = append(series, ser)
-				}
-				s := analysis.HotPortShare(series, rack.IsUplink, e.threshold())
-				share.UplinkHot += s.UplinkHot
-				share.DownlinkHot += s.DownlinkHot
-			}
+	cells := e.appGrid(AllPortCounters(false), interval)
+	shares, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[analysis.HotShare], error) {
+		series, err := portSeries(run, rack.NumPorts())
+		if err != nil {
+			return perCell[analysis.HotShare]{}, err
 		}
-		res.Share[app] = share
+		s := analysis.HotPortShare(series, rack.IsUplink, e.threshold())
+		return perCell[analysis.HotShare]{app: run.Cell.App, v: s}, nil
+	})
+	if err != nil {
+		return res, err
+	}
+	for _, s := range shares {
+		share := res.Share[s.app]
+		share.UplinkHot += s.v.UplinkHot
+		share.DownlinkHot += s.v.DownlinkHot
+		res.Share[s.app] = share
 	}
 	return res, nil
+}
+
+// portSeries extracts the per-port egress utilization series of a cell that
+// polled every port's byte counter (the Fig 9/10 plans).
+func portSeries(run *CellRun, ports int) ([][]analysis.UtilPoint, error) {
+	split := analysis.Split(run.Samples)
+	series := make([][]analysis.UtilPoint, 0, ports)
+	for p := 0; p < ports; p++ {
+		key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
+		ser, err := analysis.UtilizationSeries(split[key], run.Net.Switch().Port(p).Speed())
+		if err != nil {
+			return nil, err
+		}
+		series = append(series, ser)
+	}
+	return series, nil
 }
 
 // Format renders the Fig 9 summary rows.
@@ -745,7 +767,7 @@ type Fig10Result struct {
 // Fig10BufferOccupancy polls all ports' byte counters plus the shared
 // buffer's peak register at 300 µs and groups 50 ms-scaled windows by the
 // number of hot ports.
-func (e *Experiment) Fig10BufferOccupancy() (Fig10Result, error) {
+func (e *Experiment) Fig10BufferOccupancy(ctx context.Context) (Fig10Result, error) {
 	rack := e.Rack()
 	res := Fig10Result{
 		Box:          make(map[workload.App]map[int]stats.BoxplotSummary),
@@ -763,43 +785,32 @@ func (e *Experiment) Fig10BufferOccupancy() (Fig10Result, error) {
 	if window < simclock.Millisecond {
 		window = simclock.Millisecond
 	}
+	cells := e.appGrid(AllPortCounters(true), interval)
+	wins, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[[]analysis.BufferWindow], error) {
+		series, err := portSeries(run, rack.NumPorts())
+		if err != nil {
+			return perCell[[]analysis.BufferWindow]{}, err
+		}
+		var peaks []wire.Sample
+		for _, s := range run.Samples {
+			if s.Kind == asic.KindBufferPeak {
+				peaks = append(peaks, s)
+			}
+		}
+		w, err := analysis.BufferVsHotPorts(series, peaks, window, e.threshold())
+		if err != nil {
+			return perCell[[]analysis.BufferWindow]{}, err
+		}
+		return perCell[[]analysis.BufferWindow]{app: run.Cell.App, v: w}, nil
+	})
+	if err != nil {
+		return res, err
+	}
 	for _, app := range workload.Apps {
 		var windows []analysis.BufferWindow
-		for rackID := 0; rackID < e.cfg.Racks; rackID++ {
-			for w := 0; w < e.cfg.Windows; w++ {
-				net, err := e.newNet(app, rackID, w)
-				if err != nil {
-					return res, err
-				}
-				counters := []collector.CounterSpec{{Kind: asic.KindBufferPeak}}
-				for p := 0; p < rack.NumPorts(); p++ {
-					counters = append(counters, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
-				}
-				samples, err := e.pollWindow(net, counters, interval)
-				if err != nil {
-					return res, err
-				}
-				split := analysis.Split(samples)
-				var series [][]analysis.UtilPoint
-				for p := 0; p < rack.NumPorts(); p++ {
-					key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
-					ser, err := analysis.UtilizationSeries(split[key], net.Switch().Port(p).Speed())
-					if err != nil {
-						return res, err
-					}
-					series = append(series, ser)
-				}
-				var peaks []wire.Sample
-				for _, s := range samples {
-					if s.Kind == asic.KindBufferPeak {
-						peaks = append(peaks, s)
-					}
-				}
-				wins, err := analysis.BufferVsHotPorts(series, peaks, window, e.threshold())
-				if err != nil {
-					return res, err
-				}
-				windows = append(windows, wins...)
+		for _, w := range wins {
+			if w.app == app {
+				windows = append(windows, w.v...)
 			}
 		}
 		res.Box[app] = analysis.BufferBoxplots(windows)

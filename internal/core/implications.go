@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -38,7 +39,7 @@ type ImplicationsResult struct {
 }
 
 // Implications runs the §7 analyses over fresh byte campaigns.
-func (e *Experiment) Implications() (ImplicationsResult, error) {
+func (e *Experiment) Implications(ctx context.Context) (ImplicationsResult, error) {
 	res := ImplicationsResult{
 		SignalRTTs: []simclock.Duration{
 			50 * simclock.Microsecond,
@@ -50,7 +51,7 @@ func (e *Experiment) Implications() (ImplicationsResult, error) {
 	}
 	th := e.threshold()
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(app, 0)
+		c, err := e.RunByteCampaign(ctx, app, 0)
 		if err != nil {
 			return res, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -12,7 +13,7 @@ func TestImplications(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := exp.Implications()
+	res, err := exp.Implications(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

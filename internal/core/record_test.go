@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"path/filepath"
 	"testing"
 
@@ -18,7 +19,7 @@ func TestRecordCampaignRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := filepath.Join(t.TempDir(), "cache")
-	err = exp.RecordCampaign(workload.Cache, dir, 0, "test", exp.RandomPortCounters(workload.Cache))
+	err = exp.RecordCampaign(context.Background(), workload.Cache, dir, 0, "test", exp.RandomPortCounters(workload.Cache))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -77,7 +78,7 @@ func TestRecordCampaignAllPorts(t *testing.T) {
 		t.Fatal(err)
 	}
 	dir := filepath.Join(t.TempDir(), "hadoop")
-	err = exp.RecordCampaign(workload.Hadoop, dir, 300*simclock.Microsecond, "fig10", AllPortCounters(true))
+	err = exp.RecordCampaign(context.Background(), workload.Hadoop, dir, 300*simclock.Microsecond, "fig10", AllPortCounters(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,10 +116,10 @@ func TestRecordCampaignRefusesOverwrite(t *testing.T) {
 	}
 	dir := filepath.Join(t.TempDir(), "c")
 	plan := exp.RandomPortCounters(workload.Web)
-	if err := exp.RecordCampaign(workload.Web, dir, 0, "", plan); err != nil {
+	if err := exp.RecordCampaign(context.Background(), workload.Web, dir, 0, "", plan); err != nil {
 		t.Fatal(err)
 	}
-	if err := exp.RecordCampaign(workload.Web, dir, 0, "", plan); err == nil {
+	if err := exp.RecordCampaign(context.Background(), workload.Web, dir, 0, "", plan); err == nil {
 		t.Error("second record into same dir succeeded")
 	}
 }

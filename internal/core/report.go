@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,14 +32,14 @@ type Report struct {
 // RunAll produces the full report. The byte campaigns feeding Figs 3, 4,
 // 6 and Table 2 are executed once per app and shared, mirroring the
 // paper's single-counter campaign reuse.
-func (e *Experiment) RunAll() (*Report, error) {
+func (e *Experiment) RunAll(ctx context.Context) (*Report, error) {
 	var r Report
 	var err error
 
 	// Shared 25µs byte campaigns.
 	campaigns := make(map[workload.App]*ByteCampaign)
 	for _, app := range workload.Apps {
-		campaigns[app], err = e.RunByteCampaign(app, 0)
+		campaigns[app], err = e.RunByteCampaign(ctx, app, 0)
 		if err != nil {
 			return nil, fmt.Errorf("byte campaign %v: %w", app, err)
 		}
@@ -72,31 +73,31 @@ func (e *Experiment) RunAll() (*Report, error) {
 		}
 	}
 
-	if r.Fig1, err = e.Fig1DropUtilScatter(); err != nil {
+	if r.Fig1, err = e.Fig1DropUtilScatter(ctx); err != nil {
 		return nil, fmt.Errorf("fig1: %w", err)
 	}
-	if r.Fig2, err = e.Fig2DropTimeSeries(); err != nil {
+	if r.Fig2, err = e.Fig2DropTimeSeries(ctx); err != nil {
 		return nil, fmt.Errorf("fig2: %w", err)
 	}
-	if r.Table1, err = e.Table1SamplingLoss(); err != nil {
+	if r.Table1, err = e.Table1SamplingLoss(ctx); err != nil {
 		return nil, fmt.Errorf("table1: %w", err)
 	}
-	if r.Fig5, err = e.Fig5PacketSizes(); err != nil {
+	if r.Fig5, err = e.Fig5PacketSizes(ctx); err != nil {
 		return nil, fmt.Errorf("fig5: %w", err)
 	}
-	if r.Fig7, err = e.Fig7UplinkMAD(); err != nil {
+	if r.Fig7, err = e.Fig7UplinkMAD(ctx); err != nil {
 		return nil, fmt.Errorf("fig7: %w", err)
 	}
-	if r.Fig8, err = e.Fig8ServerCorrelation(); err != nil {
+	if r.Fig8, err = e.Fig8ServerCorrelation(ctx); err != nil {
 		return nil, fmt.Errorf("fig8: %w", err)
 	}
-	if r.Fig9, err = e.Fig9HotPortShare(); err != nil {
+	if r.Fig9, err = e.Fig9HotPortShare(ctx); err != nil {
 		return nil, fmt.Errorf("fig9: %w", err)
 	}
-	if r.Fig10, err = e.Fig10BufferOccupancy(); err != nil {
+	if r.Fig10, err = e.Fig10BufferOccupancy(ctx); err != nil {
 		return nil, fmt.Errorf("fig10: %w", err)
 	}
-	if r.Implications, err = e.Implications(); err != nil {
+	if r.Implications, err = e.Implications(ctx); err != nil {
 		return nil, fmt.Errorf("implications: %w", err)
 	}
 	return &r, nil

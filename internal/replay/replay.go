@@ -9,6 +9,7 @@
 package replay
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -57,9 +58,14 @@ type Stats struct {
 	VirtualSpan simclock.Duration
 }
 
-// Run replays the campaign at dir into w as wire batches.
-func Run(dir string, w io.Writer, opts Options) (Stats, error) {
+// Run replays the campaign at dir into w as wire batches. ctx cancels a
+// replay between batches; the stats delivered so far are returned with the
+// cancellation error.
+func Run(ctx context.Context, dir string, w io.Writer, opts Options) (Stats, error) {
 	opts.applyDefaults()
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	var st Stats
 	r, err := trace.Open(dir)
 	if err != nil {
@@ -76,6 +82,9 @@ func Run(dir string, w io.Writer, opts Options) (Stats, error) {
 	}
 	bw := wire.NewWriter(w)
 	for _, idx := range windows {
+		if err := ctx.Err(); err != nil {
+			return st, err
+		}
 		var pending []wire.Sample
 		var rack uint32
 		var batchStart simclock.Time
@@ -84,6 +93,9 @@ func Run(dir string, w io.Writer, opts Options) (Stats, error) {
 		flush := func() error {
 			if len(pending) == 0 {
 				return nil
+			}
+			if err := ctx.Err(); err != nil {
+				return err
 			}
 			if err := bw.WriteBatch(&wire.Batch{Rack: rack, Samples: pending}); err != nil {
 				return err

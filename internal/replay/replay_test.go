@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bytes"
+	"context"
 	"io"
 	"net"
 	"path/filepath"
@@ -49,7 +50,7 @@ func writeCampaign(t *testing.T, windows int, samplesPer int) string {
 func TestReplayUnpacedDeliversEverything(t *testing.T) {
 	dir := writeCampaign(t, 3, 5000)
 	var buf bytes.Buffer
-	st, err := Run(dir, &buf, Options{Unpaced: true, BatchSamples: 1000})
+	st, err := Run(context.Background(), dir, &buf, Options{Unpaced: true, BatchSamples: 1000})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,7 +87,7 @@ func TestReplayPacingSleeps(t *testing.T) {
 	dir := writeCampaign(t, 1, 4096)
 	var slept time.Duration
 	var buf bytes.Buffer
-	_, err := Run(dir, &buf, Options{
+	_, err := Run(context.Background(), dir, &buf, Options{
 		Speedup:      10,
 		BatchSamples: 2048,
 		Sleep:        func(d time.Duration) { slept += d },
@@ -104,7 +105,7 @@ func TestReplayPacingSleeps(t *testing.T) {
 func TestReplayWindowSelection(t *testing.T) {
 	dir := writeCampaign(t, 4, 100)
 	var buf bytes.Buffer
-	st, err := Run(dir, &buf, Options{Unpaced: true, Windows: []int{1, 3}})
+	st, err := Run(context.Background(), dir, &buf, Options{Unpaced: true, Windows: []int{1, 3}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -114,11 +115,11 @@ func TestReplayWindowSelection(t *testing.T) {
 }
 
 func TestReplayErrors(t *testing.T) {
-	if _, err := Run(filepath.Join(t.TempDir(), "missing"), &bytes.Buffer{}, Options{}); err == nil {
+	if _, err := Run(context.Background(), filepath.Join(t.TempDir(), "missing"), &bytes.Buffer{}, Options{}); err == nil {
 		t.Error("missing campaign accepted")
 	}
 	dir := writeCampaign(t, 1, 10)
-	if _, err := Run(dir, failingWriter{}, Options{Unpaced: true, BatchSamples: 4}); err == nil {
+	if _, err := Run(context.Background(), dir, failingWriter{}, Options{Unpaced: true, BatchSamples: 4}); err == nil {
 		t.Error("write failure not propagated")
 	}
 }
@@ -142,7 +143,7 @@ func TestReplayIntoLiveCollector(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	st, err := Run(dir, conn, Options{Unpaced: true})
+	st, err := Run(context.Background(), dir, conn, Options{Unpaced: true})
 	if err != nil {
 		t.Fatal(err)
 	}

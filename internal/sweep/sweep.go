@@ -13,9 +13,13 @@
 //     watches where the hot ports move (§6.3's explanation of cache
 //     directionality).
 //   - HotThreshold varies the burst criterion (§5.4's robustness claim).
+//
+// Every sweep fans its measurement cells through the core campaign runner,
+// so Config.Workers and context cancellation apply here too.
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -23,12 +27,9 @@ import (
 	"mburst/internal/asic"
 	"mburst/internal/collector"
 	"mburst/internal/core"
-	"mburst/internal/rng"
 	"mburst/internal/simclock"
-	"mburst/internal/simnet"
 	"mburst/internal/stats"
 	"mburst/internal/topo"
-	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
@@ -69,111 +70,119 @@ func (r Result) Format() string {
 	return strings.TrimRight(b.String(), "\n")
 }
 
+// portZeroBytes polls only port 0's egress byte counter.
+func portZeroBytes(topo.Rack, int, int) []collector.CounterSpec {
+	return []collector.CounterSpec{{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}}
+}
+
 // SamplingInterval sweeps the poller interval against a live rack,
 // reporting the miss rate (Table 1's metric) and how many bursts remain
 // visible at that granularity (§5.1's motivation).
-func SamplingInterval(cfg core.Config, app workload.App, intervals []simclock.Duration) (Result, error) {
+func SamplingInterval(ctx context.Context, cfg core.Config, app workload.App, intervals []simclock.Duration) (Result, error) {
 	res := Result{
 		Name:        "sampling-interval",
 		ParamName:   "interval",
 		MetricNames: []string{"miss-rate-%", "bursts", "p90-burst-µs", "cpu-busy-%"},
 	}
-	for _, interval := range intervals {
-		net, err := simnet.New(simnet.Config{
-			Rack:   topo.Default(cfg.Servers),
-			Params: cfg.ResolvedParams(app),
-			Seed:   cfg.Seed,
-		})
-		if err != nil {
-			return res, err
-		}
-		var samples []wire.Sample
-		const port = 0
-		p, err := collector.NewPoller(collector.PollerConfig{
-			Interval:      interval,
-			Counters:      []collector.CounterSpec{{Port: port, Dir: asic.TX, Kind: asic.KindBytes}},
-			DedicatedCore: true,
-		}, net.Switch(), rng.New(cfg.Seed^uint64(interval)), collector.EmitterFunc(func(s wire.Sample) {
-			samples = append(samples, s)
-		}))
-		if err != nil {
-			return res, err
-		}
-		net.Run(cfg.Warmup)
-		p.Install(net.Scheduler())
-		net.Run(cfg.WindowDur)
-		p.Stop()
-
+	exp, err := core.NewExperiment(cfg)
+	if err != nil {
+		return res, err
+	}
+	cells := make([]core.Cell, len(intervals))
+	for i, interval := range intervals {
+		cells[i] = core.Cell{App: app, Plan: portZeroBytes, Interval: interval}
+	}
+	points, err := core.RunCells(ctx, exp.Runner(), cells, func(run *core.CellRun) (Point, error) {
 		metrics := map[string]float64{
-			"miss-rate-%": p.MissRate() * 100,
-			"cpu-busy-%":  p.CPUBusyFrac() * 100,
+			"miss-rate-%": run.MissRate * 100,
+			"cpu-busy-%":  run.CPUBusy * 100,
 		}
-		if series, err := analysis.UtilizationSeries(samples, net.Switch().Port(port).Speed()); err == nil {
+		if series, err := analysis.UtilizationSeries(run.Samples, run.Net.Switch().Port(0).Speed()); err == nil {
 			durs := analysis.BurstDurations(analysis.Bursts(series, cfg.HotThreshold))
 			metrics["bursts"] = float64(len(durs))
 			if len(durs) > 0 {
 				metrics["p90-burst-µs"] = stats.NewECDF(durs).Quantile(0.9)
 			}
 		}
-		res.Points = append(res.Points, Point{Label: interval.String(), Metrics: metrics})
+		return Point{Label: run.Cell.Interval.String(), Metrics: metrics}, nil
+	})
+	if err != nil {
+		return res, err
 	}
+	res.Points = points
 	return res, nil
 }
 
 // BufferSize sweeps the ToR's shared buffer capacity and reports drops
 // and normalized peak occupancy on a hadoop-class rack.
-func BufferSize(cfg core.Config, app workload.App, sizes []float64) (Result, error) {
+func BufferSize(ctx context.Context, cfg core.Config, app workload.App, sizes []float64) (Result, error) {
 	res := Result{
 		Name:        "buffer-size",
 		ParamName:   "buffer",
 		MetricNames: []string{"drops", "drops-per-ms", "peak-frac", "hot-%"},
 	}
+	// Every port's egress bytes and drops plus the shared-buffer peak
+	// register: enough to derive all four metrics from the sample stream.
+	plan := func(rack topo.Rack, _, _ int) []collector.CounterSpec {
+		out := []collector.CounterSpec{{Kind: asic.KindBufferPeak}}
+		for p := 0; p < rack.NumPorts(); p++ {
+			out = append(out,
+				collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes},
+				collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindDrops},
+			)
+		}
+		return out
+	}
+	interval := 300 * simclock.Microsecond
 	for _, size := range sizes {
-		net, err := simnet.New(simnet.Config{
-			Rack:        topo.Default(cfg.Servers),
-			Params:      cfg.ResolvedParams(app),
-			Seed:        cfg.Seed,
-			BufferBytes: size,
+		c := cfg
+		c.BufferBytes = size
+		exp, err := core.NewExperiment(c)
+		if err != nil {
+			return res, err
+		}
+		cells := []core.Cell{{App: app, Plan: plan, Interval: interval}}
+		points, err := core.RunCells(ctx, exp.Runner(), cells, func(run *core.CellRun) (Point, error) {
+			split := analysis.Split(run.Samples)
+			ports := run.Net.Rack().NumPorts()
+			var drops, peak float64
+			var hot, total int
+			for _, s := range run.Samples {
+				if s.Kind == asic.KindBufferPeak && float64(s.Value) > peak {
+					peak = float64(s.Value)
+				}
+			}
+			for p := 0; p < ports; p++ {
+				ds := split[analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindDrops}]
+				if len(ds) >= 2 {
+					drops += float64(ds[len(ds)-1].Value - ds[0].Value)
+				}
+				bs := split[analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}]
+				series, err := analysis.UtilizationSeries(bs, run.Net.Switch().Port(p).Speed())
+				if err != nil {
+					continue
+				}
+				for _, u := range series {
+					total++
+					if u.Util > analysis.DefaultHotThreshold {
+						hot++
+					}
+				}
+			}
+			metrics := map[string]float64{
+				"drops":        drops,
+				"drops-per-ms": drops / (cfg.WindowDur.Seconds() * 1000),
+				"peak-frac":    peak / size,
+			}
+			if total > 0 {
+				metrics["hot-%"] = float64(hot) / float64(total) * 100
+			}
+			return Point{Label: fmt.Sprintf("%.0fKB", size/1024), Metrics: metrics}, nil
 		})
 		if err != nil {
 			return res, err
 		}
-		net.Run(cfg.Warmup)
-		net.Switch().ReadPeakBufferAndClear()
-		start := net.Switch().TotalDropped()
-		var peak float64
-		var hot, total int
-		prev := make([]uint64, net.Rack().NumPorts())
-		for p := range prev {
-			prev[p] = net.Switch().Port(p).Bytes(asic.TX)
-		}
-		interval := 300 * simclock.Microsecond
-		steps := int(cfg.WindowDur.Ticks(interval))
-		for i := 0; i < steps; i++ {
-			net.Run(interval)
-			if pk := net.Switch().ReadPeakBufferAndClear(); pk > peak {
-				peak = pk
-			}
-			for p := 0; p < net.Rack().NumPorts(); p++ {
-				cur := net.Switch().Port(p).Bytes(asic.TX)
-				util := float64(cur-prev[p]) * 8 / (float64(net.Switch().Port(p).Speed()) * interval.Seconds())
-				prev[p] = cur
-				total++
-				if util > analysis.DefaultHotThreshold {
-					hot++
-				}
-			}
-		}
-		drops := float64(net.Switch().TotalDropped() - start)
-		res.Points = append(res.Points, Point{
-			Label: fmt.Sprintf("%.0fKB", size/1024),
-			Metrics: map[string]float64{
-				"drops":        drops,
-				"drops-per-ms": drops / (cfg.WindowDur.Seconds() * 1000),
-				"peak-frac":    peak / size,
-				"hot-%":        float64(hot) / float64(total) * 100,
-			},
-		})
+		res.Points = append(res.Points, points...)
 	}
 	return res, nil
 }
@@ -181,11 +190,18 @@ func BufferSize(cfg core.Config, app workload.App, sizes []float64) (Result, err
 // Oversubscription sweeps the number of servers under the fixed 4×40G
 // uplinks and reports the uplink share of hot samples and mean uplink
 // utilization for an application.
-func Oversubscription(cfg core.Config, app workload.App, serverCounts []int) (Result, error) {
+func Oversubscription(ctx context.Context, cfg core.Config, app workload.App, serverCounts []int) (Result, error) {
 	res := Result{
 		Name:        "oversubscription",
 		ParamName:   "servers",
 		MetricNames: []string{"oversub", "uplink-share-%", "uplink-mean-%"},
+	}
+	uplinkBytes := func(rack topo.Rack, _, _ int) []collector.CounterSpec {
+		out := make([]collector.CounterSpec, 0, rack.NumUplinks)
+		for u := 0; u < rack.NumUplinks; u++ {
+			out = append(out, collector.CounterSpec{Port: rack.UplinkPort(u), Dir: asic.TX, Kind: asic.KindBytes})
+		}
+		return out
 	}
 	for _, servers := range serverCounts {
 		c := cfg
@@ -194,39 +210,42 @@ func Oversubscription(cfg core.Config, app workload.App, serverCounts []int) (Re
 		if err != nil {
 			return res, err
 		}
-		fig9, err := exp.Fig9HotPortShare()
+		fig9, err := exp.Fig9HotPortShare(ctx)
 		if err != nil {
 			return res, err
 		}
-		// Mean uplink utilization from a short direct run.
-		net, err := simnet.New(simnet.Config{
-			Rack:   topo.Default(servers),
-			Params: c.ResolvedParams(app),
-			Seed:   c.Seed,
+		// Mean uplink utilization from one representative window.
+		cells := []core.Cell{{App: app, Plan: uplinkBytes, Interval: 300 * simclock.Microsecond}}
+		means, err := core.RunCells(ctx, exp.Runner(), cells, func(run *core.CellRun) (float64, error) {
+			rack := run.Net.Rack()
+			split := analysis.Split(run.Samples)
+			var mean float64
+			var n int
+			for u := 0; u < rack.NumUplinks; u++ {
+				key := analysis.SeriesKey{Port: uint16(rack.UplinkPort(u)), Dir: asic.TX, Kind: asic.KindBytes}
+				series, err := analysis.UtilizationSeries(split[key], rack.UplinkSpeed)
+				if err != nil {
+					continue
+				}
+				for _, p := range series {
+					mean += p.Util
+					n++
+				}
+			}
+			if n > 0 {
+				mean /= float64(n)
+			}
+			return mean, nil
 		})
 		if err != nil {
 			return res, err
 		}
-		net.Run(cfg.Warmup)
-		rack := net.Rack()
-		before := make([]uint64, rack.NumUplinks)
-		for u := range before {
-			before[u] = net.Switch().Port(rack.UplinkPort(u)).Bytes(asic.TX)
-		}
-		net.Run(cfg.WindowDur)
-		var mean float64
-		for u := 0; u < rack.NumUplinks; u++ {
-			delta := float64(net.Switch().Port(rack.UplinkPort(u)).Bytes(asic.TX) - before[u])
-			mean += delta * 8 / (float64(rack.UplinkSpeed) * cfg.WindowDur.Seconds())
-		}
-		mean /= float64(rack.NumUplinks)
-
 		res.Points = append(res.Points, Point{
 			Label: fmt.Sprintf("%d", servers),
 			Metrics: map[string]float64{
 				"oversub":        topo.Default(servers).Oversubscription(),
 				"uplink-share-%": fig9.Share[app].UplinkShare() * 100,
-				"uplink-mean-%":  mean * 100,
+				"uplink-mean-%":  means[0] * 100,
 			},
 		})
 	}
@@ -236,7 +255,7 @@ func Oversubscription(cfg core.Config, app workload.App, serverCounts []int) (Re
 // HotThreshold sweeps the burst criterion and reports how the burst count
 // and p90 duration respond (§5.4: weakly, because utilization is
 // multimodal).
-func HotThreshold(cfg core.Config, app workload.App, thresholds []float64) (Result, error) {
+func HotThreshold(ctx context.Context, cfg core.Config, app workload.App, thresholds []float64) (Result, error) {
 	res := Result{
 		Name:        "hot-threshold",
 		ParamName:   "threshold",
@@ -246,7 +265,7 @@ func HotThreshold(cfg core.Config, app workload.App, thresholds []float64) (Resu
 	if err != nil {
 		return res, err
 	}
-	campaign, err := exp.RunByteCampaign(app, 0)
+	campaign, err := exp.RunByteCampaign(ctx, app, 0)
 	if err != nil {
 		return res, err
 	}

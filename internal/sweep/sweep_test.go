@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -16,7 +17,7 @@ func sweepConfig() core.Config {
 }
 
 func TestSamplingIntervalSweep(t *testing.T) {
-	res, err := SamplingInterval(sweepConfig(), workload.Hadoop, []simclock.Duration{
+	res, err := SamplingInterval(context.Background(), sweepConfig(), workload.Hadoop, []simclock.Duration{
 		10 * simclock.Microsecond,
 		25 * simclock.Microsecond,
 		200 * simclock.Microsecond,
@@ -48,7 +49,7 @@ func TestSamplingIntervalSweep(t *testing.T) {
 }
 
 func TestBufferSizeSweep(t *testing.T) {
-	res, err := BufferSize(sweepConfig(), workload.Hadoop, []float64{64 << 10, 1536 << 10, 16 << 20})
+	res, err := BufferSize(context.Background(), sweepConfig(), workload.Hadoop, []float64{64 << 10, 1536 << 10, 16 << 20})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestBufferSizeSweep(t *testing.T) {
 func TestOversubscriptionSweep(t *testing.T) {
 	cfg := sweepConfig()
 	cfg.Windows = 1
-	res, err := Oversubscription(cfg, workload.Cache, []int{8, 32})
+	res, err := Oversubscription(context.Background(), cfg, workload.Cache, []int{8, 32})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +93,7 @@ func TestOversubscriptionSweep(t *testing.T) {
 }
 
 func TestHotThresholdSweep(t *testing.T) {
-	res, err := HotThreshold(sweepConfig(), workload.Hadoop, []float64{0.3, 0.5, 0.7})
+	res, err := HotThreshold(context.Background(), sweepConfig(), workload.Hadoop, []float64{0.3, 0.5, 0.7})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -155,6 +155,29 @@ func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error 
 	return nil
 }
 
+// Discard removes everything the writer created — the metadata file, every
+// window it wrote, and (when empty afterwards) the directory itself. It is
+// the cleanup path for canceled or failed recordings: a campaign directory
+// either holds a complete campaign or nothing.
+func (w *Writer) Discard() error {
+	var firstErr error
+	keep := func(err error) {
+		if err != nil && !os.IsNotExist(err) && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for idx := range w.done {
+		keep(os.Remove(filepath.Join(w.dir, windowFileName(idx))))
+	}
+	keep(os.Remove(filepath.Join(w.dir, MetaFileName)))
+	// Best-effort: only succeeds when the directory held nothing else.
+	os.Remove(w.dir)
+	if firstErr != nil {
+		return fmt.Errorf("trace: discarding campaign: %w", firstErr)
+	}
+	return nil
+}
+
 // Reader reads a campaign from a directory.
 type Reader struct {
 	dir  string

@@ -8,3 +8,9 @@ cd "$(dirname "$0")/.."
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Track serial-vs-parallel campaign wall-clock across PRs. The artifact
+# records the host CPU count; speedup is only meaningful on multi-core
+# runners.
+MBURST_BENCH_OUT="$PWD/BENCH_runner.json" \
+	go test -run TestRunnerBenchArtifact -count=1 ./internal/core
