@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet bench ci
+.PHONY: build test race vet lint bench ci
 
 build:
 	$(GO) build ./...
@@ -14,8 +14,13 @@ race:
 vet:
 	$(GO) vet ./...
 
+# lint runs mblint, the repo-specific analyzer enforcing determinism,
+# clock, RNG, and telemetry invariants (see README "Static analysis").
+lint:
+	$(GO) run ./cmd/mblint ./...
+
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
-ci:
+ci: lint
 	./scripts/ci.sh

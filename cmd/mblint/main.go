@@ -1,0 +1,96 @@
+// Command mblint enforces mburst's determinism, clock, RNG, and telemetry
+// invariants (see internal/lint). It is dependency-free: packages are
+// discovered with `go list` and type-checked from source, so it runs
+// anywhere the go toolchain does.
+//
+// Usage:
+//
+//	mblint [-json] [-rules rule1,rule2] [packages]
+//
+// Packages default to ./... relative to the working directory. Exit code
+// is 0 when clean, 1 when findings were reported, 2 when the run itself
+// failed (bad flags, unknown rule, load error).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"mburst/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("mblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (empty array when clean)")
+	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: mblint [-json] [-rules rule1,rule2] [packages]\n\nrules:\n")
+		for _, a := range lint.NewAnalyzers() {
+			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var names []string
+	if *rules != "" {
+		for _, n := range strings.Split(*rules, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				names = append(names, n)
+			}
+		}
+	}
+	analyzers, err := lint.SelectAnalyzers(names)
+	if err != nil {
+		fmt.Fprintln(stderr, "mblint:", err)
+		return 2
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "mblint:", err)
+		return 2
+	}
+	loader := lint.NewLoader(dir)
+	pkgs, err := loader.Load(fs.Args()...)
+	if err != nil {
+		fmt.Fprintln(stderr, "mblint:", err)
+		return 2
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(stderr, "mblint: %s: type error: %v\n", pkg.Path, terr)
+		}
+	}
+
+	diags := lint.RunPackages(pkgs, analyzers)
+
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []lint.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintln(stderr, "mblint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

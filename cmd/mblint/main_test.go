@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T) *os.File {
+	t.Helper()
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func readBack(t *testing.T, f *os.File) string {
+	t.Helper()
+	data, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestUnknownRuleExits2(t *testing.T) {
+	stdout, stderr := capture(t), capture(t)
+	if code := run([]string{"-rules", "nosuchrule"}, stdout, stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(readBack(t, stderr), "unknown rule") {
+		t.Errorf("stderr missing unknown-rule message: %q", readBack(t, stderr))
+	}
+}
+
+func TestCleanPackageEmitsEmptyJSONArray(t *testing.T) {
+	stdout, stderr := capture(t), capture(t)
+	// internal/simclock is small, dependency-light, and must stay clean.
+	if code := run([]string{"-json", "mburst/internal/simclock"}, stdout, stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, readBack(t, stderr))
+	}
+	out := strings.TrimSpace(readBack(t, stdout))
+	if out != "[]" {
+		t.Errorf("JSON output = %q, want empty array", out)
+	}
+}

@@ -112,12 +112,25 @@ func (c *Client) Close() error {
 // once per connection goroutine.
 type BatchHandler func(b *wire.Batch)
 
+// ServerConfig tunes a Server beyond the defaults.
+type ServerConfig struct {
+	// Metrics, when non-nil, receives service telemetry (connection
+	// counts, decode errors, per-batch ingest latency).
+	Metrics *ServerMetrics
+	// Now is the clock used to stamp ingest latency (default time.Now).
+	// Simulated runs inject a deterministic clock so the poll path never
+	// reads wall time (the same injection pattern as
+	// ReconnectingClientConfig.Sleep).
+	Now func() time.Time
+}
+
 // Server is the collector service: it accepts switch connections and
 // decodes their batch streams.
 type Server struct {
 	ln      net.Listener
 	handler BatchHandler
 	m       ServerMetrics
+	now     func() time.Time
 
 	mu     sync.Mutex
 	closed bool
@@ -138,12 +151,21 @@ func Serve(ln net.Listener, handler BatchHandler) *Server {
 // ServeWith is Serve with service telemetry attached (connection counts,
 // decode errors, per-batch ingest latency). m may be nil.
 func ServeWith(ln net.Listener, handler BatchHandler, m *ServerMetrics) *Server {
+	return ServeConfigured(ln, handler, ServerConfig{Metrics: m})
+}
+
+// ServeConfigured is Serve with full configuration (telemetry and an
+// injectable clock).
+func ServeConfigured(ln net.Listener, handler BatchHandler, cfg ServerConfig) *Server {
 	if handler == nil {
 		panic("collector: nil handler")
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{})}
-	if m != nil {
-		s.m = *m
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{}), now: cfg.Now}
+	if cfg.Metrics != nil {
+		s.m = *cfg.Metrics
+	}
+	if s.now == nil {
+		s.now = time.Now
 	}
 	s.wg.Add(1)
 	go s.acceptLoop()
@@ -209,9 +231,9 @@ func (s *Server) serveConn(conn net.Conn) {
 			return
 		}
 		if s.m.IngestLatency != nil {
-			t0 := time.Now()
+			t0 := s.now()
 			s.handler(b)
-			s.m.IngestLatency.Observe(float64(time.Since(t0)) / 1e3)
+			s.m.IngestLatency.Observe(float64(s.now().Sub(t0)) / 1e3)
 		} else {
 			s.handler(b)
 		}

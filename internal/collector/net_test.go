@@ -4,10 +4,12 @@ import (
 	"bytes"
 	"errors"
 	"net"
+	"sync"
 	"testing"
 	"time"
 
 	"mburst/internal/asic"
+	"mburst/internal/obs"
 	"mburst/internal/simclock"
 	"mburst/internal/wire"
 )
@@ -200,6 +202,51 @@ func TestServerRejectsGarbage(t *testing.T) {
 	}
 	if !errors.Is(srv.LastErr(), wire.ErrCorrupt) {
 		t.Errorf("err = %v, want ErrCorrupt", srv.LastErr())
+	}
+}
+
+func TestServeConfiguredInjectedClock(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deterministic clock that advances 40 µs per reading: every batch
+	// must be stamped with exactly that latency, proving the ingest path
+	// reads the injected clock and never the wall clock.
+	var mu sync.Mutex
+	fake := time.Unix(0, 0)
+	now := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		fake = fake.Add(40 * time.Microsecond)
+		return fake
+	}
+	reg := obs.NewRegistry()
+	m := NewServerMetrics(reg)
+	sink := &MemSink{}
+	srv := ServeConfigured(ln, sink.Handle, ServerConfig{Metrics: m, Now: now})
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, 1, 4)
+	for i := 0; i < 4; i++ {
+		c.Emit(mkSample(i))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for m.IngestLatency.Count() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no ingest latency observation recorded")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if got, want := m.IngestLatency.Sum(), 40.0; got != want {
+		t.Errorf("ingest latency sum = %v µs, want exactly %v (injected clock step)", got, want)
 	}
 }
 

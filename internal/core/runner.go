@@ -92,6 +92,7 @@ func (r *Runner) Workers() int { return r.workers }
 // cells finish and their errors are aggregated.
 func (r *Runner) Run(ctx context.Context, cells []Cell, visit func(i int, run *CellRun) error) error {
 	if ctx == nil {
+		//lint:ignore ctxroot nil-ctx convenience fallback for library callers; no parent to thread
 		ctx = context.Background()
 	}
 	if len(cells) == 0 {

@@ -1,0 +1,40 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+func newCtxroot() *Analyzer {
+	a := &Analyzer{
+		Name: "ctxroot",
+		Doc: "Contexts are threaded from the entry point, never re-rooted: " +
+			"context.Background()/TODO() in library code detaches work from the " +
+			"caller's cancellation and deadline, so SIGINT stops the campaign " +
+			"runner but not the subtree that re-rooted itself. Only main packages " +
+			"(cmd/*, examples/*) and tests may mint root contexts; deliberate " +
+			"nil-ctx fallbacks carry a //lint:ignore ctxroot annotation.",
+	}
+	a.Run = func(p *Pass) {
+		if p.Pkg != nil && p.Pkg.Name() == "main" {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if !isPkgFunc(fn, "context", "Background") && !isPkgFunc(fn, "context", "TODO") {
+					return true
+				}
+				if isTestFile(p.Fset, call.Pos()) {
+					return true
+				}
+				p.Reportf(call.Pos(), "context.%s() roots a new context in library package %s; thread the caller's ctx (or annotate a deliberate fallback)", fn.Name(), p.Path)
+				return true
+			})
+		}
+	}
+	return a
+}

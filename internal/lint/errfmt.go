@@ -1,0 +1,111 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+func newErrfmt() *Analyzer {
+	errIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	a := &Analyzer{
+		Name: "errfmt",
+		Doc: "Error strings are not capitalized (they compose mid-sentence after " +
+			"\"...: \"), and fmt.Errorf that formats an error value uses %w so " +
+			"callers can errors.Is/As through the wrap. The first word is exempt " +
+			"when it is an identifier or initialism (contains upper case beyond " +
+			"the first rune).",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				isNew := isPkgFunc(fn, "errors", "New")
+				isErrorf := isPkgFunc(fn, "fmt", "Errorf")
+				if (!isNew && !isErrorf) || len(call.Args) == 0 || isTestFile(p.Fset, call.Pos()) {
+					return true
+				}
+				lit := leftmostString(call.Args[0])
+				if lit == nil {
+					return true
+				}
+				s, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				if capitalized(s) {
+					p.Reportf(lit.Pos(), "error string %q is capitalized; error strings compose after \"...: \" and start lower-case", firstWord(s))
+				}
+				if isErrorf && !strings.Contains(s, "%w") {
+					for _, arg := range call.Args[1:] {
+						t := p.Info.TypeOf(arg)
+						if t == nil || t == types.Typ[types.UntypedNil] {
+							continue
+						}
+						if types.Implements(t, errIface) {
+							p.Reportf(arg.Pos(), "error formatted without %%w; use %%w so callers can unwrap")
+							break
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// leftmostString descends a chain of string concatenations to the leading
+// literal, which is where a capitalization problem would be.
+func leftmostString(e ast.Expr) *ast.BasicLit {
+	for {
+		switch x := e.(type) {
+		case *ast.BasicLit:
+			if x.Kind == token.STRING {
+				return x
+			}
+			return nil
+		case *ast.BinaryExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// capitalized reports whether s starts with an upper-case letter that
+// begins an ordinary word (not an identifier or initialism: those contain
+// further upper case, like "FanIn" or "EOF").
+func capitalized(s string) bool {
+	first, size := utf8.DecodeRuneInString(s)
+	if !unicode.IsUpper(first) {
+		return false
+	}
+	word := firstWord(s[size:])
+	for _, r := range word {
+		if unicode.IsUpper(r) {
+			return false
+		}
+	}
+	return true
+}
+
+func firstWord(s string) string {
+	end := strings.IndexFunc(s, func(r rune) bool {
+		return !unicode.IsLetter(r) && !unicode.IsDigit(r)
+	})
+	if end < 0 {
+		return s
+	}
+	return s[:end]
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+func newGlobalrand() *Analyzer {
+	a := &Analyzer{
+		Name: "globalrand",
+		Doc: "All randomness flows through mburst/internal/rng seeded, splittable " +
+			"streams. math/rand (and math/rand/v2) package functions — including the " +
+			"global-source conveniences and New/NewSource — make component behaviour " +
+			"depend on call ordering across the program and break seed-stable " +
+			"campaign output; they are permitted only inside internal/rng itself.",
+	}
+	a.Run = func(p *Pass) {
+		if strings.HasSuffix(p.Path, "internal/rng") {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				path := fn.Pkg().Path()
+				if path != "math/rand" && path != "math/rand/v2" {
+					return true
+				}
+				// Only package-level functions: methods on an externally
+				// supplied *rand.Rand are its owner's problem.
+				if fn.Type().(*types.Signature).Recv() != nil {
+					return true
+				}
+				if isTestFile(p.Fset, sel.Pos()) {
+					return true
+				}
+				p.Reportf(sel.Pos(), "%s.%s outside internal/rng; derive a stream with rng.New/Split instead", path, fn.Name())
+				return true
+			})
+		}
+	}
+	return a
+}

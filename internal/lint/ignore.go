@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive:
+//
+//	//lint:ignore rule reason
+//
+// A directive suppresses findings of the named rule on its own line or the
+// line directly below it (so it can share the offending line or sit on its
+// own line above a statement). Directives are validated: the rule must
+// exist, the reason must be non-empty, and — when the named rule actually
+// ran — the directive must suppress at least one finding; violations are
+// reported under the reserved rule name "lint", which cannot itself be
+// suppressed.
+const ignorePrefix = "lint:ignore"
+
+// LintRule is the reserved rule name for problems with the lint run
+// itself (malformed, unknown, or stale //lint:ignore directives).
+const LintRule = "lint"
+
+type directive struct {
+	file   string
+	line   int
+	col    int
+	rule   string
+	reason string
+	used   bool
+}
+
+// applyIgnores removes diagnostics suppressed by well-formed directives
+// and appends a diagnostic for every directive problem.
+func applyIgnores(pkgs []*Package, analyzers []*Analyzer, diags []Diagnostic) []Diagnostic {
+	known := make(map[string]bool)
+	for _, a := range NewAnalyzers() {
+		known[a.Name] = true
+	}
+	active := make(map[string]bool)
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+
+	var directives []*directive
+	var problems []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					d, diag := parseDirective(pkg, c, known)
+					if diag != nil {
+						problems = append(problems, *diag)
+					}
+					if d != nil {
+						directives = append(directives, d)
+					}
+				}
+			}
+		}
+	}
+
+	var kept []Diagnostic
+	for _, diag := range diags {
+		suppressed := false
+		for _, d := range directives {
+			if d.rule == diag.Rule && d.file == diag.File &&
+				(d.line == diag.Line || d.line == diag.Line-1) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			kept = append(kept, diag)
+		}
+	}
+
+	for _, d := range directives {
+		if !d.used && active[d.rule] {
+			problems = append(problems, Diagnostic{
+				File: d.file, Line: d.line, Col: d.col, Rule: LintRule,
+				Message: "stale //lint:ignore: no " + d.rule + " finding on this or the next line",
+			})
+		}
+	}
+	sort.Slice(problems, func(i, j int) bool {
+		a, b := problems[i], problems[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return append(kept, problems...)
+}
+
+// parseDirective interprets one comment. It returns a directive when the
+// comment is a well-formed suppression, and a diagnostic when the comment
+// tries to be one but is malformed or names an unknown rule.
+func parseDirective(pkg *Package, c *ast.Comment, known map[string]bool) (*directive, *Diagnostic) {
+	text := c.Text
+	if strings.HasPrefix(text, "//") {
+		text = text[2:]
+	} else if strings.HasPrefix(text, "/*") {
+		text = strings.TrimSuffix(text[2:], "*/")
+	}
+	if !strings.HasPrefix(strings.TrimSpace(text), ignorePrefix) {
+		return nil, nil
+	}
+	pos := pkg.Fset.Position(c.Pos())
+	rest := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), ignorePrefix))
+	bad := func(msg string) *Diagnostic {
+		return &Diagnostic{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Rule: LintRule, Message: msg,
+		}
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, bad("malformed //lint:ignore: want \"//lint:ignore rule reason\"")
+	}
+	rule := fields[0]
+	if !known[rule] {
+		return nil, bad("unknown rule " + strconv.Quote(rule) + " in //lint:ignore (known: " + strings.Join(RuleNames(), ", ") + ")")
+	}
+	if len(fields) < 2 {
+		return nil, bad("//lint:ignore " + rule + " is missing a reason")
+	}
+	return &directive{
+		file: pos.Filename, line: pos.Line, col: pos.Column,
+		rule: rule, reason: strings.TrimSpace(strings.TrimPrefix(rest, rule)),
+	}, nil
+}

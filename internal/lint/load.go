@@ -1,0 +1,237 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// TypeErrors holds non-fatal type-checker complaints. Analysis runs
+	// on whatever type information was recovered.
+	TypeErrors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+}
+
+// Loader discovers packages with the go command and type-checks them from
+// source. Standard-library imports resolve through the stdlib source
+// importer, so no compiled export data (and no external module) is needed.
+type Loader struct {
+	// Dir is the working directory for go list invocations; it must be
+	// inside the module.
+	Dir string
+
+	fset  *token.FileSet
+	std   types.Importer
+	local map[string]*types.Package
+}
+
+// NewLoader returns a loader rooted at dir.
+func NewLoader(dir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		Dir:   dir,
+		fset:  fset,
+		std:   importer.ForCompiler(fset, "source", nil),
+		local: make(map[string]*types.Package),
+	}
+}
+
+// Fset returns the loader's shared file set.
+func (l *Loader) Fset() *token.FileSet { return l.fset }
+
+// Load resolves patterns (e.g. "./...") to packages, type-checks them and
+// their in-module dependencies in dependency order, and returns the
+// pattern-matched packages. Test files are not loaded; the invariants
+// mblint enforces concern production code paths.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	metas, err := l.goList(patterns)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, m := range metas {
+		if m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := l.check(m)
+		if err != nil {
+			return nil, err
+		}
+		if !m.DepOnly {
+			out = append(out, pkg)
+		}
+	}
+	return out, nil
+}
+
+// LoadDir parses every .go file in dir as a single package with the given
+// import path and type-checks it. Imports are resolved against the
+// enclosing module (for in-module paths) or the standard library. This is
+// the fixture loader used by the analyzer tests: fixture trees live under
+// testdata/ where the go tool will not see them, and the import path is
+// chosen by the test (rule applicability keys off it).
+func (l *Loader) LoadDir(dir, importPath string) (*Package, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	var files []*ast.File
+	for _, p := range paths {
+		f, err := parser.ParseFile(l.fset, p, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.checkFiles(importPath, dir, files)
+}
+
+// goList runs `go list -deps -json` and decodes the package stream, which
+// the go command emits in dependency order (imports before importers).
+func (l *Loader) goList(patterns []string) ([]*listPackage, error) {
+	args := append([]string{"list", "-deps", "-json", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.Dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %w: %s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var metas []*listPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		var m listPackage
+		if err := dec.Decode(&m); err != nil {
+			if errors.Is(err, io.EOF) {
+				break
+			}
+			return nil, fmt.Errorf("decoding go list output: %w", err)
+		}
+		metas = append(metas, &m)
+	}
+	return metas, nil
+}
+
+// check parses and type-checks one listed package, caching the result for
+// importers downstream in the dependency order.
+func (l *Loader) check(m *listPackage) (*Package, error) {
+	var files []*ast.File
+	for _, name := range m.GoFiles {
+		path := filepath.Join(m.Dir, name)
+		f, err := parser.ParseFile(l.fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return l.checkFiles(m.ImportPath, m.Dir, files)
+}
+
+func (l *Loader) checkFiles(importPath, dir string, files []*ast.File) (*Package, error) {
+	pkg := &Package{
+		Path:  importPath,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Info: &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		},
+	}
+	conf := types.Config{
+		Importer: (*loaderImporter)(l),
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	tpkg, err := conf.Check(importPath, l.fset, files, pkg.Info)
+	if tpkg == nil {
+		return nil, fmt.Errorf("type-checking %s: %w", importPath, err)
+	}
+	pkg.Types = tpkg
+	l.local[importPath] = tpkg
+	return pkg, nil
+}
+
+// loaderImporter resolves imports during type-checking: in-module packages
+// come from the loader's source-checked cache (loading on demand for
+// fixture packages whose dependencies were not pre-listed), everything
+// else from the stdlib source importer.
+type loaderImporter Loader
+
+func (li *loaderImporter) Import(path string) (*types.Package, error) {
+	l := (*Loader)(li)
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	if isStd(path) {
+		return l.std.Import(path)
+	}
+	// Module-internal import not yet checked (fixture packages import the
+	// real tree): load its dependency chain through go list.
+	metas, listErr := l.goList([]string{path})
+	if listErr != nil {
+		return nil, fmt.Errorf("import %q: %w", path, listErr)
+	}
+	for _, m := range metas {
+		if m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		if _, ok := l.local[m.ImportPath]; ok {
+			continue
+		}
+		if _, chkErr := l.check(m); chkErr != nil {
+			return nil, chkErr
+		}
+	}
+	if pkg, ok := l.local[path]; ok {
+		return pkg, nil
+	}
+	return nil, fmt.Errorf("import %q: not found after go list", path)
+}
+
+// isStd reports whether path looks like a standard-library import (no
+// domain element in the first path segment).
+func isStd(path string) bool {
+	first := path
+	if i := strings.Index(path, "/"); i >= 0 {
+		first = path[:i]
+	}
+	return !strings.Contains(first, ".")
+}

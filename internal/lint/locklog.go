@@ -1,0 +1,173 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// locklog guards the pattern that bit mbcollectd in PR 1: a method locks
+// the receiver's mutex and then calls another method on the same receiver
+// — typically a logging or snapshot helper — that re-acquires the same
+// mutex, deadlocking on sync.Mutex (or silently serializing on RWMutex).
+// The analysis is one level deep and flow-approximate: within a method
+// body, a call to a sibling method that locks mutex field F is flagged if
+// it appears after a plain F.Lock()/RLock() with no intervening plain
+// Unlock (deferred unlocks hold to function exit).
+func newLocklog() *Analyzer {
+	a := &Analyzer{
+		Name: "locklog",
+		Doc: "A method must not call another method on the same receiver while " +
+			"holding a mutex that the callee also acquires (e.g. locking mu and " +
+			"then calling the receiver's logging/snapshot helper): the re-entry " +
+			"deadlocks. Restructure so the helper takes the data, not the lock.",
+	}
+	a.Run = func(p *Pass) {
+		// Pass 1: which mutex fields does each method of each named type
+		// acquire?
+		type methodKey struct {
+			typ  *types.TypeName
+			name string
+		}
+		acquires := make(map[methodKey]map[string]bool)
+		methods := make([]*ast.FuncDecl, 0)
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+					continue
+				}
+				methods = append(methods, fd)
+				recvObj, named := receiverOf(p, fd)
+				if recvObj == nil {
+					continue
+				}
+				key := methodKey{named.Obj(), fd.Name.Name}
+				for _, ev := range lockEvents(p, fd, recvObj, named, nil) {
+					if ev.kind == evLock {
+						if acquires[key] == nil {
+							acquires[key] = make(map[string]bool)
+						}
+						acquires[key][ev.field] = true
+					}
+				}
+			}
+		}
+
+		// Pass 2: simulate each method's lock state and flag re-entrant
+		// sibling calls made while a shared mutex is held.
+		for _, fd := range methods {
+			if isTestFile(p.Fset, fd.Pos()) {
+				continue
+			}
+			recvObj, named := receiverOf(p, fd)
+			if recvObj == nil {
+				continue
+			}
+			lookup := func(method string) map[string]bool {
+				return acquires[methodKey{named.Obj(), method}]
+			}
+			evs := lockEvents(p, fd, recvObj, named, lookup)
+			sort.Slice(evs, func(i, j int) bool { return evs[i].pos < evs[j].pos })
+			held := make(map[string]bool)
+			for _, ev := range evs {
+				switch ev.kind {
+				case evLock:
+					held[ev.field] = true
+				case evUnlock:
+					held[ev.field] = false
+				case evCall:
+					if held[ev.field] {
+						p.Reportf(ev.pos, "%s calls %s.%s while %s is held; the callee re-acquires it (deadlock)",
+							fd.Name.Name, recvObj.Name(), ev.callee, ev.field)
+					}
+				}
+			}
+		}
+	}
+	return a
+}
+
+const (
+	evLock = iota
+	evUnlock
+	evCall
+)
+
+type lockEvent struct {
+	pos    token.Pos
+	kind   int
+	field  string // mutex field involved
+	callee string // for evCall, the sibling method name
+}
+
+// receiverOf resolves a method's named receiver variable and type.
+func receiverOf(p *Pass, fd *ast.FuncDecl) (*types.Var, *types.Named) {
+	recv := fd.Recv.List[0]
+	if len(recv.Names) == 0 {
+		return nil, nil
+	}
+	obj, _ := p.Info.Defs[recv.Names[0]].(*types.Var)
+	if obj == nil {
+		return nil, nil
+	}
+	named := namedOrPointee(obj.Type())
+	if named == nil {
+		return nil, nil
+	}
+	return obj, named
+}
+
+// lockEvents walks a method body collecting Lock/Unlock operations on the
+// receiver's mutex fields and — when lookup is non-nil — calls to sibling
+// methods known to acquire one of those fields (one evCall per field the
+// callee acquires). Deferred Unlocks are skipped: they hold to exit.
+func lockEvents(p *Pass, fd *ast.FuncDecl, recvObj *types.Var, named *types.Named, lookup func(string) map[string]bool) []lockEvent {
+	deferred := make(map[*ast.CallExpr]bool)
+	var evs []lockEvent
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok {
+			deferred[d.Call] = true
+			return true
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		// recv.field.Lock() / Unlock() and RW variants.
+		if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+			if id, ok := inner.X.(*ast.Ident); ok && p.Info.Uses[id] == recvObj {
+				ft := p.Info.TypeOf(inner)
+				if ft != nil && isSyncLock(ft) {
+					switch sel.Sel.Name {
+					case "Lock", "RLock":
+						if !deferred[call] {
+							evs = append(evs, lockEvent{pos: call.Pos(), kind: evLock, field: inner.Sel.Name})
+						}
+					case "Unlock", "RUnlock":
+						if !deferred[call] {
+							evs = append(evs, lockEvent{pos: call.Pos(), kind: evUnlock, field: inner.Sel.Name})
+						}
+					}
+				}
+			}
+			return true
+		}
+		// recv.Sibling(...)
+		if lookup == nil {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && p.Info.Uses[id] == recvObj {
+			for field := range lookup(sel.Sel.Name) {
+				evs = append(evs, lockEvent{pos: call.Pos(), kind: evCall, field: field, callee: sel.Sel.Name})
+			}
+		}
+		return true
+	})
+	return evs
+}

@@ -1,0 +1,85 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// metricNamePattern is the repo's telemetry naming scheme (README
+// "Observability"): one mburst_ namespace so dashboards and alerts can
+// select the whole pipeline with a single matcher.
+var metricNamePattern = regexp.MustCompile(`^mburst_[a-z0-9_]+$`)
+
+// registryMethods are the obs.Registry constructors that take a metric
+// name as their first argument.
+var registryMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "Histogram": true,
+	"CounterFunc": true, "GaugeFunc": true,
+}
+
+func newMetricname() *Analyzer {
+	type site struct {
+		file string
+		line int
+	}
+	seen := make(map[string]site) // metric name → first registration site
+	a := &Analyzer{
+		Name: "metricname",
+		Doc: "Every obs.Registry instrument is registered with a string-literal " +
+			"name matching ^mburst_[a-z0-9_]+$, unique across the repo. Literal, " +
+			"schema-conforming names keep the exposition greppable and let " +
+			"dashboards select the pipeline with one matcher; uniqueness prevents " +
+			"two subsystems from silently merging their series. Conventional " +
+			"go_*/process_* runtime metrics carry //lint:ignore annotations.",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil || !registryMethods[fn.Name()] || len(call.Args) == 0 {
+					return true
+				}
+				recv := fn.Type().(*types.Signature).Recv()
+				if recv == nil {
+					return true
+				}
+				named := namedOrPointee(recv.Type())
+				if named == nil || named.Obj().Name() != "Registry" ||
+					named.Obj().Pkg() == nil || !strings.HasSuffix(named.Obj().Pkg().Path(), "internal/obs") {
+					return true
+				}
+				arg := call.Args[0]
+				lit, ok := arg.(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					p.Reportf(arg.Pos(), "obs.Registry.%s name must be a string literal so mblint can check the mburst_* scheme", fn.Name())
+					return true
+				}
+				name, err := strconv.Unquote(lit.Value)
+				if err != nil {
+					return true
+				}
+				pos := p.Fset.Position(lit.Pos())
+				if !metricNamePattern.MatchString(name) {
+					p.Reportf(lit.Pos(), "metric name %q does not match %s", name, metricNamePattern)
+				}
+				if first, dup := seen[name]; dup {
+					p.Reportf(lit.Pos(), "metric name %q already registered at %s", name,
+						fmt.Sprintf("%s:%d", first.file, first.line))
+				} else {
+					seen[name] = site{file: pos.Filename, line: pos.Line}
+				}
+				return true
+			})
+		}
+	}
+	return a
+}

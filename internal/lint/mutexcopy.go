@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func newMutexcopy() *Analyzer {
+	a := &Analyzer{
+		Name: "mutexcopy",
+		Doc: "Receivers, parameters, and results must not pass a sync.Mutex or " +
+			"sync.RWMutex (or any struct containing one) by value: the copy locks " +
+			"independently of the original, which silently un-serializes the " +
+			"collector hot paths that depend on it.",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || isTestFile(p.Fset, fd.Pos()) {
+					continue
+				}
+				check := func(list *ast.FieldList, kind string) {
+					if list == nil {
+						return
+					}
+					for _, field := range list.List {
+						t := p.Info.TypeOf(field.Type)
+						if t == nil {
+							continue
+						}
+						if lock := lockInside(t, nil); lock != "" {
+							p.Reportf(field.Pos(), "%s of %s passes %s by value; pass a pointer",
+								kind, fd.Name.Name, lock)
+						}
+					}
+				}
+				check(fd.Recv, "receiver")
+				check(fd.Type.Params, "parameter")
+				check(fd.Type.Results, "result")
+			}
+		}
+	}
+	return a
+}
+
+// lockInside reports the description of a lock reachable by value inside
+// t ("" if none). Pointers, maps, slices, and channels are references and
+// stop the walk.
+func lockInside(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	if seen == nil {
+		seen = make(map[types.Type]bool)
+	}
+	seen[t] = true
+	if isSyncLock(t) {
+		return t.String()
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if lock := lockInside(u.Field(i).Type(), seen); lock != "" {
+				return lock
+			}
+		}
+	case *types.Array:
+		return lockInside(u.Elem(), seen)
+	}
+	return ""
+}

@@ -1,0 +1,48 @@
+package lint
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestRegressExactPositions runs every rule over a fixture tree seeding
+// exactly one violation per rule and asserts the exact file:line:col and
+// rule of each finding. This is deliberately brittle: an analyzer
+// refactor that shifts a position or stops detecting a rule fails here
+// instead of silently weakening CI (ISSUE 3 satellite). Editing
+// testdata/regress/fixture.go requires updating this table.
+func TestRegressExactPositions(t *testing.T) {
+	want := []string{
+		"testdata/regress/fixture.go:34:9 locklog",
+		"testdata/regress/fixture.go:38:16 mutexcopy",
+		"testdata/regress/fixture.go:44:9 wallclock",
+		"testdata/regress/fixture.go:49:9 globalrand",
+		"testdata/regress/fixture.go:54:9 ctxroot",
+		"testdata/regress/fixture.go:59:14 metricname",
+		"testdata/regress/fixture.go:63:25 errfmt",
+	}
+	diags := runFixture(t, "regress", "mburst/internal/simnet/regressfix")
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%s:%d:%d %s", d.File, d.Line, d.Col, d.Rule))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d findings, want %d:\ngot:  %v\nwant: %v", len(got), len(want), got, want)
+	}
+	// RunPackages sorts by position, so the comparison is order-exact.
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("finding %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// One rule, one seed: every rule must appear exactly once.
+	rules := make(map[string]int)
+	for _, d := range diags {
+		rules[d.Rule]++
+	}
+	for _, name := range RuleNames() {
+		if rules[name] != 1 {
+			t.Errorf("rule %s fired %d times in the regress fixture, want exactly 1", name, rules[name])
+		}
+	}
+}

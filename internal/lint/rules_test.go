@@ -1,0 +1,72 @@
+package lint
+
+import "testing"
+
+// Each rule is checked against a golden fixture package under testdata/.
+// Import paths are chosen per fixture because rule applicability keys off
+// them (wallclock fires only in sim-domain paths; globalrand everywhere
+// but internal/rng).
+
+func TestWallclock(t *testing.T) {
+	checkFixture(t, "wallclock", "mburst/internal/simnet/wallfix", "wallclock")
+}
+
+// TestWallclockOutsideSimDomain pins the rule's scope: the identical
+// source is clean under a non-simulation import path.
+func TestWallclockOutsideSimDomain(t *testing.T) {
+	diags := runFixture(t, "wallclock", "mburst/internal/collector/wallfix", "wallclock")
+	if len(diags) != 0 {
+		t.Errorf("wallclock fired outside the sim domain: %v", diags)
+	}
+}
+
+func TestGlobalrand(t *testing.T) {
+	checkFixture(t, "globalrand", "mburst/internal/workload/randfix", "globalrand")
+}
+
+// TestGlobalrandInsideRng pins the one exemption: internal/rng itself.
+func TestGlobalrandInsideRng(t *testing.T) {
+	diags := runFixture(t, "globalrand", "mburst/internal/rng", "globalrand")
+	if len(diags) != 0 {
+		t.Errorf("globalrand fired inside internal/rng: %v", diags)
+	}
+}
+
+func TestCtxroot(t *testing.T) {
+	checkFixture(t, "ctxroot", "mburst/internal/trace/ctxfix", "ctxroot")
+}
+
+func TestMetricname(t *testing.T) {
+	checkFixture(t, "metricname", "mburst/internal/collector/metricfix", "metricname")
+}
+
+func TestMutexcopy(t *testing.T) {
+	checkFixture(t, "mutexcopy", "mburst/internal/collector/mufix", "mutexcopy")
+}
+
+func TestLocklog(t *testing.T) {
+	checkFixture(t, "locklog", "mburst/internal/collector/lockfix", "locklog")
+}
+
+func TestErrfmt(t *testing.T) {
+	checkFixture(t, "errfmt", "mburst/internal/trace/errfix", "errfmt")
+}
+
+func TestSelectAnalyzersUnknownRule(t *testing.T) {
+	if _, err := SelectAnalyzers([]string{"nosuchrule"}); err == nil {
+		t.Error("unknown rule selected without error")
+	}
+}
+
+func TestRuleNamesStable(t *testing.T) {
+	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt"}
+	got := RuleNames()
+	if len(got) != len(want) {
+		t.Fatalf("RuleNames() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("rule %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

@@ -1,0 +1,26 @@
+// Package ctxfix seeds ctxroot violations. The test loads it under a
+// non-main library import path.
+package ctxfix
+
+import "context"
+
+// Bad re-roots the context tree, detaching itself from the caller's
+// cancellation.
+func Bad() context.Context {
+	return context.Background() // want `context\.Background\(\) roots a new context`
+}
+
+// AlsoBad does the same with TODO.
+func AlsoBad() context.Context {
+	return context.TODO() // want `context\.TODO\(\) roots a new context`
+}
+
+// Allowed demonstrates the sanctioned escape hatch for deliberate
+// fallbacks.
+func Allowed(ctx context.Context) context.Context {
+	if ctx == nil {
+		//lint:ignore ctxroot fixture demonstrates the sanctioned fallback
+		ctx = context.Background()
+	}
+	return ctx
+}

@@ -1,0 +1,38 @@
+// Package errfix seeds errfmt violations: capitalized error strings and
+// error values formatted without %w.
+package errfix
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBad starts with an ordinary capitalized word.
+var ErrBad = errors.New("Bad thing happened") // want `error string "Bad" is capitalized`
+
+// ErrOK composes correctly after "...: ".
+var ErrOK = errors.New("bad thing happened")
+
+// ErrInitialism is exempt: the first word is an initialism.
+var ErrInitialism = errors.New("EOF while reading frame")
+
+// ErrIdentifier is exempt: the first word is a camel-case identifier.
+var ErrIdentifier = errors.New("FanIn out of range")
+
+// ErrConcat is checked through the concatenation to the leading literal.
+var ErrConcat = errors.New("Concatenated " + "strings") // want `error string "Concatenated" is capitalized`
+
+// Wrap loses the cause: callers cannot errors.Is through %v.
+func Wrap(err error) error {
+	return fmt.Errorf("replaying window: %v", err) // want `without %w`
+}
+
+// WrapOK keeps the chain intact.
+func WrapOK(err error) error {
+	return fmt.Errorf("replaying window: %w", err)
+}
+
+// NoErrorArgs formats plain data; nothing to wrap.
+func NoErrorArgs(n int) error {
+	return fmt.Errorf("short read: %d bytes", n)
+}

@@ -1,0 +1,28 @@
+// Package randfix seeds globalrand violations: any math/rand package
+// function outside internal/rng, global-source conveniences and local
+// constructors alike.
+package randfix
+
+import "math/rand"
+
+// Bad uses the global source, which makes results depend on call ordering
+// across the whole program.
+func Bad() int {
+	return rand.Intn(10) // want `math/rand\.Intn outside internal/rng`
+}
+
+// AlsoBad constructs a local generator, bypassing internal/rng's seeded,
+// splittable streams.
+func AlsoBad() *rand.Rand {
+	return rand.New(rand.NewSource(1)) // want `math/rand\.New outside` `math/rand\.NewSource outside`
+}
+
+// StoredRef is flagged even without a call: the reference itself routes
+// randomness around internal/rng.
+var StoredRef = rand.Float64 // want `math/rand\.Float64 outside`
+
+// UseExisting is fine: methods on a caller-supplied generator are the
+// owner's responsibility.
+func UseExisting(r *rand.Rand) int {
+	return r.Intn(10)
+}

@@ -1,0 +1,55 @@
+// Package lockfix seeds locklog violations: calling a sibling method that
+// re-acquires the receiver's held mutex.
+package lockfix
+
+import "sync"
+
+// Box guards n with mu; Snapshot and LogState both acquire it.
+type Box struct {
+	mu  sync.Mutex
+	aux sync.Mutex
+	n   int
+}
+
+// Snapshot acquires mu.
+func (b *Box) Snapshot() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// LogState is the logging-helper shape from the PR 1 incident.
+func (b *Box) LogState(sink *[]int) {
+	b.mu.Lock()
+	*sink = append(*sink, b.n)
+	b.mu.Unlock()
+}
+
+// Bad holds mu across a call to Snapshot, which re-acquires it.
+func (b *Box) Bad() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n + b.Snapshot() // want `Bad calls b\.Snapshot while mu is held`
+}
+
+// BadLog deadlocks on the logging helper while holding mu explicitly.
+func (b *Box) BadLog(sink *[]int) {
+	b.mu.Lock()
+	b.LogState(sink) // want `BadLog calls b\.LogState while mu is held`
+	b.mu.Unlock()
+}
+
+// Good releases mu before calling the sibling.
+func (b *Box) Good() int {
+	b.mu.Lock()
+	n := b.n
+	b.mu.Unlock()
+	return n + b.Snapshot()
+}
+
+// DisjointLocks holds aux, not mu; calling Snapshot is safe.
+func (b *Box) DisjointLocks() int {
+	b.aux.Lock()
+	defer b.aux.Unlock()
+	return b.Snapshot()
+}

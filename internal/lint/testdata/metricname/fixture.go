@@ -1,0 +1,16 @@
+// Package metricfix seeds metricname violations against the real
+// obs.Registry type, so selector resolution goes through go/types.
+package metricfix
+
+import "mburst/internal/obs"
+
+// Register exercises scheme, literal, and uniqueness checks.
+func Register(reg *obs.Registry) {
+	reg.Counter("mburst_fix_total", "Conforming name.")
+	reg.Gauge("bad-name", "Scheme violation.") // want `"bad-name" does not match`
+	reg.Histogram("mburst_fix_hist_us", "Conforming histogram.", obs.DefLatencyBucketsUS)
+	reg.GaugeFunc("Mburst_fix_case", "Upper case breaks the scheme.", func() float64 { return 0 }) // want `"Mburst_fix_case" does not match`
+	reg.Counter("mburst_fix_total", "Duplicate registration.")                                     // want `"mburst_fix_total" already registered`
+	name := "mburst_fix_dynamic"
+	reg.Gauge(name, "Computed names defeat static checking.") // want `must be a string literal`
+}

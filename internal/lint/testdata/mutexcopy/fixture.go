@@ -1,0 +1,45 @@
+// Package mufix seeds mutexcopy violations: lock-bearing structs passed
+// by value in receivers, parameters, and results.
+package mufix
+
+import "sync"
+
+// Guarded carries its own lock.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Nested buries the lock one struct deep; the walk still finds it.
+type Nested struct {
+	g Guarded
+}
+
+// Bad copies the receiver, so it locks a throwaway mutex.
+func (g Guarded) Bad() int { // want `receiver of Bad passes`
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Good takes a pointer.
+func (g *Guarded) Good() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Take copies the lock in through a parameter.
+func Take(g Guarded) int { // want `parameter of Take passes`
+	return g.Good()
+}
+
+// Give copies the lock out through a result.
+func Give() Nested { // want `result of Give passes`
+	return Nested{}
+}
+
+// TakePtr is fine.
+func TakePtr(g *Guarded) int {
+	return g.Good()
+}

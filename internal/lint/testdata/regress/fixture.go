@@ -1,0 +1,63 @@
+// Package regressfix seeds exactly one violation per mblint rule. The
+// regression test asserts exact file:line:col positions, so analyzer
+// refactors cannot silently stop detecting a rule. Editing this file
+// means updating the expected positions in regress_test.go.
+package regressfix
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+
+	"mburst/internal/obs"
+)
+
+// Guarded exists for the mutexcopy and locklog seeds.
+type Guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Snapshot acquires mu (locklog callee).
+func (g *Guarded) Snapshot() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Locklog holds mu across a re-acquiring sibling call.
+func (g *Guarded) Locklog() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.Snapshot()
+}
+
+// Mutexcopy passes the lock by value.
+func Mutexcopy(g Guarded) int {
+	return g.n
+}
+
+// Wallclock reads the wall clock in a sim-domain package.
+func Wallclock() time.Time {
+	return time.Now()
+}
+
+// Globalrand uses the global math/rand source.
+func Globalrand() int {
+	return rand.Intn(6)
+}
+
+// Ctxroot re-roots the context tree.
+func Ctxroot() context.Context {
+	return context.Background()
+}
+
+// Metricname registers outside the mburst_* scheme.
+func Metricname(reg *obs.Registry) {
+	reg.Counter("regress_bad_name", "Scheme violation.")
+}
+
+// Errfmt capitalizes an error string.
+var Errfmt = errors.New("Seeded capitalized error")

@@ -1,0 +1,32 @@
+// Package wallfix seeds wallclock violations. The test loads it under a
+// sim-domain import path (mburst/internal/simnet/wallfix).
+package wallfix
+
+import "time"
+
+// Sleeper shows the injectable escape hatch: referencing time.Sleep as a
+// value (to store in a Sleep field) is allowed; only calls are flagged.
+var Sleeper = time.Sleep
+
+// Clock is the other sanctioned shape: a field the caller injects.
+type Clock struct {
+	Now   func() time.Time
+	Sleep func(time.Duration)
+}
+
+// Bad exercises every flagged call form.
+func Bad() time.Time {
+	t := time.Now()                 // want `wall-clock time\.Now`
+	time.Sleep(time.Millisecond)    // want `wall-clock time\.Sleep`
+	<-time.After(time.Millisecond)  // want `wall-clock time\.After`
+	_ = time.NewTimer(time.Second)  // want `wall-clock time\.NewTimer`
+	_ = time.NewTicker(time.Second) // want `wall-clock time\.NewTicker`
+	_ = time.Since(t)               // want `wall-clock time\.Since`
+	return t
+}
+
+// Good takes time through the injected clock only.
+func Good(c Clock) time.Time {
+	c.Sleep(time.Millisecond)
+	return c.Now()
+}

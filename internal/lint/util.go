@@ -1,0 +1,63 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves the function or method named by a call's selector
+// (pkg.Fn or recv.Method). It returns nil for calls through plain
+// identifiers, conversions, and unresolved selectors.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function path.name.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == path && fn.Name() == name &&
+		fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isTestFile reports whether pos lies in a _test.go file. The module
+// loader never feeds test files, but fixture loaders may.
+func isTestFile(fset *token.FileSet, pos token.Pos) bool {
+	return strings.HasSuffix(fset.Position(pos).Filename, "_test.go")
+}
+
+// pathHasSegment reports whether importPath contains seg as a complete
+// "/"-separated element.
+func pathHasSegment(importPath, seg string) bool {
+	for _, s := range strings.Split(importPath, "/") {
+		if s == seg {
+			return true
+		}
+	}
+	return false
+}
+
+// namedOrPointee unwraps one level of pointer and returns the named type,
+// if any.
+func namedOrPointee(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncLock(t types.Type) bool {
+	n, _ := t.(*types.Named)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Path() == "sync" &&
+		(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex")
+}

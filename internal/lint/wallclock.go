@@ -1,0 +1,62 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// simDomain names the packages whose behaviour must be a pure function of
+// simulated time: one wall-clock read inside them and the byte-identical
+// campaign guarantee (internal/core) is gone.
+var simDomain = []string{"simnet", "asic", "eventq", "workload", "sweep", "replay", "core"}
+
+// wallclockFuncs are the time-package functions that read or schedule
+// against the wall clock. Referencing one as a value (the injectable
+// `Sleep func(time.Duration)` default pattern) is allowed; calling one in
+// a sim-domain package is not.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Sleep": true, "After": true, "AfterFunc": true,
+	"Tick": true, "NewTimer": true, "NewTicker": true,
+	"Since": true, "Until": true,
+}
+
+func newWallclock() *Analyzer {
+	a := &Analyzer{
+		Name: "wallclock",
+		Doc: "Simulation-domain packages (" + strings.Join(simDomain, ", ") + ") must take time from " +
+			"internal/simclock or an injected clock, never from the time package's " +
+			"wall clock. Wall-clock reads make simulated runs irreproducible " +
+			"(DESIGN §1: microsecond-faithful counter semantics; PR 2: " +
+			"byte-identical traces at any worker count).",
+	}
+	a.Run = func(p *Pass) {
+		inDomain := false
+		for _, seg := range simDomain {
+			if pathHasSegment(p.Path, seg) {
+				inDomain = true
+				break
+			}
+		}
+		if !inDomain {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.Info, call)
+				if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "time" || !wallclockFuncs[fn.Name()] {
+					return true
+				}
+				if isTestFile(p.Fset, call.Pos()) {
+					return true
+				}
+				p.Reportf(call.Pos(), "wall-clock time.%s in simulation package %s; use simclock or an injected clock/Sleep field", fn.Name(), p.Path)
+				return true
+			})
+		}
+	}
+	return a
+}

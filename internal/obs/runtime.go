@@ -14,18 +14,26 @@ func RegisterGoRuntime(reg *Registry) {
 		return
 	}
 	start := time.Now()
+	// The go_* and process_* names below deliberately keep the ecosystem-
+	// standard runtime namespaces instead of mburst_*, so stock Grafana
+	// dashboards and alert rules apply unchanged.
+	//lint:ignore metricname conventional Go runtime metric namespace
 	reg.GaugeFunc("go_goroutines",
 		"Number of live goroutines.",
 		func() float64 { return float64(runtime.NumGoroutine()) })
+	//lint:ignore metricname conventional Go runtime metric namespace
 	reg.GaugeFunc("go_memstats_heap_alloc_bytes",
 		"Bytes of allocated heap objects.",
 		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.HeapAlloc) })
+	//lint:ignore metricname conventional Go runtime metric namespace
 	reg.CounterFunc("go_memstats_total_alloc_bytes_total",
 		"Cumulative bytes allocated on the heap.",
 		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.TotalAlloc) })
+	//lint:ignore metricname conventional Go runtime metric namespace
 	reg.CounterFunc("go_gc_cycles_total",
 		"Completed GC cycles.",
 		func() float64 { var m runtime.MemStats; runtime.ReadMemStats(&m); return float64(m.NumGC) })
+	//lint:ignore metricname conventional process metric namespace
 	reg.GaugeFunc("process_uptime_seconds",
 		"Seconds since the process registered its telemetry.",
 		func() float64 { return time.Since(start).Seconds() })

@@ -64,6 +64,7 @@ type Stats struct {
 func Run(ctx context.Context, dir string, w io.Writer, opts Options) (Stats, error) {
 	opts.applyDefaults()
 	if ctx == nil {
+		//lint:ignore ctxroot nil-ctx convenience fallback for library callers; no parent to thread
 		ctx = context.Background()
 	}
 	var st Stats

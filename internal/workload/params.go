@@ -235,6 +235,7 @@ func (p Params) Validate() error {
 		return fmt.Errorf("FanIn: %w", err)
 	}
 	if err := p.Out.Validate(); err != nil {
+		//lint:ignore errfmt Out names the Params field being validated
 		return fmt.Errorf("Out: %w", err)
 	}
 	switch {

@@ -1,13 +1,34 @@
 #!/bin/sh
-# CI gate: vet, build, and run the full test suite under the race
-# detector. Run from the repository root (or any subdirectory).
+# CI gate: formatting, vet, mblint, build, and the full test suite under
+# the race detector with shuffled test order. Run from the repository
+# root (or any subdirectory).
 set -eux
 
 cd "$(dirname "$0")/.."
 
+# Formatting drift fails the build (gofmt prints offending files).
+UNFORMATTED=$(gofmt -l .)
+if [ -n "$UNFORMATTED" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$UNFORMATTED" >&2
+	exit 1
+fi
+
 go vet ./...
 go build ./...
-go test -race ./...
+
+# mblint enforces the determinism/clock/RNG/telemetry invariants (see
+# README "Static analysis"). Findings are published as a CI artifact
+# (empty JSON array when clean) and any finding blocks the build.
+if ! go run ./cmd/mblint -json ./... > LINT_findings.json; then
+	echo "mblint findings:" >&2
+	cat LINT_findings.json >&2
+	exit 1
+fi
+
+# -shuffle=on catches order-dependent tests; go test logs the seed for
+# reproduction.
+go test -race -shuffle=on ./...
 
 # Track serial-vs-parallel campaign wall-clock across PRs. The artifact
 # records the host CPU count; speedup is only meaningful on multi-core
