@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench ci
+.PHONY: build test race vet lint bench chaos ci
 
 build:
 	$(GO) build ./...
@@ -21,6 +21,12 @@ lint:
 
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
+
+# chaos runs the fault-injection soak under the race detector: generated
+# fault schedules against the poll/recover pipeline plus the epoch-gated
+# agent-restart scenario. Writes a FAULT_soak.json summary.
+chaos:
+	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestChaosSoak|TestAgentRestartRecovery' -count=1 ./internal/fault
 
 ci: lint
 	./scripts/ci.sh

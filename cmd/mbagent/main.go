@@ -42,6 +42,7 @@ func main() {
 	servers := flag.Int("servers", 32, "servers per rack")
 	seed := flag.Uint64("seed", 1, "seed")
 	rackID := flag.Uint("rack", 0, "rack id tag")
+	epoch := flag.Uint("epoch", 0, "agent incarnation number; bump on restart so an epoch-gated collector discards stale batches (0 = legacy framing)")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
 
@@ -75,6 +76,8 @@ func main() {
 		return net.DialTimeout("tcp", *collectorAddr, 2*time.Second)
 	}, collector.ReconnectingClientConfig{
 		Rack:    uint32(*rackID),
+		Epoch:   uint32(*epoch),
+		Rand:    rng.New(*seed ^ 0x5eed).Split("backoff"),
 		Metrics: collector.NewClientMetrics(reg),
 	})
 

@@ -35,6 +35,7 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9900", "listen address")
 	out := flag.String("out", "", "optional file to append raw batches to")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats log interval")
+	epochGate := flag.Bool("epochgate", false, "drop batches from superseded agent epochs and time-regressing duplicates")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
 
@@ -76,7 +77,10 @@ func main() {
 		logger.Error("listening", "addr", *listen, "err", err)
 		os.Exit(1)
 	}
-	srv := collector.ServeWith(ln, handler, collector.NewServerMetrics(reg))
+	srv := collector.ServeConfigured(ln, handler, collector.ServerConfig{
+		Metrics:   collector.NewServerMetrics(reg),
+		EpochGate: *epochGate,
+	})
 	logger.Info("listening", "addr", srv.Addr().String())
 
 	if *httpAddr != "" {

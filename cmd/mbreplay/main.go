@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mbreplay -trace DIR -collector 127.0.0.1:9900 [-speedup 100] [-unpaced]
+//	         [-maxgap 100ms]
 package main
 
 import (
@@ -25,6 +26,7 @@ func main() {
 	collectorAddr := flag.String("collector", "127.0.0.1:9900", "mbcollectd address")
 	speedup := flag.Float64("speedup", 100, "virtual-to-wall-clock speedup")
 	unpaced := flag.Bool("unpaced", false, "stream as fast as the transport accepts")
+	maxGap := flag.Duration("maxgap", 0, "cap any single pacing sleep (0 = replay gaps verbatim); useful for traces recorded under faults")
 	flag.Parse()
 
 	if *dir == "" {
@@ -42,11 +44,11 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	st, err := replay.Run(ctx, *dir, conn, replay.Options{Speedup: *speedup, Unpaced: *unpaced})
+	st, err := replay.Run(ctx, *dir, conn, replay.Options{Speedup: *speedup, Unpaced: *unpaced, MaxGap: *maxGap})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mbreplay: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("mbreplay: %d windows, %d batches, %d samples (%v of virtual time) in %v\n",
-		st.Windows, st.Batches, st.Samples, st.VirtualSpan, time.Since(start).Round(time.Millisecond))
+	fmt.Printf("mbreplay: %d windows, %d batches, %d samples (%v of virtual time, %d gap clamps) in %v\n",
+		st.Windows, st.Batches, st.Samples, st.VirtualSpan, st.GapClamps, time.Since(start).Round(time.Millisecond))
 }

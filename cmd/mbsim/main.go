@@ -7,6 +7,7 @@
 //	mbsim -app web|cache|hadoop -out DIR [-plan randomport|allports|buffer]
 //	      [-interval 25µs] [-racks N] [-windows N] [-window 250ms]
 //	      [-servers N] [-seed N] [-workers N] [-http :9903]
+//	      [-faults SPEC]
 //
 // Plans:
 //
@@ -18,6 +19,12 @@
 // With -http the campaign's live telemetry (windows recorded, samples
 // captured, poller cost) is scrapeable at /metrics while it runs, and
 // /debug/pprof/ profiles the simulation itself.
+//
+// -faults injects a deterministic fault schedule into every cell's poller
+// (see internal/fault): either a fixed schedule such as
+// "stuck@10ms+5ms,stall@30ms+10ms:500µs", or "rand:stuck=0.5,stall=0.5" to
+// draw each cell's schedule from the campaign seed. Faulted traces remain
+// reproducible: the same seed and spec yield byte-identical directories.
 //
 // -workers bounds how many (rack, window) cells simulate concurrently
 // (0 = all CPUs); the recorded trace is byte-identical for every worker
@@ -31,10 +38,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"mburst/internal/core"
+	"mburst/internal/fault"
 	"mburst/internal/obs"
 	"mburst/internal/simclock"
 	"mburst/internal/workload"
@@ -51,6 +60,7 @@ func main() {
 	servers := flag.Int("servers", 0, "servers per rack (0 = default)")
 	seed := flag.Uint64("seed", 0, "seed (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent campaign cells (0 = all CPUs)")
+	faults := flag.String("faults", "", `fault schedule: "none", "kind@off+dur[:param],..." (kinds: stuck, latency, stall, restart, outage, disk), or "rand[:k=v,...]" for seeded per-cell generation`)
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	flag.Parse()
 
@@ -86,6 +96,25 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Metrics = reg
+	if *faults != "" {
+		if strings.HasPrefix(*faults, "rand") {
+			gen, err := fault.ParseGen(*faults)
+			if err != nil {
+				logger.Error("parsing -faults", "err", err)
+				os.Exit(2)
+			}
+			cfg.Faults = &gen
+		} else {
+			sched, err := fault.ParseSchedule(*faults)
+			if err != nil {
+				logger.Error("parsing -faults", "err", err)
+				os.Exit(2)
+			}
+			if !sched.Empty() {
+				cfg.FaultSchedule = &sched
+			}
+		}
+	}
 	exp, err := core.NewExperiment(cfg)
 	if err != nil {
 		logger.Error("configuring experiment", "err", err)

@@ -1,0 +1,166 @@
+package analysis
+
+import (
+	"fmt"
+
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// This file is the degradation-aware reconstruction path: it turns a
+// cumulative byte-counter series that survived faults — missed intervals,
+// stuck reads, agent restarts, duplicated batches — into utilization
+// spans without fabricating bursts. The paper's invariant (§3, Table 1)
+// is that cumulative counters lose resolution, never data: bytes between
+// any two *successful* reads are exact. Reconstruction therefore widens
+// spans across damaged stretches instead of trusting per-sample deltas.
+
+// maxPhysicalUtil is the threshold above which a span's apparent
+// utilization is physically impossible (counter delta exceeds line rate ×
+// span) and must stem from stale reads: the preceding samples under-read
+// the counter, so the catch-up span absorbs their spans until the average
+// drops back into the physical range.
+const maxPhysicalUtil = 1.0 + 1e-6
+
+// GapStats accounts for what reconstruction had to repair.
+type GapStats struct {
+	// Points is the number of output spans.
+	Points int
+	// Duplicates is the number of input samples dropped as duplicates
+	// (identical timestamp, e.g. a batch replayed across a reconnect).
+	Duplicates int
+	// MissedSpans is the number of spans covering at least one missed
+	// sampling interval (Sample.Missed > 0) — resolution lost, bytes kept.
+	MissedSpans int
+	// Merged is the number of span merges performed to absorb physically
+	// impossible catch-up deltas from stale (stuck) reads.
+	Merged int
+	// Bytes is the total byte count recovered across the series — by
+	// construction exactly last.Value − first.Value.
+	Bytes uint64
+}
+
+// GapAwareUtilization converts a cumulative byte-counter series into
+// utilization spans, tolerating fault damage that UtilizationSeries
+// rejects:
+//
+//   - Duplicate samples (equal timestamps) are dropped, provided their
+//     values agree; disagreeing duplicates are corruption and error.
+//   - Spans covering missed intervals simply widen (the normal Table 1
+//     recovery) and are tallied in GapStats.MissedSpans.
+//   - A span whose apparent utilization is physically impossible (> line
+//     rate) indicates the preceding reads were stale: it is merged
+//     backwards with earlier spans until the averaged utilization is
+//     physical again, so a stuck stretch becomes one wide exact span
+//     instead of a zero-throughput valley followed by a fabricated burst.
+//
+// Byte conservation holds by construction: the sum of per-span byte
+// deltas equals last.Value − first.Value regardless of merging.
+//
+// A value regression remains an error: agent restarts do not reset ASIC
+// counters, so a regression means rack mix-up or corruption, which
+// widening cannot repair.
+func GapAwareUtilization(samples []wire.Sample, speedBps uint64) ([]UtilPoint, GapStats, error) {
+	var st GapStats
+	if speedBps == 0 {
+		return nil, st, fmt.Errorf("analysis: zero port speed")
+	}
+	clean, dups, err := dedupByTime(samples)
+	if err != nil {
+		return nil, st, err
+	}
+	st.Duplicates = dups
+	if len(clean) < 2 {
+		return nil, st, fmt.Errorf("analysis: need >= 2 distinct samples, have %d", len(clean))
+	}
+
+	out := make([]UtilPoint, 0, len(clean)-1)
+	bytes := make([]uint64, 0, len(clean)-1) // per-span byte deltas, parallel to out
+	for i := 1; i < len(clean); i++ {
+		prev, cur := clean[i-1], clean[i]
+		if cur.Time < prev.Time {
+			return nil, st, fmt.Errorf("analysis: timestamps regress at %d", i)
+		}
+		if cur.Value < prev.Value {
+			return nil, st, fmt.Errorf("analysis: byte counter regressed at %d", i)
+		}
+		if cur.Missed > 0 {
+			st.MissedSpans++
+		}
+		delta := cur.Value - prev.Value
+		out = append(out, UtilPoint{Start: prev.Time, End: cur.Time, Util: spanUtil(delta, cur.Time.Sub(prev.Time), speedBps)})
+		bytes = append(bytes, delta)
+		// Absorb a physically impossible catch-up into the stale spans
+		// preceding it.
+		for len(out) > 1 && out[len(out)-1].Util > maxPhysicalUtil {
+			a, b := out[len(out)-2], out[len(out)-1]
+			merged := bytes[len(bytes)-2] + bytes[len(bytes)-1]
+			out = out[:len(out)-1]
+			bytes = bytes[:len(bytes)-1]
+			out[len(out)-1] = UtilPoint{Start: a.Start, End: b.End, Util: spanUtil(merged, b.End.Sub(a.Start), speedBps)}
+			bytes[len(bytes)-1] = merged
+			st.Merged++
+		}
+	}
+	st.Points = len(out)
+	st.Bytes = clean[len(clean)-1].Value - clean[0].Value
+	return out, st, nil
+}
+
+// spanUtil is the average utilization of delta bytes over span at the
+// given line rate.
+func spanUtil(delta uint64, span simclock.Duration, speedBps uint64) float64 {
+	if span <= 0 {
+		return 0
+	}
+	return float64(delta) * 8 / (float64(speedBps) * span.Seconds())
+}
+
+// dedupByTime drops samples sharing a timestamp with their predecessor,
+// verifying the duplicates agree on the counter value.
+func dedupByTime(samples []wire.Sample) ([]wire.Sample, int, error) {
+	if len(samples) == 0 {
+		return nil, 0, nil
+	}
+	out := samples[:1]
+	shared := true // still aliasing the input; copy lazily on first drop
+	dups := 0
+	for i := 1; i < len(samples); i++ {
+		last := out[len(out)-1]
+		if samples[i].Time == last.Time {
+			if samples[i].Value != last.Value {
+				return nil, 0, fmt.Errorf("analysis: duplicate timestamp %v with conflicting values %d vs %d",
+					samples[i].Time, last.Value, samples[i].Value)
+			}
+			dups++
+			if shared {
+				cp := make([]wire.Sample, len(out), len(samples))
+				copy(cp, out)
+				out, shared = cp, false
+			}
+			continue
+		}
+		if shared {
+			out = samples[:i+1]
+		} else {
+			out = append(out, samples[i])
+		}
+	}
+	return out, dups, nil
+}
+
+// RecoveredBytes returns the exact byte total carried by a cumulative
+// counter series between its first and last successful reads — the
+// ground-truth quantity the chaos soak compares against the ASIC. Only
+// endpoint monotonicity is required; interior damage is irrelevant
+// because the counter is cumulative.
+func RecoveredBytes(samples []wire.Sample) (uint64, error) {
+	if len(samples) < 2 {
+		return 0, fmt.Errorf("analysis: need >= 2 samples, have %d", len(samples))
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	if last.Value < first.Value {
+		return 0, fmt.Errorf("analysis: byte counter regressed across series")
+	}
+	return last.Value - first.Value, nil
+}

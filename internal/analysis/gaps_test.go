@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// byteSeries builds a cumulative byte series from (time µs, value) pairs.
+func byteSeries(pairs ...[2]uint64) []wire.Sample {
+	out := make([]wire.Sample, len(pairs))
+	for i, p := range pairs {
+		out[i] = wire.Sample{Time: simclock.Epoch.Add(simclock.Micros(int64(p[0]))), Value: p[1]}
+	}
+	return out
+}
+
+func totalBytes(points []UtilPoint, speedBps uint64) float64 {
+	var sum float64
+	for _, p := range points {
+		sum += p.Util * float64(speedBps) * p.Span().Seconds() / 8
+	}
+	return sum
+}
+
+func TestGapAwareMatchesCleanSeries(t *testing.T) {
+	// On undamaged input the gap-aware path must agree with
+	// UtilizationSeries exactly.
+	const speed = 10e9
+	s := byteSeries([2]uint64{0, 0}, [2]uint64{25, 10_000}, [2]uint64{50, 25_000}, [2]uint64{75, 25_000})
+	want, err := UtilizationSeries(s, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, st, err := GapAwareUtilization(s, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Errorf("point %d: %+v vs %+v", i, got[i], want[i])
+		}
+	}
+	if st.Duplicates != 0 || st.Merged != 0 || st.Bytes != 25_000 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestGapAwareDropsDuplicates(t *testing.T) {
+	const speed = 10e9
+	s := byteSeries([2]uint64{0, 0}, [2]uint64{25, 10_000}, [2]uint64{25, 10_000}, [2]uint64{50, 20_000})
+	got, st, err := GapAwareUtilization(s, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Duplicates != 1 || len(got) != 2 {
+		t.Fatalf("duplicates = %d, points = %d", st.Duplicates, len(got))
+	}
+	// Conflicting duplicate values are corruption.
+	bad := byteSeries([2]uint64{0, 0}, [2]uint64{25, 10_000}, [2]uint64{25, 11_000})
+	if _, _, err := GapAwareUtilization(bad, speed); err == nil || !strings.Contains(err.Error(), "conflicting") {
+		t.Fatalf("conflicting duplicate: err = %v", err)
+	}
+}
+
+func TestGapAwareWidensMissedSpans(t *testing.T) {
+	const speed = 10e9 // 10 Gb/s -> 31250 bytes per 25 µs at line rate
+	// A missed interval: the 25–75 µs span carries two intervals' bytes.
+	s := []wire.Sample{
+		{Time: simclock.Epoch, Value: 0},
+		{Time: simclock.Epoch.Add(simclock.Micros(25)), Value: 10_000},
+		{Time: simclock.Epoch.Add(simclock.Micros(75)), Value: 30_000, Missed: 1},
+	}
+	got, st, err := GapAwareUtilization(s, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.MissedSpans != 1 || st.Merged != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	wide := got[1]
+	if wide.Span() != simclock.Micros(50) {
+		t.Fatalf("widened span = %v", wide.Span())
+	}
+	wantUtil := 20_000 * 8 / (speed * 50e-6)
+	if math.Abs(wide.Util-wantUtil) > 1e-12 {
+		t.Errorf("util = %v, want %v", wide.Util, wantUtil)
+	}
+}
+
+func TestGapAwareMergesStuckCatchUp(t *testing.T) {
+	const speed uint64 = 10e9 // line rate: 31250 bytes per 25 µs
+	// Line-rate traffic, but reads at 25/50/75 µs are stuck at the 0 µs
+	// value; the 100 µs read catches up with 4 intervals of bytes — a
+	// physically impossible 4× line rate over its 25 µs span. The naive
+	// series fabricates a quiet valley then a monster burst; gap-aware
+	// reconstruction must fold it into one exact line-rate span.
+	s := byteSeries(
+		[2]uint64{0, 0},
+		[2]uint64{25, 0}, // stuck
+		[2]uint64{50, 0}, // stuck
+		[2]uint64{75, 0}, // stuck
+		[2]uint64{100, 125_000},
+		[2]uint64{125, 156_250},
+	)
+	got, st, err := GapAwareUtilization(s, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Merged == 0 {
+		t.Fatal("no merges recorded for stuck catch-up")
+	}
+	for i, p := range got {
+		if p.Util > maxPhysicalUtil {
+			t.Errorf("point %d util %v still super-physical", i, p.Util)
+		}
+	}
+	// The merged span covers 0–100 µs at exactly line rate.
+	if got[0].Span() != simclock.Micros(100) {
+		t.Fatalf("merged span = %v, want 100µs", got[0].Span())
+	}
+	if math.Abs(got[0].Util-1.0) > 1e-9 {
+		t.Errorf("merged util = %v, want 1.0", got[0].Util)
+	}
+	// Byte conservation: spans re-integrate to the counter total.
+	if sum := totalBytes(got, speed); math.Abs(sum-156_250) > 1e-6*156_250 {
+		t.Errorf("reintegrated bytes = %v, want 156250", sum)
+	}
+	if st.Bytes != 156_250 {
+		t.Errorf("stats.Bytes = %d", st.Bytes)
+	}
+	// The strict path refuses nothing here (monotone), but fabricates the
+	// burst — document the contrast that motivates the gap-aware path.
+	naive, err := UtilizationSeries(s, speed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	super := false
+	for _, p := range naive {
+		if p.Util > maxPhysicalUtil {
+			super = true
+		}
+	}
+	if !super {
+		t.Error("expected the naive series to fabricate a super-physical burst")
+	}
+}
+
+func TestGapAwareErrors(t *testing.T) {
+	const speed = 10e9
+	if _, _, err := GapAwareUtilization(byteSeries([2]uint64{0, 0}), speed); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, _, err := GapAwareUtilization(byteSeries([2]uint64{0, 0}, [2]uint64{25, 10}), 0); err == nil {
+		t.Error("zero speed accepted")
+	}
+	regress := byteSeries([2]uint64{0, 100}, [2]uint64{25, 50})
+	if _, _, err := GapAwareUtilization(regress, speed); err == nil {
+		t.Error("value regression accepted")
+	}
+	disorder := byteSeries([2]uint64{25, 0}, [2]uint64{0, 100})
+	if _, _, err := GapAwareUtilization(disorder, speed); err == nil {
+		t.Error("time regression accepted")
+	}
+}
+
+func TestRecoveredBytes(t *testing.T) {
+	s := byteSeries([2]uint64{0, 1000}, [2]uint64{25, 1500}, [2]uint64{300, 9000})
+	got, err := RecoveredBytes(s)
+	if err != nil || got != 8000 {
+		t.Fatalf("RecoveredBytes = %d, %v; want 8000, nil", got, err)
+	}
+	if _, err := RecoveredBytes(s[:1]); err == nil {
+		t.Error("short series accepted")
+	}
+	if _, err := RecoveredBytes(byteSeries([2]uint64{0, 100}, [2]uint64{25, 50})); err == nil {
+		t.Error("regressed series accepted")
+	}
+}

@@ -58,7 +58,7 @@ func Calibrate(cfg PollerConfig, sw *asic.Switch, targetLoss float64, maxInterva
 		sim.baseCost = res.BaseCost
 		var missed, taken uint64
 		for i := 0; i < polls; i++ {
-			cost := sim.pollCost()
+			cost := sim.pollCost(simclock.Epoch)
 			overrun := int64(cost) / int64(interval)
 			missed += uint64(overrun)
 			taken++

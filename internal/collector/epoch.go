@@ -1,0 +1,97 @@
+package collector
+
+import (
+	"sync"
+
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// EpochGate is BatchHandler middleware that enforces agent restart-epoch
+// ordering per rack before batches reach the real handler.
+//
+// A crashed-and-restarted agent resumes with a higher wire.Batch.Epoch.
+// Without a gate, batches from the superseded incarnation — retried by a
+// dying flusher or delivered late over a stale TCP flow — interleave with
+// the new stream and corrupt the cumulative-counter deltas downstream.
+// The gate applies two rules per rack:
+//
+//   - A batch whose epoch is below the rack's current epoch is stale and
+//     dropped.
+//   - Within an epoch, sample time must not regress: a batch whose first
+//     sample predates the newest sample already accepted is a duplicate
+//     or reordering and is dropped.
+//
+// Epoch increases are accepted unconditionally and reset the rack's time
+// horizon, because a restarted agent legitimately restarts its clock.
+//
+// The gate is opt-in (ServerConfig.EpochGate): replay-style workloads
+// restart virtual time per window within one epoch, which the
+// time-regression rule would reject.
+type EpochGate struct {
+	next BatchHandler
+	m    ServerMetrics
+
+	mu    sync.Mutex
+	racks map[uint32]*rackEpoch
+}
+
+type rackEpoch struct {
+	epoch    uint32
+	lastTime simclock.Time
+	seen     bool
+}
+
+// NewEpochGate wraps next; m may be nil.
+func NewEpochGate(next BatchHandler, m *ServerMetrics) *EpochGate {
+	if next == nil {
+		panic("collector: nil handler")
+	}
+	g := &EpochGate{next: next, racks: make(map[uint32]*rackEpoch)}
+	if m != nil {
+		g.m = *m
+	}
+	return g
+}
+
+// Handle implements BatchHandler. It is safe for concurrent use.
+func (g *EpochGate) Handle(b *wire.Batch) {
+	if !g.admit(b) {
+		return
+	}
+	g.next(b)
+}
+
+// admit applies the epoch and ordering rules, updating per-rack state.
+func (g *EpochGate) admit(b *wire.Batch) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	st := g.racks[b.Rack]
+	if st == nil {
+		st = &rackEpoch{}
+		g.racks[b.Rack] = st
+	}
+	switch {
+	case !st.seen || b.Epoch > st.epoch:
+		if st.seen && b.Epoch > st.epoch {
+			g.m.EpochRestarts.Inc()
+		}
+		st.epoch = b.Epoch
+		st.seen = true
+		st.lastTime = 0
+	case b.Epoch < st.epoch:
+		g.m.StaleBatches.Inc()
+		return false
+	}
+	if len(b.Samples) == 0 {
+		return true
+	}
+	if b.Samples[0].Time < st.lastTime {
+		g.m.ReorderedBatches.Inc()
+		return false
+	}
+	if last := b.Samples[len(b.Samples)-1].Time; last > st.lastTime {
+		st.lastTime = last
+	}
+	return true
+}

@@ -100,6 +100,14 @@ type ServerMetrics struct {
 	// IngestLatency is the wall-clock cost of handling one decoded batch
 	// (the handler chain: stats accounting + archival), in microseconds.
 	IngestLatency *obs.Histogram
+	// EpochRestarts counts agent restart transitions observed by the
+	// epoch gate (a rack's epoch increasing).
+	EpochRestarts *obs.Counter
+	// StaleBatches counts batches dropped for carrying a superseded epoch.
+	StaleBatches *obs.Counter
+	// ReorderedBatches counts same-epoch batches dropped for regressing
+	// sample time (duplicates or reordering).
+	ReorderedBatches *obs.Counter
 }
 
 // NewServerMetrics registers the server instrument set on reg.
@@ -114,6 +122,12 @@ func NewServerMetrics(reg *obs.Registry, labels ...obs.Label) *ServerMetrics {
 		IngestLatency: reg.Histogram("mburst_ingest_latency_us",
 			"Wall-clock batch handling latency in microseconds.",
 			obs.DefLatencyBucketsUS, labels...),
+		EpochRestarts: reg.Counter("mburst_server_epoch_restarts_total",
+			"Agent restart transitions observed by the epoch gate.", labels...),
+		StaleBatches: reg.Counter("mburst_server_stale_epoch_batches_total",
+			"Batches dropped for carrying a superseded agent epoch.", labels...),
+		ReorderedBatches: reg.Counter("mburst_server_reordered_batches_total",
+			"Same-epoch batches dropped for regressing sample time.", labels...),
 	}
 }
 

@@ -59,6 +59,10 @@ func (c *Client) SetMetrics(m *ClientMetrics) {
 	}
 }
 
+// SetEpoch sets the agent restart generation stamped on outgoing batches
+// (see wire.Batch.Epoch). Epoch 0 keeps the legacy MBW1 framing.
+func (c *Client) SetEpoch(epoch uint32) { c.batch.Epoch = epoch }
+
 // Emit implements Emitter, buffering s and flushing a full batch.
 // Transport errors are sticky and surfaced by Flush/Close.
 func (c *Client) Emit(s wire.Sample) {
@@ -122,6 +126,11 @@ type ServerConfig struct {
 	// reads wall time (the same injection pattern as
 	// ReconnectingClientConfig.Sleep).
 	Now func() time.Time
+	// EpochGate, when true, interposes an EpochGate ahead of the handler:
+	// batches from superseded agent epochs and time-regressing duplicates
+	// within an epoch are dropped before they can corrupt deltas. Opt-in
+	// because replay workloads restart virtual time per window.
+	EpochGate bool
 }
 
 // Server is the collector service: it accepts switch connections and
@@ -159,6 +168,9 @@ func ServeWith(ln net.Listener, handler BatchHandler, m *ServerMetrics) *Server 
 func ServeConfigured(ln net.Listener, handler BatchHandler, cfg ServerConfig) *Server {
 	if handler == nil {
 		panic("collector: nil handler")
+	}
+	if cfg.EpochGate {
+		handler = NewEpochGate(handler, cfg.Metrics).Handle
 	}
 	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{}), now: cfg.Now}
 	if cfg.Metrics != nil {

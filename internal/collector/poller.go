@@ -29,6 +29,7 @@ package collector
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"mburst/internal/asic"
 	"mburst/internal/eventq"
@@ -84,6 +85,24 @@ type PollerConfig struct {
 	// intervals, poll-cost histogram, CPU-busy). Leaving it nil costs the
 	// loop nothing beyond a few predicted branches.
 	Metrics *PollerMetrics
+
+	// Fault, when non-nil, injects measurement-plane faults (read-latency
+	// spikes, CPU stalls, stuck counter reads) into the loop. Offsets
+	// passed to it are relative to Install time. fault.PollerInjector is
+	// the standard implementation.
+	Fault PollFault
+}
+
+// PollFault is the poller's fault-injection hook. Implementations must be
+// deterministic functions of the offset (no wall clock, no unseeded
+// randomness) or campaign reproducibility breaks.
+type PollFault interface {
+	// PollDelay returns extra poll cost for a poll starting at offset off
+	// from Install, given the loop's fault-free base cost.
+	PollDelay(off, base simclock.Duration) simclock.Duration
+	// ReadStuck reports whether counter reads at offset off return the
+	// previously latched values instead of reaching the ASIC.
+	ReadStuck(off simclock.Duration) bool
 }
 
 func (c *PollerConfig) applyDefaults() {
@@ -155,11 +174,20 @@ type Poller struct {
 	tlBusy   uint64
 	tlMissed uint64
 
+	// samples/missed/busy are written by the sampling loop and read
+	// concurrently by telemetry scrapers and campaign supervisors
+	// (Samples/Missed/MissRate/CPUBusyFrac), so they are atomics.
 	pendingMissed uint32
-	samples       uint64
-	missed        uint64
-	busy          simclock.Duration
+	samples       atomic.Uint64
+	missed        atomic.Uint64
+	busy          atomic.Int64 // simclock.Duration nanoseconds
 	started       simclock.Time
+
+	// lastRead latches the most recent value read for each counter spec so
+	// a stuck-read fault can replay it. A stuck read never reaches the
+	// ASIC: clear-on-read registers (buffer peak) keep accumulating, which
+	// is the physically correct stale-latch behavior.
+	lastRead []wire.Sample
 }
 
 // NewPoller validates the config and builds a poller.
@@ -236,25 +264,29 @@ func (p *Poller) flushTelemetry(now simclock.Time) {
 	p.tlCost.Flush()
 	if p.m.CPUBusy != nil {
 		if elapsed := now.Sub(p.started); elapsed > 0 {
-			p.m.CPUBusy.Set(float64(p.busy) / float64(elapsed))
+			p.m.CPUBusy.Set(float64(p.busy.Load()) / float64(elapsed))
 		}
 	}
 }
 
-// Samples returns the number of completed polls.
-func (p *Poller) Samples() uint64 { return p.samples }
+// Samples returns the number of completed polls. Safe to call from any
+// goroutine while the loop runs.
+func (p *Poller) Samples() uint64 { return p.samples.Load() }
 
-// Missed returns the number of missed sampling intervals.
-func (p *Poller) Missed() uint64 { return p.missed }
+// Missed returns the number of missed sampling intervals. Safe to call
+// from any goroutine while the loop runs.
+func (p *Poller) Missed() uint64 { return p.missed.Load() }
 
 // MissRate returns missed / (missed + samples) — the Table 1 metric: the
 // fraction of scheduled sampling intervals in which no sample was taken.
+// Safe to call from any goroutine while the loop runs.
 func (p *Poller) MissRate() float64 {
-	total := p.missed + p.samples
+	missed := p.missed.Load()
+	total := missed + p.samples.Load()
 	if total == 0 {
 		return 0
 	}
-	return float64(p.missed) / float64(total)
+	return float64(missed) / float64(total)
 }
 
 // CPUBusyFrac returns the fraction of elapsed time the loop spent inside
@@ -267,7 +299,7 @@ func (p *Poller) CPUBusyFrac() float64 {
 	if elapsed <= 0 {
 		return 0
 	}
-	return float64(p.busy) / float64(elapsed)
+	return float64(p.busy.Load()) / float64(elapsed)
 }
 
 // scheduleAt arms one poll beginning at due.
@@ -276,8 +308,8 @@ func (p *Poller) scheduleAt(due simclock.Time) {
 		if p.stopped {
 			return
 		}
-		cost := p.pollCost()
-		p.busy += cost
+		cost := p.pollCost(start)
+		p.busy.Add(int64(cost))
 		p.tlBusy += uint64(cost)
 		if p.tlCost != nil {
 			p.tlCost.Observe(float64(cost) / 1e3)
@@ -292,7 +324,7 @@ func (p *Poller) scheduleAt(due simclock.Time) {
 			// completion; boundaries overrun while polling are missed.
 			k, missed, wireMissed := missedForOverrun(now.Sub(due), p.cfg.Interval)
 			p.pendingMissed = wireMissed
-			p.missed += missed
+			p.missed.Add(missed)
 			p.tlMissed += missed
 			if p.tlPolls >= telemetryFlushEvery {
 				p.flushTelemetry(now)
@@ -317,8 +349,9 @@ func missedForOverrun(overrun, interval simclock.Duration) (k int64, missed uint
 	return k, missed, uint32(missed)
 }
 
-// pollCost samples the duration of one poll under the interference model.
-func (p *Poller) pollCost() simclock.Duration {
+// pollCost samples the duration of one poll under the interference model,
+// for a poll starting at instant start.
+func (p *Poller) pollCost(start simclock.Time) simclock.Duration {
 	jitter := 1 + p.cfg.JitterFrac*(2*p.src.Float64()-1)
 	cost := simclock.Duration(float64(p.baseCost) * jitter)
 	pi := p.cfg.PInterrupt
@@ -331,21 +364,37 @@ func (p *Poller) pollCost() simclock.Duration {
 	if p.src.Bool(pi) {
 		cost += simclock.Duration(p.src.Exp(float64(p.cfg.InterruptMean)))
 	}
+	if p.cfg.Fault != nil {
+		cost += p.cfg.Fault.PollDelay(start.Sub(p.started), p.baseCost)
+	}
 	return cost
 }
 
 // readAndEmit reads every configured counter and emits one sample each,
-// all stamped with the completion time.
+// all stamped with the completion time. While a stuck-read fault is
+// active, reads replay the latched previous values without touching the
+// ASIC — so clear-on-read registers keep accumulating and cumulative
+// counters re-emit a stale (but still monotone) value.
 func (p *Poller) readAndEmit(now simclock.Time) {
-	p.samples++
+	p.samples.Add(1)
 	p.tlPolls++
-	for _, spec := range p.cfg.Counters {
+	stuck := p.cfg.Fault != nil && p.cfg.Fault.ReadStuck(now.Sub(p.started))
+	if p.lastRead == nil {
+		p.lastRead = make([]wire.Sample, len(p.cfg.Counters))
+	}
+	for i, spec := range p.cfg.Counters {
 		s := wire.Sample{
 			Time:   now,
 			Port:   uint16(spec.Port),
 			Dir:    spec.Dir,
 			Kind:   spec.Kind,
 			Missed: p.pendingMissed,
+		}
+		if stuck {
+			s.Value = p.lastRead[i].Value
+			s.Bins = p.lastRead[i].Bins
+			p.emit.Emit(s)
+			continue
 		}
 		port := p.sw.Port(spec.Port)
 		switch spec.Kind {
@@ -362,6 +411,7 @@ func (p *Poller) readAndEmit(now simclock.Time) {
 		case asic.KindECNMarks:
 			s.Value = port.ECNMarks()
 		}
+		p.lastRead[i] = s
 		p.emit.Emit(s)
 	}
 	p.pendingMissed = 0

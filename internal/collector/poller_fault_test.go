@@ -1,0 +1,172 @@
+package collector
+
+import (
+	"sync"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// stubFault is a hand-rolled PollFault (the fault package's injector
+// cannot be imported here without a cycle: fault depends on collector).
+type stubFault struct {
+	stuckFrom, stuckTo simclock.Duration
+	delay              simclock.Duration
+	delayFrom, delayTo simclock.Duration
+}
+
+func (f *stubFault) PollDelay(off, base simclock.Duration) simclock.Duration {
+	if off >= f.delayFrom && off < f.delayTo {
+		return f.delay
+	}
+	return 0
+}
+
+func (f *stubFault) ReadStuck(off simclock.Duration) bool {
+	return off >= f.stuckFrom && off < f.stuckTo
+}
+
+// TestPollerCountersConcurrentRead exercises the Samples/Missed/MissRate
+// getters from another goroutine while the sampling loop runs; `go test
+// -race` fails here if the counters regress to plain fields.
+func TestPollerCountersConcurrentRead(t *testing.T) {
+	p, sched := newBytePoller(t, simclock.Micros(5), EmitterFunc(func(wire.Sample) {}))
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		var sink uint64
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sink += p.Samples() + p.Missed() + uint64(p.MissRate())
+			}
+		}
+	}()
+	sched.RunUntil(simclock.Epoch.Add(simclock.Millis(50)))
+	close(stop)
+	wg.Wait()
+	if p.Samples() == 0 {
+		t.Fatal("no polls completed")
+	}
+}
+
+// TestPollerStuckReadFault checks the stale-latch semantics: while a
+// stuck fault is active, samples replay the last value read before the
+// fault without touching the ASIC, and the stream stays monotone.
+func TestPollerStuckReadFault(t *testing.T) {
+	sw := testSwitch()
+	full := asic.TrafficProfile{0, 0, 0, 0, 0, 1}
+	const (
+		stuckFrom = 300 * simclock.Microsecond
+		stuckTo   = 600 * simclock.Microsecond
+	)
+	var got []wire.Sample
+	p, err := NewPoller(PollerConfig{
+		Interval:      simclock.Micros(25),
+		Counters:      []CounterSpec{byteSpec(0)},
+		DedicatedCore: true,
+		Fault:         &stubFault{stuckFrom: stuckFrom, stuckTo: stuckTo},
+	}, sw, rng.New(11), EmitterFunc(func(s wire.Sample) { got = append(got, s) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := eventq.NewScheduler()
+	p.Install(sched)
+	// Steady traffic so the counter climbs throughout the window.
+	var drive func(now simclock.Time)
+	drive = func(now simclock.Time) {
+		sw.OfferTx(0, 1500, full)
+		sw.Tick(simclock.Micros(10))
+		if now < simclock.Epoch.Add(simclock.Millis(1)) {
+			sched.At(now.Add(simclock.Micros(10)), drive)
+		}
+	}
+	sched.At(simclock.Epoch, drive)
+	sched.RunUntil(simclock.Epoch.Add(simclock.Millis(1)))
+
+	var lastBefore, frozen uint64
+	var sawStuck, sawAfter bool
+	for i, s := range got {
+		off := simclock.Duration(s.Time)
+		switch {
+		case off < stuckFrom:
+			lastBefore = s.Value
+		case off < stuckTo:
+			if !sawStuck {
+				frozen = s.Value
+				if frozen != lastBefore {
+					t.Fatalf("stuck value %d differs from last real read %d", frozen, lastBefore)
+				}
+				sawStuck = true
+			} else if s.Value != frozen {
+				t.Fatalf("stuck window value moved: %d -> %d", frozen, s.Value)
+			}
+		default:
+			sawAfter = true
+			if s.Value < frozen {
+				t.Fatalf("post-fault value %d regressed below frozen %d", s.Value, frozen)
+			}
+		}
+		if i > 0 && s.Value < got[i-1].Value {
+			t.Fatalf("sample %d not monotone", i)
+		}
+	}
+	if !sawStuck || !sawAfter {
+		t.Fatalf("coverage: sawStuck=%v sawAfter=%v (samples=%d)", sawStuck, sawAfter, len(got))
+	}
+	// Traffic kept flowing while reads were frozen, so recovery jumps.
+	final := got[len(got)-1].Value
+	if final <= frozen {
+		t.Fatalf("final value %d did not advance past frozen %d", final, frozen)
+	}
+}
+
+// TestPollerStallFaultDrivesMissed checks the §3 scheduling-jitter
+// regime: a CPU stall inflates poll cost past interval boundaries and
+// shows up as missed intervals, never as missing data.
+func TestPollerStallFaultDrivesMissed(t *testing.T) {
+	run := func(f PollFault) (*Poller, int) {
+		sw := testSwitch()
+		n := 0
+		p, err := NewPoller(PollerConfig{
+			Interval:      simclock.Micros(25),
+			Counters:      []CounterSpec{byteSpec(0)},
+			DedicatedCore: true,
+			Fault:         f,
+		}, sw, rng.New(21), EmitterFunc(func(wire.Sample) { n++ }))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sched := eventq.NewScheduler()
+		p.Install(sched)
+		sched.RunUntil(simclock.Epoch.Add(simclock.Millis(20)))
+		return p, n
+	}
+	clean, _ := run(nil)
+	stalled, n := run(&stubFault{
+		delay:     500 * simclock.Microsecond,
+		delayFrom: 5 * simclock.Millisecond,
+		delayTo:   15 * simclock.Millisecond,
+	})
+	if n == 0 {
+		t.Fatal("stalled poller emitted nothing")
+	}
+	// 10 ms of +500 µs polls at a 25 µs interval: each poll overruns ~20
+	// boundaries, so the stall must dominate the baseline miss count.
+	if stalled.Missed() < clean.Missed()+100 {
+		t.Errorf("stall missed = %d, clean = %d; want stall >> clean",
+			stalled.Missed(), clean.Missed())
+	}
+	if stalled.MissRate() <= clean.MissRate() {
+		t.Errorf("stall miss rate %.4f not above clean %.4f",
+			stalled.MissRate(), clean.MissRate())
+	}
+}

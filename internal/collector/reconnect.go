@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"mburst/internal/rng"
 	"mburst/internal/wire"
 )
 
@@ -17,6 +18,10 @@ type Dialer func() (io.WriteCloser, error)
 type ReconnectingClientConfig struct {
 	// Rack tags outgoing batches.
 	Rack uint32
+	// Epoch is the agent's restart generation, stamped on outgoing batches
+	// so the collector's EpochGate can discard superseded streams. Epoch 0
+	// (never restarted) keeps the legacy MBW1 framing.
+	Epoch uint32
 	// MaxBatch is the flush threshold (default DefaultBatchSize).
 	MaxBatch int
 	// BufferLimit bounds samples retained while the collector is
@@ -28,8 +33,19 @@ type ReconnectingClientConfig struct {
 	// doubling per failure up to MaxBackoff (default 5 s).
 	RetryBackoff time.Duration
 	MaxBackoff   time.Duration
-	// Sleep is injectable for tests (default time.Sleep).
+	// Rand, when non-nil, applies full jitter to reconnect delays: each
+	// sleep is uniform in [0, backoff) while the doubling cap schedule is
+	// unchanged. A rack of agents losing its collector redials spread out
+	// instead of in lockstep, and seeded sources keep the pattern
+	// reproducible. The source is used only by the flusher goroutine.
+	Rand *rng.Source
+	// Sleep is injectable for tests (default time.Sleep). It also paces
+	// the CloseTimeout deadline.
 	Sleep func(time.Duration)
+	// CloseTimeout bounds how long Close waits for the final flush. Zero
+	// waits indefinitely (the historical behavior). On expiry, samples
+	// still pending are accounted as dropped and Close returns an error.
+	CloseTimeout time.Duration
 	// Metrics, when non-nil, receives transport telemetry (delivered,
 	// dropped, redials, backoff state, pending depth).
 	Metrics *ClientMetrics
@@ -141,7 +157,11 @@ func (c *ReconnectingClient) Redials() uint64 {
 	return c.redials
 }
 
-// Close flushes best-effort and stops the flusher.
+// Close flushes best-effort and stops the flusher. With a CloseTimeout
+// configured, the final flush is bounded: if the flusher has not drained
+// within the deadline (collector down, backoff in progress), Close
+// accounts the undelivered samples as dropped and returns an error rather
+// than hanging agent shutdown on an unreachable collector.
 func (c *ReconnectingClient) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -149,13 +169,38 @@ func (c *ReconnectingClient) Close() error {
 		return nil
 	}
 	c.closed = true
+	timeout := c.cfg.CloseTimeout
 	c.mu.Unlock()
 	select {
 	case c.wake <- struct{}{}:
 	default:
 	}
-	<-c.done
-	return nil
+	if timeout <= 0 {
+		<-c.done
+		return nil
+	}
+	expired := make(chan struct{})
+	go func() {
+		c.cfg.Sleep(timeout)
+		close(expired)
+	}()
+	select {
+	case <-c.done:
+		return nil
+	case <-expired:
+	}
+	// Deadline hit: drop what is still pending so accounting stays exact.
+	// A batch already taken by the flusher is not in pending; it either
+	// delivers (counted delivered) or is put back and dropped by the
+	// flusher's closed-with-unreachable-collector path — never both.
+	c.mu.Lock()
+	n := uint64(len(c.pending))
+	c.dropped += n
+	c.pending = nil
+	c.mu.Unlock()
+	c.m.Dropped.Add(n)
+	c.m.Pending.Set(0)
+	return fmt.Errorf("collector: close timed out after %v with %d samples undelivered", timeout, n)
 }
 
 // takeBatch removes up to MaxBatch pending samples.
@@ -232,8 +277,15 @@ func (c *ReconnectingClient) flushLoop() {
 					c.m.Pending.Set(0)
 					return
 				}
-				c.m.Backoff.Set(backoff.Seconds())
-				c.cfg.Sleep(backoff)
+				// Full jitter: sleep uniform in [0, backoff) while the
+				// doubling schedule caps unchanged; the gauge reports the
+				// sleep actually taken.
+				sleep := backoff
+				if c.cfg.Rand != nil {
+					sleep = time.Duration(c.cfg.Rand.Float64() * float64(backoff))
+				}
+				c.m.Backoff.Set(sleep.Seconds())
+				c.cfg.Sleep(sleep)
 				backoff *= 2
 				if backoff > c.cfg.MaxBackoff {
 					backoff = c.cfg.MaxBackoff
@@ -255,7 +307,7 @@ func (c *ReconnectingClient) flushLoop() {
 			continue
 		}
 		before := cw.n
-		err := w.WriteBatch(&wire.Batch{Rack: c.cfg.Rack, Samples: batch})
+		err := w.WriteBatch(&wire.Batch{Rack: c.cfg.Rack, Epoch: c.cfg.Epoch, Samples: batch})
 		c.m.Bytes.Add(cw.n - before)
 		if err != nil {
 			c.m.FlushErrors.Inc()

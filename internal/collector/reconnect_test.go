@@ -8,6 +8,8 @@ import (
 	"testing"
 	"time"
 
+	"mburst/internal/obs"
+	"mburst/internal/rng"
 	"mburst/internal/wire"
 )
 
@@ -206,6 +208,144 @@ func TestReconnectingClientConcurrentEmit(t *testing.T) {
 	waitFor(t, "all delivered", func() bool {
 		return len(sink.Samples()) == goroutines*per
 	})
+}
+
+func TestReconnectingClientBackoffFullJitter(t *testing.T) {
+	// With an injected RNG, reconnect sleeps are uniform in [0, backoff)
+	// while the doubling cap schedule is unchanged, the pattern is
+	// reproducible per seed, and the backoff gauge reports the sleep
+	// actually taken.
+	observe := func(seed uint64) ([]time.Duration, []float64) {
+		var mu sync.Mutex
+		var sleeps []time.Duration
+		var gauges []float64
+		reg := obs.NewRegistry()
+		m := NewClientMetrics(reg)
+		done := make(chan struct{})
+		cfg := ReconnectingClientConfig{
+			Rack:         1,
+			MaxBatch:     8,
+			RetryBackoff: time.Millisecond,
+			MaxBackoff:   8 * time.Millisecond,
+			Rand:         rng.New(seed).Split("backoff"),
+			Metrics:      m,
+			Sleep: func(d time.Duration) {
+				mu.Lock()
+				sleeps = append(sleeps, d)
+				gauges = append(gauges, m.Backoff.Value())
+				n := len(sleeps)
+				mu.Unlock()
+				if n == 8 {
+					close(done)
+				}
+			},
+		}
+		c := NewReconnectingClient(func() (io.WriteCloser, error) {
+			return nil, errors.New("connection refused")
+		}, cfg)
+		c.Emit(mkSample(0))
+		<-done
+		c.Close()
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]time.Duration(nil), sleeps[:8]...), append([]float64(nil), gauges[:8]...)
+	}
+
+	a, gauges := observe(5)
+	b, _ := observe(5)
+	other, _ := observe(6)
+	sched := time.Millisecond // the un-jittered doubling schedule
+	varied := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at redial %d: %v vs %v", i, a[i], b[i])
+		}
+		if a[i] < 0 || a[i] >= 8*time.Millisecond {
+			t.Errorf("sleep %d = %v outside [0, MaxBackoff)", i, a[i])
+		}
+		if a[i] > sched {
+			t.Errorf("sleep %d = %v exceeds scheduled cap %v", i, a[i], sched)
+		}
+		if gauges[i] != a[i].Seconds() {
+			t.Errorf("gauge at redial %d = %v, want %v", i, gauges[i], a[i].Seconds())
+		}
+		if a[i] != other[i] {
+			varied = true
+		}
+		if sched < 8*time.Millisecond {
+			sched *= 2
+		}
+	}
+	if !varied {
+		t.Error("different seeds produced identical jitter sequences")
+	}
+}
+
+func TestReconnectingClientCloseDeadlineDelivers(t *testing.T) {
+	// Collector up: a bounded Close still delivers everything.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &MemSink{}
+	srv := Serve(ln, sink.Handle)
+	defer srv.Close()
+	cfg := fastConfig(1)
+	cfg.CloseTimeout = 5 * time.Second
+	c := NewReconnectingClient(tcpDialer(srv.Addr().String()), cfg)
+	const n = 100
+	for i := 0; i < n; i++ {
+		c.Emit(mkSample(i))
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("close with reachable collector: %v", err)
+	}
+	waitFor(t, "delivery", func() bool { return len(sink.Samples()) == n })
+	if c.DroppedSamples() != 0 {
+		t.Errorf("dropped = %d, want 0", c.DroppedSamples())
+	}
+}
+
+func TestReconnectingClientCloseDeadlineExpires(t *testing.T) {
+	// Collector down: Close must return within the deadline with every
+	// undelivered sample accounted as dropped — not hang.
+	cfg := fastConfig(1)
+	cfg.CloseTimeout = 20 * time.Millisecond
+	parked := make(chan struct{})
+	defer close(parked)
+	backingOff := make(chan struct{})
+	var once sync.Once
+	cfg.Sleep = func(d time.Duration) {
+		// Injected sleep: the deadline fires immediately, backoff waits
+		// park until test teardown (the collector never comes back).
+		if d == cfg.CloseTimeout {
+			return
+		}
+		once.Do(func() { close(backingOff) })
+		<-parked
+	}
+	c := NewReconnectingClient(func() (io.WriteCloser, error) {
+		return nil, errors.New("connection refused")
+	}, cfg)
+	const n = 50
+	for i := 0; i < n; i++ {
+		c.Emit(mkSample(i))
+	}
+	// Close only once the flusher is parked in a backoff sleep: a fast
+	// dial failure after Close would otherwise let the flusher drain and
+	// exit cleanly within the deadline, and Close would rightly return
+	// nil. The hung-flusher case is the one the deadline exists for.
+	<-backingOff
+	err := c.Close()
+	if err == nil {
+		t.Fatal("close returned nil with an unreachable collector and expired deadline")
+	}
+	if got := c.DeliveredSamples() + c.DroppedSamples(); got != n {
+		t.Fatalf("accounting after deadline: delivered+dropped = %d, want %d", got, n)
+	}
+	if c.DroppedSamples() == 0 {
+		t.Error("no samples accounted as dropped")
+	}
 }
 
 func TestNewReconnectingClientNilDialerPanics(t *testing.T) {

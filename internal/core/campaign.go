@@ -9,6 +9,7 @@ import (
 	"mburst/internal/analysis"
 	"mburst/internal/asic"
 	"mburst/internal/collector"
+	"mburst/internal/fault"
 	"mburst/internal/obs"
 	"mburst/internal/rng"
 	"mburst/internal/simclock"
@@ -31,6 +32,8 @@ type Experiment struct {
 	// Runner telemetry: cells currently executing and cells completed.
 	cellsInFlight  *obs.Gauge
 	cellsCompleted *obs.Counter
+	// Fault-injection telemetry, shared by every cell's injector.
+	faultM *fault.Metrics
 }
 
 // NewExperiment validates cfg and returns an Experiment.
@@ -49,6 +52,9 @@ func NewExperiment(cfg Config) (*Experiment, error) {
 			"Campaign cells currently executing on the worker pool.")
 		e.cellsCompleted = reg.Counter("mburst_runner_cells_completed_total",
 			"Campaign cells completed by the worker pool.")
+		if cfg.Faults != nil || cfg.FaultSchedule != nil {
+			e.faultM = fault.NewMetrics(reg)
+		}
 	}
 	return e, nil
 }
@@ -167,7 +173,7 @@ func (e *Experiment) RecordCampaign(ctx context.Context, app workload.App, dir s
 	}
 	rack := e.Rack()
 	probe := plan(rack, 0, 0)
-	w, err := trace.Create(dir, trace.Meta{
+	w, err := trace.CreateWithOpener(dir, trace.Meta{
 		App:         app.String(),
 		NumServers:  rack.NumServers,
 		NumUplinks:  rack.NumUplinks,
@@ -179,7 +185,7 @@ func (e *Experiment) RecordCampaign(ctx context.Context, app workload.App, dir s
 		Seed:        e.cfg.Seed,
 		Counters:    probe,
 		Notes:       notes,
-	})
+	}, e.cfg.TraceOpener)
 	if err != nil {
 		return err
 	}

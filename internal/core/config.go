@@ -25,9 +25,11 @@ package core
 import (
 	"fmt"
 
+	"mburst/internal/fault"
 	"mburst/internal/obs"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
+	"mburst/internal/trace"
 	"mburst/internal/workload"
 )
 
@@ -75,6 +77,20 @@ type Config struct {
 	// window/sample progress counters are updated as campaigns run. Nil
 	// (the default) keeps campaigns telemetry-free at no cost.
 	Metrics *obs.Registry
+	// Faults, when non-nil, injects a randomized fault schedule into every
+	// campaign cell's poller. Each cell draws its own schedule from the
+	// experiment seed (stream "fault/<app>/r<rack>/w<window>"), so chaos
+	// campaigns stay a pure function of (Config, Cell) and byte-identical
+	// across worker counts. Mutually exclusive with FaultSchedule.
+	Faults *fault.GenConfig
+	// FaultSchedule, when non-nil, applies one fixed fault schedule to every
+	// cell — the reproducible-single-scenario counterpart to Faults. Offsets
+	// are relative to each cell's recording start.
+	FaultSchedule *fault.Schedule
+	// TraceOpener, when non-nil, replaces os.Create for RecordCampaign's
+	// window files so disk faults are injectable (fault.FlakyOpener matches
+	// this type structurally).
+	TraceOpener trace.Opener
 }
 
 // DefaultConfig returns the standard scaled-down reproduction: 3 racks ×
@@ -121,6 +137,18 @@ func (c Config) Validate() error {
 		return fmt.Errorf("core: HotThreshold = %v", c.HotThreshold)
 	case c.Workers < 0:
 		return fmt.Errorf("core: Workers = %d", c.Workers)
+	case c.Faults != nil && c.FaultSchedule != nil:
+		return fmt.Errorf("core: Faults and FaultSchedule are mutually exclusive")
+	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	if c.FaultSchedule != nil {
+		if err := c.FaultSchedule.Validate(); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
 	}
 	return nil
 }

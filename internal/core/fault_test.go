@@ -1,0 +1,162 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"mburst/internal/fault"
+	"mburst/internal/simclock"
+	"mburst/internal/workload"
+)
+
+// stuckSchedule is a fixed schedule guaranteed to bite inside the 40 ms
+// runnerConfig windows.
+func stuckSchedule() fault.Schedule {
+	s, err := fault.ParseSchedule("stuck@5ms+10ms,stall@20ms+10ms:200µs")
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// TestFaultedCampaignDeterminism extends the runner's byte-identity
+// guarantee to chaos campaigns: with per-cell generated fault schedules the
+// recorded directory must still be identical for every worker count.
+func TestFaultedCampaignDeterminism(t *testing.T) {
+	record := func(workers int) map[string]string {
+		cfg := runnerConfig(workers)
+		gen := fault.Default()
+		cfg.Faults = &gen
+		exp, err := NewExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "c")
+		err = exp.RecordCampaign(context.Background(), workload.Cache, dir, 0, "chaos",
+			exp.RandomPortCounters(workload.Cache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hashDir(t, dir)
+	}
+	serial := record(1)
+	parallel := record(8)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Errorf("faulted campaign differs by worker count:\nserial   %v\nparallel %v", serial, parallel)
+	}
+}
+
+// TestFaultedCampaignDiffersFromClean: a guaranteed-active schedule must
+// actually perturb the recorded samples — otherwise injection is a no-op.
+func TestFaultedCampaignDiffersFromClean(t *testing.T) {
+	record := func(sched *fault.Schedule) map[string]string {
+		cfg := runnerConfig(2)
+		cfg.FaultSchedule = sched
+		exp, err := NewExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "c")
+		err = exp.RecordCampaign(context.Background(), workload.Cache, dir, 0, "",
+			exp.RandomPortCounters(workload.Cache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hashDir(t, dir)
+	}
+	sched := stuckSchedule()
+	faulted := record(&sched)
+	clean := record(nil)
+	if reflect.DeepEqual(faulted, clean) {
+		t.Error("fault schedule left the trace untouched")
+	}
+	// And the zero-fault path is byte-identical to no fault plumbing at
+	// all — the soak's identity invariant at campaign scale.
+	empty := fault.Schedule{}
+	if got := record(&empty); !reflect.DeepEqual(got, clean) {
+		t.Error("empty fault schedule changed the trace")
+	}
+}
+
+// TestCellRunCarriesSchedule: the executed cells report the schedule that
+// was injected into them.
+func TestCellRunCarriesSchedule(t *testing.T) {
+	cfg := runnerConfig(1)
+	sched := stuckSchedule()
+	cfg.FaultSchedule = &sched
+	exp, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := exp.campaignCells([]workload.App{workload.Web}, exp.RandomPortCounters(workload.Web), 0, 0)
+	runs, err := RunCells(context.Background(), exp.Runner(), cells, func(run *CellRun) (string, error) {
+		return run.Faults.String(), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range runs {
+		if got != sched.String() {
+			t.Errorf("cell %d schedule = %q, want %q", i, got, sched.String())
+		}
+	}
+}
+
+// TestCellFaultsGenerated: generated schedules differ across cells (each
+// cell has its own stream) yet reproduce exactly across experiments.
+func TestCellFaultsGenerated(t *testing.T) {
+	cfg := runnerConfig(1)
+	gen := fault.Default()
+	cfg.Faults = &gen
+	schedules := func() []string {
+		exp, err := NewExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []string
+		for rack := 0; rack < 4; rack++ {
+			for w := 0; w < 4; w++ {
+				c := Cell{App: workload.Web, RackID: rack, Window: w}
+				out = append(out, exp.cellFaults(c, 100*simclock.Millisecond).String())
+			}
+		}
+		return out
+	}
+	a, b := schedules(), schedules()
+	if !reflect.DeepEqual(a, b) {
+		t.Error("generated schedules not reproducible")
+	}
+	distinct := make(map[string]bool)
+	for _, s := range a {
+		distinct[s] = true
+	}
+	if len(distinct) < 2 {
+		t.Errorf("all %d cells drew identical schedules: %q", len(a), a[0])
+	}
+}
+
+func TestConfigValidateFaults(t *testing.T) {
+	cfg := QuickConfig()
+	gen := fault.Default()
+	sched := stuckSchedule()
+	cfg.Faults, cfg.FaultSchedule = &gen, &sched
+	if err := cfg.Validate(); err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Errorf("both fault modes accepted: %v", err)
+	}
+	cfg = QuickConfig()
+	bad := fault.Default()
+	bad.PStuck = 2
+	cfg.Faults = &bad
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid GenConfig accepted")
+	}
+	cfg = QuickConfig()
+	badSched := fault.Schedule{Faults: []fault.Fault{{Kind: fault.KindStuckReads, At: -1}}}
+	cfg.FaultSchedule = &badSched
+	if err := cfg.Validate(); err == nil {
+		t.Error("invalid FaultSchedule accepted")
+	}
+}

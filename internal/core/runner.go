@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"mburst/internal/collector"
+	"mburst/internal/fault"
 	"mburst/internal/rng"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
@@ -59,6 +60,9 @@ type CellRun struct {
 	// MissRate / CPUBusy are the cell poller's Table 1 statistics.
 	MissRate float64
 	CPUBusy  float64
+	// Faults is the fault schedule injected into this cell's poller (empty
+	// when the campaign runs fault-free).
+	Faults fault.Schedule
 }
 
 // Runner fans campaign cells across a bounded worker pool. Results are
@@ -205,11 +209,17 @@ func (e *Experiment) runCell(c Cell) (*CellRun, error) {
 		n = captureCap
 	}
 	captured := make([]wire.Sample, 0, int(n)*len(counters))
+	schedule := e.cellFaults(c, dur)
+	var pollFault collector.PollFault
+	if !schedule.Empty() {
+		pollFault = fault.NewPollerInjector(schedule, e.faultM)
+	}
 	p, err := collector.NewPoller(collector.PollerConfig{
 		Interval:      interval,
 		Counters:      counters,
 		DedicatedCore: true,
 		Metrics:       e.pollerM,
+		Fault:         pollFault,
 	}, net.Switch(), e.pollSource(c, interval), collector.EmitterFunc(func(s wire.Sample) {
 		captured = append(captured, s)
 	}))
@@ -231,7 +241,23 @@ func (e *Experiment) runCell(c Cell) (*CellRun, error) {
 		Samples:  captured,
 		MissRate: p.MissRate(),
 		CPUBusy:  p.CPUBusyFrac(),
+		Faults:   schedule,
 	}, nil
+}
+
+// cellFaults derives the fault schedule for one cell. A fixed
+// Config.FaultSchedule applies verbatim to every cell; a Config.Faults
+// generator draws each cell's schedule from its own seed stream, disjoint
+// from the poll-jitter stream, so faulted campaigns stay reproducible.
+func (e *Experiment) cellFaults(c Cell, dur simclock.Duration) fault.Schedule {
+	switch {
+	case e.cfg.FaultSchedule != nil:
+		return *e.cfg.FaultSchedule
+	case e.cfg.Faults != nil:
+		src := rng.New(e.cfg.Seed).Split(fmt.Sprintf("fault/%s/r%d/w%d", c.App, c.RackID, c.Window))
+		return fault.Generate(src, *e.cfg.Faults, dur)
+	}
+	return fault.Schedule{}
 }
 
 // pollSource derives the poller's jitter stream for one cell. Including

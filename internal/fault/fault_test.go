@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+)
+
+func TestParseScheduleRoundTrip(t *testing.T) {
+	spec := "stuck@10ms+5ms,latency@20ms+5ms:x8,stall@30ms+2ms:500µs,restart@40ms+0ns,outage@50ms+10ms,disk@60ms+10ms"
+	s, err := ParseSchedule(spec)
+	if err != nil {
+		t.Fatalf("ParseSchedule(%q): %v", spec, err)
+	}
+	if len(s.Faults) != 6 {
+		t.Fatalf("got %d faults, want 6", len(s.Faults))
+	}
+	if got := s.String(); got != spec {
+		t.Errorf("round trip:\n got %q\nwant %q", got, spec)
+	}
+	back, err := ParseSchedule(s.String())
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if back.String() != s.String() {
+		t.Errorf("reparse changed schedule: %q vs %q", back.String(), s.String())
+	}
+}
+
+func TestParseScheduleDefaultsAndEmpty(t *testing.T) {
+	for _, spec := range []string{"", "none", "  none  "} {
+		s, err := ParseSchedule(spec)
+		if err != nil || !s.Empty() {
+			t.Errorf("ParseSchedule(%q) = %v, %v; want empty, nil", spec, s, err)
+		}
+	}
+	s, err := ParseSchedule("latency@1ms+1ms,stall@5ms+1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Faults[0].Factor; got != DefaultLatencyFactor {
+		t.Errorf("latency default factor = %v, want %v", got, float64(DefaultLatencyFactor))
+	}
+	if got := s.Faults[1].Delay; got != DefaultStallDelay {
+		t.Errorf("stall default delay = %v, want %v", got, DefaultStallDelay)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	for _, spec := range []string{
+		"bogus@1ms+1ms",     // unknown kind
+		"stuck1ms",          // no @
+		"stuck@zzz+1ms",     // bad offset
+		"stuck@1ms+zzz",     // bad duration
+		"latency@1ms+1ms:8", // latency param must be xN
+		"stuck@1ms+1ms:x2",  // stuck takes no parameter
+		"stall@1ms+1ms:x2",  // stall param is a duration
+		"stuck@-1ms+1ms",    // negative offset
+	} {
+		if _, err := ParseSchedule(spec); err == nil {
+			t.Errorf("ParseSchedule(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestActiveHalfOpen(t *testing.T) {
+	s := Schedule{Faults: []Fault{{Kind: KindStuckReads, At: 10 * simclock.Millisecond, Dur: 5 * simclock.Millisecond}}}
+	cases := []struct {
+		off  simclock.Duration
+		want bool
+	}{
+		{9 * simclock.Millisecond, false},
+		{10 * simclock.Millisecond, true},
+		{14*simclock.Millisecond + 999*simclock.Microsecond, true},
+		{15 * simclock.Millisecond, false},
+	}
+	for _, c := range cases {
+		if _, got := s.Active(KindStuckReads, c.off); got != c.want {
+			t.Errorf("Active(stuck, %v) = %v, want %v", c.off, got, c.want)
+		}
+		if _, got := s.Active(KindCPUStall, c.off); got {
+			t.Errorf("Active(stall, %v) = true for stuck-only schedule", c.off)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	const window = 100 * simclock.Millisecond
+	cfg := Default()
+	a := Generate(rng.New(42).Split("fault"), cfg, window)
+	b := Generate(rng.New(42).Split("fault"), cfg, window)
+	if a.String() != b.String() {
+		t.Fatalf("same seed diverged:\n a=%s\n b=%s", a, b)
+	}
+	c := Generate(rng.New(43).Split("fault"), cfg, window)
+	if a.String() == c.String() {
+		t.Errorf("different seeds produced identical non-trivial schedules: %s", a)
+	}
+	if err := a.Validate(); err != nil {
+		t.Errorf("generated schedule invalid: %v", err)
+	}
+	for _, f := range a.Faults {
+		if f.End() > window {
+			t.Errorf("fault %s overruns window %v", f, window)
+		}
+	}
+}
+
+func TestGenerateFixedDrawLayout(t *testing.T) {
+	// Disabling a kind must not move the placement of the kinds after it:
+	// each kind consumes exactly two draws whether or not it fires.
+	const window = 100 * simclock.Millisecond
+	full := Default()
+	noStuck := full
+	noStuck.PStuck = 0
+	a := Generate(rng.New(7).Split("fault"), full, window)
+	b := Generate(rng.New(7).Split("fault"), noStuck, window)
+	for _, k := range []Kind{KindReadLatency, KindCPUStall, KindAgentRestart, KindCollectorOutage, KindDiskError} {
+		fa, fb := a.Of(k), b.Of(k)
+		if len(fa) != len(fb) {
+			t.Fatalf("kind %s: fired %d vs %d times after disabling stuck", k, len(fa), len(fb))
+		}
+		for i := range fa {
+			if fa[i] != fb[i] {
+				t.Errorf("kind %s moved after disabling stuck: %s vs %s", k, fa[i], fb[i])
+			}
+		}
+	}
+}
+
+func TestGenerateZeroConfig(t *testing.T) {
+	s := Generate(rng.New(1), GenConfig{}, simclock.Second)
+	if !s.Empty() {
+		t.Errorf("zero GenConfig generated %s, want empty", s)
+	}
+}
+
+func TestParseGen(t *testing.T) {
+	cfg, err := ParseGen("rand")
+	if err != nil {
+		t.Fatalf("ParseGen(rand): %v", err)
+	}
+	if cfg != Default() {
+		t.Errorf("ParseGen(rand) = %+v, want Default()", cfg)
+	}
+	cfg, err = ParseGen("rand:stuck=0.8,stall=0,durfrac=0.2,factor=4,stalldelay=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.PStuck != 0.8 || cfg.PStall != 0 || cfg.DurFrac != 0.2 ||
+		cfg.LatencyFactor != 4 || cfg.StallDelay != simclock.Millisecond {
+		t.Errorf("overrides not applied: %+v", cfg)
+	}
+	for _, spec := range []string{"x", "rand:zzz=1", "rand:stuck", "rand:stuck=2", "rand:stalldelay=zzz"} {
+		if _, err := ParseGen(spec); err == nil {
+			t.Errorf("ParseGen(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	bad := Schedule{Faults: []Fault{{Kind: KindReadLatency, At: 0, Dur: simclock.Millisecond, Factor: 0.5}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "latency factor") {
+		t.Errorf("Validate() = %v, want latency-factor error", err)
+	}
+}

@@ -1,0 +1,211 @@
+package fault
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"reflect"
+	"testing"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/eventq"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// The chaos soak drives the full poll→sample→reconstruct path under many
+// generated fault schedules and checks the paper's cumulative-counter
+// invariant end to end (§3, Table 1): faults cost resolution, never bytes.
+//
+//	(a) every fresh (non-stuck) read equals the ASIC counter exactly, so
+//	    recovered bytes between any two fresh polls are ground truth;
+//	(b) gap-aware reconstruction conserves bytes and never fabricates a
+//	    super-physical burst;
+//	(c) a zero-fault schedule is byte-identical to no fault plumbing at
+//	    all.
+
+const (
+	soakWindow   = 20 * simclock.Millisecond
+	soakInterval = 25 * simclock.Microsecond
+	soakSpeed    = uint64(10e9)
+)
+
+// soakRun is one window of polling under a schedule, with ground truth
+// captured at every emission instant.
+type soakRun struct {
+	samples []wire.Sample
+	truth   []uint64 // ASIC byte counter at each sample's emission
+	missed  uint64
+}
+
+// runSoakWindow polls a steadily-loaded switch for one window under the
+// given fault injector (nil = clean).
+func runSoakWindow(t *testing.T, pf collector.PollFault) soakRun {
+	t.Helper()
+	sw := asic.New(asic.Config{
+		PortSpeeds:  []uint64{10e9, 40e9},
+		BufferBytes: 1 << 20,
+		Alpha:       1,
+	})
+	full := asic.TrafficProfile{0, 0, 0, 0, 0, 1}
+	var run soakRun
+	p, err := collector.NewPoller(collector.PollerConfig{
+		Interval:      soakInterval,
+		Counters:      []collector.CounterSpec{{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}},
+		DedicatedCore: true,
+		Fault:         pf,
+	}, sw, rng.New(77), collector.EmitterFunc(func(s wire.Sample) {
+		run.samples = append(run.samples, s)
+		run.truth = append(run.truth, sw.Port(0).Bytes(asic.TX))
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := eventq.NewScheduler()
+	p.Install(sched)
+	end := simclock.Epoch.Add(soakWindow)
+	var drive func(now simclock.Time)
+	drive = func(now simclock.Time) {
+		sw.OfferTx(0, 1500, full)
+		sw.Tick(simclock.Micros(10))
+		if now < end {
+			sched.At(now.Add(simclock.Micros(10)), drive)
+		}
+	}
+	sched.At(simclock.Epoch, drive)
+	sched.RunUntil(end)
+	p.Stop()
+	run.missed = p.Missed()
+	return run
+}
+
+// soakReport is the FAULT_soak.json CI artifact.
+type soakReport struct {
+	Schedules          int    `json:"schedules"`
+	Polls              int    `json:"polls"`
+	StuckPolls         int    `json:"stuck_polls"`
+	MissedIntervals    uint64 `json:"missed_intervals"`
+	Merges             int    `json:"merges"`
+	MissedSpans        int    `json:"missed_spans"`
+	BytesRecovered     uint64 `json:"bytes_recovered"`
+	StallSchedules     int    `json:"stall_schedules"`
+	ZeroFaultIdentical bool   `json:"zero_fault_identical"`
+}
+
+func TestChaosSoak(t *testing.T) {
+	const schedules = 25
+	var report soakReport
+	report.Schedules = schedules
+
+	clean := runSoakWindow(t, nil)
+	if len(clean.samples) == 0 {
+		t.Fatal("clean run produced no samples")
+	}
+
+	for seed := uint64(0); seed < schedules; seed++ {
+		sched := Generate(rng.New(seed).Split("soak"), Default(), soakWindow)
+		run := runSoakWindow(t, NewPollerInjector(sched, nil))
+		if len(run.samples) < 2 {
+			t.Fatalf("seed %d (%s): only %d samples", seed, sched, len(run.samples))
+		}
+		report.Polls += len(run.samples)
+		report.MissedIntervals += run.missed
+
+		// (a) Fresh reads are ground truth, sample by sample; therefore
+		// bytes between any two fresh polls are exact.
+		firstFresh, lastFresh := -1, -1
+		for i, s := range run.samples {
+			off := s.Time.Sub(simclock.Epoch)
+			if _, stuck := sched.Active(KindStuckReads, off); stuck {
+				report.StuckPolls++
+				continue
+			}
+			if s.Value != run.truth[i] {
+				t.Fatalf("seed %d (%s): fresh sample %d value %d != ASIC %d",
+					seed, sched, i, s.Value, run.truth[i])
+			}
+			if firstFresh < 0 {
+				firstFresh = i
+			}
+			lastFresh = i
+		}
+		// Default generation leaves most of the window un-stuck, so every
+		// schedule keeps at least one successful poll — the recovery
+		// precondition.
+		if firstFresh < 0 || lastFresh == firstFresh {
+			t.Fatalf("seed %d (%s): fewer than 2 fresh polls", seed, sched)
+		}
+		wantBytes := run.truth[lastFresh] - run.truth[firstFresh]
+		gotBytes, err := analysis.RecoveredBytes(run.samples[firstFresh : lastFresh+1])
+		if err != nil {
+			t.Fatalf("seed %d (%s): %v", seed, sched, err)
+		}
+		if gotBytes != wantBytes {
+			t.Fatalf("seed %d (%s): recovered %d bytes, ASIC ground truth %d",
+				seed, sched, gotBytes, wantBytes)
+		}
+		report.BytesRecovered += gotBytes
+
+		// (b) Gap-aware reconstruction accepts the damaged series,
+		// conserves bytes, and stays physical.
+		points, st, err := analysis.GapAwareUtilization(run.samples, soakSpeed)
+		if err != nil {
+			t.Fatalf("seed %d (%s): gap-aware: %v", seed, sched, err)
+		}
+		if st.Bytes != run.samples[len(run.samples)-1].Value-run.samples[0].Value {
+			t.Fatalf("seed %d: GapStats.Bytes = %d, want endpoint delta", seed, st.Bytes)
+		}
+		var reint float64
+		for _, pt := range points {
+			if pt.Util > 1+1e-6 {
+				t.Fatalf("seed %d (%s): reconstructed util %v super-physical", seed, sched, pt.Util)
+			}
+			reint += pt.Util * float64(soakSpeed) * pt.Span().Seconds() / 8
+		}
+		if math.Abs(reint-float64(st.Bytes)) > 1e-6*float64(st.Bytes)+1 {
+			t.Fatalf("seed %d: spans re-integrate to %v bytes, want %d", seed, reint, st.Bytes)
+		}
+		report.Merges += st.Merged
+		report.MissedSpans += st.MissedSpans
+
+		// Stall faults must surface as missed intervals — resolution loss
+		// is reported, not hidden.
+		if _, ok := firstOf(sched, KindCPUStall); ok {
+			report.StallSchedules++
+			if run.missed <= clean.missed {
+				t.Errorf("seed %d (%s): stall schedule missed %d <= clean %d",
+					seed, sched, run.missed, clean.missed)
+			}
+		}
+	}
+
+	// (c) Zero-fault identity: an empty schedule's injector is invisible.
+	empty := runSoakWindow(t, NewPollerInjector(Schedule{}, nil))
+	report.ZeroFaultIdentical = reflect.DeepEqual(empty.samples, clean.samples)
+	if !report.ZeroFaultIdentical {
+		t.Error("empty fault schedule changed the sample stream")
+	}
+
+	if out := os.Getenv("MBURST_FAULT_OUT"); out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// firstOf returns the first fault of a kind in the schedule.
+func firstOf(s Schedule, k Kind) (Fault, bool) {
+	for _, f := range s.Faults {
+		if f.Kind == k {
+			return f, true
+		}
+	}
+	return Fault{}, false
+}

@@ -8,7 +8,7 @@ import (
 // simDomain names the packages whose behaviour must be a pure function of
 // simulated time: one wall-clock read inside them and the byte-identical
 // campaign guarantee (internal/core) is gone.
-var simDomain = []string{"simnet", "asic", "eventq", "workload", "sweep", "replay", "core"}
+var simDomain = []string{"simnet", "asic", "eventq", "workload", "sweep", "replay", "core", "fault"}
 
 // wallclockFuncs are the time-package functions that read or schedule
 // against the wall clock. Referencing one as a value (the injectable

@@ -34,6 +34,13 @@ type Options struct {
 	// Windows optionally restricts replay to these window indices
 	// (default: every window present on disk, in order).
 	Windows []int
+	// MaxGap bounds a single pacing sleep (after Speedup). Traces that
+	// survived faults carry long sample gaps — agent outages, stalled
+	// pollers — and replaying such a gap verbatim stalls the feed for the
+	// whole fault duration. A non-zero MaxGap clamps each sleep so
+	// downstream consumers see the gap without living through it; zero
+	// preserves gaps verbatim. Clamps are tallied in Stats.GapClamps.
+	MaxGap time.Duration
 }
 
 func (o *Options) applyDefaults() {
@@ -56,6 +63,8 @@ type Stats struct {
 	// VirtualSpan is the covered virtual time, summed per window (each
 	// window's simulation restarts its clock).
 	VirtualSpan simclock.Duration
+	// GapClamps counts pacing sleeps shortened by Options.MaxGap.
+	GapClamps int
 }
 
 // Run replays the campaign at dir into w as wire batches. ctx cancels a
@@ -119,7 +128,12 @@ func Run(ctx context.Context, dir string, w io.Writer, opts Options) (Stats, err
 					if !opts.Unpaced {
 						span := s.Time.Sub(batchStart)
 						if span > 0 {
-							opts.Sleep(time.Duration(float64(span.Std()) / opts.Speedup))
+							sleep := time.Duration(float64(span.Std()) / opts.Speedup)
+							if opts.MaxGap > 0 && sleep > opts.MaxGap {
+								sleep = opts.MaxGap
+								st.GapClamps++
+							}
+							opts.Sleep(sleep)
 						}
 					}
 					batchStart = s.Time

@@ -102,6 +102,44 @@ func TestReplayPacingSleeps(t *testing.T) {
 	}
 }
 
+func TestReplayMaxGapClampsSleeps(t *testing.T) {
+	dir := writeCampaign(t, 1, 4096)
+	run := func(maxGap time.Duration) (time.Duration, Stats) {
+		var slept time.Duration
+		var buf bytes.Buffer
+		st, err := Run(context.Background(), dir, &buf, Options{
+			Speedup:      10,
+			BatchSamples: 2048,
+			MaxGap:       maxGap,
+			Sleep:        func(d time.Duration) { slept += d },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return slept, st
+	}
+	// Unclamped: ≈5.12 ms per flushed batch (see TestReplayPacingSleeps).
+	// A 1 ms MaxGap caps each of the two sleeps.
+	clamped, st := run(time.Millisecond)
+	if clamped > 2*time.Millisecond {
+		t.Errorf("clamped sleep total %v exceeds 2×MaxGap", clamped)
+	}
+	if st.GapClamps != 2 {
+		t.Errorf("GapClamps = %d, want 2", st.GapClamps)
+	}
+	if st.Samples != 4096 {
+		t.Errorf("samples = %d: clamping must not drop data", st.Samples)
+	}
+	// Zero MaxGap preserves gaps verbatim.
+	verbatim, st0 := run(0)
+	if verbatim <= clamped {
+		t.Errorf("verbatim sleep %v not above clamped %v", verbatim, clamped)
+	}
+	if st0.GapClamps != 0 {
+		t.Errorf("GapClamps = %d without MaxGap", st0.GapClamps)
+	}
+}
+
 func TestReplayWindowSelection(t *testing.T) {
 	dir := writeCampaign(t, 4, 100)
 	var buf bytes.Buffer

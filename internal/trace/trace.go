@@ -86,7 +86,16 @@ type Writer struct {
 	dir  string
 	meta Meta
 	done map[int]bool
+	open Opener
 }
+
+// Opener creates the file backing one window. It exists so fault-injection
+// harnesses can interpose disk errors (see internal/fault.FlakyOpener,
+// which matches this type structurally); production writers use os.Create.
+type Opener func(path string) (io.WriteCloser, error)
+
+// defaultOpener adapts os.Create to Opener.
+func defaultOpener(path string) (io.WriteCloser, error) { return os.Create(path) }
 
 // Create initializes a campaign directory (creating it if needed) and
 // writes the metadata file. It refuses to reuse a directory that already
@@ -110,7 +119,20 @@ func Create(dir string, meta Meta) (*Writer, error) {
 	if err := os.WriteFile(metaPath, append(data, '\n'), 0o644); err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	return &Writer{dir: dir, meta: meta, done: make(map[int]bool)}, nil
+	return &Writer{dir: dir, meta: meta, done: make(map[int]bool), open: defaultOpener}, nil
+}
+
+// CreateWithOpener is Create with an injected window-file opener. A nil
+// opener falls back to os.Create.
+func CreateWithOpener(dir string, meta Meta, open Opener) (*Writer, error) {
+	w, err := Create(dir, meta)
+	if err != nil {
+		return nil, err
+	}
+	if open != nil {
+		w.open = open
+	}
+	return w, nil
 }
 
 // Meta returns the campaign metadata.
@@ -125,7 +147,7 @@ func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error 
 	if w.done[idx] {
 		return fmt.Errorf("trace: window %d already written", idx)
 	}
-	f, err := os.Create(filepath.Join(w.dir, windowFileName(idx)))
+	f, err := w.open(filepath.Join(w.dir, windowFileName(idx)))
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}

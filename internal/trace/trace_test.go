@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"errors"
+	"io"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -244,5 +246,54 @@ func TestCorruptWindowDetected(t *testing.T) {
 	}
 	if _, err := r.Window(0); err == nil {
 		t.Error("corrupt window read without error")
+	}
+}
+
+func TestCreateWithOpener(t *testing.T) {
+	// A failing opener surfaces as a WriteWindow error — the disk-fault
+	// injection point — while window files already written stay intact.
+	dir := filepath.Join(t.TempDir(), "c")
+	var fail bool
+	opened := 0
+	open := func(path string) (io.WriteCloser, error) {
+		if fail {
+			return nil, errors.New("injected disk error")
+		}
+		opened++
+		return os.Create(path)
+	}
+	w, err := CreateWithOpener(dir, validMeta(), open)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteWindow(0, 1, mkSamples(10)); err != nil {
+		t.Fatal(err)
+	}
+	fail = true
+	if err := w.WriteWindow(1, 1, mkSamples(10)); err == nil {
+		t.Fatal("injected disk error not surfaced")
+	}
+	fail = false
+	if opened != 1 {
+		t.Errorf("opener called %d times for the successful window, want 1", opened)
+	}
+	// The failed window was not marked done and can be retried.
+	if err := w.WriteWindow(1, 1, mkSamples(10)); err != nil {
+		t.Fatalf("retry after injected failure: %v", err)
+	}
+	r, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.HasWindow(0) || !r.HasWindow(1) {
+		t.Error("windows missing after retry")
+	}
+	// Nil opener falls back to os.Create.
+	w2, err := CreateWithOpener(filepath.Join(t.TempDir(), "c2"), validMeta(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.WriteWindow(0, 1, mkSamples(5)); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -27,6 +27,12 @@ func FuzzReadBatch(f *testing.F) {
 	})
 	f.Add(valid)
 	f.Add(AppendBatch(valid, &Batch{Rack: 9}))
+	// An MBW2 epoch batch, alone and interleaved with legacy framing.
+	epochBatch := AppendBatch(nil, &Batch{Rack: 3, Epoch: 5, Samples: []Sample{
+		{Time: simclock.Epoch.Add(simclock.Micros(25)), Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Value: 999},
+	}})
+	f.Add(epochBatch)
+	f.Add(append(append([]byte(nil), valid...), epochBatch...))
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte{})
 	f.Add([]byte("garbage that is definitely not a batch"))

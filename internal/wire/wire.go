@@ -11,7 +11,7 @@
 //
 // Format. A stream is a sequence of batches:
 //
-//	magic   uint32  "MBW1" (big-endian on the wire)
+//	magic   uint32  "MBW1" or "MBW2" (big-endian on the wire)
 //	length  uvarint  byte length of the payload that follows
 //	payload []byte   varint-encoded records (see below)
 //	crc32   uint32   IEEE CRC of the payload
@@ -20,6 +20,13 @@
 // records. Record integers are delta-encoded against the previous record
 // where it pays (timestamps, values), because successive samples of a
 // cumulative counter differ by small amounts at microsecond granularity.
+//
+// "MBW2" batches additionally carry the agent's restart Epoch as a
+// uvarint between the rack id and the record count, so collectors can
+// detect agent restarts and reject stale or replayed batches. A batch
+// with Epoch 0 — an agent that has never restarted — is framed as "MBW1",
+// byte-identical to streams written before epochs existed; readers accept
+// both framings interleaved.
 package wire
 
 import (
@@ -33,8 +40,11 @@ import (
 	"mburst/internal/simclock"
 )
 
-// Magic identifies a batch boundary.
+// Magic identifies a batch boundary (epoch-less framing).
 const Magic uint32 = 0x4d425731 // "MBW1"
+
+// Magic2 identifies a batch carrying an agent restart epoch.
+const Magic2 uint32 = 0x4d425732 // "MBW2"
 
 // MaxBatchPayload bounds a single batch's payload; a reader rejects
 // anything larger as corruption rather than allocating unboundedly.
@@ -74,7 +84,12 @@ type Sample struct {
 // Batch is a group of samples from one rack, the unit of transfer and of
 // file framing.
 type Batch struct {
-	Rack    uint32
+	Rack uint32
+	// Epoch is the sending agent's restart generation: 0 for an agent
+	// that has never restarted, incremented on every crash/restart.
+	// Collectors use it to discard batches from superseded agent
+	// incarnations (see collector.EpochGate).
+	Epoch   uint32
 	Samples []Sample
 }
 
@@ -82,8 +97,12 @@ type Batch struct {
 // slice.
 func AppendBatch(dst []byte, b *Batch) []byte {
 	payload := appendPayload(nil, b)
+	magic := Magic
+	if b.Epoch != 0 {
+		magic = Magic2
+	}
 	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], Magic)
+	binary.BigEndian.PutUint32(hdr[:], magic)
 	dst = append(dst, hdr[:]...)
 	dst = binary.AppendUvarint(dst, uint64(len(payload)))
 	dst = append(dst, payload...)
@@ -94,6 +113,9 @@ func AppendBatch(dst []byte, b *Batch) []byte {
 
 func appendPayload(dst []byte, b *Batch) []byte {
 	dst = binary.AppendUvarint(dst, uint64(b.Rack))
+	if b.Epoch != 0 {
+		dst = binary.AppendUvarint(dst, uint64(b.Epoch))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(b.Samples)))
 	var prevTime int64
 	var prevValue uint64
@@ -115,10 +137,18 @@ func appendPayload(dst []byte, b *Batch) []byte {
 	return dst
 }
 
-// decodePayload parses a batch payload.
-func decodePayload(payload []byte) (*Batch, error) {
+// decodePayload parses a batch payload. hasEpoch selects the MBW2 header
+// layout, which carries the agent epoch between rack id and record count.
+func decodePayload(payload []byte, hasEpoch bool) (*Batch, error) {
 	r := payloadReader{buf: payload}
 	rack := r.uvarint()
+	var epoch uint64
+	if hasEpoch {
+		epoch = r.uvarint()
+		if epoch == 0 || epoch > 1<<32-1 {
+			return nil, fmt.Errorf("%w: epoch %d out of range", ErrCorrupt, epoch)
+		}
+	}
 	n := r.uvarint()
 	if r.err != nil {
 		return nil, fmt.Errorf("%w: header", ErrCorrupt)
@@ -128,7 +158,7 @@ func decodePayload(payload []byte) (*Batch, error) {
 	if n > uint64(len(payload)) {
 		return nil, fmt.Errorf("%w: record count %d exceeds payload", ErrCorrupt, n)
 	}
-	b := &Batch{Rack: uint32(rack)}
+	b := &Batch{Rack: uint32(rack), Epoch: uint32(epoch)}
 	if n > 0 {
 		b.Samples = make([]Sample, 0, n)
 	}
@@ -239,8 +269,9 @@ func (r *Reader) ReadBatch() (*Batch, error) {
 		}
 		return nil, fmt.Errorf("wire: reading magic: %w", err)
 	}
-	if got := binary.BigEndian.Uint32(r.hdr[:]); got != Magic {
-		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, got)
+	magic := binary.BigEndian.Uint32(r.hdr[:])
+	if magic != Magic && magic != Magic2 {
+		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
 	}
 	length, err := readUvarint(r.r)
 	if err != nil {
@@ -259,7 +290,7 @@ func (r *Reader) ReadBatch() (*Batch, error) {
 	if want := binary.BigEndian.Uint32(r.hdr[:]); want != crc32.ChecksumIEEE(payload) {
 		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
 	}
-	return decodePayload(payload)
+	return decodePayload(payload, magic == Magic2)
 }
 
 // readUvarint reads a uvarint byte-by-byte from an io.Reader.

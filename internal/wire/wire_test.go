@@ -2,7 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"io"
 	"reflect"
 	"testing"
@@ -139,7 +141,104 @@ func TestOversizePayloadRejected(t *testing.T) {
 func TestDecodeRejectsAbsurdRecordCount(t *testing.T) {
 	// A payload that claims many records but contains none.
 	payload := []byte{1, 0xff, 0xff, 0xff, 0x0f}
-	_, err := decodePayload(payload)
+	_, err := decodePayload(payload, false)
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestEpochRoundTrip(t *testing.T) {
+	in := sampleBatch()
+	in.Epoch = 3
+	data := AppendBatch(nil, in)
+	if got := binary.BigEndian.Uint32(data[:4]); got != Magic2 {
+		t.Fatalf("epoch batch magic = %#x, want MBW2", got)
+	}
+	out, err := NewReader(bytes.NewReader(data)).ReadBatch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in: %+v\nout: %+v", in, out)
+	}
+}
+
+func TestEpochZeroKeepsLegacyFraming(t *testing.T) {
+	// The zero epoch must encode byte-identically to the pre-epoch format:
+	// MBW1 magic and a payload whose header is exactly (rack, count).
+	b := sampleBatch()
+	data := AppendBatch(nil, b)
+	if got := binary.BigEndian.Uint32(data[:4]); got != Magic {
+		t.Fatalf("zero-epoch magic = %#x, want MBW1", got)
+	}
+	legacy := func(b *Batch) []byte {
+		// Hand-rolled pre-epoch framing.
+		payload := binary.AppendUvarint(nil, uint64(b.Rack))
+		payload = binary.AppendUvarint(payload, uint64(len(b.Samples)))
+		var prevTime int64
+		var prevValue uint64
+		for i := range b.Samples {
+			s := &b.Samples[i]
+			payload = binary.AppendVarint(payload, s.Time.Nanoseconds()-prevTime)
+			prevTime = s.Time.Nanoseconds()
+			payload = binary.AppendUvarint(payload, uint64(s.Port))
+			payload = append(payload, byte(s.Dir)|byte(s.Kind)<<1)
+			payload = binary.AppendUvarint(payload, uint64(s.Missed))
+			payload = binary.AppendVarint(payload, int64(s.Value-prevValue))
+			prevValue = s.Value
+			if s.Kind == asic.KindSizeBins {
+				for _, v := range s.Bins {
+					payload = binary.AppendUvarint(payload, v)
+				}
+			}
+		}
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], Magic)
+		out := append([]byte(nil), hdr[:]...)
+		out = binary.AppendUvarint(out, uint64(len(payload)))
+		out = append(out, payload...)
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+		return append(out, crc[:]...)
+	}
+	if !bytes.Equal(data, legacy(b)) {
+		t.Fatal("zero-epoch batch is not byte-identical to the legacy framing")
+	}
+}
+
+func TestEpochInterleavedFramings(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	epochs := []uint32{0, 2, 0, 7}
+	for _, e := range epochs {
+		b := sampleBatch()
+		b.Epoch = e
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, e := range epochs {
+		b, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if b.Epoch != e {
+			t.Errorf("batch %d epoch = %d, want %d", i, b.Epoch, e)
+		}
+	}
+	if _, err := r.ReadBatch(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestEpochZeroInMBW2Rejected(t *testing.T) {
+	// An MBW2 frame whose payload claims epoch 0 is corrupt: writers frame
+	// epoch 0 as MBW1, so the combination only arises from corruption.
+	payload := binary.AppendUvarint(nil, 1) // rack
+	payload = binary.AppendUvarint(payload, 0)
+	payload = binary.AppendUvarint(payload, 0) // count
+	_, err := decodePayload(payload, true)
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}

@@ -35,3 +35,10 @@ go test -race -shuffle=on ./...
 # runners.
 MBURST_BENCH_OUT="$PWD/BENCH_runner.json" \
 	go test -run TestRunnerBenchArtifact -count=1 ./internal/core
+
+# Chaos soak: generated fault schedules against the collection pipeline,
+# asserting byte-exact recovery against ASIC ground truth, zero-fault
+# byte-identity, and epoch-gated restart recovery. Bounded runtime (the
+# soak simulates ~25 windows of 20 ms); summary published as an artifact.
+MBURST_FAULT_OUT="$PWD/FAULT_soak.json" \
+	go test -race -run 'TestChaosSoak|TestAgentRestartRecovery' -count=1 ./internal/fault
