@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	mbanalyze -trace DIR -analysis bursts|gaps|util|markov|hotshare [-cdf]
+//	mbanalyze -trace DIR -analysis bursts|gaps|util|markov|hotshare [-cdf] [-stream]
 //
 // Analyses:
 //
@@ -16,6 +16,11 @@
 //
 // With -cdf, the full CDF step points are printed as "value cumfrac"
 // rows ready for plotting; otherwise a summary line is printed.
+//
+// With -stream, windows are consumed batch-by-batch (trace.Reader.
+// IterWindow) through the streaming accumulators instead of being
+// materialized, bounding memory by the number of active series rather
+// than the trace size. Output is byte-identical in both modes.
 package main
 
 import (
@@ -24,10 +29,9 @@ import (
 	"os"
 
 	"mburst/internal/analysis"
-	"mburst/internal/asic"
+	"mburst/internal/core"
 	"mburst/internal/plot"
 	"mburst/internal/stats"
-	"mburst/internal/topo"
 	"mburst/internal/trace"
 )
 
@@ -37,10 +41,19 @@ func main() {
 	cdf := flag.Bool("cdf", false, "print full CDF points instead of a summary")
 	plotOut := flag.Bool("plot", false, "render an ASCII CDF plot (bursts/gaps/util)")
 	threshold := flag.Float64("threshold", analysis.DefaultHotThreshold, "hot threshold")
+	stream := flag.Bool("stream", false, "bounded-memory streaming mode (identical output)")
 	flag.Parse()
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "mbanalyze: -trace is required")
+		os.Exit(2)
+	}
+	known := false
+	for _, k := range core.AnalyzeKinds {
+		known = known || k == *what
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "mbanalyze: unknown analysis %q\n", *what)
 		os.Exit(2)
 	}
 	r, err := trace.Open(*dir)
@@ -48,49 +61,12 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mbanalyze: %v\n", err)
 		os.Exit(1)
 	}
-	meta := r.Meta()
-	rack := topo.Rack{
-		NumServers:  meta.NumServers,
-		ServerSpeed: meta.ServerSpeed,
-		NumUplinks:  meta.NumUplinks,
-		UplinkSpeed: meta.UplinkSpeed,
+	res, err := core.AnalyzeTrace(r, *what, *threshold, *stream)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mbanalyze: %v\n", err)
+		os.Exit(1)
 	}
-
-	speedOf := func(port int) uint64 {
-		if rack.IsUplink(port) {
-			return rack.UplinkSpeed
-		}
-		return rack.ServerSpeed
-	}
-
-	// Load every available window and split into per-counter series.
-	type windowData struct {
-		byPort map[analysis.SeriesKey][]analysis.UtilPoint
-	}
-	var windows []windowData
-	for i := 0; i < meta.Windows; i++ {
-		if !r.HasWindow(i) {
-			continue
-		}
-		samples, err := r.Window(i)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "mbanalyze: window %d: %v\n", i, err)
-			os.Exit(1)
-		}
-		wd := windowData{byPort: make(map[analysis.SeriesKey][]analysis.UtilPoint)}
-		for key, s := range analysis.Split(samples) {
-			if key.Kind != asic.KindBytes {
-				continue
-			}
-			series, err := analysis.UtilizationSeries(s, speedOf(int(key.Port)))
-			if err != nil {
-				continue
-			}
-			wd.byPort[key] = series
-		}
-		windows = append(windows, wd)
-	}
-	if len(windows) == 0 {
+	if res.Windows == 0 {
 		fmt.Fprintln(os.Stderr, "mbanalyze: trace has no readable windows")
 		os.Exit(1)
 	}
@@ -113,59 +89,19 @@ func main() {
 
 	switch *what {
 	case "bursts":
-		var durs []float64
-		for _, w := range windows {
-			for _, s := range w.byPort {
-				durs = append(durs, analysis.BurstDurations(analysis.Bursts(s, *threshold))...)
-			}
-		}
-		printECDF("burst durations", durs, "µs")
+		printECDF("burst durations", res.Durations, "µs")
 	case "gaps":
-		var gaps []float64
-		for _, w := range windows {
-			for _, s := range w.byPort {
-				gaps = append(gaps, analysis.InterBurstGaps(analysis.Bursts(s, *threshold))...)
-			}
-		}
-		printECDF("inter-burst gaps", gaps, "µs")
+		printECDF("inter-burst gaps", res.Gaps, "µs")
 		if !*cdf {
-			ks := analysis.PoissonTest(gaps)
+			ks := analysis.PoissonTest(res.Gaps)
 			fmt.Printf("KS vs exponential: D=%.4f p=%.3g poisson-rejected(0.001)=%v\n", ks.D, ks.PValue, ks.Rejects(0.001))
 		}
 	case "util":
-		var utils []float64
-		for _, w := range windows {
-			for _, s := range w.byPort {
-				utils = append(utils, analysis.Utils(s)...)
-			}
-		}
-		printECDF("utilization", utils, "fraction of line rate")
+		printECDF("utilization", res.Utils, "fraction of line rate")
 	case "markov":
-		var models []stats.MarkovModel
-		for _, w := range windows {
-			for _, s := range w.byPort {
-				models = append(models, analysis.BurstMarkov(s, *threshold))
-			}
-		}
-		m := stats.MergeMarkov(models...)
-		fmt.Printf("markov: %v\n", m)
+		fmt.Printf("markov: %v\n", res.Markov)
 	case "hotshare":
-		var share analysis.HotShare
-		for _, w := range windows {
-			var series [][]analysis.UtilPoint
-			var uplink []bool
-			for key, s := range w.byPort {
-				series = append(series, s)
-				uplink = append(uplink, rack.IsUplink(int(key.Port)))
-			}
-			hs := analysis.HotPortShare(series, func(i int) bool { return uplink[i] }, *threshold)
-			share.UplinkHot += hs.UplinkHot
-			share.DownlinkHot += hs.DownlinkHot
-		}
 		fmt.Printf("hot samples: uplink=%d downlink=%d uplink share=%.1f%%\n",
-			share.UplinkHot, share.DownlinkHot, share.UplinkShare()*100)
-	default:
-		fmt.Fprintf(os.Stderr, "mbanalyze: unknown analysis %q\n", *what)
-		os.Exit(2)
+			res.Share.UplinkHot, res.Share.DownlinkHot, res.Share.UplinkShare()*100)
 	}
 }

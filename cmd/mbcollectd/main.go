@@ -10,7 +10,10 @@
 // With -http the daemon serves its debug surface (see README
 // "Observability"): Prometheus metrics at /metrics, a JSON snapshot at
 // /stats, the legacy ingest snapshot at /stats/ingest, /healthz, and
-// /debug/pprof/.
+// /debug/pprof/. With -figures it additionally runs every ingested
+// byte-counter sample through the streaming analysis accumulators and
+// serves the running Fig 3/4/6/9 statistics at /figures (see README
+// "Streaming analysis").
 //
 // Shut down with SIGINT/SIGTERM; the listener drains connections before
 // exiting.
@@ -26,8 +29,10 @@ import (
 	"syscall"
 	"time"
 
+	"mburst/internal/analysis"
 	"mburst/internal/collector"
 	"mburst/internal/obs"
+	"mburst/internal/topo"
 	"mburst/internal/wire"
 )
 
@@ -37,6 +42,9 @@ func main() {
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats log interval")
 	epochGate := flag.Bool("epochgate", false, "drop batches from superseded agent epochs and time-regressing duplicates")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
+	figures := flag.Bool("figures", false, "serve live streaming figures at /figures (needs -http)")
+	servers := flag.Int("servers", 16, "servers per rack, for the /figures port speed map")
+	threshold := flag.Float64("threshold", analysis.DefaultHotThreshold, "hot threshold for /figures")
 	flag.Parse()
 
 	logger := obs.DaemonLogger("mbcollectd")
@@ -72,6 +80,27 @@ func main() {
 		}
 	})
 
+	var figs *collector.LiveFigures
+	if *figures {
+		rack := topo.Default(*servers)
+		lf, err := collector.NewLiveFigures(collector.LiveFiguresConfig{
+			SpeedOf: func(_ uint32, port uint16) uint64 {
+				if rack.IsUplink(int(port)) {
+					return rack.UplinkSpeed
+				}
+				return rack.ServerSpeed
+			},
+			IsUplink:  func(_ uint32, port uint16) bool { return rack.IsUplink(int(port)) },
+			Threshold: *threshold,
+		})
+		if err != nil {
+			logger.Error("live figures", "err", err)
+			os.Exit(1)
+		}
+		figs = lf
+		handler = figs.Wrap(handler)
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Error("listening", "addr", *listen, "err", err)
@@ -86,6 +115,9 @@ func main() {
 	if *httpAddr != "" {
 		mux := obs.NewDebugMux(reg, nil)
 		mux.Handle("/stats/ingest", stats)
+		if figs != nil {
+			mux.Handle("/figures", figs)
+		}
 		ds, err := obs.StartDebug(*httpAddr, mux)
 		if err != nil {
 			logger.Error("debug http", "addr", *httpAddr, "err", err)

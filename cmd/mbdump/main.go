@@ -13,7 +13,6 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 
 	"mburst/internal/analysis"
 	"mburst/internal/simclock"
@@ -86,20 +85,7 @@ func main() {
 		fmt.Printf(", virtual span %v", lastT.Sub(firstT))
 	}
 	fmt.Println()
-	keys := make([]analysis.SeriesKey, 0, len(perSeries))
-	for k := range perSeries {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].Port != keys[j].Port {
-			return keys[i].Port < keys[j].Port
-		}
-		if keys[i].Dir != keys[j].Dir {
-			return keys[i].Dir < keys[j].Dir
-		}
-		return keys[i].Kind < keys[j].Kind
-	})
-	for _, k := range keys {
+	for _, k := range analysis.SortedKeys(perSeries) {
 		fmt.Printf("  %-28s %d samples\n", k.String(), perSeries[k])
 	}
 }

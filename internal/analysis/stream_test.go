@@ -1,0 +1,537 @@
+package analysis
+
+// Accumulator-level equivalence: each streaming type must reproduce its
+// batch counterpart exactly — same values, same order, same errors — on
+// clean and damaged inputs. The campaign-level equivalence lives in
+// internal/core/equivalence_test.go; these tests localize a divergence
+// to the specific accumulator.
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// randUtilSeries builds a contiguous utilization series with spans of
+// stepUs and pseudo-random utilization levels, crossing the default
+// threshold often.
+func randUtilSeries(seed uint64, n int, stepUs int64) []UtilPoint {
+	src := rng.New(seed)
+	out := make([]UtilPoint, n)
+	for i := range out {
+		out[i] = UtilPoint{
+			Start: simclock.Epoch.Add(simclock.Micros(int64(i) * stepUs)),
+			End:   simclock.Epoch.Add(simclock.Micros(int64(i+1) * stepUs)),
+			Util:  src.Float64() * 1.1,
+		}
+	}
+	return out
+}
+
+func TestSortedKeysOrderPinned(t *testing.T) {
+	m := map[SeriesKey]int{
+		{Port: 2, Dir: asic.TX, Kind: asic.KindBytes}:    0,
+		{Port: 0, Dir: asic.RX, Kind: asic.KindDrops}:    0,
+		{Port: 0, Dir: asic.RX, Kind: asic.KindBytes}:    0,
+		{Port: 0, Dir: asic.TX, Kind: asic.KindBytes}:    0,
+		{Port: 10, Dir: asic.RX, Kind: asic.KindBytes}:   0,
+		{Port: 2, Dir: asic.TX, Kind: asic.KindSizeBins}: 0,
+	}
+	want := []SeriesKey{
+		{Port: 0, Dir: asic.RX, Kind: asic.KindBytes},
+		{Port: 0, Dir: asic.RX, Kind: asic.KindDrops},
+		{Port: 0, Dir: asic.TX, Kind: asic.KindBytes},
+		{Port: 2, Dir: asic.TX, Kind: asic.KindBytes},
+		{Port: 2, Dir: asic.TX, Kind: asic.KindSizeBins},
+		{Port: 10, Dir: asic.RX, Kind: asic.KindBytes},
+	}
+	for trial := 0; trial < 3; trial++ { // map order varies; result must not
+		if got := SortedKeys(m); !reflect.DeepEqual(got, want) {
+			t.Fatalf("SortedKeys = %v, want %v", got, want)
+		}
+	}
+	if got := SortedKeys(map[SeriesKey]int{}); got != nil {
+		if len(got) != 0 {
+			t.Errorf("SortedKeys(empty) = %v", got)
+		}
+	}
+}
+
+func TestSeriesDemuxRoutesInOrder(t *testing.T) {
+	samples := []wire.Sample{
+		{Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Time: 1, Value: 10},
+		{Port: 2, Dir: asic.TX, Kind: asic.KindBytes, Time: 1, Value: 20},
+		{Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Time: 2, Value: 11},
+		{Port: 1, Dir: asic.RX, Kind: asic.KindBytes, Time: 2, Value: 5},
+		{Port: 2, Dir: asic.TX, Kind: asic.KindBytes, Time: 2, Value: 21},
+	}
+	got := make(map[SeriesKey][]wire.Sample)
+	demux := NewSeriesDemux(func(key SeriesKey) SampleSink {
+		if key.Dir == asic.RX {
+			return nil // a nil sink drops the series
+		}
+		return func(s wire.Sample) error {
+			got[key] = append(got[key], s)
+			return nil
+		}
+	})
+	for _, s := range samples {
+		if err := demux.Feed(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	split := Split(samples)
+	for _, key := range SortedKeys(split) {
+		if key.Dir == asic.RX {
+			if _, ok := got[key]; ok {
+				t.Errorf("nil-sink series %v received samples", key)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(got[key], split[key]) {
+			t.Errorf("series %v: demux %v, split %v", key, got[key], split[key])
+		}
+	}
+	keys := demux.Keys()
+	if len(keys) != 3 {
+		t.Errorf("Keys() = %v, want the 3 series with sinks", keys)
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Port != b.Port {
+			return a.Port < b.Port
+		}
+		if a.Dir != b.Dir {
+			return a.Dir < b.Dir
+		}
+		return a.Kind < b.Kind
+	}) {
+		t.Errorf("Keys() not sorted: %v", keys)
+	}
+}
+
+func TestUtilStateMatchesUtilizationSeries(t *testing.T) {
+	regress := rampSamples(25, []float64{0.5, 0.5})
+	regress[2].Value = regress[1].Value - 1
+	stall := rampSamples(25, []float64{0.5, 0.5})
+	stall[2].Time = stall[1].Time
+
+	cases := []struct {
+		name    string
+		samples []wire.Sample
+		speed   uint64
+	}{
+		{"clean", rampSamples(25, []float64{0.5, 1.0, 0.0, 0.25}), gbps10},
+		{"empty", nil, gbps10},
+		{"single", rampSamples(25, nil), gbps10},
+		{"zero-speed", rampSamples(25, []float64{0.5}), 0},
+		{"zero-speed-single", rampSamples(25, nil), 0},
+		{"regressing-counter", regress, gbps10},
+		{"non-increasing-time", stall, gbps10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantSeries, wantErr := UtilizationSeries(tc.samples, tc.speed)
+
+			u := NewUtilState(tc.speed)
+			var gotSeries []UtilPoint
+			for _, s := range tc.samples {
+				p, ok, err := u.Feed(s)
+				if err != nil {
+					break
+				}
+				if ok {
+					gotSeries = append(gotSeries, p)
+				}
+			}
+			gotErr := u.Close()
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("batch err %v, stream err %v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("batch err %q, stream err %q", wantErr, gotErr)
+				}
+				return
+			}
+			if !reflect.DeepEqual(wantSeries, gotSeries) {
+				t.Errorf("series diverge:\nbatch:  %v\nstream: %v", wantSeries, gotSeries)
+			}
+		})
+	}
+}
+
+func TestBurstSegmenterMatchesBursts(t *testing.T) {
+	const th = DefaultHotThreshold
+	series := map[string][]UtilPoint{
+		"random":       randUtilSeries(7, 400, 25),
+		"random2":      randUtilSeries(11, 997, 25),
+		"empty":        nil,
+		"single-hot":   {{Start: 0, End: 25, Util: 0.9}},
+		"single-cold":  {{Start: 0, End: 25, Util: 0.1}},
+		"all-hot":      {{Start: 0, End: 25, Util: 0.9}, {Start: 25, End: 50, Util: 0.8}},
+		"ends-hot":     {{Start: 0, End: 25, Util: 0.1}, {Start: 25, End: 50, Util: 0.8}},
+		"hot-cold-hot": {{Start: 0, End: 25, Util: 0.9}, {Start: 25, End: 50, Util: 0.1}, {Start: 50, End: 75, Util: 0.9}},
+		"threshold-eq": {{Start: 0, End: 25, Util: th}, {Start: 25, End: 50, Util: th}},
+		"cold-everywhere": {
+			{Start: 0, End: 25, Util: 0.2}, {Start: 25, End: 50, Util: 0.3}, {Start: 50, End: 75, Util: 0.1},
+		},
+	}
+	for name, s := range series {
+		t.Run(name, func(t *testing.T) {
+			wantBursts := Bursts(s, th)
+			wantGaps := InterBurstGaps(wantBursts)
+
+			seg := NewBurstSegmenter(SegmenterConfig{HotAbove: th})
+			var gotBursts []Burst
+			var gotGaps []float64
+			handle := func(tr Transition, ok bool) {
+				if !ok {
+					return
+				}
+				switch tr.Kind {
+				case SegOpen:
+					if tr.HasGap {
+						gotGaps = append(gotGaps, float64(tr.Gap)/float64(simclock.Microsecond))
+					}
+				case SegClose:
+					gotBursts = append(gotBursts, tr.Burst)
+				}
+			}
+			for _, p := range s {
+				tr, ok := seg.Feed(p)
+				handle(tr, ok)
+			}
+			tr, ok := seg.Flush()
+			handle(tr, ok)
+
+			if !reflect.DeepEqual(wantBursts, gotBursts) {
+				t.Errorf("bursts diverge:\nbatch:  %v\nstream: %v", wantBursts, gotBursts)
+			}
+			if !reflect.DeepEqual(wantGaps, gotGaps) {
+				t.Errorf("gaps diverge:\nbatch:  %v\nstream: %v", wantGaps, gotGaps)
+			}
+		})
+	}
+}
+
+func TestRebinAccMatchesRebin(t *testing.T) {
+	widths := []simclock.Duration{
+		40 * simclock.Microsecond,
+		100 * simclock.Microsecond,
+		simclock.Millisecond,
+		7 * simclock.Millisecond, // deliberately not a divisor of the span
+	}
+	series := randUtilSeries(13, 500, 40)
+	for _, w := range widths {
+		want := Rebin(series, w)
+		acc := NewRebinAcc(w)
+		for _, p := range series {
+			acc.Add(p)
+		}
+		if got := acc.Points(); !reflect.DeepEqual(want, got) {
+			t.Errorf("width %v: rebin diverges:\nbatch:  %v\nstream: %v", w, want, got)
+		}
+	}
+	if got := NewRebinAcc(simclock.Millisecond).Points(); got != nil {
+		t.Errorf("empty rebin = %v, want nil", got)
+	}
+}
+
+func TestDropBinAccMatchesDropTimeSeries(t *testing.T) {
+	drops := func(n int, seed uint64) []wire.Sample {
+		src := rng.New(seed)
+		out := make([]wire.Sample, n)
+		var cum uint64
+		for i := range out {
+			if src.Float64() < 0.3 {
+				cum += uint64(src.Intn(50))
+			}
+			out[i] = wire.Sample{
+				Time:  simclock.Epoch.Add(simclock.Micros(int64(i) * 250)),
+				Kind:  asic.KindDrops,
+				Dir:   asic.TX,
+				Value: cum,
+			}
+		}
+		return out
+	}
+	stalled := drops(10, 3)
+	stalled[5].Time = stalled[4].Time
+
+	cases := []struct {
+		name    string
+		samples []wire.Sample
+		bin     simclock.Duration
+	}{
+		{"clean", drops(200, 1), simclock.Millisecond},
+		{"uneven-bin", drops(200, 2), 777 * simclock.Microsecond},
+		{"span-shorter-than-bin", drops(5, 4), simclock.Second},
+		{"two-samples", drops(2, 5), simclock.Millisecond},
+		{"one-sample", drops(1, 6), simclock.Millisecond},
+		{"non-increasing", stalled, simclock.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, wantErr := DropTimeSeries(tc.samples, tc.bin)
+			acc, err := NewDropBinAcc(tc.bin)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, s := range tc.samples {
+				if acc.Add(s) != nil {
+					break
+				}
+			}
+			got, gotErr := acc.Bins()
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("batch err %v, stream err %v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("batch err %q, stream err %q", wantErr, gotErr)
+				}
+				return
+			}
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("bins diverge:\nbatch:  %v\nstream: %v", want, got)
+			}
+		})
+	}
+	if _, err := NewDropBinAcc(0); err == nil {
+		t.Error("non-positive bin accepted")
+	}
+}
+
+func TestSeriesEndpointsMatchesCoarseWindow(t *testing.T) {
+	bytes := rampSamples(250, []float64{0.5, 0.7, 0.1, 0.9})
+	dropSamples := []wire.Sample{
+		{Time: bytes[0].Time, Kind: asic.KindDrops, Value: 3},
+		{Time: bytes[2].Time, Kind: asic.KindDrops, Value: 10},
+		{Time: bytes[4].Time, Kind: asic.KindDrops, Value: 12},
+	}
+	lengths := [][2]int{{len(bytes), 3}, {2, 2}, {1, 2}, {2, 1}, {0, 0}}
+	for _, l := range lengths {
+		t.Run(fmt.Sprintf("%dx%d", l[0], l[1]), func(t *testing.T) {
+			b, d := bytes[:l[0]], dropSamples[:l[1]]
+			want, wantErr := CoarseWindow(b, d, gbps10)
+
+			var be, de SeriesEndpoints
+			for _, s := range b {
+				be.Add(s)
+			}
+			for _, s := range d {
+				de.Add(s)
+			}
+			got, gotErr := CoarseWindow(be.Slice(), de.Slice(), gbps10)
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("batch err %v, endpoint err %v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("batch err %q, endpoint err %q", wantErr, gotErr)
+				}
+				return
+			}
+			if want != got {
+				t.Errorf("coarse point diverges: batch %+v, endpoints %+v", want, got)
+			}
+		})
+	}
+}
+
+func TestPacketMixAccMatchesBatch(t *testing.T) {
+	mix := func(n int, seed uint64) ([]wire.Sample, []wire.Sample) {
+		src := rng.New(seed)
+		bytes := make([]wire.Sample, n)
+		bins := make([]wire.Sample, n)
+		var cum uint64
+		var cumBins [asic.NumSizeBins]uint64
+		for i := 0; i < n; i++ {
+			at := simclock.Epoch.Add(simclock.Micros(int64(i) * 100))
+			// Alternate hot and cold stretches so both histograms fill.
+			util := 0.1
+			if (i/7)%2 == 1 {
+				util = 0.9
+			}
+			cum += uint64(util * float64(gbps10) / 8 * 100e-6)
+			for b := range cumBins {
+				cumBins[b] += uint64(src.Intn(9))
+			}
+			bytes[i] = wire.Sample{Time: at, Kind: asic.KindBytes, Dir: asic.TX, Value: cum}
+			bins[i] = wire.Sample{Time: at, Kind: asic.KindSizeBins, Dir: asic.TX, Bins: cumBins}
+		}
+		return bytes, bins
+	}
+
+	check := func(t *testing.T, bytes, bins []wire.Sample) {
+		t.Helper()
+		want, wantErr := PacketMixInsideOutside(bytes, bins, gbps10, 0)
+
+		acc := NewPacketMixAcc(gbps10, 0)
+		// Interleave as a campaign would: byte then bin per poll.
+		for i := 0; i < len(bytes) || i < len(bins); i++ {
+			if i < len(bytes) {
+				acc.Feed(bytes[i])
+			}
+			if i < len(bins) {
+				acc.Feed(bins[i])
+			}
+		}
+		got, gotErr := acc.Result()
+		if (wantErr == nil) != (gotErr == nil) {
+			t.Fatalf("batch err %v, stream err %v", wantErr, gotErr)
+		}
+		if wantErr != nil && wantErr.Error() != gotErr.Error() {
+			t.Fatalf("batch err %q, stream err %q", wantErr, gotErr)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("mix diverges:\nbatch:  %+v\nstream: %+v", want, got)
+		}
+	}
+
+	t.Run("clean", func(t *testing.T) {
+		bytes, bins := mix(300, 21)
+		check(t, bytes, bins)
+	})
+	t.Run("counts-differ", func(t *testing.T) {
+		bytes, bins := mix(50, 22)
+		check(t, bytes, bins[:49])
+	})
+	t.Run("misaligned", func(t *testing.T) {
+		bytes, bins := mix(50, 23)
+		bins[30].Time = bins[30].Time.Add(simclock.Microsecond)
+		check(t, bytes, bins)
+	})
+	t.Run("short-series", func(t *testing.T) {
+		bytes, bins := mix(1, 24)
+		check(t, bytes, bins)
+	})
+	t.Run("regressing-bytes", func(t *testing.T) {
+		bytes, bins := mix(50, 25)
+		bytes[20].Value = bytes[19].Value - 1
+		check(t, bytes, bins)
+	})
+}
+
+func TestBufferWindowAccMatchesBufferVsHotPorts(t *testing.T) {
+	const window = simclock.Millisecond
+	ports := [][]UtilPoint{
+		randUtilSeries(31, 300, 100),
+		randUtilSeries(32, 300, 100),
+		randUtilSeries(33, 300, 100),
+	}
+	src := rng.New(34)
+	var peaks []wire.Sample
+	for i := 0; i < 120; i++ {
+		peaks = append(peaks, wire.Sample{
+			Time:  simclock.Epoch.Add(simclock.Micros(int64(i) * 250)),
+			Kind:  asic.KindBufferPeak,
+			Value: uint64(src.Intn(1 << 20)),
+		})
+	}
+	want, err := BufferVsHotPorts(ports, peaks, window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acc, err := NewBufferWindowAcc(window, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for pi, s := range ports {
+		for _, p := range s {
+			acc.ObserveUtil(pi, p)
+		}
+	}
+	for _, s := range peaks {
+		acc.ObservePeak(s)
+	}
+	if got := acc.Windows(); !reflect.DeepEqual(want, got) {
+		t.Errorf("windows diverge:\nbatch:  %v\nstream: %v", want, got)
+	}
+	if _, err := NewBufferWindowAcc(0, 0); err == nil {
+		t.Error("non-positive window accepted")
+	}
+}
+
+func TestGapAwareStateMatchesBatch(t *testing.T) {
+	clean := rampSamples(25, []float64{0.5, 1.0, 0.25, 0.0, 0.75})
+
+	dup := append([]wire.Sample(nil), clean...)
+	dup = append(dup[:3], append([]wire.Sample{dup[2]}, dup[3:]...)...)
+
+	conflict := append([]wire.Sample(nil), dup...)
+	conflict[3].Value++
+
+	missed := append([]wire.Sample(nil), clean...)
+	missed[2].Missed = 2
+	missed[4].Missed = 1
+
+	// A catch-up burst: the counter jumps by far more than the final 1µs
+	// span can carry, forcing the merge cascade in both implementations.
+	catchup := rampSamples(25, []float64{0.5, 0.5, 0.5})
+	catchup = append(catchup, wire.Sample{
+		Time: catchup[3].Time.Add(simclock.Microsecond),
+		Kind: asic.KindBytes, Dir: asic.TX,
+		Value: catchup[3].Value + uint64(float64(gbps10)/8*100e-6),
+	})
+
+	regressT := append([]wire.Sample(nil), clean...)
+	regressT[3].Time = regressT[2].Time - 1
+
+	regressV := append([]wire.Sample(nil), clean...)
+	regressV[3].Value = regressV[2].Value - 1
+
+	cases := []struct {
+		name    string
+		samples []wire.Sample
+		speed   uint64
+	}{
+		{"clean", clean, gbps10},
+		{"empty", nil, gbps10},
+		{"single", clean[:1], gbps10},
+		{"zero-speed", clean, 0},
+		{"agreeing-duplicate", dup, gbps10},
+		{"conflicting-duplicate", conflict, gbps10},
+		{"missed-spans", missed, gbps10},
+		{"catchup-merge", catchup, gbps10},
+		{"regressing-time", regressT, gbps10},
+		{"regressing-value", regressV, gbps10},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			wantPts, wantSt, wantErr := GapAwareUtilization(tc.samples, tc.speed)
+
+			g := NewGapAwareState(tc.speed)
+			for _, s := range tc.samples {
+				if g.Feed(s) != nil {
+					break
+				}
+			}
+			gotPts, gotSt, gotErr := g.Finish()
+
+			if (wantErr == nil) != (gotErr == nil) {
+				t.Fatalf("batch err %v, stream err %v", wantErr, gotErr)
+			}
+			if wantErr != nil {
+				if wantErr.Error() != gotErr.Error() {
+					t.Fatalf("batch err %q, stream err %q", wantErr, gotErr)
+				}
+				return
+			}
+			if !reflect.DeepEqual(wantPts, gotPts) {
+				t.Errorf("points diverge:\nbatch:  %v\nstream: %v", wantPts, gotPts)
+			}
+			if wantSt != gotSt {
+				t.Errorf("stats diverge: batch %+v, stream %+v", wantSt, gotSt)
+			}
+		})
+	}
+}

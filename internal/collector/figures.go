@@ -1,0 +1,270 @@
+package collector
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"net/http"
+	"sort"
+	"sync"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/stats"
+	"mburst/internal/wire"
+)
+
+// LiveFigures is the collector-side streaming analysis tap: a
+// BatchHandler middleware that feeds every ingested byte-counter sample
+// through the same accumulators the offline figure pipeline uses
+// (analysis.UtilState, analysis.BurstSegmenter, stats.MarkovAcc) and
+// serves the running figures as JSON. Mounted on the mbcollectd debug
+// mux it answers "what do the Fig 3/4/6/9 curves look like right now"
+// while a campaign is still running, without a trace on disk.
+//
+// State is O(active series): per series it keeps the fixed-size
+// utilization machinery plus the closed burst durations and gaps, which
+// are sparse relative to the sample stream.
+type LiveFigures struct {
+	cfg LiveFiguresConfig
+
+	mu      sync.Mutex
+	samples uint64
+	series  map[liveKey]*liveSeries
+}
+
+// LiveFiguresConfig parameterizes the tap.
+type LiveFiguresConfig struct {
+	// SpeedOf returns the line rate of a port; required (utilization is
+	// bytes over speed·span).
+	SpeedOf func(rack uint32, port uint16) uint64
+	// IsUplink classifies a port for the hot-share split; nil counts
+	// every port as a downlink.
+	IsUplink func(rack uint32, port uint16) bool
+	// Threshold is the hot criterion; <= 0 selects
+	// analysis.DefaultHotThreshold.
+	Threshold float64
+	// UtilBins is the utilization histogram resolution; <= 0 selects 20.
+	UtilBins int
+}
+
+// liveKey identifies one series across racks.
+type liveKey struct {
+	Rack uint32
+	Key  analysis.SeriesKey
+}
+
+// liveSeries is the per-series accumulator set.
+type liveSeries struct {
+	util      *analysis.UtilState
+	seg       *analysis.BurstSegmenter
+	mk        stats.MarkovAcc
+	durations stats.ECDFAcc // µs, closed bursts only
+	gaps      stats.ECDFAcc // µs
+	moments   stats.MomentAcc
+	utilHist  []uint64
+	points    int
+	hot       int
+}
+
+// NewLiveFigures validates the config and returns a tap.
+func NewLiveFigures(cfg LiveFiguresConfig) (*LiveFigures, error) {
+	if cfg.SpeedOf == nil {
+		return nil, errors.New("collector: LiveFigures needs a SpeedOf function")
+	}
+	if cfg.Threshold <= 0 {
+		cfg.Threshold = analysis.DefaultHotThreshold
+	}
+	if cfg.UtilBins <= 0 {
+		cfg.UtilBins = 20
+	}
+	return &LiveFigures{cfg: cfg, series: make(map[liveKey]*liveSeries)}, nil
+}
+
+// Wrap returns a BatchHandler that feeds b into the figures and then
+// forwards to next (which may be nil).
+func (f *LiveFigures) Wrap(next BatchHandler) BatchHandler {
+	return func(b *wire.Batch) {
+		f.Handle(b)
+		if next != nil {
+			next(b)
+		}
+	}
+}
+
+// Handle implements BatchHandler. It is safe for concurrent use.
+func (f *LiveFigures) Handle(b *wire.Batch) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, s := range b.Samples {
+		if s.Kind != asic.KindBytes {
+			continue
+		}
+		f.samples++
+		k := liveKey{Rack: b.Rack, Key: analysis.SeriesKey{Port: s.Port, Dir: s.Dir, Kind: s.Kind}}
+		st := f.series[k]
+		if st == nil {
+			st = &liveSeries{
+				util:     analysis.NewUtilState(f.cfg.SpeedOf(b.Rack, s.Port)),
+				seg:      analysis.NewBurstSegmenter(analysis.SegmenterConfig{HotAbove: f.cfg.Threshold}),
+				utilHist: make([]uint64, f.cfg.UtilBins),
+			}
+			f.series[k] = st
+		}
+		p, ok, err := st.util.Feed(s)
+		if err != nil || !ok {
+			// Damaged series latch; the live view keeps what it had.
+			continue
+		}
+		st.points++
+		hot := p.Util > f.cfg.Threshold
+		if hot {
+			st.hot++
+		}
+		st.mk.Observe(hot)
+		st.moments.Add(p.Util)
+		bi := int(p.Util * float64(len(st.utilHist)))
+		if bi < 0 {
+			bi = 0
+		}
+		if bi >= len(st.utilHist) {
+			bi = len(st.utilHist) - 1
+		}
+		st.utilHist[bi]++
+		if tr, fired := st.seg.Feed(p); fired {
+			switch tr.Kind {
+			case analysis.SegOpen:
+				if tr.HasGap {
+					st.gaps.Add(float64(tr.Gap) / float64(simclock.Microsecond))
+				}
+			case analysis.SegClose:
+				st.durations.Add(float64(tr.Burst.Duration()) / float64(simclock.Microsecond))
+			}
+		}
+	}
+}
+
+// SeriesFigures is one series' running statistics in the snapshot.
+type SeriesFigures struct {
+	Rack uint32 `json:"rack"`
+	Port uint16 `json:"port"`
+	Dir  string `json:"dir"`
+	// Points is the number of utilization spans computed so far.
+	Points int `json:"points"`
+	// HotPoints counts spans above the threshold.
+	HotPoints int     `json:"hot_points"`
+	MeanUtil  float64 `json:"mean_util"`
+	MaxUtil   float64 `json:"max_util"`
+	// UtilHist is the utilization histogram over [0,1] (last bin catches
+	// >= 1).
+	UtilHist []uint64 `json:"util_hist"`
+	// Bursts counts closed bursts; ActiveBurst reports one still open.
+	Bursts      int  `json:"bursts"`
+	ActiveBurst bool `json:"active_burst"`
+	// Burst duration and inter-burst gap quantiles, in µs; zero when no
+	// observations yet.
+	BurstP50Micros float64 `json:"burst_p50_micros"`
+	BurstP99Micros float64 `json:"burst_p99_micros"`
+	GapP50Micros   float64 `json:"gap_p50_micros"`
+	GapP99Micros   float64 `json:"gap_p99_micros"`
+}
+
+// MarkovFigures is the merged two-state chain in the snapshot.
+type MarkovFigures struct {
+	Transitions int64 `json:"transitions"`
+	// P01/P11 are P(hot|idle) and P(hot|hot); zero until observed.
+	P01 float64 `json:"p01"`
+	P11 float64 `json:"p11"`
+}
+
+// FiguresSnapshot is the JSON shape served by the handler.
+type FiguresSnapshot struct {
+	Threshold float64 `json:"threshold"`
+	// Samples is the number of byte-counter samples consumed.
+	Samples uint64          `json:"samples"`
+	Series  []SeriesFigures `json:"series"`
+	Markov  MarkovFigures   `json:"markov"`
+	// UplinkHot/DownlinkHot split hot spans by port class (Fig 9).
+	UplinkHot   int `json:"uplink_hot"`
+	DownlinkHot int `json:"downlink_hot"`
+}
+
+// Snapshot returns the current running figures, series sorted by rack
+// then port/dir for stable output.
+func (f *LiveFigures) Snapshot() FiguresSnapshot {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	snap := FiguresSnapshot{Threshold: f.cfg.Threshold, Samples: f.samples}
+	keys := make([]liveKey, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Rack != b.Rack {
+			return a.Rack < b.Rack
+		}
+		if a.Key.Port != b.Key.Port {
+			return a.Key.Port < b.Key.Port
+		}
+		return a.Key.Dir < b.Key.Dir
+	})
+	models := make([]stats.MarkovModel, 0, len(keys))
+	for _, k := range keys {
+		st := f.series[k]
+		sf := SeriesFigures{
+			Rack:        k.Rack,
+			Port:        k.Key.Port,
+			Dir:         k.Key.Dir.String(),
+			Points:      st.points,
+			HotPoints:   st.hot,
+			UtilHist:    append([]uint64(nil), st.utilHist...),
+			Bursts:      st.durations.N(),
+			ActiveBurst: st.seg.Active(),
+		}
+		if st.moments.N() > 0 {
+			sf.MeanUtil = st.moments.Mean()
+			sf.MaxUtil = st.moments.Max()
+		}
+		if d := st.durations.ECDF(); d.N() > 0 {
+			sf.BurstP50Micros = d.Quantile(0.5)
+			sf.BurstP99Micros = d.Quantile(0.99)
+		}
+		if g := st.gaps.ECDF(); g.N() > 0 {
+			sf.GapP50Micros = g.Quantile(0.5)
+			sf.GapP99Micros = g.Quantile(0.99)
+		}
+		snap.Series = append(snap.Series, sf)
+		models = append(models, st.mk.Model())
+		if f.cfg.IsUplink != nil && f.cfg.IsUplink(k.Rack, k.Key.Port) {
+			snap.UplinkHot += st.hot
+		} else {
+			snap.DownlinkHot += st.hot
+		}
+	}
+	m := stats.MergeMarkov(models...)
+	snap.Markov.Transitions = m.N
+	if !math.IsNaN(m.P[0][1]) {
+		snap.Markov.P01 = m.P[0][1]
+	}
+	if !math.IsNaN(m.P[1][1]) {
+		snap.Markov.P11 = m.P[1][1]
+	}
+	return snap
+}
+
+// ServeHTTP implements http.Handler, answering GETs with the JSON
+// snapshot — the mbcollectd /figures endpoint.
+func (f *LiveFigures) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(f.Snapshot()); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}

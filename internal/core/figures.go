@@ -12,7 +12,6 @@ import (
 	"mburst/internal/simclock"
 	"mburst/internal/stats"
 	"mburst/internal/topo"
-	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
@@ -68,12 +67,25 @@ func (e *Experiment) Fig1DropUtilScatter(ctx context.Context) (Fig1Result, error
 	}
 	cells := e.appGrid(downlinkCounters(e.cfg.Servers, asic.KindBytes, asic.KindDrops), coarse)
 	pts, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) ([]analysis.CoarsePoint, error) {
-		split := analysis.Split(run.Samples)
+		// SNMP-style windows only read counter endpoints, so the
+		// streaming reduction retains two samples per series instead of
+		// the window.
+		bytesEnd := make([]analysis.SeriesEndpoints, e.cfg.Servers)
+		dropsEnd := make([]analysis.SeriesEndpoints, e.cfg.Servers)
+		for _, s := range run.Samples {
+			if s.Dir != asic.TX || int(s.Port) >= e.cfg.Servers {
+				continue
+			}
+			switch s.Kind {
+			case asic.KindBytes:
+				bytesEnd[s.Port].Add(s)
+			case asic.KindDrops:
+				dropsEnd[s.Port].Add(s)
+			}
+		}
 		var out []analysis.CoarsePoint
 		for s := 0; s < e.cfg.Servers; s++ {
-			bytes := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}]
-			drops := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
-			pt, err := analysis.CoarseWindow(bytes, drops, run.Net.Switch().Port(s).Speed())
+			pt, err := analysis.CoarseWindow(bytesEnd[s].Slice(), dropsEnd[s].Slice(), run.Net.Switch().Port(s).Speed())
 			if err != nil {
 				continue // window too short for this port; skip
 			}
@@ -144,33 +156,55 @@ func (e *Experiment) Fig2DropTimeSeries(ctx context.Context) (Fig2Result, error)
 		{App: workload.Hadoop, Plan: plan, Interval: res.BinDur / 4, Duration: 4 * e.cfg.WindowDur},
 	}
 	ports, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (port, error) {
-		split := analysis.Split(run.Samples)
-		best, bestDrops := 0, uint64(0)
-		for s := 0; s < e.cfg.Servers; s++ {
-			ds := split[analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindDrops}]
-			if len(ds) < 2 {
+		// The best (most-dropping) port is only known at end of stream, so
+		// every port streams into O(bins) state — drop endpoints for the
+		// ranking, growable drop bins, and a running utilization mean —
+		// and the chosen port's accumulators are finalized afterwards.
+		servers := e.cfg.Servers
+		dropEnds := make([]analysis.SeriesEndpoints, servers)
+		dropBins := make([]*analysis.DropBinAcc, servers)
+		utils := make([]*analysis.UtilState, servers)
+		moments := make([]stats.MomentAcc, servers)
+		for s := 0; s < servers; s++ {
+			acc, err := analysis.NewDropBinAcc(res.BinDur)
+			if err != nil {
+				return port{}, err
+			}
+			dropBins[s] = acc
+			utils[s] = analysis.NewUtilState(run.Net.Switch().Port(s).Speed())
+		}
+		for _, s := range run.Samples {
+			if s.Dir != asic.TX || int(s.Port) >= servers {
 				continue
 			}
-			if d := ds[len(ds)-1].Value - ds[0].Value; d > bestDrops {
+			switch s.Kind {
+			case asic.KindDrops:
+				dropEnds[s.Port].Add(s)
+				// Errors latch per port; only the chosen port's surface.
+				_ = dropBins[s.Port].Add(s)
+			case asic.KindBytes:
+				if p, ok, _ := utils[s.Port].Feed(s); ok {
+					moments[s.Port].Add(p.Util)
+				}
+			}
+		}
+		best, bestDrops := 0, uint64(0)
+		for s := 0; s < servers; s++ {
+			if dropEnds[s].Count < 2 {
+				continue
+			}
+			if d := dropEnds[s].Last.Value - dropEnds[s].First.Value; d > bestDrops {
 				best, bestDrops = s, d
 			}
 		}
-		drops := split[analysis.SeriesKey{Port: uint16(best), Dir: asic.TX, Kind: asic.KindDrops}]
-		bytes := split[analysis.SeriesKey{Port: uint16(best), Dir: asic.TX, Kind: asic.KindBytes}]
-		bins, err := analysis.DropTimeSeries(drops, res.BinDur)
+		bins, err := dropBins[best].Bins()
 		if err != nil {
 			return port{}, err
 		}
-		series, err := analysis.UtilizationSeries(bytes, run.Net.Switch().Port(best).Speed())
-		if err != nil {
+		if err := utils[best].Close(); err != nil {
 			return port{}, err
 		}
-		var avg float64
-		for _, p := range series {
-			avg += p.Util
-		}
-		avg /= float64(len(series))
-		return port{bins: bins, stats: analysis.DropBurstiness(bins), avg: avg}, nil
+		return port{bins: bins, stats: analysis.DropBurstiness(bins), avg: moments[best].Mean()}, nil
 	})
 	if err != nil {
 		return res, err
@@ -243,15 +277,16 @@ type Fig3Result struct {
 }
 
 // Fig3BurstDurations runs the 25 µs byte campaigns and extracts burst
-// durations.
+// durations, streaming each window through a BurstSegmenter so only the
+// closed bursts are retained.
 func (e *Experiment) Fig3BurstDurations(ctx context.Context) (Fig3Result, error) {
 	res := Fig3Result{Durations: make(AppECDF)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(ctx, app, 0)
+		st, err := e.StreamByteStats(ctx, app, 0, ByteWant{Durations: true})
 		if err != nil {
 			return res, err
 		}
-		res.Durations[app] = stats.NewECDF(c.BurstDurationsMicros(e.threshold()))
+		res.Durations[app] = stats.NewECDF(st.Durations)
 	}
 	return res, nil
 }
@@ -280,17 +315,17 @@ type Fig4Result struct {
 	KS   map[workload.App]stats.KSResult
 }
 
-// Fig4InterBurstGaps runs byte campaigns and extracts inter-burst gaps.
+// Fig4InterBurstGaps runs byte campaigns and extracts inter-burst gaps,
+// emitted by the BurstSegmenter as each following burst arms.
 func (e *Experiment) Fig4InterBurstGaps(ctx context.Context) (Fig4Result, error) {
 	res := Fig4Result{Gaps: make(AppECDF), KS: make(map[workload.App]stats.KSResult)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(ctx, app, 0)
+		st, err := e.StreamByteStats(ctx, app, 0, ByteWant{Gaps: true})
 		if err != nil {
 			return res, err
 		}
-		gaps := c.InterBurstGapsMicros(e.threshold())
-		res.Gaps[app] = stats.NewECDF(gaps)
-		res.KS[app] = analysis.PoissonTest(gaps)
+		res.Gaps[app] = stats.NewECDF(st.Gaps)
+		res.KS[app] = analysis.PoissonTest(st.Gaps)
 	}
 	return res, nil
 }
@@ -317,19 +352,16 @@ type Table2Result struct {
 	Models map[workload.App]stats.MarkovModel
 }
 
-// Table2BurstMarkov fits the burst Markov chains.
+// Table2BurstMarkov fits the burst Markov chains from streaming
+// transition counts (one MarkovAcc per window, merged across windows).
 func (e *Experiment) Table2BurstMarkov(ctx context.Context) (Table2Result, error) {
 	res := Table2Result{Models: make(map[workload.App]stats.MarkovModel)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(ctx, app, 0)
+		st, err := e.StreamByteStats(ctx, app, 0, ByteWant{Markov: true})
 		if err != nil {
 			return res, err
 		}
-		models := make([]stats.MarkovModel, 0, len(c.WindowSeries))
-		for _, s := range c.WindowSeries {
-			models = append(models, analysis.BurstMarkov(s, e.threshold()))
-		}
-		res.Models[app] = stats.MergeMarkov(models...)
+		res.Models[app] = st.Markov
 	}
 	return res, nil
 }
@@ -355,24 +387,18 @@ type Fig6Result struct {
 	HotFrac map[workload.App]float64
 }
 
-// Fig6UtilizationCDF runs byte campaigns and collects utilization samples.
+// Fig6UtilizationCDF runs byte campaigns and collects utilization
+// samples, counting hot samples inline.
 func (e *Experiment) Fig6UtilizationCDF(ctx context.Context) (Fig6Result, error) {
 	res := Fig6Result{Utils: make(AppECDF), HotFrac: make(map[workload.App]float64)}
 	for _, app := range workload.Apps {
-		c, err := e.RunByteCampaign(ctx, app, 0)
+		st, err := e.StreamByteStats(ctx, app, 0, ByteWant{Utils: true})
 		if err != nil {
 			return res, err
 		}
-		utils := c.Utils()
-		res.Utils[app] = stats.NewECDF(utils)
-		hot := 0
-		for _, u := range utils {
-			if u > e.threshold() {
-				hot++
-			}
-		}
-		if len(utils) > 0 {
-			res.HotFrac[app] = float64(hot) / float64(len(utils))
+		res.Utils[app] = stats.NewECDF(st.Utils)
+		if len(st.Utils) > 0 {
+			res.HotFrac[app] = float64(st.HotSamples) / float64(len(st.Utils))
 		}
 	}
 	return res, nil
@@ -422,14 +448,20 @@ func (e *Experiment) Fig5PacketSizes(ctx context.Context) (Fig5Result, error) {
 	mixes, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[analysis.PacketMixResult], error) {
 		c := run.Cell
 		port := e.randomPort(c.App, c.RackID, c.Window)
-		split := analysis.Split(run.Samples)
-		bytes := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindBytes}]
-		bins := split[analysis.SeriesKey{Port: uint16(port), Dir: asic.TX, Kind: asic.KindSizeBins}]
-		mix, err := analysis.PacketMixInsideOutside(bytes, bins, run.Net.Switch().Port(port).Speed(), e.threshold())
+		// The cell polls exactly one port's byte + size-bin counters, so a
+		// single PacketMixAcc consumes the interleaved stream directly.
+		mix := analysis.NewPacketMixAcc(run.Net.Switch().Port(port).Speed(), e.threshold())
+		for _, s := range run.Samples {
+			if int(s.Port) != port || s.Dir != asic.TX {
+				continue
+			}
+			mix.Feed(s)
+		}
+		m, err := mix.Result()
 		if err != nil {
 			return perCell[analysis.PacketMixResult]{}, fmt.Errorf("fig5: %w", err)
 		}
-		return perCell[analysis.PacketMixResult]{app: c.App, v: mix}, nil
+		return perCell[analysis.PacketMixResult]{app: c.App, v: m}, nil
 	})
 	if err != nil {
 		return res, err
@@ -517,26 +549,70 @@ func (e *Experiment) Fig7UplinkMAD(ctx context.Context) (Fig7Result, error) {
 	type mads struct{ egFine, egCoarse, inFine, inCoarse []float64 }
 	cells := e.appGrid(plan, interval)
 	wins, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[mads], error) {
-		split := analysis.Split(run.Samples)
-		series := func(dir asic.Direction) [][]analysis.UtilPoint {
-			var out [][]analysis.UtilPoint
-			for u := 0; u < rack.NumUplinks; u++ {
-				key := analysis.SeriesKey{Port: uint16(rack.UplinkPort(u)), Dir: dir, Kind: asic.KindBytes}
-				s, err := analysis.UtilizationSeries(split[key], rack.UplinkSpeed)
-				if err != nil {
-					continue
+		// One streaming state per (uplink, direction): the utilization
+		// converter, the fine points (MAD needs the aligned matrix), and a
+		// coarse rebinner filling in one pass.
+		type side struct {
+			st     *analysis.UtilState
+			points []analysis.UtilPoint
+			coarse *analysis.RebinAcc
+		}
+		newSides := func() []*side {
+			out := make([]*side, rack.NumUplinks)
+			for u := range out {
+				out[u] = &side{
+					st:     analysis.NewUtilState(rack.UplinkSpeed),
+					coarse: analysis.NewRebinAcc(res.CoarseBin),
 				}
-				out = append(out, s)
 			}
 			return out
 		}
-		eg := series(asic.TX)
-		in := series(asic.RX)
+		egress, ingress := newSides(), newSides()
+		uplinkOf := make(map[uint16]int, rack.NumUplinks)
+		for u := 0; u < rack.NumUplinks; u++ {
+			uplinkOf[uint16(rack.UplinkPort(u))] = u
+		}
+		for _, s := range run.Samples {
+			if s.Kind != asic.KindBytes {
+				continue
+			}
+			u, ok := uplinkOf[s.Port]
+			if !ok {
+				continue
+			}
+			var sd *side
+			switch s.Dir {
+			case asic.TX:
+				sd = egress[u]
+			case asic.RX:
+				sd = ingress[u]
+			default:
+				continue
+			}
+			if p, ok, _ := sd.st.Feed(s); ok {
+				sd.points = append(sd.points, p)
+				sd.coarse.Add(p)
+			}
+		}
+		// Collect surviving uplinks in index order, skipping errored series
+		// exactly as the batch path skipped failed UtilizationSeries calls.
+		collect := func(sides []*side) (fine, coarse [][]analysis.UtilPoint) {
+			for _, sd := range sides {
+				if sd.st.Close() != nil {
+					continue
+				}
+				fine = append(fine, sd.points)
+				coarse = append(coarse, sd.coarse.Points())
+			}
+			return fine, coarse
+		}
+		egFine, egCoarse := collect(egress)
+		inFine, inCoarse := collect(ingress)
 		return perCell[mads]{app: run.Cell.App, v: mads{
-			egFine:   analysis.UplinkMAD(eg),
-			inFine:   analysis.UplinkMAD(in),
-			egCoarse: analysis.UplinkMAD(rebinAll(eg, res.CoarseBin)),
-			inCoarse: analysis.UplinkMAD(rebinAll(in, res.CoarseBin)),
+			egFine:   analysis.UplinkMAD(egFine),
+			inFine:   analysis.UplinkMAD(inFine),
+			egCoarse: analysis.UplinkMAD(egCoarse),
+			inCoarse: analysis.UplinkMAD(inCoarse),
 		}}, nil
 	})
 	if err != nil {
@@ -561,14 +637,6 @@ func (e *Experiment) Fig7UplinkMAD(ctx context.Context) (Fig7Result, error) {
 		}
 	}
 	return res, nil
-}
-
-func rebinAll(series [][]analysis.UtilPoint, width simclock.Duration) [][]analysis.UtilPoint {
-	out := make([][]analysis.UtilPoint, len(series))
-	for i, s := range series {
-		out[i] = analysis.Rebin(s, width)
-	}
-	return out
 }
 
 // Format renders the Fig 7 summary rows.
@@ -621,17 +689,25 @@ func (e *Experiment) Fig8ServerCorrelation(ctx context.Context) (Fig8Result, err
 		})
 	}
 	corrs, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) ([][]float64, error) {
-		split := analysis.Split(run.Samples)
-		var series [][]analysis.UtilPoint
+		states := make([]*analysis.UtilState, e.cfg.Servers)
+		points := make([][]analysis.UtilPoint, e.cfg.Servers)
 		for s := 0; s < e.cfg.Servers; s++ {
-			key := analysis.SeriesKey{Port: uint16(s), Dir: asic.TX, Kind: asic.KindBytes}
-			ser, err := analysis.UtilizationSeries(split[key], run.Net.Switch().Port(s).Speed())
-			if err != nil {
+			states[s] = analysis.NewUtilState(run.Net.Switch().Port(s).Speed())
+		}
+		for _, s := range run.Samples {
+			if s.Kind != asic.KindBytes || s.Dir != asic.TX || int(s.Port) >= e.cfg.Servers {
+				continue
+			}
+			if p, ok, _ := states[s.Port].Feed(s); ok {
+				points[s.Port] = append(points[s.Port], p)
+			}
+		}
+		for s := 0; s < e.cfg.Servers; s++ {
+			if err := states[s].Close(); err != nil {
 				return nil, err
 			}
-			series = append(series, ser)
 		}
-		return analysis.ServerCorrelation(series), nil
+		return analysis.ServerCorrelation(points), nil
 	})
 	if err != nil {
 		return res, err
@@ -701,12 +777,32 @@ func (e *Experiment) Fig9HotPortShare(ctx context.Context) (Fig9Result, error) {
 	interval := 300 * simclock.Microsecond
 	cells := e.appGrid(AllPortCounters(false), interval)
 	shares, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[analysis.HotShare], error) {
-		series, err := portSeries(run, rack.NumPorts())
+		ports := rack.NumPorts()
+		states, err := portStates(run, ports)
 		if err != nil {
 			return perCell[analysis.HotShare]{}, err
 		}
-		s := analysis.HotPortShare(series, rack.IsUplink, e.threshold())
-		return perCell[analysis.HotShare]{app: run.Cell.App, v: s}, nil
+		hot := make([]int, ports)
+		for _, s := range run.Samples {
+			if s.Kind != asic.KindBytes || s.Dir != asic.TX || int(s.Port) >= ports {
+				continue
+			}
+			if p, ok, _ := states[s.Port].Feed(s); ok && p.Util > e.threshold() {
+				hot[s.Port]++
+			}
+		}
+		if err := closePortStates(states); err != nil {
+			return perCell[analysis.HotShare]{}, err
+		}
+		var share analysis.HotShare
+		for p := 0; p < ports; p++ {
+			if rack.IsUplink(p) {
+				share.UplinkHot += hot[p]
+			} else {
+				share.DownlinkHot += hot[p]
+			}
+		}
+		return perCell[analysis.HotShare]{app: run.Cell.App, v: share}, nil
 	})
 	if err != nil {
 		return res, err
@@ -720,20 +816,25 @@ func (e *Experiment) Fig9HotPortShare(ctx context.Context) (Fig9Result, error) {
 	return res, nil
 }
 
-// portSeries extracts the per-port egress utilization series of a cell that
-// polled every port's byte counter (the Fig 9/10 plans).
-func portSeries(run *CellRun, ports int) ([][]analysis.UtilPoint, error) {
-	split := analysis.Split(run.Samples)
-	series := make([][]analysis.UtilPoint, 0, ports)
+// portStates builds one streaming utilization converter per port of a cell
+// that polled every port's byte counter (the Fig 9/10 plans).
+func portStates(run *CellRun, ports int) ([]*analysis.UtilState, error) {
+	states := make([]*analysis.UtilState, ports)
 	for p := 0; p < ports; p++ {
-		key := analysis.SeriesKey{Port: uint16(p), Dir: asic.TX, Kind: asic.KindBytes}
-		ser, err := analysis.UtilizationSeries(split[key], run.Net.Switch().Port(p).Speed())
-		if err != nil {
-			return nil, err
-		}
-		series = append(series, ser)
+		states[p] = analysis.NewUtilState(run.Net.Switch().Port(p).Speed())
 	}
-	return series, nil
+	return states, nil
+}
+
+// closePortStates finalizes every port's converter, returning the first
+// error in port order — the same precedence the batch per-port loop had.
+func closePortStates(states []*analysis.UtilState) error {
+	for _, st := range states {
+		if err := st.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Format renders the Fig 9 summary rows.
@@ -787,21 +888,31 @@ func (e *Experiment) Fig10BufferOccupancy(ctx context.Context) (Fig10Result, err
 	}
 	cells := e.appGrid(AllPortCounters(true), interval)
 	wins, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (perCell[[]analysis.BufferWindow], error) {
-		series, err := portSeries(run, rack.NumPorts())
+		ports := rack.NumPorts()
+		acc, err := analysis.NewBufferWindowAcc(window, e.threshold())
 		if err != nil {
 			return perCell[[]analysis.BufferWindow]{}, err
 		}
-		var peaks []wire.Sample
+		states, err := portStates(run, ports)
+		if err != nil {
+			return perCell[[]analysis.BufferWindow]{}, err
+		}
 		for _, s := range run.Samples {
 			if s.Kind == asic.KindBufferPeak {
-				peaks = append(peaks, s)
+				acc.ObservePeak(s)
+				continue
+			}
+			if s.Kind != asic.KindBytes || s.Dir != asic.TX || int(s.Port) >= ports {
+				continue
+			}
+			if p, ok, _ := states[s.Port].Feed(s); ok {
+				acc.ObserveUtil(int(s.Port), p)
 			}
 		}
-		w, err := analysis.BufferVsHotPorts(series, peaks, window, e.threshold())
-		if err != nil {
+		if err := closePortStates(states); err != nil {
 			return perCell[[]analysis.BufferWindow]{}, err
 		}
-		return perCell[[]analysis.BufferWindow]{app: run.Cell.App, v: w}, nil
+		return perCell[[]analysis.BufferWindow]{app: run.Cell.App, v: acc.Windows()}, nil
 	})
 	if err != nil {
 		return res, err

@@ -29,47 +29,31 @@ type Report struct {
 	Implications ImplicationsResult
 }
 
-// RunAll produces the full report. The byte campaigns feeding Figs 3, 4,
-// 6 and Table 2 are executed once per app and shared, mirroring the
-// paper's single-counter campaign reuse.
+// RunAll produces the full report. The streaming byte reductions feeding
+// Figs 3, 4, 6 and Table 2 are executed once per app with every
+// statistic enabled and shared, mirroring the paper's single-counter
+// campaign reuse.
 func (e *Experiment) RunAll(ctx context.Context) (*Report, error) {
 	var r Report
 	var err error
 
-	// Shared 25µs byte campaigns.
-	campaigns := make(map[workload.App]*ByteCampaign)
-	for _, app := range workload.Apps {
-		campaigns[app], err = e.RunByteCampaign(ctx, app, 0)
-		if err != nil {
-			return nil, fmt.Errorf("byte campaign %v: %w", app, err)
-		}
-	}
-	th := e.threshold()
 	r.Fig3 = Fig3Result{Durations: make(AppECDF)}
 	r.Fig4 = Fig4Result{Gaps: make(AppECDF), KS: make(map[workload.App]stats.KSResult)}
 	r.Table2 = Table2Result{Models: make(map[workload.App]stats.MarkovModel)}
 	r.Fig6 = Fig6Result{Utils: make(AppECDF), HotFrac: make(map[workload.App]float64)}
 	for _, app := range workload.Apps {
-		c := campaigns[app]
-		r.Fig3.Durations[app] = stats.NewECDF(c.BurstDurationsMicros(th))
-		gaps := c.InterBurstGapsMicros(th)
-		r.Fig4.Gaps[app] = stats.NewECDF(gaps)
-		r.Fig4.KS[app] = analysis.PoissonTest(gaps)
-		models := make([]stats.MarkovModel, 0, len(c.WindowSeries))
-		for _, s := range c.WindowSeries {
-			models = append(models, analysis.BurstMarkov(s, th))
+		st, err := e.StreamByteStats(ctx, app, 0,
+			ByteWant{Durations: true, Gaps: true, Utils: true, Markov: true})
+		if err != nil {
+			return nil, fmt.Errorf("byte campaign %v: %w", app, err)
 		}
-		r.Table2.Models[app] = stats.MergeMarkov(models...)
-		utils := c.Utils()
-		r.Fig6.Utils[app] = stats.NewECDF(utils)
-		hot := 0
-		for _, u := range utils {
-			if u > th {
-				hot++
-			}
-		}
-		if len(utils) > 0 {
-			r.Fig6.HotFrac[app] = float64(hot) / float64(len(utils))
+		r.Fig3.Durations[app] = stats.NewECDF(st.Durations)
+		r.Fig4.Gaps[app] = stats.NewECDF(st.Gaps)
+		r.Fig4.KS[app] = analysis.PoissonTest(st.Gaps)
+		r.Table2.Models[app] = st.Markov
+		r.Fig6.Utils[app] = stats.NewECDF(st.Utils)
+		if len(st.Utils) > 0 {
+			r.Fig6.HotFrac[app] = float64(st.HotSamples) / float64(len(st.Utils))
 		}
 	}
 

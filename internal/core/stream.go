@@ -1,0 +1,371 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/stats"
+	"mburst/internal/topo"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+// This file is the streaming campaign/trace analysis path: single-pass
+// per-cell reductions built on analysis.UtilState/BurstSegmenter and the
+// stats accumulators, producing byte-identical results to the batch
+// reductions (which survive only as the equivalence-test oracles in
+// equivalence_test.go). The win is retention: a streaming cell keeps
+// burst durations, gaps and transition counts — sparse in the sample
+// stream — instead of materialized UtilPoint series.
+
+// ByteWant selects which statistics StreamByteStats accumulates; leaving
+// a field false keeps that statistic's memory at zero.
+type ByteWant struct {
+	Durations bool
+	Gaps      bool
+	Utils     bool
+	Markov    bool
+}
+
+// ByteStats is the streaming reduction of a single-counter byte campaign
+// (the Fig 3/4/6/Table 2 data set). Slices are ordered window-major
+// (rack-major cell order, bursts in time order within each window),
+// matching the batch ByteCampaign reductions element for element.
+type ByteStats struct {
+	App      workload.App
+	Interval simclock.Duration
+	// Durations holds burst durations in µs (Fig 3).
+	Durations []float64
+	// Gaps holds within-window inter-burst gaps in µs (Fig 4).
+	Gaps []float64
+	// Utils holds every utilization sample (Fig 6).
+	Utils []float64
+	// HotSamples counts utilization samples above the threshold.
+	HotSamples int
+	// Markov is the merged per-window Markov fit (Table 2).
+	Markov stats.MarkovModel
+	// Ports records which port each window measured.
+	Ports []int
+}
+
+// StreamByteStats runs the single-byte-counter campaign for one app at
+// the given interval (0 = 25 µs) and reduces each (rack, window) cell in
+// one pass over its samples. Results are byte-identical to running
+// RunByteCampaign and the corresponding ByteCampaign reductions at
+// e.threshold() — the equivalence tests pin this per figure.
+func (e *Experiment) StreamByteStats(ctx context.Context, app workload.App, interval simclock.Duration, want ByteWant) (*ByteStats, error) {
+	if interval <= 0 {
+		interval = ByteCampaignInterval
+	}
+	threshold := e.threshold()
+	segment := want.Durations || want.Gaps
+	type cellStats struct {
+		durations, gaps, utils []float64
+		hot                    int
+		model                  stats.MarkovModel
+		port                   int
+	}
+	cells := e.campaignCells([]workload.App{app}, e.RandomPortCounters(app), interval, 0)
+	wins, err := RunCells(ctx, e.Runner(), cells, func(run *CellRun) (cellStats, error) {
+		port := e.randomPort(app, run.Cell.RackID, run.Cell.Window)
+		u := analysis.NewUtilState(run.Net.Switch().Port(port).Speed())
+		var seg *analysis.BurstSegmenter
+		if segment {
+			seg = analysis.NewBurstSegmenter(analysis.SegmenterConfig{HotAbove: threshold})
+		}
+		var mk stats.MarkovAcc
+		cs := cellStats{port: port}
+		for _, s := range run.Samples {
+			p, ok, err := u.Feed(s)
+			if err != nil {
+				return cellStats{}, err
+			}
+			if !ok {
+				continue
+			}
+			if want.Utils {
+				cs.utils = append(cs.utils, p.Util)
+				if p.Util > threshold {
+					cs.hot++
+				}
+			}
+			if want.Markov {
+				mk.Observe(p.Util > threshold)
+			}
+			if seg != nil {
+				if tr, fired := seg.Feed(p); fired {
+					switch tr.Kind {
+					case analysis.SegOpen:
+						if want.Gaps && tr.HasGap {
+							cs.gaps = append(cs.gaps, float64(tr.Gap)/float64(simclock.Microsecond))
+						}
+					case analysis.SegClose:
+						if want.Durations {
+							cs.durations = append(cs.durations, float64(tr.Burst.Duration())/float64(simclock.Microsecond))
+						}
+					}
+				}
+			}
+		}
+		if err := u.Close(); err != nil {
+			return cellStats{}, err
+		}
+		if seg != nil {
+			if tr, fired := seg.Flush(); fired && want.Durations {
+				cs.durations = append(cs.durations, float64(tr.Burst.Duration())/float64(simclock.Microsecond))
+			}
+		}
+		if want.Markov {
+			cs.model = mk.Model()
+		}
+		return cs, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &ByteStats{App: app, Interval: interval}
+	models := make([]stats.MarkovModel, 0, len(wins))
+	for _, w := range wins {
+		res.Durations = append(res.Durations, w.durations...)
+		res.Gaps = append(res.Gaps, w.gaps...)
+		res.Utils = append(res.Utils, w.utils...)
+		res.HotSamples += w.hot
+		res.Ports = append(res.Ports, w.port)
+		models = append(models, w.model)
+	}
+	if want.Markov {
+		res.Markov = stats.MergeMarkov(models...)
+	}
+	return res, nil
+}
+
+// TraceAnalysis is the reduction of a recorded trace for one analysis
+// kind — the mbanalyze payload.
+type TraceAnalysis struct {
+	// Windows is the number of readable windows analyzed.
+	Windows int
+	// Durations/Gaps/Utils are filled for kinds bursts/gaps/util.
+	Durations, Gaps, Utils []float64
+	// Markov is filled for kind markov.
+	Markov stats.MarkovModel
+	// Share is filled for kind hotshare.
+	Share analysis.HotShare
+}
+
+// traceWindowReduce accumulates one window's per-series results for one
+// analysis kind, appended in analysis.SortedKeys order so batch and
+// streaming modes assemble identically.
+type traceWindowReduce struct {
+	kind      string
+	threshold float64
+	isUplink  func(port int) bool
+	res       *TraceAnalysis
+}
+
+func (t *traceWindowReduce) addSeries(key analysis.SeriesKey, series []analysis.UtilPoint) {
+	switch t.kind {
+	case "bursts":
+		t.res.Durations = append(t.res.Durations, analysis.BurstDurations(analysis.Bursts(series, t.threshold))...)
+	case "gaps":
+		t.res.Gaps = append(t.res.Gaps, analysis.InterBurstGaps(analysis.Bursts(series, t.threshold))...)
+	case "util":
+		t.res.Utils = append(t.res.Utils, analysis.Utils(series)...)
+	case "markov":
+		t.res.Markov = stats.MergeMarkov(t.res.Markov, analysis.BurstMarkov(series, t.threshold))
+	case "hotshare":
+		for _, p := range series {
+			if p.Util > t.threshold {
+				if t.isUplink(int(key.Port)) {
+					t.res.Share.UplinkHot++
+				} else {
+					t.res.Share.DownlinkHot++
+				}
+			}
+		}
+	}
+}
+
+// AnalyzeKinds lists the analysis kinds AnalyzeTrace accepts.
+var AnalyzeKinds = []string{"bursts", "gaps", "util", "markov", "hotshare"}
+
+// AnalyzeTrace reduces a recorded trace to one analysis kind. With
+// stream=false every window is materialized via trace.Reader.Window and
+// reduced with the batch analysis functions; with stream=true windows
+// are consumed batch-by-batch via IterWindow through a SeriesDemux of
+// per-series UtilState/BurstSegmenter/MarkovAcc machines, retaining only
+// the analysis output (O(active series) state for bursts/gaps/markov/
+// hotshare; kind util inherently retains one float per sample for its
+// exact ECDF). Both modes produce byte-identical results; per-series
+// damage (too short, non-monotonic) skips the series in both.
+func AnalyzeTrace(r *trace.Reader, kind string, threshold float64, stream bool) (*TraceAnalysis, error) {
+	known := false
+	for _, k := range AnalyzeKinds {
+		known = known || k == kind
+	}
+	if !known {
+		return nil, fmt.Errorf("core: unknown analysis %q", kind)
+	}
+	if threshold <= 0 {
+		threshold = analysis.DefaultHotThreshold
+	}
+	meta := r.Meta()
+	rack := topo.Rack{
+		NumServers:  meta.NumServers,
+		ServerSpeed: meta.ServerSpeed,
+		NumUplinks:  meta.NumUplinks,
+		UplinkSpeed: meta.UplinkSpeed,
+	}
+	speedOf := func(port int) uint64 {
+		if rack.IsUplink(port) {
+			return rack.UplinkSpeed
+		}
+		return rack.ServerSpeed
+	}
+	res := &TraceAnalysis{}
+	if kind == "markov" {
+		// Seed with the empty merge so a trace with no usable series
+		// yields the same all-NaN model as MergeMarkov over zero models;
+		// per-series models then fold in, which is count-associative and
+		// therefore identical to one merge over the collected models.
+		res.Markov = stats.MergeMarkov()
+	}
+	reduce := &traceWindowReduce{kind: kind, threshold: threshold, isUplink: rack.IsUplink, res: res}
+
+	for i := 0; i < meta.Windows; i++ {
+		if !r.HasWindow(i) {
+			continue
+		}
+		var err error
+		if stream {
+			err = analyzeWindowStream(r, i, speedOf, reduce)
+		} else {
+			err = analyzeWindowBatch(r, i, speedOf, reduce)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("window %d: %w", i, err)
+		}
+		res.Windows++
+	}
+	return res, nil
+}
+
+// analyzeWindowBatch is the materializing path: the original mbanalyze
+// logic, with per-window assembly pinned to SortedKeys order. It is the
+// oracle the streaming path is tested against.
+func analyzeWindowBatch(r *trace.Reader, i int, speedOf func(int) uint64, reduce *traceWindowReduce) error {
+	samples, err := r.Window(i)
+	if err != nil {
+		return err
+	}
+	split := analysis.Split(samples)
+	byPort := make(map[analysis.SeriesKey][]analysis.UtilPoint)
+	for _, key := range analysis.SortedKeys(split) {
+		if key.Kind != asic.KindBytes {
+			continue
+		}
+		series, err := analysis.UtilizationSeries(split[key], speedOf(int(key.Port)))
+		if err != nil {
+			continue // damaged or too-short series; skip, as mbanalyze always has
+		}
+		byPort[key] = series
+	}
+	for _, key := range analysis.SortedKeys(byPort) {
+		reduce.addSeries(key, byPort[key])
+	}
+	return nil
+}
+
+// analyzeWindowStream is the bounded-memory path: one pass over the
+// window's batches through a SeriesDemux of per-series accumulators.
+func analyzeWindowStream(r *trace.Reader, i int, speedOf func(int) uint64, reduce *traceWindowReduce) error {
+	type seriesState struct {
+		util *analysis.UtilState
+		seg  *analysis.BurstSegmenter
+		mk   stats.MarkovAcc
+		// durations/gaps/utils stage per-series output so a series that
+		// later turns out damaged can be skipped whole, like the batch
+		// path's continue.
+		durations, gaps, utils []float64
+		hot                    int
+	}
+	states := make(map[analysis.SeriesKey]*seriesState)
+	demux := analysis.NewSeriesDemux(func(key analysis.SeriesKey) analysis.SampleSink {
+		if key.Kind != asic.KindBytes {
+			return nil
+		}
+		st := &seriesState{util: analysis.NewUtilState(speedOf(int(key.Port)))}
+		if reduce.kind == "bursts" || reduce.kind == "gaps" {
+			st.seg = analysis.NewBurstSegmenter(analysis.SegmenterConfig{HotAbove: reduce.threshold})
+		}
+		states[key] = st
+		return func(s wire.Sample) error {
+			p, ok, err := st.util.Feed(s)
+			if err != nil {
+				// Damaged series are skipped at finalize, not fatal —
+				// keep draining (the latched state ignores the rest).
+				return nil
+			}
+			if !ok {
+				return nil
+			}
+			switch reduce.kind {
+			case "util":
+				st.utils = append(st.utils, p.Util)
+			case "markov":
+				st.mk.Observe(p.Util > reduce.threshold)
+			case "hotshare":
+				if p.Util > reduce.threshold {
+					st.hot++
+				}
+			}
+			if st.seg != nil {
+				if tr, fired := st.seg.Feed(p); fired {
+					switch tr.Kind {
+					case analysis.SegOpen:
+						if tr.HasGap {
+							st.gaps = append(st.gaps, float64(tr.Gap)/float64(simclock.Microsecond))
+						}
+					case analysis.SegClose:
+						st.durations = append(st.durations, float64(tr.Burst.Duration())/float64(simclock.Microsecond))
+					}
+				}
+			}
+			return nil
+		}
+	})
+	if err := r.IterWindow(i, demux.FeedBatch); err != nil {
+		return err
+	}
+	for _, key := range analysis.SortedKeys(states) {
+		st := states[key]
+		if st.util.Close() != nil {
+			continue // same skip as the batch path
+		}
+		if st.seg != nil {
+			if tr, fired := st.seg.Flush(); fired {
+				st.durations = append(st.durations, float64(tr.Burst.Duration())/float64(simclock.Microsecond))
+			}
+		}
+		switch reduce.kind {
+		case "bursts":
+			reduce.res.Durations = append(reduce.res.Durations, st.durations...)
+		case "gaps":
+			reduce.res.Gaps = append(reduce.res.Gaps, st.gaps...)
+		case "util":
+			reduce.res.Utils = append(reduce.res.Utils, st.utils...)
+		case "markov":
+			reduce.res.Markov = stats.MergeMarkov(reduce.res.Markov, st.mk.Model())
+		case "hotshare":
+			if reduce.isUplink(int(key.Port)) {
+				reduce.res.Share.UplinkHot += st.hot
+			} else {
+				reduce.res.Share.DownlinkHot += st.hot
+			}
+		}
+	}
+	return nil
+}

@@ -53,17 +53,32 @@ type Detector interface {
 	Reset()
 }
 
+// segmentEvents converts a BurstSegmenter transition into detector
+// events — the single point where the shared segmentation state machine
+// (analysis.BurstSegmenter) is mapped onto the Event vocabulary.
+func segmentEvents(tr analysis.Transition, ok bool) []Event {
+	if !ok {
+		return nil
+	}
+	kind := Start
+	if tr.Kind == analysis.SegClose {
+		kind = End
+	}
+	return []Event{{Kind: kind, DetectedAt: tr.At}}
+}
+
 // ThresholdDetector declares a burst after ArmAfter consecutive hot
 // samples and clears it after DisarmAfter consecutive cold ones. With
 // ArmAfter=1 it is exactly the paper's burst definition, evaluated
-// causally.
+// causally. Segmentation runs on analysis.BurstSegmenter, the same state
+// machine the streaming figure pipeline uses, so detection and analysis
+// cannot drift apart.
 type ThresholdDetector struct {
 	Threshold   float64
 	ArmAfter    int
 	DisarmAfter int
 
-	hotRun, coldRun int
-	active          bool
+	seg *analysis.BurstSegmenter
 }
 
 // NewThresholdDetector validates and builds a threshold detector.
@@ -79,33 +94,29 @@ func NewThresholdDetector(threshold float64, armAfter, disarmAfter int) (*Thresh
 
 // Feed implements Detector.
 func (d *ThresholdDetector) Feed(p analysis.UtilPoint) []Event {
-	var out []Event
-	if p.Util > d.Threshold {
-		d.hotRun++
-		d.coldRun = 0
-		if !d.active && d.hotRun >= d.ArmAfter {
-			d.active = true
-			out = append(out, Event{Kind: Start, DetectedAt: p.End})
-		}
-	} else {
-		d.coldRun++
-		d.hotRun = 0
-		if d.active && d.coldRun >= d.DisarmAfter {
-			d.active = false
-			out = append(out, Event{Kind: End, DetectedAt: p.End})
-		}
+	if d.seg == nil {
+		// Built lazily so zero-value and struct-literal detectors work;
+		// NewThresholdDetector guarantees Threshold in (0,1), so the
+		// segmenter's HotAbove default never engages for validated
+		// detectors.
+		d.seg = analysis.NewBurstSegmenter(analysis.SegmenterConfig{
+			HotAbove:    d.Threshold,
+			ArmAfter:    d.ArmAfter,
+			DisarmAfter: d.DisarmAfter,
+		})
 	}
-	return out
+	tr, ok := d.seg.Feed(p)
+	return segmentEvents(tr, ok)
 }
 
 // Reset implements Detector.
-func (d *ThresholdDetector) Reset() {
-	d.hotRun, d.coldRun, d.active = 0, 0, false
-}
+func (d *ThresholdDetector) Reset() { d.seg = nil }
 
 // EWMADetector smooths utilization with an exponential moving average
 // (weight Alpha per sample) and applies hysteresis thresholds to the
-// smoothed value. Small Alpha models slow congestion estimators.
+// smoothed value. Small Alpha models slow congestion estimators. The
+// hysteresis itself is analysis.BurstSegmenter (HotAbove=OnThsh,
+// ColdBelow=OffThsh) fed the smoothed signal.
 type EWMADetector struct {
 	Alpha   float64
 	OnThsh  float64
@@ -113,7 +124,7 @@ type EWMADetector struct {
 
 	ewma   float64
 	primed bool
-	active bool
+	seg    *analysis.BurstSegmenter
 }
 
 // NewEWMADetector validates and builds an EWMA detector. offThsh must be
@@ -136,20 +147,19 @@ func (d *EWMADetector) Feed(p analysis.UtilPoint) []Event {
 	} else {
 		d.ewma = d.Alpha*p.Util + (1-d.Alpha)*d.ewma
 	}
-	var out []Event
-	if !d.active && d.ewma > d.OnThsh {
-		d.active = true
-		out = append(out, Event{Kind: Start, DetectedAt: p.End})
-	} else if d.active && d.ewma < d.OffThsh {
-		d.active = false
-		out = append(out, Event{Kind: End, DetectedAt: p.End})
+	if d.seg == nil {
+		d.seg = analysis.NewBurstSegmenter(analysis.SegmenterConfig{
+			HotAbove:  d.OnThsh,
+			ColdBelow: d.OffThsh,
+		})
 	}
-	return out
+	tr, ok := d.seg.Feed(analysis.UtilPoint{Start: p.Start, End: p.End, Util: d.ewma})
+	return segmentEvents(tr, ok)
 }
 
 // Reset implements Detector.
 func (d *EWMADetector) Reset() {
-	d.ewma, d.primed, d.active = 0, false, false
+	d.ewma, d.primed, d.seg = 0, false, nil
 }
 
 // Run feeds an entire series through a detector.

@@ -90,6 +90,7 @@ func NewAnalyzers() []*Analyzer {
 		newMutexcopy(),
 		newLocklog(),
 		newErrfmt(),
+		newMapiter(),
 	}
 }
 

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+func newMapiter() *Analyzer {
+	a := &Analyzer{
+		Name: "mapiter",
+		Doc: "Ranging directly over a map keyed by analysis.SeriesKey iterates in " +
+			"nondeterministic order, which breaks the repository's byte-identical " +
+			"reproduction guarantee wherever per-series results are assembled. " +
+			"Iterate analysis.SortedKeys(m) instead; order-free loops may carry a " +
+			"//lint:ignore mapiter justification.",
+	}
+	a.Run = func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				t := p.Info.TypeOf(rs.X)
+				if t == nil {
+					return true
+				}
+				m, ok := t.Underlying().(*types.Map)
+				if !ok {
+					return true
+				}
+				if isSeriesKey(m.Key()) {
+					p.Reportf(rs.Pos(), "range over a map keyed by analysis.SeriesKey is nondeterministic; range analysis.SortedKeys(m) instead")
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isSeriesKey reports whether t is the named type
+// mburst/internal/analysis.SeriesKey (through aliases).
+func isSeriesKey(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Name() != "SeriesKey" || obj.Pkg() == nil {
+		return false
+	}
+	return obj.Pkg().Path() == "mburst/internal/analysis"
+}

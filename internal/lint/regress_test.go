@@ -13,13 +13,14 @@ import (
 // testdata/regress/fixture.go requires updating this table.
 func TestRegressExactPositions(t *testing.T) {
 	want := []string{
-		"testdata/regress/fixture.go:34:9 locklog",
-		"testdata/regress/fixture.go:38:16 mutexcopy",
-		"testdata/regress/fixture.go:44:9 wallclock",
-		"testdata/regress/fixture.go:49:9 globalrand",
-		"testdata/regress/fixture.go:54:9 ctxroot",
-		"testdata/regress/fixture.go:59:14 metricname",
-		"testdata/regress/fixture.go:63:25 errfmt",
+		"testdata/regress/fixture.go:35:9 locklog",
+		"testdata/regress/fixture.go:39:16 mutexcopy",
+		"testdata/regress/fixture.go:45:9 wallclock",
+		"testdata/regress/fixture.go:50:9 globalrand",
+		"testdata/regress/fixture.go:55:9 ctxroot",
+		"testdata/regress/fixture.go:60:14 metricname",
+		"testdata/regress/fixture.go:64:25 errfmt",
+		"testdata/regress/fixture.go:69:2 mapiter",
 	}
 	diags := runFixture(t, "regress", "mburst/internal/simnet/regressfix")
 	var got []string

@@ -52,6 +52,10 @@ func TestErrfmt(t *testing.T) {
 	checkFixture(t, "errfmt", "mburst/internal/trace/errfix", "errfmt")
 }
 
+func TestMapiter(t *testing.T) {
+	checkFixture(t, "mapiter", "mburst/internal/core/mapfix", "mapiter")
+}
+
 func TestSelectAnalyzersUnknownRule(t *testing.T) {
 	if _, err := SelectAnalyzers([]string{"nosuchrule"}); err == nil {
 		t.Error("unknown rule selected without error")
@@ -59,7 +63,7 @@ func TestSelectAnalyzersUnknownRule(t *testing.T) {
 }
 
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt"}
+	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt", "mapiter"}
 	got := RuleNames()
 	if len(got) != len(want) {
 		t.Fatalf("RuleNames() = %v, want %v", got, want)

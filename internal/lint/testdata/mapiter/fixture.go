@@ -1,0 +1,54 @@
+// Package mapfix seeds mapiter violations: direct ranges over maps keyed
+// by analysis.SeriesKey, whose iteration order is nondeterministic.
+package mapfix
+
+import "mburst/internal/analysis"
+
+// Sum ranges the map directly: nondeterministic iteration order.
+func Sum(m map[analysis.SeriesKey]int) int {
+	total := 0
+	for _, v := range m { // want `nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// table is a named map type; the rule sees through the name.
+type table map[analysis.SeriesKey][]float64
+
+// Lens ranges the named type.
+func Lens(t table) []int {
+	var out []int
+	for _, s := range t { // want `nondeterministic`
+		out = append(out, len(s))
+	}
+	return out
+}
+
+// SumSorted is the sanctioned form.
+func SumSorted(m map[analysis.SeriesKey]int) int {
+	total := 0
+	for _, k := range analysis.SortedKeys(m) {
+		total += m[k]
+	}
+	return total
+}
+
+// Counted documents a justified order-free loop.
+func Counted(m map[analysis.SeriesKey]int) int {
+	n := 0
+	//lint:ignore mapiter pure count; iteration order is unobservable
+	for range m {
+		n++
+	}
+	return n
+}
+
+// OtherKeys is out of scope: the key type is not SeriesKey.
+func OtherKeys(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"time"
 
+	"mburst/internal/analysis"
 	"mburst/internal/obs"
 )
 
@@ -61,3 +62,12 @@ func Metricname(reg *obs.Registry) {
 
 // Errfmt capitalizes an error string.
 var Errfmt = errors.New("Seeded capitalized error")
+
+// Mapiter ranges a SeriesKey-keyed map directly.
+func Mapiter(m map[analysis.SeriesKey]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}

@@ -263,6 +263,11 @@ func (r *Reader) IterWindow(idx int, fn func(batch *wire.Batch) error) error {
 }
 
 // Window loads all samples of window idx.
+//
+// Deprecated: Window materializes the entire window (O(trace size)
+// memory); new code should stream batches through IterWindow and the
+// analysis.SeriesDemux accumulators instead. It is retained as the
+// batch-mode oracle for the streaming equivalence tests.
 func (r *Reader) Window(idx int) ([]wire.Sample, error) {
 	if idx < 0 || idx >= r.meta.Windows {
 		return nil, fmt.Errorf("trace: window %d out of range [0,%d)", idx, r.meta.Windows)

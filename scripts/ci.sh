@@ -36,6 +36,13 @@ go test -race -shuffle=on ./...
 MBURST_BENCH_OUT="$PWD/BENCH_runner.json" \
 	go test -run TestRunnerBenchArtifact -count=1 ./internal/core
 
+# Streaming-engine memory gate: batch vs -stream analysis of the same
+# recorded campaign. Fails the build unless streaming peaks >= 5x below
+# the batch path's whole-window materialization (and allocates >= 5x
+# less). Runs without -race: the measurement times the allocator itself.
+MBURST_STREAM_BENCH_OUT="$PWD/BENCH_stream.json" \
+	go test -run TestStreamingMemoryArtifact -count=1 ./internal/core
+
 # Chaos soak: generated fault schedules against the collection pipeline,
 # asserting byte-exact recovery against ASIC ground truth, zero-fault
 # byte-identity, and epoch-gated restart recovery. Bounded runtime (the
