@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench chaos ci
+.PHONY: build test race vet lint bench chaos trace ci
 
 build:
 	$(GO) build ./...
@@ -27,6 +27,16 @@ bench:
 # agent-restart scenario. Writes a FAULT_soak.json summary.
 chaos:
 	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestChaosSoak|TestAgentRestartRecovery' -count=1 ./internal/fault
+
+# trace records a small faulted campaign with span tracing and renders
+# the waterfall + critical path with mbtrace (see README "Pipeline
+# tracing"). The dump is byte-identical for any -workers count.
+trace:
+	rm -rf /tmp/mburst-trace-demo
+	$(GO) run ./cmd/mbsim -app web -racks 1 -windows 2 -window 20ms \
+		-faults 'stuck@4ms+2ms,stall@12ms+5ms:500µs' \
+		-out /tmp/mburst-trace-demo -trace /tmp/mburst-trace-demo.spans.json
+	$(GO) run ./cmd/mbtrace -in /tmp/mburst-trace-demo.spans.json -n 3
 
 ci: lint
 	./scripts/ci.sh

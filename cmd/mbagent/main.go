@@ -13,6 +13,13 @@
 // dropped, redials), so collector restarts during the run are visible.
 // With -http it serves /metrics, /stats, /healthz, and /debug/pprof/
 // while running (see README "Observability").
+//
+// With -tracing the agent records the client half of each batch's
+// pipeline trace (internal/ptrace): poll.read, wire.encode, and
+// client.send, with reconnect backoff waits as client.backoff child
+// spans. Spans are served at /spans and /tracez on the -http mux and
+// join server-side spans at render time — both halves derive the same
+// trace ID from the batch content alone.
 package main
 
 import (
@@ -26,6 +33,7 @@ import (
 	"mburst/internal/asic"
 	"mburst/internal/collector"
 	"mburst/internal/obs"
+	"mburst/internal/ptrace"
 	"mburst/internal/rng"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
@@ -44,11 +52,24 @@ func main() {
 	rackID := flag.Uint("rack", 0, "rack id tag")
 	epoch := flag.Uint("epoch", 0, "agent incarnation number; bump on restart so an epoch-gated collector discards stale batches (0 = legacy framing)")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
+	tracing := flag.Bool("tracing", false, "record client-side pipeline spans and serve /spans and /tracez (needs -http)")
+	traceRate := flag.Float64("tracerate", 0, "fraction of batch traces kept by the deterministic head sampler (0 = all)")
+	traceCap := flag.Int("tracecap", ptrace.DefaultCapacity, "span ring capacity")
 	flag.Parse()
 
 	logger := obs.DaemonLogger("mbagent")
 	reg := obs.NewRegistry()
 	obs.RegisterGoRuntime(reg)
+
+	var tracer *ptrace.Tracer
+	if *tracing {
+		tracer = ptrace.New(ptrace.Config{
+			Capacity:   *traceCap,
+			SampleRate: *traceRate,
+			Seed:       *seed,
+			Metrics:    reg,
+		})
+	}
 
 	app, err := workload.ParseApp(*appName)
 	if err != nil {
@@ -79,6 +100,7 @@ func main() {
 		Epoch:   uint32(*epoch),
 		Rand:    rng.New(*seed ^ 0x5eed).Split("backoff"),
 		Metrics: collector.NewClientMetrics(reg),
+		Tracer:  tracer,
 	})
 
 	poller, err := collector.NewPoller(collector.PollerConfig{
@@ -93,7 +115,12 @@ func main() {
 	}
 
 	if *httpAddr != "" {
-		ds, err := obs.StartDebug(*httpAddr, obs.NewDebugMux(reg, nil))
+		mux := obs.NewDebugMux(reg, nil)
+		if tracer != nil {
+			mux.Handle("/spans", tracer.SpansHandler())
+			mux.Handle("/tracez", tracer.TracezHandler())
+		}
+		ds, err := obs.StartDebug(*httpAddr, mux)
 		if err != nil {
 			logger.Error("debug http", "addr", *httpAddr, "err", err)
 			os.Exit(1)

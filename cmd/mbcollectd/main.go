@@ -5,7 +5,8 @@
 //
 // Usage:
 //
-//	mbcollectd -listen 127.0.0.1:9900 [-out samples.mbw] [-stats 5s] [-http :9901]
+//	mbcollectd -listen 127.0.0.1:9900 [-out samples.mbw] [-stats 5s]
+//	           [-http :9901] [-tracing] [-tracerate R] [-tracecap N]
 //
 // With -http the daemon serves its debug surface (see README
 // "Observability"): Prometheus metrics at /metrics, a JSON snapshot at
@@ -14,6 +15,11 @@
 // byte-counter sample through the streaming analysis accumulators and
 // serves the running Fig 3/4/6/9 statistics at /figures (see README
 // "Streaming analysis").
+//
+// With -tracing the daemon records pipeline spans (internal/ptrace) for
+// each ingested batch — server.ingest, epoch.gate verdicts, archive
+// writes, and figure application — and serves them at /spans (JSON) and
+// /tracez (waterfall) on the debug mux; cmd/mbtrace renders either.
 //
 // Shut down with SIGINT/SIGTERM; the listener drains connections before
 // exiting.
@@ -32,6 +38,7 @@ import (
 	"mburst/internal/analysis"
 	"mburst/internal/collector"
 	"mburst/internal/obs"
+	"mburst/internal/ptrace"
 	"mburst/internal/topo"
 	"mburst/internal/wire"
 )
@@ -45,11 +52,23 @@ func main() {
 	figures := flag.Bool("figures", false, "serve live streaming figures at /figures (needs -http)")
 	servers := flag.Int("servers", 16, "servers per rack, for the /figures port speed map")
 	threshold := flag.Float64("threshold", analysis.DefaultHotThreshold, "hot threshold for /figures")
+	tracing := flag.Bool("tracing", false, "record pipeline spans and serve /spans and /tracez (needs -http)")
+	traceRate := flag.Float64("tracerate", 0, "fraction of batch traces kept by the deterministic head sampler (0 = all)")
+	traceCap := flag.Int("tracecap", ptrace.DefaultCapacity, "span ring capacity")
 	flag.Parse()
 
 	logger := obs.DaemonLogger("mbcollectd")
 	reg := obs.NewRegistry()
 	obs.RegisterGoRuntime(reg)
+
+	var tracer *ptrace.Tracer
+	if *tracing {
+		tracer = ptrace.New(ptrace.Config{
+			Capacity:   *traceCap,
+			SampleRate: *traceRate,
+			Metrics:    reg,
+		})
+	}
 
 	// mu serializes batch archival and, on shutdown, the file close — a
 	// connection goroutine must never race WriteBatch against Close.
@@ -70,7 +89,7 @@ func main() {
 
 	stats := &collector.IngestStats{}
 	stats.Attach(reg)
-	handler := stats.Wrap(func(b *wire.Batch) {
+	archive := func(b *wire.Batch) {
 		if fileW != nil {
 			mu.Lock()
 			if err := fileW.WriteBatch(b); err != nil {
@@ -78,7 +97,11 @@ func main() {
 			}
 			mu.Unlock()
 		}
-	})
+	}
+	if fileW != nil {
+		archive = collector.TraceStage(tracer, ptrace.StageArchiveWrite, archive)
+	}
+	handler := stats.Wrap(archive)
 
 	var figs *collector.LiveFigures
 	if *figures {
@@ -92,6 +115,7 @@ func main() {
 			},
 			IsUplink:  func(_ uint32, port uint16) bool { return rack.IsUplink(int(port)) },
 			Threshold: *threshold,
+			Tracer:    tracer,
 		})
 		if err != nil {
 			logger.Error("live figures", "err", err)
@@ -109,6 +133,7 @@ func main() {
 	srv := collector.ServeConfigured(ln, handler, collector.ServerConfig{
 		Metrics:   collector.NewServerMetrics(reg),
 		EpochGate: *epochGate,
+		Tracer:    tracer,
 	})
 	logger.Info("listening", "addr", srv.Addr().String())
 
@@ -117,6 +142,10 @@ func main() {
 		mux.Handle("/stats/ingest", stats)
 		if figs != nil {
 			mux.Handle("/figures", figs)
+		}
+		if tracer != nil {
+			mux.Handle("/spans", tracer.SpansHandler())
+			mux.Handle("/tracez", tracer.TracezHandler())
 		}
 		ds, err := obs.StartDebug(*httpAddr, mux)
 		if err != nil {

@@ -7,7 +7,7 @@
 //	mbsim -app web|cache|hadoop -out DIR [-plan randomport|allports|buffer]
 //	      [-interval 25µs] [-racks N] [-windows N] [-window 250ms]
 //	      [-servers N] [-seed N] [-workers N] [-http :9903]
-//	      [-faults SPEC]
+//	      [-faults SPEC] [-trace FILE] [-tracerate R] [-tracecap N]
 //
 // Plans:
 //
@@ -26,6 +26,12 @@
 // draw each cell's schedule from the campaign seed. Faulted traces remain
 // reproducible: the same seed and spec yield byte-identical directories.
 //
+// -trace writes the campaign's pipeline span dump (internal/ptrace): one
+// poll→encode→send→ingest→gate→archive→figures chain per persisted batch,
+// with simclock-exact stage latencies. The dump is byte-identical across
+// runs and -workers counts; cmd/mbtrace renders it. With -http the same
+// spans are browsable live at /spans (JSON) and /tracez (waterfall).
+//
 // -workers bounds how many (rack, window) cells simulate concurrently
 // (0 = all CPUs); the recorded trace is byte-identical for every worker
 // count. SIGINT/SIGTERM cancels the campaign and discards the partial
@@ -42,10 +48,13 @@ import (
 	"syscall"
 	"time"
 
+	"mburst/internal/collector"
 	"mburst/internal/core"
 	"mburst/internal/fault"
 	"mburst/internal/obs"
+	"mburst/internal/ptrace"
 	"mburst/internal/simclock"
+	"mburst/internal/trace"
 	"mburst/internal/workload"
 )
 
@@ -61,7 +70,10 @@ func main() {
 	seed := flag.Uint64("seed", 0, "seed (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent campaign cells (0 = all CPUs)")
 	faults := flag.String("faults", "", `fault schedule: "none", "kind@off+dur[:param],..." (kinds: stuck, latency, stall, restart, outage, disk), or "rand[:k=v,...]" for seeded per-cell generation`)
-	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
+	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /spans, /tracez, /debug/pprof/)")
+	tracePath := flag.String("trace", "", "write the campaign's pipeline span dump to this file (mbtrace renders it)")
+	traceRate := flag.Float64("tracerate", 0, "fraction of batch traces kept by the deterministic head sampler (0 = all)")
+	traceCap := flag.Int("tracecap", 0, "span ring capacity (0 = sized to hold the whole campaign)")
 	flag.Parse()
 
 	logger := obs.DaemonLogger("mbsim")
@@ -134,8 +146,31 @@ func main() {
 		os.Exit(2)
 	}
 
+	var tracer *ptrace.Tracer
+	if *tracePath != "" || *httpAddr != "" {
+		capacity := *traceCap
+		if capacity <= 0 {
+			capacity = campaignSpanCap(cfg, countersFor(exp.Rack(), 0, 0), simclock.FromStd(*interval))
+		}
+		tracer = ptrace.New(ptrace.Config{
+			Capacity:   capacity,
+			SampleRate: *traceRate,
+			Seed:       cfg.Seed,
+			Metrics:    reg,
+		})
+		cfg.Tracer = tracer
+		// cfg was copied into exp at construction; rebuild with the tracer.
+		if exp, err = core.NewExperiment(cfg); err != nil {
+			logger.Error("configuring experiment", "err", err)
+			os.Exit(1)
+		}
+	}
+
 	if *httpAddr != "" {
-		ds, err := obs.StartDebug(*httpAddr, obs.NewDebugMux(reg, nil))
+		mux := obs.NewDebugMux(reg, nil)
+		mux.Handle("/spans", tracer.SpansHandler())
+		mux.Handle("/tracez", tracer.TracezHandler())
+		ds, err := obs.StartDebug(*httpAddr, mux)
 		if err != nil {
 			logger.Error("debug http", "addr", *httpAddr, "err", err)
 			os.Exit(1)
@@ -153,7 +188,46 @@ func main() {
 		logger.Error("recording campaign", "err", err)
 		os.Exit(1)
 	}
+	if *tracePath != "" {
+		if err := writeTraceDump(tracer, *tracePath); err != nil {
+			logger.Error("writing span dump", "path", *tracePath, "err", err)
+			os.Exit(1)
+		}
+		logger.Info("wrote span dump", "path", *tracePath,
+			"spans", tracer.Recorded(), "evicted", tracer.Evicted())
+	}
 	logger.Info("recorded campaign",
 		"app", app.String(), "windows", cfg.Racks*cfg.Windows, "window_dur", cfg.WindowDur.String(),
 		"interval", interval.String(), "out", *out, "elapsed", time.Since(start).Round(time.Millisecond).String())
+}
+
+// campaignSpanCap sizes the span ring to hold the whole campaign: one
+// 7-span chain per persisted batch, with headroom so the auto-sized ring
+// never evicts (eviction order would otherwise depend on completion
+// order, breaking byte-identical dumps across -workers counts).
+func campaignSpanCap(cfg core.Config, counters []collector.CounterSpec, interval simclock.Duration) int {
+	samplesPerWindow := (int64(cfg.WindowDur/interval) + 1) * int64(len(counters))
+	batchesPerWindow := samplesPerWindow/trace.BatchSize + 1
+	spans := int64(cfg.Racks*cfg.Windows) * batchesPerWindow * 8
+	const maxAuto = 1 << 22
+	if spans > maxAuto {
+		return maxAuto
+	}
+	if spans < ptrace.DefaultCapacity {
+		return ptrace.DefaultCapacity
+	}
+	return int(spans)
+}
+
+// writeTraceDump writes the tracer's canonical span dump to path.
+func writeTraceDump(t *ptrace.Tracer, path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteDump(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

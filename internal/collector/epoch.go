@@ -3,6 +3,7 @@ package collector
 import (
 	"sync"
 
+	"mburst/internal/ptrace"
 	"mburst/internal/simclock"
 	"mburst/internal/wire"
 )
@@ -29,8 +30,9 @@ import (
 // restart virtual time per window within one epoch, which the
 // time-regression rule would reject.
 type EpochGate struct {
-	next BatchHandler
-	m    ServerMetrics
+	next   BatchHandler
+	m      ServerMetrics
+	tracer *ptrace.Tracer
 
 	mu    sync.Mutex
 	racks map[uint32]*rackEpoch
@@ -54,16 +56,24 @@ func NewEpochGate(next BatchHandler, m *ServerMetrics) *EpochGate {
 	return g
 }
 
+// SetTracer attaches pipeline tracing: every batch records an epoch.gate
+// span carrying the admission verdict. t may be nil. Call before Handle
+// sees traffic.
+func (g *EpochGate) SetTracer(t *ptrace.Tracer) { g.tracer = t }
+
 // Handle implements BatchHandler. It is safe for concurrent use.
 func (g *EpochGate) Handle(b *wire.Batch) {
-	if !g.admit(b) {
+	verdict := g.admit(b)
+	recordGateSpan(g.tracer, b, verdict)
+	if verdict != ptrace.VerdictAccept {
 		return
 	}
 	g.next(b)
 }
 
-// admit applies the epoch and ordering rules, updating per-rack state.
-func (g *EpochGate) admit(b *wire.Batch) bool {
+// admit applies the epoch and ordering rules, updating per-rack state,
+// and returns the ptrace verdict token.
+func (g *EpochGate) admit(b *wire.Batch) string {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	st := g.racks[b.Rack]
@@ -81,17 +91,17 @@ func (g *EpochGate) admit(b *wire.Batch) bool {
 		st.lastTime = 0
 	case b.Epoch < st.epoch:
 		g.m.StaleBatches.Inc()
-		return false
+		return ptrace.VerdictDropStale
 	}
 	if len(b.Samples) == 0 {
-		return true
+		return ptrace.VerdictAccept
 	}
 	if b.Samples[0].Time < st.lastTime {
 		g.m.ReorderedBatches.Inc()
-		return false
+		return ptrace.VerdictDropReorder
 	}
 	if last := b.Samples[len(b.Samples)-1].Time; last > st.lastTime {
 		st.lastTime = last
 	}
-	return true
+	return ptrace.VerdictAccept
 }

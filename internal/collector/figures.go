@@ -10,6 +10,7 @@ import (
 
 	"mburst/internal/analysis"
 	"mburst/internal/asic"
+	"mburst/internal/ptrace"
 	"mburst/internal/simclock"
 	"mburst/internal/stats"
 	"mburst/internal/wire"
@@ -47,6 +48,8 @@ type LiveFiguresConfig struct {
 	Threshold float64
 	// UtilBins is the utilization histogram resolution; <= 0 selects 20.
 	UtilBins int
+	// Tracer, when non-nil, records a figures.apply span per batch.
+	Tracer *ptrace.Tracer
 }
 
 // liveKey identifies one series across racks.
@@ -95,6 +98,7 @@ func (f *LiveFigures) Wrap(next BatchHandler) BatchHandler {
 
 // Handle implements BatchHandler. It is safe for concurrent use.
 func (f *LiveFigures) Handle(b *wire.Batch) {
+	recordStageSpan(f.cfg.Tracer, ptrace.StageFiguresApply, b)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	for _, s := range b.Samples {

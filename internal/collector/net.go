@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"mburst/internal/ptrace"
 	"mburst/internal/wire"
 )
 
@@ -25,6 +26,7 @@ type Client struct {
 	maxBatch int
 	err      error
 	m        ClientMetrics
+	tracer   *ptrace.Tracer
 }
 
 // DefaultBatchSize is the flush threshold in samples. At 25 µs sampling a
@@ -63,6 +65,10 @@ func (c *Client) SetMetrics(m *ClientMetrics) {
 // (see wire.Batch.Epoch). Epoch 0 keeps the legacy MBW1 framing.
 func (c *Client) SetEpoch(epoch uint32) { c.batch.Epoch = epoch }
 
+// SetTracer attaches pipeline tracing: every flushed batch records its
+// poll.read/wire.encode/client.send spans. t may be nil.
+func (c *Client) SetTracer(t *ptrace.Tracer) { c.tracer = t }
+
 // Emit implements Emitter, buffering s and flushing a full batch.
 // Transport errors are sticky and surfaced by Flush/Close.
 func (c *Client) Emit(s wire.Sample) {
@@ -96,6 +102,7 @@ func (c *Client) flushLocked() error {
 	} else {
 		c.m.Batches.Inc()
 		c.m.Delivered.Add(uint64(len(c.batch.Samples)))
+		recordSendSpans(c.tracer, &c.batch, nil)
 	}
 	c.batch.Samples = c.batch.Samples[:0]
 	return err
@@ -131,6 +138,9 @@ type ServerConfig struct {
 	// within an epoch are dropped before they can corrupt deltas. Opt-in
 	// because replay workloads restart virtual time per window.
 	EpochGate bool
+	// Tracer, when non-nil, records server.ingest spans for every decoded
+	// batch (and epoch.gate spans when EpochGate is set).
+	Tracer *ptrace.Tracer
 }
 
 // Server is the collector service: it accepts switch connections and
@@ -140,6 +150,7 @@ type Server struct {
 	handler BatchHandler
 	m       ServerMetrics
 	now     func() time.Time
+	tracer  *ptrace.Tracer
 
 	mu     sync.Mutex
 	closed bool
@@ -170,9 +181,11 @@ func ServeConfigured(ln net.Listener, handler BatchHandler, cfg ServerConfig) *S
 		panic("collector: nil handler")
 	}
 	if cfg.EpochGate {
-		handler = NewEpochGate(handler, cfg.Metrics).Handle
+		gate := NewEpochGate(handler, cfg.Metrics)
+		gate.SetTracer(cfg.Tracer)
+		handler = gate.Handle
 	}
-	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{}), now: cfg.Now}
+	s := &Server{ln: ln, handler: handler, conns: make(map[net.Conn]struct{}), now: cfg.Now, tracer: cfg.Tracer}
 	if cfg.Metrics != nil {
 		s.m = *cfg.Metrics
 	}
@@ -242,6 +255,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
+		recordStageSpan(s.tracer, ptrace.StageServerIngest, b)
 		if s.m.IngestLatency != nil {
 			t0 := s.now()
 			s.handler(b)

@@ -6,7 +6,9 @@ import (
 	"sync"
 	"time"
 
+	"mburst/internal/ptrace"
 	"mburst/internal/rng"
+	"mburst/internal/simclock"
 	"mburst/internal/wire"
 )
 
@@ -49,6 +51,10 @@ type ReconnectingClientConfig struct {
 	// Metrics, when non-nil, receives transport telemetry (delivered,
 	// dropped, redials, backoff state, pending depth).
 	Metrics *ClientMetrics
+	// Tracer, when non-nil, records client-side spans for every delivered
+	// batch; reconnect waits taken while the batch was pending appear as
+	// client.backoff children of its client.send span.
+	Tracer *ptrace.Tracer
 }
 
 func (c *ReconnectingClientConfig) applyDefaults() {
@@ -241,6 +247,9 @@ func (c *ReconnectingClient) flushLoop() {
 		cw      countingWriter
 		w       *wire.Writer
 		backoff = c.cfg.RetryBackoff
+		// waits accumulates reconnect sleeps taken since the last delivery,
+		// attributed to the next delivered batch as client.backoff spans.
+		waits []simclock.Duration
 	)
 	closeConn := func() {
 		if conn != nil {
@@ -286,6 +295,7 @@ func (c *ReconnectingClient) flushLoop() {
 				}
 				c.m.Backoff.Set(sleep.Seconds())
 				c.cfg.Sleep(sleep)
+				waits = append(waits, simclock.FromStd(sleep))
 				backoff *= 2
 				if backoff > c.cfg.MaxBackoff {
 					backoff = c.cfg.MaxBackoff
@@ -306,8 +316,9 @@ func (c *ReconnectingClient) flushLoop() {
 		if batch == nil {
 			continue
 		}
+		wb := wire.Batch{Rack: c.cfg.Rack, Epoch: c.cfg.Epoch, Samples: batch}
 		before := cw.n
-		err := w.WriteBatch(&wire.Batch{Rack: c.cfg.Rack, Epoch: c.cfg.Epoch, Samples: batch})
+		err := w.WriteBatch(&wb)
 		c.m.Bytes.Add(cw.n - before)
 		if err != nil {
 			c.m.FlushErrors.Inc()
@@ -315,6 +326,8 @@ func (c *ReconnectingClient) flushLoop() {
 			c.putBack(batch)
 			continue
 		}
+		recordSendSpans(c.cfg.Tracer, &wb, waits)
+		waits = nil
 		c.mu.Lock()
 		c.delivered += uint64(len(batch))
 		c.mu.Unlock()

@@ -194,7 +194,11 @@ func (e *Experiment) RecordCampaign(ctx context.Context, app workload.App, dir s
 	err = e.Runner().Run(ctx, cells, func(i int, run *CellRun) error {
 		mu.Lock()
 		defer mu.Unlock()
-		return w.WriteWindow(i, uint32(run.Cell.RackID), run.Samples)
+		if err := w.WriteWindow(i, uint32(run.Cell.RackID), run.Samples); err != nil {
+			return err
+		}
+		recordCellTrace(e.cfg.Tracer, run, e.cfg.Warmup)
+		return nil
 	})
 	if err != nil {
 		w.Discard()

@@ -27,6 +27,7 @@ import (
 
 	"mburst/internal/fault"
 	"mburst/internal/obs"
+	"mburst/internal/ptrace"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
 	"mburst/internal/trace"
@@ -91,6 +92,11 @@ type Config struct {
 	// window files so disk faults are injectable (fault.FlakyOpener matches
 	// this type structurally).
 	TraceOpener trace.Opener
+	// Tracer, when non-nil, records the full pipeline span chain for every
+	// batch RecordCampaign persists (see internal/ptrace). Span times are
+	// pure functions of batch content, so the dump is byte-identical across
+	// worker counts.
+	Tracer *ptrace.Tracer
 }
 
 // DefaultConfig returns the standard scaled-down reproduction: 3 racks ×

@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"mburst/internal/collector"
@@ -131,17 +133,27 @@ func (r *Runner) Run(ctx context.Context, cells []Cell, visit func(i int, run *C
 				if cctx.Err() != nil {
 					continue // drain remaining jobs without running them
 				}
-				r.e.cellsInFlight.Add(1)
-				run, err := r.e.runCell(cells[i])
-				if err == nil {
-					err = visit(i, run)
-				}
-				r.e.cellsInFlight.Add(-1)
-				if err != nil {
-					fail(fmt.Errorf("core: cell %s: %w", cells[i].describe(), err))
-					continue
-				}
-				r.e.cellsCompleted.Inc()
+				cell := cells[i]
+				// Label the worker goroutine while it runs this cell so CPU
+				// profiles attribute simulation time to campaign cells.
+				labels := pprof.Labels(
+					"cell", cell.describe(),
+					"app", cell.App.String(),
+					"rack", strconv.Itoa(cell.RackID),
+				)
+				pprof.Do(cctx, labels, func(context.Context) {
+					r.e.cellsInFlight.Add(1)
+					run, err := r.e.runCell(cell)
+					if err == nil {
+						err = visit(i, run)
+					}
+					r.e.cellsInFlight.Add(-1)
+					if err != nil {
+						fail(fmt.Errorf("core: cell %s: %w", cell.describe(), err))
+						return
+					}
+					r.e.cellsCompleted.Inc()
+				})
 			}
 		}()
 	}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mburst/internal/ptrace"
+	"mburst/internal/workload"
+)
+
+// recordTracedCampaign runs the faulted runnerConfig campaign with a
+// span tracer attached and returns the canonical dump bytes.
+func recordTracedCampaign(t *testing.T, workers int) ([]byte, *ptrace.Tracer) {
+	t.Helper()
+	cfg := runnerConfig(workers)
+	sched := stuckSchedule()
+	cfg.FaultSchedule = &sched
+	tracer := ptrace.New(ptrace.Config{Capacity: 1 << 14, Seed: cfg.Seed})
+	cfg.Tracer = tracer
+	exp, err := NewExperiment(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(t.TempDir(), "c")
+	err = exp.RecordCampaign(context.Background(), workload.Cache, dir, 0, "traced",
+		exp.RandomPortCounters(workload.Cache))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tracer.Evicted() != 0 {
+		t.Fatalf("span ring evicted %d spans; byte-identity needs a ring that holds the campaign", tracer.Evicted())
+	}
+	var buf bytes.Buffer
+	if err := tracer.WriteDump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), tracer
+}
+
+// TestCampaignTraceByteIdentity is the ISSUE 6 acceptance invariant: the
+// span dump of a faulted campaign is byte-identical across worker
+// counts, and every persisted batch carries a complete
+// poll→encode→send→ingest→gate→archive→figures chain.
+func TestCampaignTraceByteIdentity(t *testing.T) {
+	serial, tracer := recordTracedCampaign(t, 1)
+	parallel, _ := recordTracedCampaign(t, 4)
+	if !bytes.Equal(serial, parallel) {
+		t.Fatalf("span dumps differ by worker count: serial %d bytes, parallel %d bytes",
+			len(serial), len(parallel))
+	}
+
+	spans := tracer.Snapshot()
+	if len(spans) == 0 {
+		t.Fatal("campaign recorded no spans")
+	}
+	views := ptrace.GroupTraces(spans)
+	for _, v := range views {
+		if len(v.Spans) != len(ptrace.Stages)-1 { // all stages except client.backoff
+			t.Fatalf("trace %x has %d spans, want %d: %+v", uint64(v.ID), len(v.Spans), len(ptrace.Stages)-1, v.Spans)
+		}
+		for i, stage := range []ptrace.Stage{
+			ptrace.StagePollRead, ptrace.StageWireEncode, ptrace.StageClientSend,
+			ptrace.StageServerIngest, ptrace.StageEpochGate, ptrace.StageArchiveWrite,
+			ptrace.StageFiguresApply,
+		} {
+			if v.Spans[i].Stage != stage {
+				t.Fatalf("trace %x span %d = %s, want %s", uint64(v.ID), i, v.Spans[i].Stage, stage)
+			}
+		}
+		// Post-poll stages run back-to-back from the poll window's end:
+		// the chain is contiguous in simulated time.
+		for i := 2; i < len(v.Spans); i++ {
+			if v.Spans[i].Start != v.Spans[i-1].Stop {
+				t.Fatalf("trace %x: %s starts at %v, previous %s stopped at %v",
+					uint64(v.ID), v.Spans[i].Stage, v.Spans[i].Start, v.Spans[i-1].Stage, v.Spans[i-1].Stop)
+			}
+		}
+		if got := v.Spans[4].Verdict; got != ptrace.VerdictAccept {
+			t.Errorf("trace %x gate verdict = %q, want %q", uint64(v.ID), got, ptrace.VerdictAccept)
+		}
+	}
+
+	// The stuck/stall schedule is active in every cell, so some poll.read
+	// spans must carry the overlapping fault kinds as an attribute — that
+	// is how a stall becomes visible in the waterfall.
+	var faulted int
+	kinds := map[string]bool{}
+	for _, sp := range spans {
+		if sp.Stage == ptrace.StagePollRead && sp.Fault != "" {
+			faulted++
+			for _, k := range strings.Split(sp.Fault, ",") {
+				kinds[k] = true
+			}
+		}
+	}
+	if faulted == 0 {
+		t.Error("no poll.read span carries a fault attribute despite an active schedule")
+	}
+	if !kinds["stuck"] || !kinds["stall"] {
+		t.Errorf("fault kinds on poll.read = %v, want stuck and stall", kinds)
+	}
+}
+
+// TestCampaignTraceSampling pins deterministic head sampling at campaign
+// scale: a sampled tracer keeps a strict, seed-stable subset of the full
+// run's traces with every kept trace's chain intact.
+func TestCampaignTraceSampling(t *testing.T) {
+	record := func(rate float64) map[ptrace.TraceID]int {
+		cfg := runnerConfig(2)
+		tracer := ptrace.New(ptrace.Config{Capacity: 1 << 14, Seed: cfg.Seed, SampleRate: rate})
+		cfg.Tracer = tracer
+		exp, err := NewExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "c")
+		err = exp.RecordCampaign(context.Background(), workload.Cache, dir, 0, "sampled",
+			exp.RandomPortCounters(workload.Cache))
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := map[ptrace.TraceID]int{}
+		for _, sp := range tracer.Snapshot() {
+			out[sp.Trace]++
+		}
+		return out
+	}
+	full := record(0)
+	sampled := record(0.5)
+	if len(sampled) == 0 || len(sampled) >= len(full) {
+		t.Fatalf("sampled %d of %d traces; want a strict non-empty subset", len(sampled), len(full))
+	}
+	for id, n := range sampled {
+		if full[id] == 0 {
+			t.Errorf("sampled trace %x absent from the full run", uint64(id))
+		}
+		if n != len(ptrace.Stages)-1 {
+			t.Errorf("sampled trace %x has %d spans, want %d", uint64(id), n, len(ptrace.Stages)-1)
+		}
+	}
+	if again := record(0.5); len(again) != len(sampled) {
+		t.Errorf("re-run kept %d traces, first run kept %d; head sampling must be seed-stable", len(again), len(sampled))
+	}
+}

@@ -27,6 +27,7 @@ type Handler func(now simclock.Time)
 // Event is a handle for a scheduled event, usable to cancel it.
 type Event struct {
 	at      simclock.Time
+	schedAt simclock.Time // clock time when the event was enqueued
 	seq     uint64
 	fn      Handler
 	index   int // heap index; -1 when not queued
@@ -49,10 +50,11 @@ type Scheduler struct {
 	// and for the simulator's progress accounting.
 	processed uint64
 
-	// dispatched/depth are nil-safe telemetry hooks (see Instrument);
-	// nil (the default) costs one predicted branch per event.
-	dispatched *obs.Counter
-	depth      *obs.Gauge
+	// dispatched/depth/dispatchLat are nil-safe telemetry hooks (see
+	// Instrument); nil (the default) costs one predicted branch per event.
+	dispatched  *obs.Counter
+	depth       *obs.Gauge
+	dispatchLat *obs.Gauge
 }
 
 // NewScheduler returns an empty scheduler positioned at the epoch.
@@ -85,6 +87,8 @@ func (s *Scheduler) Instrument(reg *obs.Registry, labels ...obs.Label) {
 	s.depth = reg.Gauge("mburst_eventq_depth",
 		"Pending events in the kernel's queue (updated per dispatch).", labels...)
 	s.depth.Set(float64(s.pq.Len()))
+	s.dispatchLat = reg.Gauge("mburst_eventq_dispatch_latency_ns",
+		"Virtual-time delay of the last dispatched event: fire time minus enqueue time.", labels...)
 }
 
 // At schedules fn to run at time t. Scheduling in the past panics: an
@@ -97,7 +101,7 @@ func (s *Scheduler) At(t simclock.Time, fn Handler) *Event {
 	if fn == nil {
 		panic("eventq: nil handler")
 	}
-	e := &Event{at: t, seq: s.seq, fn: fn, index: -1}
+	e := &Event{at: t, schedAt: s.clock.Now(), seq: s.seq, fn: fn, index: -1}
 	s.seq++
 	heap.Push(&s.pq, e)
 	return e
@@ -134,6 +138,7 @@ func (s *Scheduler) Step() bool {
 		s.processed++
 		s.dispatched.Inc()
 		s.depth.Set(float64(s.pq.Len()))
+		s.dispatchLat.Set(float64(e.at.Sub(e.schedAt)))
 		e.fn(e.at)
 		return true
 	}

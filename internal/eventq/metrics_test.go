@@ -30,6 +30,31 @@ func TestSchedulerInstrument(t *testing.T) {
 	if vals["mburst_eventq_depth"] != 0 {
 		t.Errorf("depth = %v, want 0 after drain", vals["mburst_eventq_depth"])
 	}
+	// All five events were enqueued at the epoch; the last to fire was
+	// scheduled 5 ns out, so the per-tick latency gauge reads 5.
+	if vals["mburst_eventq_dispatch_latency_ns"] != 5 {
+		t.Errorf("dispatch latency = %v, want 5", vals["mburst_eventq_dispatch_latency_ns"])
+	}
+}
+
+func TestSchedulerDispatchLatencyTracksEnqueueTime(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewScheduler()
+	s.Instrument(reg)
+	// Event A at t=10 enqueues event B at t=10+3; B's latency is 3, not 13.
+	s.At(simclock.Epoch.Add(10), func(now simclock.Time) {
+		s.After(3, func(simclock.Time) {})
+	})
+	s.Run(0)
+	var got float64
+	for _, f := range reg.Snapshot().Families {
+		if f.Name == "mburst_eventq_dispatch_latency_ns" {
+			got = f.Series[0].Value
+		}
+	}
+	if got != 3 {
+		t.Errorf("dispatch latency = %v, want 3", got)
+	}
 }
 
 func TestSchedulerUninstrumentedUnchanged(t *testing.T) {

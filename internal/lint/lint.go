@@ -91,6 +91,7 @@ func NewAnalyzers() []*Analyzer {
 		newLocklog(),
 		newErrfmt(),
 		newMapiter(),
+		newSpanend(),
 	}
 }
 

@@ -13,14 +13,15 @@ import (
 // testdata/regress/fixture.go requires updating this table.
 func TestRegressExactPositions(t *testing.T) {
 	want := []string{
-		"testdata/regress/fixture.go:35:9 locklog",
-		"testdata/regress/fixture.go:39:16 mutexcopy",
-		"testdata/regress/fixture.go:45:9 wallclock",
-		"testdata/regress/fixture.go:50:9 globalrand",
-		"testdata/regress/fixture.go:55:9 ctxroot",
-		"testdata/regress/fixture.go:60:14 metricname",
-		"testdata/regress/fixture.go:64:25 errfmt",
-		"testdata/regress/fixture.go:69:2 mapiter",
+		"testdata/regress/fixture.go:37:9 locklog",
+		"testdata/regress/fixture.go:41:16 mutexcopy",
+		"testdata/regress/fixture.go:47:9 wallclock",
+		"testdata/regress/fixture.go:52:9 globalrand",
+		"testdata/regress/fixture.go:57:9 ctxroot",
+		"testdata/regress/fixture.go:62:14 metricname",
+		"testdata/regress/fixture.go:66:25 errfmt",
+		"testdata/regress/fixture.go:71:2 mapiter",
+		"testdata/regress/fixture.go:80:2 spanend",
 	}
 	diags := runFixture(t, "regress", "mburst/internal/simnet/regressfix")
 	var got []string

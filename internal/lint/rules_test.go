@@ -56,6 +56,21 @@ func TestMapiter(t *testing.T) {
 	checkFixture(t, "mapiter", "mburst/internal/core/mapfix", "mapiter")
 }
 
+func TestSpanend(t *testing.T) {
+	checkFixture(t, "spanend", "mburst/internal/collector/spanfix", "spanend")
+}
+
+// TestSpanendInsidePtrace pins the exemption: the tracer package itself.
+// (The fixture's ignore directive goes stale when the rule is off, so only
+// spanend findings count.)
+func TestSpanendInsidePtrace(t *testing.T) {
+	for _, d := range runFixture(t, "spanend", "mburst/internal/ptrace/spanfix", "spanend") {
+		if d.Rule == "spanend" {
+			t.Errorf("spanend fired inside internal/ptrace: %v", d)
+		}
+	}
+}
+
 func TestSelectAnalyzersUnknownRule(t *testing.T) {
 	if _, err := SelectAnalyzers([]string{"nosuchrule"}); err == nil {
 		t.Error("unknown rule selected without error")
@@ -63,7 +78,7 @@ func TestSelectAnalyzersUnknownRule(t *testing.T) {
 }
 
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt", "mapiter"}
+	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt", "mapiter", "spanend"}
 	got := RuleNames()
 	if len(got) != len(want) {
 		t.Fatalf("RuleNames() = %v, want %v", got, want)

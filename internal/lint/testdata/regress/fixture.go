@@ -13,6 +13,8 @@ import (
 
 	"mburst/internal/analysis"
 	"mburst/internal/obs"
+	"mburst/internal/ptrace"
+	"mburst/internal/simclock"
 )
 
 // Guarded exists for the mutexcopy and locklog seeds.
@@ -70,4 +72,10 @@ func Mapiter(m map[analysis.SeriesKey]int) int {
 		n++
 	}
 	return n
+}
+
+// Spanend discards a Start result, so the span can never End.
+func Spanend(t *ptrace.Tracer, at simclock.Time) {
+	tr := t.Batch(1, 0, at)
+	tr.Start(ptrace.StagePollRead, at)
 }

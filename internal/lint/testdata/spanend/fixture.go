@@ -1,0 +1,77 @@
+// Package spanfix is the golden fixture for the spanend rule: every
+// ptrace span Start must be matched by an End (or deferred End) on all
+// return paths.
+package spanfix
+
+import (
+	"mburst/internal/ptrace"
+	"mburst/internal/simclock"
+)
+
+// good: the straight-line Start/End pair.
+func good(t *ptrace.Tracer, at simclock.Time) {
+	tr := t.Batch(1, 0, at)
+	sp := tr.Start(ptrace.StagePollRead, at).SetBatch(8, 100)
+	sp.End(at.Add(simclock.Microsecond))
+}
+
+// goodDefer: a deferred End covers every return path.
+func goodDefer(t *ptrace.Tracer, at simclock.Time) bool {
+	tr := t.Batch(1, 0, at)
+	sp := tr.Start(ptrace.StageWireEncode, at)
+	defer sp.End(at.Add(simclock.Microsecond))
+	if at > simclock.Epoch {
+		return true
+	}
+	return false
+}
+
+// goodInline: a chain closed by .End needs no variable at all.
+func goodInline(t *ptrace.Tracer, at simclock.Time) {
+	tr := t.Batch(1, 0, at)
+	tr.Start(ptrace.StageEpochGate, at).SetVerdict(ptrace.VerdictAccept).End(at)
+}
+
+// goodEscape: a span handed to another function moves ownership with it.
+func goodEscape(t *ptrace.Tracer, at simclock.Time) {
+	tr := t.Batch(1, 0, at)
+	finish(tr.Start(ptrace.StageArchiveWrite, at), at)
+}
+
+func finish(sp *ptrace.Span, at simclock.Time) {
+	sp.End(at.Add(simclock.Microsecond))
+}
+
+// discarded: the Start result is thrown away, so nothing can End it.
+func discarded(t *ptrace.Tracer, at simclock.Time) {
+	tr := t.Batch(1, 0, at)
+	tr.Start(ptrace.StagePollRead, at) // want `discarded`
+}
+
+// neverEnded: the span is decorated but never Ended.
+func neverEnded(t *ptrace.Tracer, at simclock.Time) {
+	tr := t.Batch(1, 0, at)
+	sp := tr.Start(ptrace.StagePollRead, at) // want `never Ended`
+	sp.SetBatch(1, 2)
+}
+
+// earlyReturnLeak: the error path returns without Ending the span.
+func earlyReturnLeak(t *ptrace.Tracer, at simclock.Time, fail bool) {
+	tr := t.Batch(1, 0, at)
+	sp := tr.Start(ptrace.StageClientSend, at)
+	if fail {
+		return // want `return leaks ptrace span sp`
+	}
+	sp.End(at.Add(simclock.Microsecond))
+}
+
+// suppressed: the directive accepts the leak with a reason.
+func suppressed(t *ptrace.Tracer, at simclock.Time, fail bool) {
+	tr := t.Batch(1, 0, at)
+	sp := tr.Start(ptrace.StageServerIngest, at)
+	if fail {
+		//lint:ignore spanend demonstration of an accepted leak
+		return
+	}
+	sp.End(at.Add(simclock.Microsecond))
+}

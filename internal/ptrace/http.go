@@ -1,0 +1,142 @@
+package ptrace
+
+import (
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"io"
+	"net/http"
+)
+
+// Dump is the JSON shape served at /spans and written by mbsim -trace:
+// the ring's spans in canonical order. Because the order is canonical and
+// span times are simulated, dumps of equivalent runs are byte-identical.
+type Dump struct {
+	Spans []Span `json:"spans"`
+}
+
+// Dump snapshots the ring into the serializable form.
+func (t *Tracer) Dump() Dump { return Dump{Spans: t.Snapshot()} }
+
+// WriteDump writes the canonical JSON dump to w.
+func (t *Tracer) WriteDump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t.Dump())
+}
+
+// ReadDump parses a span dump (the /spans response or an mbsim -trace
+// file).
+func ReadDump(r io.Reader) (Dump, error) {
+	var d Dump
+	if err := json.NewDecoder(r).Decode(&d); err != nil {
+		return Dump{}, fmt.Errorf("ptrace: decoding dump: %w", err)
+	}
+	return d, nil
+}
+
+// SpansHandler serves the JSON dump — mounted at /spans on the daemons'
+// debug mux.
+func (t *Tracer) SpansHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if err := t.WriteDump(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}
+
+// tracezTmpl renders the waterfall page: a stage-latency summary and the
+// slowest traces as horizontal bar charts over simulated time.
+var tracezTmpl = template.Must(template.New("tracez").Funcs(template.FuncMap{
+	"barLeft":  barLeft,
+	"barWidth": barWidth,
+}).Parse(`<!DOCTYPE html>
+<html><head><title>tracez</title><style>
+body { font-family: monospace; margin: 1.5em; }
+table { border-collapse: collapse; margin-bottom: 1.5em; }
+td, th { border: 1px solid #ccc; padding: 2px 8px; text-align: right; }
+th { background: #eee; }
+.lane { position: relative; height: 14px; background: #f4f4f4; width: 640px; }
+.bar { position: absolute; height: 12px; top: 1px; background: #4a90d9; }
+.bar.child { background: #d98f4a; }
+.stage { display: inline-block; width: 14ch; }
+.trace { margin-bottom: 1em; }
+</style></head><body>
+<h2>pipeline traces</h2>
+<p>{{.Recorded}} spans recorded, {{.Evicted}} evicted, {{len .Views}} traces in ring</p>
+<table><tr><th>stage</th><th>count</th><th>min</th><th>p50</th><th>p99</th><th>max</th></tr>
+{{range .Stats}}<tr><td style="text-align:left">{{.Stage}}</td><td>{{.Count}}</td><td>{{.Min}}</td><td>{{.P50}}</td><td>{{.P99}}</td><td>{{.Max}}</td></tr>
+{{end}}</table>
+<h2>slowest traces</h2>
+{{range .Views}}<div class="trace">
+<div>trace {{printf "%016x" .ID}} rack {{.Rack}} epoch {{.Epoch}} samples {{.Samples}} bytes {{.Bytes}} span {{.Duration}}</div>
+{{$v := .}}{{range .Spans}}<div><span class="stage">{{.Stage}}</span><span class="lane"><span class="bar{{if .Parent}} child{{end}}" style="left:{{barLeft $v .}}px;width:{{barWidth $v .}}px"></span></span> {{.Duration}}{{if .Verdict}} [{{.Verdict}}]{{end}}{{if .Fault}} fault={{.Fault}}{{end}}</div>
+{{end}}</div>
+{{end}}</body></html>
+`))
+
+// laneWidth is the waterfall lane width in pixels.
+const laneWidth = 640
+
+// barLeft/barWidth scale a span into its trace's lane.
+func barLeft(v TraceView, sp Span) int {
+	if v.Duration() <= 0 {
+		return 0
+	}
+	return int(int64(laneWidth) * int64(sp.Start.Sub(v.Start)) / int64(v.Duration()))
+}
+
+func barWidth(v TraceView, sp Span) int {
+	if v.Duration() <= 0 {
+		return 1
+	}
+	w := int(int64(laneWidth) * int64(sp.Duration()) / int64(v.Duration()))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// tracezPage is the template's input.
+type tracezPage struct {
+	Recorded uint64
+	Evicted  uint64
+	Stats    []StageStat
+	Views    []TraceView
+}
+
+// TracezHandler serves the HTML waterfall — mounted at /tracez on the
+// daemons' debug mux. ?n=N bounds the number of traces shown (default
+// 20, slowest first).
+func (t *Tracer) TracezHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodGet {
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		n := 20
+		if q := r.URL.Query().Get("n"); q != "" {
+			if _, err := fmt.Sscanf(q, "%d", &n); err != nil || n <= 0 {
+				http.Error(w, "bad n", http.StatusBadRequest)
+				return
+			}
+		}
+		spans := t.Snapshot()
+		page := tracezPage{
+			Recorded: t.Recorded(),
+			Evicted:  t.Evicted(),
+			Stats:    StageBreakdown(spans),
+			Views:    SlowestN(GroupTraces(spans), n),
+		}
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		if err := tracezTmpl.Execute(w, page); err != nil {
+			// The header is already out; best effort.
+			_ = err
+		}
+	})
+}

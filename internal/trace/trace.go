@@ -78,8 +78,10 @@ func (m *Meta) Validate() error {
 
 func windowFileName(i int) string { return fmt.Sprintf("window_%04d.mbw", i) }
 
-// batchSize is the number of samples per batch in window files.
-const batchSize = 8192
+// BatchSize is the number of samples per batch in window files. Exported
+// so consumers that reconstruct per-batch provenance (the ptrace campaign
+// recorder) chunk samples exactly as WriteWindow framed them.
+const BatchSize = 8192
 
 // Writer writes a campaign to a directory.
 type Writer struct {
@@ -152,8 +154,8 @@ func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error 
 		return fmt.Errorf("trace: %w", err)
 	}
 	bw := wire.NewWriter(f)
-	for off := 0; off < len(samples); off += batchSize {
-		end := off + batchSize
+	for off := 0; off < len(samples); off += BatchSize {
+		end := off + BatchSize
 		if end > len(samples) {
 			end = len(samples)
 		}

@@ -310,3 +310,56 @@ func readUvarint(r io.Reader) (uint64, error) {
 	}
 	return 0, ErrCorrupt
 }
+
+// uvarintLen returns the encoded size of x as a uvarint, without
+// materializing the bytes.
+func uvarintLen(x uint64) int {
+	n := 1
+	for x >= 0x80 {
+		x >>= 7
+		n++
+	}
+	return n
+}
+
+// varintLen returns the encoded size of v as a zigzag varint.
+func varintLen(v int64) int {
+	return uvarintLen(uint64(v)<<1 ^ uint64(v>>63))
+}
+
+// payloadSize mirrors appendPayload's arithmetic without allocating.
+func payloadSize(b *Batch) int {
+	n := uvarintLen(uint64(b.Rack))
+	if b.Epoch != 0 {
+		n += uvarintLen(uint64(b.Epoch))
+	}
+	n += uvarintLen(uint64(len(b.Samples)))
+	var prevTime int64
+	var prevValue uint64
+	for i := range b.Samples {
+		s := &b.Samples[i]
+		n += varintLen(s.Time.Nanoseconds() - prevTime)
+		prevTime = s.Time.Nanoseconds()
+		n += uvarintLen(uint64(s.Port))
+		n++ // dir|kind byte
+		n += uvarintLen(uint64(s.Missed))
+		n += varintLen(int64(s.Value - prevValue))
+		prevValue = s.Value
+		if s.Kind == asic.KindSizeBins {
+			for _, v := range s.Bins {
+				n += uvarintLen(v)
+			}
+		}
+	}
+	return n
+}
+
+// EncodedSize returns the exact framed size AppendBatch would produce
+// for b, without encoding. It is a pure function of batch content, so
+// every process in the pipeline computes the same number — the tracing
+// cost model depends on that to position spans identically on the
+// client, the collector, and the campaign recorder.
+func EncodedSize(b *Batch) int {
+	p := payloadSize(b)
+	return 4 + uvarintLen(uint64(p)) + p + 4
+}

@@ -299,3 +299,45 @@ func TestQuickRoundTrip(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEncodedSizeMatchesAppendBatch(t *testing.T) {
+	cases := map[string]*Batch{
+		"empty":      {Rack: 1},
+		"mbw1":       sampleBatch(),
+		"mbw2":       {Rack: 7, Epoch: 3, Samples: sampleBatch().Samples},
+		"big-values": {Rack: 1 << 20, Epoch: 1<<32 - 1, Samples: []Sample{{Time: simclock.Epoch.Add(simclock.Millis(500)), Port: 300, Value: 1 << 60}}},
+		"value-regression": {Rack: 2, Samples: []Sample{
+			{Time: simclock.Epoch, Value: 1 << 40},
+			{Time: simclock.Epoch.Add(simclock.Micros(1)), Value: 10},
+		}},
+	}
+	for name, b := range cases {
+		got := EncodedSize(b)
+		want := len(AppendBatch(nil, b))
+		if got != want {
+			t.Errorf("%s: EncodedSize = %d, framed bytes = %d", name, got, want)
+		}
+	}
+}
+
+func TestEncodedSizeQuick(t *testing.T) {
+	f := func(rack, epoch uint32, times []int64, values []uint64) bool {
+		b := &Batch{Rack: rack, Epoch: epoch}
+		for i := range times {
+			var v uint64
+			if i < len(values) {
+				v = values[i]
+			}
+			b.Samples = append(b.Samples, Sample{
+				Time:  simclock.Time(times[i]),
+				Port:  uint16(i),
+				Kind:  asic.KindBytes,
+				Value: v,
+			})
+		}
+		return EncodedSize(b) == len(AppendBatch(nil, b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

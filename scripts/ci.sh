@@ -43,6 +43,12 @@ MBURST_BENCH_OUT="$PWD/BENCH_runner.json" \
 MBURST_STREAM_BENCH_OUT="$PWD/BENCH_stream.json" \
 	go test -run TestStreamingMemoryArtifact -count=1 ./internal/core
 
+# Pipeline-tracing overhead gate: the polling hot path with span
+# recording must stay within 5% of untraced. Runs without -race for the
+# same reason as the memory gate — it times the hot loop itself.
+MBURST_PTRACE_BENCH_OUT="$PWD/BENCH_ptrace.json" \
+	go test -run TestPtraceOverheadArtifact -count=1 ./internal/collector
+
 # Chaos soak: generated fault schedules against the collection pipeline,
 # asserting byte-exact recovery against ASIC ground truth, zero-fault
 # byte-identity, and epoch-gated restart recovery. Bounded runtime (the
