@@ -38,6 +38,7 @@ import (
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
 	"mburst/internal/topo"
+	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
@@ -51,6 +52,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	rackID := flag.Uint("rack", 0, "rack id tag")
 	epoch := flag.Uint("epoch", 0, "agent incarnation number; bump on restart so an epoch-gated collector discards stale batches (0 = legacy framing)")
+	wireFmt := flag.String("wire", "", "wire format for the outgoing stream (mbw1, mbw2, mbw3; default mbw2)")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	tracing := flag.Bool("tracing", false, "record client-side pipeline spans and serve /spans and /tracez (needs -http)")
 	traceRate := flag.Float64("tracerate", 0, "fraction of batch traces kept by the deterministic head sampler (0 = all)")
@@ -76,6 +78,17 @@ func main() {
 		logger.Error("parsing app", "err", err)
 		os.Exit(2)
 	}
+	var format wire.Format
+	if *wireFmt != "" {
+		if format, err = wire.ParseFormat(*wireFmt); err != nil {
+			logger.Error("parsing wire format", "err", err)
+			os.Exit(2)
+		}
+	}
+	if format == wire.FormatMBW1 && *epoch != 0 {
+		logger.Error("mbw1 frames cannot carry an epoch; use -epoch 0 or a newer -wire format")
+		os.Exit(2)
+	}
 	net_, err := simnet.New(simnet.Config{
 		Rack:   topo.Default(*servers),
 		Params: workload.DefaultParams(app),
@@ -98,6 +111,7 @@ func main() {
 	}, collector.ReconnectingClientConfig{
 		Rack:    uint32(*rackID),
 		Epoch:   uint32(*epoch),
+		Format:  format,
 		Rand:    rng.New(*seed ^ 0x5eed).Split("backoff"),
 		Metrics: collector.NewClientMetrics(reg),
 		Tracer:  tracer,

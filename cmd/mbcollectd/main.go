@@ -46,6 +46,7 @@ import (
 func main() {
 	listen := flag.String("listen", "127.0.0.1:9900", "listen address")
 	out := flag.String("out", "", "optional file to append raw batches to")
+	wireFmt := flag.String("wire", "", "wire format for the -out archive; ingest accepts every format regardless (mbw1, mbw2, mbw3; default mbw2)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats log interval")
 	epochGate := flag.Bool("epochgate", false, "drop batches from superseded agent epochs and time-regressing duplicates")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
@@ -78,12 +79,26 @@ func main() {
 		outF  *os.File
 	)
 	if *out != "" {
+		var format wire.Format
+		if *wireFmt != "" {
+			var err error
+			if format, err = wire.ParseFormat(*wireFmt); err != nil {
+				logger.Error("parsing wire format", "err", err)
+				os.Exit(2)
+			}
+		}
 		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 		if err != nil {
 			logger.Error("opening output file", "err", err)
 			os.Exit(1)
 		}
-		fileW = wire.NewWriter(f)
+		// Archival transcodes: whatever format a client streamed in, the
+		// archive is written uniformly in the chosen format.
+		fileW, err = wire.NewWriterFormat(f, format)
+		if err != nil {
+			logger.Error("archive writer", "err", err)
+			os.Exit(1)
+		}
 		outF = f
 	}
 

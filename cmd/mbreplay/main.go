@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"mburst/internal/replay"
+	"mburst/internal/wire"
 )
 
 func main() {
@@ -27,11 +28,20 @@ func main() {
 	speedup := flag.Float64("speedup", 100, "virtual-to-wall-clock speedup")
 	unpaced := flag.Bool("unpaced", false, "stream as fast as the transport accepts")
 	maxGap := flag.Duration("maxgap", 0, "cap any single pacing sleep (0 = replay gaps verbatim); useful for traces recorded under faults")
+	wireFmt := flag.String("wire", "", "wire format for the outgoing stream (mbw1, mbw2, mbw3; default mbw2)")
 	flag.Parse()
 
 	if *dir == "" {
 		fmt.Fprintln(os.Stderr, "mbreplay: -trace is required")
 		os.Exit(2)
+	}
+	var format wire.Format
+	if *wireFmt != "" {
+		var err error
+		if format, err = wire.ParseFormat(*wireFmt); err != nil {
+			fmt.Fprintf(os.Stderr, "mbreplay: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	conn, err := net.DialTimeout("tcp", *collectorAddr, 5*time.Second)
 	if err != nil {
@@ -44,7 +54,7 @@ func main() {
 	defer stop()
 
 	start := time.Now()
-	st, err := replay.Run(ctx, *dir, conn, replay.Options{Speedup: *speedup, Unpaced: *unpaced, MaxGap: *maxGap})
+	st, err := replay.Run(ctx, *dir, conn, replay.Options{Speedup: *speedup, Unpaced: *unpaced, MaxGap: *maxGap, Format: format})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mbreplay: %v\n", err)
 		os.Exit(1)

@@ -55,13 +55,14 @@ import (
 	"mburst/internal/ptrace"
 	"mburst/internal/simclock"
 	"mburst/internal/trace"
+	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
 func main() {
 	appName := flag.String("app", "web", "application rack type: web, cache, hadoop")
 	out := flag.String("out", "", "output trace directory (required)")
-	plan := flag.String("plan", "randomport", "counter plan: randomport, allports, buffer")
+	plan := flag.String("plan", "randomport", "counter plan: randomport, allports, buffer, full")
 	interval := flag.Duration("interval", 25*time.Microsecond, "sampling interval")
 	racks := flag.Int("racks", 0, "racks (0 = default)")
 	windows := flag.Int("windows", 0, "windows per rack (0 = default)")
@@ -69,6 +70,7 @@ func main() {
 	servers := flag.Int("servers", 0, "servers per rack (0 = default)")
 	seed := flag.Uint64("seed", 0, "seed (0 = default)")
 	workers := flag.Int("workers", 0, "concurrent campaign cells (0 = all CPUs)")
+	wireFmt := flag.String("wire", "", "wire format for recorded window files (mbw1, mbw2, mbw3; default mbw2, the trace-v1 layout; mbw3 is trace-v2)")
 	faults := flag.String("faults", "", `fault schedule: "none", "kind@off+dur[:param],..." (kinds: stuck, latency, stall, restart, outage, disk), or "rand[:k=v,...]" for seeded per-cell generation`)
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /spans, /tracez, /debug/pprof/)")
 	tracePath := flag.String("trace", "", "write the campaign's pipeline span dump to this file (mbtrace renders it)")
@@ -108,6 +110,12 @@ func main() {
 	}
 	cfg.Workers = *workers
 	cfg.Metrics = reg
+	if *wireFmt != "" {
+		if cfg.WireFormat, err = wire.ParseFormat(*wireFmt); err != nil {
+			logger.Error("parsing wire format", "err", err)
+			os.Exit(2)
+		}
+	}
 	if *faults != "" {
 		if strings.HasPrefix(*faults, "rand") {
 			gen, err := fault.ParseGen(*faults)
@@ -141,6 +149,8 @@ func main() {
 		countersFor = core.AllPortCounters(false)
 	case "buffer":
 		countersFor = core.AllPortCounters(true)
+	case "full":
+		countersFor = core.FullCounters()
 	default:
 		logger.Error("unknown plan", "plan", *plan)
 		os.Exit(2)

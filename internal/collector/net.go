@@ -34,23 +34,50 @@ type Client struct {
 // large enough to amortize framing.
 const DefaultBatchSize = 2048
 
-// NewClient returns a client writing batches for rack to w. If w also
-// implements io.Closer (e.g. a net.Conn), Close closes it. maxBatch <= 0
-// selects DefaultBatchSize.
+// ClientConfig selects the client's batching and wire format.
+type ClientConfig struct {
+	// Rack stamps outgoing batches.
+	Rack uint32
+	// MaxBatch is the flush threshold; <= 0 selects DefaultBatchSize.
+	MaxBatch int
+	// Format selects the wire format written to the connection; the zero
+	// value is wire.DefaultFormat. Servers decode every format per batch
+	// magic, so no handshake is needed: the writer's choice at stream
+	// open is the negotiation.
+	Format wire.Format
+}
+
+// NewClient returns a client writing batches for rack to w in the default
+// wire format. If w also implements io.Closer (e.g. a net.Conn), Close
+// closes it. maxBatch <= 0 selects DefaultBatchSize.
 func NewClient(w io.Writer, rack uint32, maxBatch int) *Client {
-	if maxBatch <= 0 {
-		maxBatch = DefaultBatchSize
+	c, err := NewClientConfigured(w, ClientConfig{Rack: rack, MaxBatch: maxBatch})
+	if err != nil {
+		panic(err) // unreachable: the zero format is always valid
+	}
+	return c
+}
+
+// NewClientConfigured is NewClient with an explicit configuration. It
+// errors only on an unknown cfg.Format.
+func NewClientConfigured(w io.Writer, cfg ClientConfig) (*Client, error) {
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = DefaultBatchSize
 	}
 	c := &Client{
 		cw:       countingWriter{w: w},
-		batch:    wire.Batch{Rack: rack},
-		maxBatch: maxBatch,
+		batch:    wire.Batch{Rack: cfg.Rack},
+		maxBatch: cfg.MaxBatch,
 	}
-	c.w = wire.NewWriter(&c.cw)
+	bw, err := wire.NewWriterFormat(&c.cw, cfg.Format)
+	if err != nil {
+		return nil, err
+	}
+	c.w = bw
 	if cl, ok := w.(io.Closer); ok {
 		c.closer = cl
 	}
-	return c
+	return c, nil
 }
 
 // SetMetrics attaches transport telemetry (batches, bytes, flush errors,
@@ -120,7 +147,10 @@ func (c *Client) Close() error {
 }
 
 // BatchHandler consumes decoded batches. It may be called concurrently,
-// once per connection goroutine.
+// once per connection goroutine. The batch (and its Samples slice) is
+// only valid for the duration of the call — the server reuses it for the
+// next batch on the connection — so handlers that retain samples must
+// copy the values out.
 type BatchHandler func(b *wire.Batch)
 
 // ServerConfig tunes a Server beyond the defaults.
@@ -246,6 +276,10 @@ func (s *Server) serveConn(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 	r := wire.NewReader(conn)
+	// Handlers are synchronous (see BatchHandler), so the batch and its
+	// samples can be recycled between reads: steady-state ingest does not
+	// allocate.
+	r.SetReuse(true)
 	for {
 		b, err := r.ReadBatch()
 		if err != nil {

@@ -26,6 +26,11 @@ type ReconnectingClientConfig struct {
 	Epoch uint32
 	// MaxBatch is the flush threshold (default DefaultBatchSize).
 	MaxBatch int
+	// Format selects the wire format written to the collector; the zero
+	// value is wire.DefaultFormat. Each redial opens a fresh stream (and
+	// a fresh codec), so a reconnect never leaves the collector chained
+	// to stale delta state.
+	Format wire.Format
 	// BufferLimit bounds samples retained while the collector is
 	// unreachable (default 1 << 20). Beyond it the oldest samples are
 	// dropped — the switch must never block its sampling loop on the
@@ -97,10 +102,20 @@ type ReconnectingClient struct {
 	m ClientMetrics
 }
 
-// NewReconnectingClient starts the background flusher.
+// NewReconnectingClient starts the background flusher. It panics on an
+// unknown cfg.Format (a static misconfiguration, like a nil dialer).
 func NewReconnectingClient(dial Dialer, cfg ReconnectingClientConfig) *ReconnectingClient {
 	if dial == nil {
 		panic("collector: nil dialer")
+	}
+	if cfg.Format != 0 {
+		if _, err := wire.NewCodec(cfg.Format); err != nil {
+			panic(fmt.Sprintf("collector: %v", err))
+		}
+	}
+	if cfg.Format == wire.FormatMBW1 && cfg.Epoch != 0 {
+		// Would make every flush fail (and retry) forever.
+		panic("collector: mbw1 cannot carry a restart epoch; use mbw2 or mbw3")
 	}
 	cfg.applyDefaults()
 	c := &ReconnectingClient{
@@ -304,7 +319,10 @@ func (c *ReconnectingClient) flushLoop() {
 			}
 			conn = nc
 			cw = countingWriter{w: nc}
-			w = wire.NewWriter(&cw)
+			w, err = wire.NewWriterFormat(&cw, c.cfg.Format)
+			if err != nil {
+				panic(err) // unreachable: the format was vetted at construction
+			}
 			c.mu.Lock()
 			c.redials++
 			c.mu.Unlock()

@@ -16,6 +16,7 @@ import (
 	"mburst/internal/simnet"
 	"mburst/internal/topo"
 	"mburst/internal/trace"
+	"mburst/internal/wire"
 	"mburst/internal/workload"
 )
 
@@ -125,6 +126,16 @@ type ByteCampaign struct {
 // ByteCampaignInterval is the paper's finest byte-counter interval.
 const ByteCampaignInterval = 25 * simclock.Microsecond
 
+// formatName renders a wire format for trace metadata, keeping the zero
+// value as "" so default-format campaigns stay byte-identical to
+// campaigns recorded before formats were selectable.
+func formatName(f wire.Format) string {
+	if f == 0 {
+		return ""
+	}
+	return f.String()
+}
+
 // RunByteCampaign records the single-byte-counter campaign for one app at
 // the given interval (0 = 25 µs), fanning the (rack, window) cells across
 // the experiment's worker pool.
@@ -184,6 +195,7 @@ func (e *Experiment) RecordCampaign(ctx context.Context, app workload.App, dir s
 		Windows:     e.cfg.Racks * e.cfg.Windows,
 		Seed:        e.cfg.Seed,
 		Counters:    probe,
+		Format:      formatName(e.cfg.WireFormat),
 		Notes:       notes,
 	}, e.cfg.TraceOpener)
 	if err != nil {
@@ -230,6 +242,22 @@ func AllPortCounters(withBuffer bool) CounterPlan {
 		}
 		for p := 0; p < rack.NumPorts(); p++ {
 			out = append(out, collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes})
+		}
+		return out
+	}
+}
+
+// FullCounters returns a CounterPlan polling the paper's complete
+// counter set: every port's egress byte counter and RMON size-bin
+// histogram plus the shared-buffer peak — the heaviest realistic agent
+// configuration, and the reference workload for the wire-format gates.
+func FullCounters() CounterPlan {
+	return func(rack topo.Rack, _, _ int) []collector.CounterSpec {
+		out := []collector.CounterSpec{{Kind: asic.KindBufferPeak}}
+		for p := 0; p < rack.NumPorts(); p++ {
+			out = append(out,
+				collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindBytes},
+				collector.CounterSpec{Port: p, Dir: asic.TX, Kind: asic.KindSizeBins})
 		}
 		return out
 	}

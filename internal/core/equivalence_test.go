@@ -11,7 +11,9 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sort"
@@ -802,5 +804,97 @@ func TestAnalyzeTraceStreamEquivalence(t *testing.T) {
 				t.Errorf("%s/%s: no readable windows — equivalence is vacuous", name, kind)
 			}
 		}
+	}
+}
+
+// TestTraceV2Equivalence records the same campaign as trace-v1 and
+// trace-v2 (mbw3): the window samples must be identical, every figure
+// must compute identically over both recordings in both AnalyzeTrace
+// modes, and the v2 directory must be substantially smaller on disk.
+func TestTraceV2Equivalence(t *testing.T) {
+	ctx := context.Background()
+	cfg := QuickConfig()
+	cfg.Servers = 8
+	cfg.WindowDur = 50 * simclock.Millisecond
+
+	record := func(format wire.Format) string {
+		c := cfg
+		c.WireFormat = format
+		exp, err := NewExperiment(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dir := filepath.Join(t.TempDir(), "c")
+		err = exp.RecordCampaign(ctx, workload.Web, dir, 0, "eq-v2", exp.RandomPortCounters(workload.Web))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return dir
+	}
+	dirV1 := record(0)
+	dirV2 := record(wire.FormatMBW3)
+
+	r1, err := trace.Open(dirV1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := trace.Open(dirV2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.Meta().Format; got != "mbw3" {
+		t.Errorf("trace-v2 meta format = %q", got)
+	}
+
+	// The decoded streams must match sample-for-sample.
+	for i := 0; i < r1.Meta().Windows; i++ {
+		s1, err := readWindow(r1, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s2, err := readWindow(r2, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(s1) == 0 {
+			t.Fatalf("window %d empty — equivalence is vacuous", i)
+		}
+		if !reflect.DeepEqual(s1, s2) {
+			t.Fatalf("window %d decodes differently from trace-v2", i)
+		}
+	}
+
+	// Every figure, both analysis modes, over the v1 oracle and the v2
+	// recording.
+	for _, kind := range AnalyzeKinds {
+		oracle, err := AnalyzeTrace(r1, kind, 0, false)
+		if err != nil {
+			t.Fatalf("%s v1: %v", kind, err)
+		}
+		for _, stream := range []bool{false, true} {
+			got, err := AnalyzeTrace(r2, kind, 0, stream)
+			if err != nil {
+				t.Fatalf("%s v2 stream=%v: %v", kind, stream, err)
+			}
+			assertStreamEqual(t, fmt.Sprintf("v2/%s/stream=%v", kind, stream), oracle, got)
+		}
+	}
+
+	sizeOf := func(dir string, windows int) int64 {
+		var total int64
+		for i := 0; i < windows; i++ {
+			fi, err := os.Stat(filepath.Join(dir, fmt.Sprintf("window_%04d.mbw", i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+		return total
+	}
+	v1 := sizeOf(dirV1, r1.Meta().Windows)
+	v2 := sizeOf(dirV2, r2.Meta().Windows)
+	t.Logf("trace-v1 %d B, trace-v2 %d B (%.2fx)", v1, v2, float64(v1)/float64(v2))
+	if v2*2 >= v1 {
+		t.Errorf("trace-v2 not compact: %d B vs v1's %d B", v2, v1)
 	}
 }

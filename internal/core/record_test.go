@@ -40,7 +40,7 @@ func TestRecordCampaignRoundTrip(t *testing.T) {
 	}
 	totalBursts := 0
 	for i := 0; i < meta.Windows; i++ {
-		samples, err := r.Window(i)
+		samples, err := readWindow(r, i)
 		if err != nil {
 			t.Fatalf("window %d: %v", i, err)
 		}
@@ -86,7 +86,7 @@ func TestRecordCampaignAllPorts(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	samples, err := r.Window(0)
+	samples, err := readWindow(r, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -253,11 +253,25 @@ func AnalyzeTrace(r *trace.Reader, kind string, threshold float64, stream bool) 
 	return res, nil
 }
 
+// readWindow materializes all samples of one window. O(window size)
+// memory — only for the batch-mode oracle and tests; analyses stream.
+func readWindow(r *trace.Reader, i int) ([]wire.Sample, error) {
+	var samples []wire.Sample
+	err := r.IterWindow(i, func(b *wire.Batch) error {
+		samples = append(samples, b.Samples...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return samples, nil
+}
+
 // analyzeWindowBatch is the materializing path: the original mbanalyze
 // logic, with per-window assembly pinned to SortedKeys order. It is the
 // oracle the streaming path is tested against.
 func analyzeWindowBatch(r *trace.Reader, i int, speedOf func(int) uint64, reduce *traceWindowReduce) error {
-	samples, err := r.Window(i)
+	samples, err := readWindow(r, i)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,282 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+// recordWireBenchWindows records the reference bytes-on-wire workload:
+// the Web application polled for the paper's full counter set — every
+// port's byte counter and packet-size histogram plus the shared buffer
+// peak — at the 25 µs campaign interval. This is the steady agent
+// traffic of a full-fidelity collection deployment (Figs 1-10 combined),
+// which the wire formats are compared on.
+func recordWireBenchWindows(tb testing.TB) [][]wire.Sample {
+	tb.Helper()
+	cfg := QuickConfig()
+	cfg.Servers = 8
+	cfg.Windows = 2
+	cfg.WindowDur = 100 * simclock.Millisecond
+	exp, err := NewExperiment(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	dir := tb.TempDir()
+	err = exp.RecordCampaign(context.Background(), workload.Web, dir,
+		ByteCampaignInterval, "wire format benchmark", FullCounters())
+	if err != nil {
+		tb.Fatal(err)
+	}
+	r, err := trace.Open(dir)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	windows := make([][]wire.Sample, r.Meta().Windows)
+	for i := range windows {
+		if windows[i], err = readWindow(r, i); err != nil {
+			tb.Fatal(err)
+		}
+		if len(windows[i]) == 0 {
+			tb.Fatalf("window %d empty — benchmark is vacuous", i)
+		}
+	}
+	return windows
+}
+
+// bytesOnWire streams every window through one client-style connection
+// (DefaultBatchSize samples per batch, one codec for the whole stream,
+// exactly like collector.Client) and returns the bytes written.
+func bytesOnWire(tb testing.TB, windows [][]wire.Sample, f wire.Format) (total int64, batches int) {
+	tb.Helper()
+	var cw countingDiscard
+	w, err := wire.NewWriterFormat(&cw, f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	for _, samples := range windows {
+		for off := 0; off < len(samples); off += collectorBatchSize {
+			end := off + collectorBatchSize
+			if end > len(samples) {
+				end = len(samples)
+			}
+			if err := w.WriteBatch(&wire.Batch{Rack: 1, Epoch: 1, Samples: samples[off:end]}); err != nil {
+				tb.Fatal(err)
+			}
+			batches++
+		}
+	}
+	return cw.n, batches
+}
+
+// collectorBatchSize mirrors collector.DefaultBatchSize without importing
+// the collector package into the benchmark.
+const collectorBatchSize = 2048
+
+type countingDiscard struct{ n int64 }
+
+func (c *countingDiscard) Write(p []byte) (int, error) {
+	c.n += int64(len(p))
+	return len(p), nil
+}
+
+// encodeStream pre-encodes the whole workload as one stream in format f.
+func encodeStream(tb testing.TB, windows [][]wire.Sample, f wire.Format) ([]byte, int) {
+	tb.Helper()
+	var buf bytes.Buffer
+	w, err := wire.NewWriterFormat(&buf, f)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	batches := 0
+	for _, samples := range windows {
+		for off := 0; off < len(samples); off += collectorBatchSize {
+			end := off + collectorBatchSize
+			if end > len(samples) {
+				end = len(samples)
+			}
+			if err := w.WriteBatch(&wire.Batch{Rack: 1, Epoch: 1, Samples: samples[off:end]}); err != nil {
+				tb.Fatal(err)
+			}
+			batches++
+		}
+	}
+	return buf.Bytes(), batches
+}
+
+// drainStream decodes every batch of an encoded stream through a reused
+// reader, returning the number of batches and samples seen.
+func drainStream(tb testing.TB, r *wire.Reader, src *bytes.Reader, stream []byte) (batches, samples int) {
+	src.Reset(stream)
+	r.Reset(src)
+	for {
+		b, err := r.ReadBatch()
+		if err == io.EOF {
+			return batches, samples
+		}
+		if err != nil {
+			tb.Fatal(err)
+		}
+		batches++
+		samples += len(b.Samples)
+	}
+}
+
+// TestWireBenchArtifact measures the wire formats on the reference Web
+// workload and publishes BENCH_wire.json. Gated on MBURST_WIRE_BENCH_OUT
+// so it only runs in the dedicated CI step (alloc counts are meaningless
+// under the race detector). Hard gates: MBW3 must put >= 4x fewer bytes
+// on the wire than MBW2, and the steady-state encode and ingest paths
+// must allocate nothing per batch. The ingest-throughput ceiling is
+// recorded alongside for regression tracking.
+func TestWireBenchArtifact(t *testing.T) {
+	out := os.Getenv("MBURST_WIRE_BENCH_OUT")
+	if out == "" {
+		t.Skip("MBURST_WIRE_BENCH_OUT not set")
+	}
+	windows := recordWireBenchWindows(t)
+	totalSamples := 0
+	for _, w := range windows {
+		totalSamples += len(w)
+	}
+
+	bytes2, _ := bytesOnWire(t, windows, wire.FormatMBW2)
+	bytes3, batches := bytesOnWire(t, windows, wire.FormatMBW3)
+	ratio := float64(bytes2) / float64(bytes3)
+
+	// Steady-state encode: the same batch re-encoded through a chained
+	// codec, the collector.Client hot path.
+	steady := &wire.Batch{Rack: 1, Epoch: 1, Samples: windows[0][:collectorBatchSize]}
+	w3, err := wire.NewWriterFormat(io.Discard, wire.FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	encodeAllocs := testing.AllocsPerRun(200, func() {
+		if err := w3.WriteBatch(steady); err != nil {
+			t.Fatal(err)
+		}
+	})
+
+	// Steady-state ingest: replaying the encoded stream through one
+	// reused Reader, the collector.Server hot path.
+	stream3, streamBatches := encodeStream(t, windows, wire.FormatMBW3)
+	src := bytes.NewReader(stream3)
+	r := wire.NewReader(src)
+	r.SetReuse(true)
+	drainStream(t, r, src, stream3) // warm the scratch buffers
+	ingestAllocs := testing.AllocsPerRun(20, func() {
+		drainStream(t, r, src, stream3)
+	}) / float64(streamBatches)
+
+	// Ingest-throughput ceiling: decoded batches per second at
+	// saturation, same path as the alloc measurement.
+	reps := 0
+	start := time.Now()
+	for time.Since(start) < 500*time.Millisecond {
+		drainStream(t, r, src, stream3)
+		reps++
+	}
+	elapsed := time.Since(start)
+	batchesPerSec := float64(reps*streamBatches) / elapsed.Seconds()
+	samplesPerSec := float64(reps*totalSamples) / elapsed.Seconds()
+
+	artifact := struct {
+		Name          string  `json:"name"`
+		Workload      string  `json:"workload"`
+		Samples       int     `json:"samples"`
+		Batches       int     `json:"batches"`
+		CPUs          int     `json:"cpus"`
+		BytesMBW2     int64   `json:"bytes_mbw2"`
+		BytesMBW3     int64   `json:"bytes_mbw3"`
+		BytesRatio    float64 `json:"bytes_ratio"`
+		EncodeAllocs  float64 `json:"encode_allocs_per_op"`
+		IngestAllocs  float64 `json:"ingest_allocs_per_op"`
+		IngestBatches float64 `json:"ingest_batches_per_sec"`
+		IngestSamples float64 `json:"ingest_samples_per_sec"`
+	}{
+		Name:          "wire_formats",
+		Workload:      "web/full-counters/25us",
+		Samples:       totalSamples,
+		Batches:       batches,
+		CPUs:          runtime.NumCPU(),
+		BytesMBW2:     bytes2,
+		BytesMBW3:     bytes3,
+		BytesRatio:    ratio,
+		EncodeAllocs:  encodeAllocs,
+		IngestAllocs:  ingestAllocs,
+		IngestBatches: batchesPerSec,
+		IngestSamples: samplesPerSec,
+	}
+	data, err := json.MarshalIndent(artifact, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("bytes on wire: mbw2 %d B, mbw3 %d B (%.2fx); encode %.2f allocs/op, ingest %.4f allocs/batch, %.0f batches/s",
+		bytes2, bytes3, ratio, encodeAllocs, ingestAllocs, batchesPerSec)
+
+	if ratio < 4 {
+		t.Errorf("mbw3 only %.2fx below mbw2 on the wire, want >= 4x (mbw2 %d B, mbw3 %d B)",
+			ratio, bytes2, bytes3)
+	}
+	if encodeAllocs != 0 {
+		t.Errorf("steady encode allocates %.2f/op, want 0", encodeAllocs)
+	}
+	if ingestAllocs != 0 {
+		t.Errorf("steady ingest allocates %.4f/batch, want 0", ingestAllocs)
+	}
+}
+
+// BenchmarkWireEncode measures steady-state batch encoding per format.
+// Run with:
+//
+//	go test -run=^$ -bench=BenchmarkWire ./internal/core
+func BenchmarkWireEncode(b *testing.B) {
+	windows := recordWireBenchWindows(b)
+	batch := &wire.Batch{Rack: 1, Epoch: 1, Samples: windows[0][:collectorBatchSize]}
+	for _, f := range []wire.Format{wire.FormatMBW2, wire.FormatMBW3} {
+		b.Run(f.String(), func(b *testing.B) {
+			w, err := wire.NewWriterFormat(io.Discard, f)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := w.WriteBatch(batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWireIngest measures steady-state stream decoding per format.
+func BenchmarkWireIngest(b *testing.B) {
+	windows := recordWireBenchWindows(b)
+	for _, f := range []wire.Format{wire.FormatMBW2, wire.FormatMBW3} {
+		b.Run(f.String(), func(b *testing.B) {
+			stream, batches := encodeStream(b, windows, f)
+			src := bytes.NewReader(stream)
+			r := wire.NewReader(src)
+			r.SetReuse(true)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i += batches {
+				drainStream(b, r, src, stream)
+			}
+		})
+	}
+}

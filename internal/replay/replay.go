@@ -41,6 +41,10 @@ type Options struct {
 	// downstream consumers see the gap without living through it; zero
 	// preserves gaps verbatim. Clamps are tallied in Stats.GapClamps.
 	MaxGap time.Duration
+	// Format selects the wire format batches are re-encoded in (zero =
+	// wire.DefaultFormat). The replay transcodes: the trace's on-disk
+	// format and the outgoing stream format are independent.
+	Format wire.Format
 }
 
 func (o *Options) applyDefaults() {
@@ -90,7 +94,10 @@ func Run(ctx context.Context, dir string, w io.Writer, opts Options) (Stats, err
 			}
 		}
 	}
-	bw := wire.NewWriter(w)
+	bw, err := wire.NewWriterFormat(w, opts.Format)
+	if err != nil {
+		return st, err
+	}
 	for _, idx := range windows {
 		if err := ctx.Err(); err != nil {
 			return st, err

@@ -83,6 +83,47 @@ func TestReplayUnpacedDeliversEverything(t *testing.T) {
 	}
 }
 
+func TestReplayFormatTranscodes(t *testing.T) {
+	dir := writeCampaign(t, 2, 3000)
+	decode := func(stream []byte) []wire.Sample {
+		t.Helper()
+		r := wire.NewReader(bytes.NewReader(stream))
+		var out []wire.Sample
+		for {
+			b, err := r.ReadBatch()
+			if err == io.EOF {
+				return out
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, b.Samples...)
+		}
+	}
+	var v2, v3 bytes.Buffer
+	if _, err := Run(context.Background(), dir, &v2, Options{Unpaced: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(context.Background(), dir, &v3, Options{Unpaced: true, Format: wire.FormatMBW3}); err != nil {
+		t.Fatal(err)
+	}
+	s2, s3 := decode(v2.Bytes()), decode(v3.Bytes())
+	if len(s2) != 6000 || len(s3) != 6000 {
+		t.Fatalf("decoded %d/%d samples, want 6000 each", len(s2), len(s3))
+	}
+	for i := range s2 {
+		if s2[i] != s3[i] {
+			t.Fatalf("sample %d differs across formats: %+v vs %+v", i, s2[i], s3[i])
+		}
+	}
+	if v3.Len() >= v2.Len() {
+		t.Errorf("mbw3 replay is %d B, not smaller than default %d B", v3.Len(), v2.Len())
+	}
+	if _, err := Run(context.Background(), dir, io.Discard, Options{Unpaced: true, Format: wire.Format(9)}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
 func TestReplayPacingSleeps(t *testing.T) {
 	dir := writeCampaign(t, 1, 4096)
 	var slept time.Duration

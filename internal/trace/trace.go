@@ -13,6 +13,12 @@
 //
 // Windows are independent files so a partial campaign is loadable and
 // windows can be processed streamingly.
+//
+// Window files carry wire-format batches in one of two on-disk layouts:
+// trace-v1 (the default, MBW1/MBW2 row framing) and trace-v2 (MBW3
+// columnar delta framing, typically several times smaller). Meta.Format
+// records which one a campaign uses; readers dispatch per batch magic, so
+// either layout — and mixtures — decode through the same Reader forever.
 package trace
 
 import (
@@ -53,8 +59,21 @@ type Meta struct {
 	Seed uint64 `json:"seed"`
 	// Counters lists what was polled.
 	Counters []collector.CounterSpec `json:"counters"`
+	// Format names the wire format of the window files ("mbw1", "mbw2",
+	// "mbw3"); empty means the legacy default (trace-v1). Recorded for
+	// provenance — readers dispatch on each batch's magic, not on this.
+	Format string `json:"wire_format,omitempty"`
 	// Notes is free-form context (which figure the campaign feeds, etc).
 	Notes string `json:"notes,omitempty"`
+}
+
+// WireFormat resolves Format to a wire.Format, defaulting the empty
+// string to wire.DefaultFormat.
+func (m *Meta) WireFormat() (wire.Format, error) {
+	if m.Format == "" {
+		return wire.DefaultFormat, nil
+	}
+	return wire.ParseFormat(m.Format)
 }
 
 // Validate checks meta for obvious inconsistencies.
@@ -73,6 +92,9 @@ func (m *Meta) Validate() error {
 	case len(m.Counters) == 0:
 		return errors.New("trace: no counters recorded")
 	}
+	if _, err := m.WireFormat(); err != nil {
+		return err
+	}
 	return nil
 }
 
@@ -85,10 +107,11 @@ const BatchSize = 8192
 
 // Writer writes a campaign to a directory.
 type Writer struct {
-	dir  string
-	meta Meta
-	done map[int]bool
-	open Opener
+	dir    string
+	meta   Meta
+	format wire.Format
+	done   map[int]bool
+	open   Opener
 }
 
 // Opener creates the file backing one window. It exists so fault-injection
@@ -121,7 +144,11 @@ func Create(dir string, meta Meta) (*Writer, error) {
 	if err := os.WriteFile(metaPath, append(data, '\n'), 0o644); err != nil {
 		return nil, fmt.Errorf("trace: %w", err)
 	}
-	return &Writer{dir: dir, meta: meta, done: make(map[int]bool), open: defaultOpener}, nil
+	format, err := meta.WireFormat() // Validate already vetted it
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{dir: dir, meta: meta, format: format, done: make(map[int]bool), open: defaultOpener}, nil
 }
 
 // CreateWithOpener is Create with an injected window-file opener. A nil
@@ -153,7 +180,13 @@ func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error 
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
-	bw := wire.NewWriter(f)
+	// One codec per window file: every window decodes standalone, so
+	// partial campaigns stay loadable.
+	bw, err := wire.NewWriterFormat(f, w.format)
+	if err != nil {
+		f.Close()
+		return err
+	}
 	for off := 0; off < len(samples); off += BatchSize {
 		end := off + BatchSize
 		if end > len(samples) {
@@ -237,6 +270,10 @@ func (r *Reader) HasWindow(idx int) bool {
 // the whole window into memory — a 2-minute 25 µs campaign holds ~5M
 // samples per counter, so analyses over many counters should stream.
 // Iteration stops early if fn returns a non-nil error, which is returned.
+//
+// The batch (and its Samples slice) is only valid for the duration of the
+// fn call: the reader reuses it for the next batch. Handlers that keep
+// samples must copy the values out.
 func (r *Reader) IterWindow(idx int, fn func(batch *wire.Batch) error) error {
 	if idx < 0 || idx >= r.meta.Windows {
 		return fmt.Errorf("trace: window %d out of range [0,%d)", idx, r.meta.Windows)
@@ -250,6 +287,7 @@ func (r *Reader) IterWindow(idx int, fn func(batch *wire.Batch) error) error {
 	}
 	defer f.Close()
 	br := wire.NewReader(f)
+	br.SetReuse(true)
 	for {
 		b, err := br.ReadBatch()
 		if err == io.EOF {
@@ -261,34 +299,5 @@ func (r *Reader) IterWindow(idx int, fn func(batch *wire.Batch) error) error {
 		if err := fn(b); err != nil {
 			return err
 		}
-	}
-}
-
-// Window loads all samples of window idx.
-//
-// Deprecated: Window materializes the entire window (O(trace size)
-// memory); new code should stream batches through IterWindow and the
-// analysis.SeriesDemux accumulators instead. It is retained as the
-// batch-mode oracle for the streaming equivalence tests.
-func (r *Reader) Window(idx int) ([]wire.Sample, error) {
-	if idx < 0 || idx >= r.meta.Windows {
-		return nil, fmt.Errorf("trace: window %d out of range [0,%d)", idx, r.meta.Windows)
-	}
-	f, err := os.Open(filepath.Join(r.dir, windowFileName(idx)))
-	if err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
-	}
-	defer f.Close()
-	br := wire.NewReader(f)
-	var samples []wire.Sample
-	for {
-		b, err := br.ReadBatch()
-		if err == io.EOF {
-			return samples, nil
-		}
-		if err != nil {
-			return nil, fmt.Errorf("trace: window %d: %w", idx, err)
-		}
-		samples = append(samples, b.Samples...)
 	}
 }

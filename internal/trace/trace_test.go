@@ -45,6 +45,20 @@ func mkSamples(n int) []wire.Sample {
 	return out
 }
 
+// readAll materializes one window through IterWindow, copying samples out
+// of the reused batch.
+func readAll(r *Reader, idx int) ([]wire.Sample, error) {
+	var out []wire.Sample
+	err := r.IterWindow(idx, func(b *wire.Batch) error {
+		out = append(out, b.Samples...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 func TestRoundTrip(t *testing.T) {
 	dir := filepath.Join(t.TempDir(), "campaign")
 	w, err := Create(dir, validMeta())
@@ -65,7 +79,7 @@ func TestRoundTrip(t *testing.T) {
 		t.Errorf("meta mismatch:\n%+v\n%+v", r.Meta(), validMeta())
 	}
 	for i, s := range want {
-		got, err := r.Window(i)
+		got, err := readAll(r, i)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,6 +113,7 @@ func TestMetaValidation(t *testing.T) {
 		func(m *Meta) { m.WindowDur = -5 },
 		func(m *Meta) { m.Windows = 0 },
 		func(m *Meta) { m.Counters = nil },
+		func(m *Meta) { m.Format = "mbw9" },
 	}
 	for i, mut := range mutations {
 		m := validMeta()
@@ -158,10 +173,10 @@ func TestHasWindowAndMissingWindow(t *testing.T) {
 	if r.HasWindow(0) || !r.HasWindow(1) {
 		t.Error("HasWindow wrong")
 	}
-	if _, err := r.Window(0); err == nil {
+	if _, err := readAll(r, 0); err == nil {
 		t.Error("reading missing window succeeded")
 	}
-	if _, err := r.Window(99); err == nil {
+	if _, err := readAll(r, 99); err == nil {
 		t.Error("reading out-of-range window succeeded")
 	}
 }
@@ -244,8 +259,68 @@ func TestCorruptWindowDetected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := r.Window(0); err == nil {
+	if _, err := readAll(r, 0); err == nil {
 		t.Error("corrupt window read without error")
+	}
+}
+
+// TestFormats records the same campaign in every wire format; all of them
+// must read back the same samples, the metadata must record the format,
+// and the trace-v2 (mbw3) window files must be substantially smaller.
+func TestFormats(t *testing.T) {
+	want := [][]wire.Sample{mkSamples(100), mkSamples(20000), nil}
+	sizes := map[string]int64{}
+	for _, format := range []string{"", "mbw1", "mbw2", "mbw3"} {
+		dir := filepath.Join(t.TempDir(), "c")
+		meta := validMeta()
+		meta.Format = format
+		w, err := Create(dir, meta)
+		if err != nil {
+			t.Fatalf("%q: %v", format, err)
+		}
+		var total int64
+		for i, s := range want {
+			if err := w.WriteWindow(i, 7, s); err != nil {
+				t.Fatalf("%q window %d: %v", format, i, err)
+			}
+			fi, err := os.Stat(filepath.Join(dir, windowFileName(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			total += fi.Size()
+		}
+		sizes[format] = total
+		r, err := Open(dir)
+		if err != nil {
+			t.Fatalf("%q: %v", format, err)
+		}
+		if r.Meta().Format != format {
+			t.Errorf("%q: meta format round-tripped as %q", format, r.Meta().Format)
+		}
+		m := r.Meta()
+		if f, err := m.WireFormat(); err != nil || (format == "" && f != wire.DefaultFormat) {
+			t.Errorf("%q: WireFormat = %v, %v", format, f, err)
+		}
+		for i, s := range want {
+			got, err := readAll(r, i)
+			if err != nil {
+				t.Fatalf("%q window %d: %v", format, i, err)
+			}
+			if len(got) != len(s) {
+				t.Fatalf("%q window %d: %d samples, want %d", format, i, len(got), len(s))
+			}
+			for j := range s {
+				if got[j] != s[j] {
+					t.Fatalf("%q window %d sample %d mismatch", format, i, j)
+				}
+			}
+		}
+	}
+	if sizes[""] != sizes["mbw2"] {
+		t.Errorf("default format sized %d, mbw2 %d", sizes[""], sizes["mbw2"])
+	}
+	if sizes["mbw3"]*2 >= sizes["mbw2"] {
+		t.Errorf("trace-v2 not compact: mbw3 %d B vs mbw2 %d B", sizes["mbw3"], sizes["mbw2"])
 	}
 }
 

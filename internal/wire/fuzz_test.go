@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"errors"
 	"io"
+	"reflect"
 	"testing"
 
 	"mburst/internal/asic"
@@ -33,6 +34,55 @@ func FuzzReadBatch(f *testing.F) {
 	}})
 	f.Add(epochBatch)
 	f.Add(append(append([]byte(nil), valid...), epochBatch...))
+	// MBW3 seeds: a single columnar batch, a chained pair (the second
+	// carries only deltas), an epoch bump that resets the chains, and an
+	// MBW3 chain interleaved with legacy frames on one stream.
+	c3, err := NewCodec(FormatMBW3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mb := func(epoch uint32, base uint64) *Batch {
+		return &Batch{Rack: 3, Epoch: epoch, Samples: []Sample{
+			{Time: simclock.Epoch.Add(simclock.Micros(25)), Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Value: base},
+			{Time: simclock.Epoch.Add(simclock.Micros(25)), Port: 2, Dir: asic.RX, Kind: asic.KindSizeBins,
+				Bins: [asic.NumSizeBins]uint64{base, 2, 3, 4, 5, 6}},
+			{Time: simclock.Epoch.Add(simclock.Micros(50)), Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Value: base + 1500},
+		}}
+	}
+	v3, err := c3.AppendBatch(nil, mb(0, 1000))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), v3...))
+	chained, err := c3.AppendBatch(append([]byte(nil), v3...), mb(0, 2500))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), chained...))
+	bumped, err := c3.AppendBatch(append([]byte(nil), chained...), mb(7, 40))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(bumped)
+	c3b, err := NewCodec(FormatMBW3)
+	if err != nil {
+		f.Fatal(err)
+	}
+	mixed, err := c3b.AppendBatch(nil, mb(0, 1000))
+	if err != nil {
+		f.Fatal(err)
+	}
+	mixed = AppendBatch(mixed, &Batch{Rack: 9})
+	mixed = append(mixed, epochBatch...)
+	mixed, err = c3b.AppendBatch(mixed, mb(0, 2500))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(mixed)
+	f.Add(v3[:len(v3)/2])
+	corrupt3 := append([]byte(nil), v3...)
+	corrupt3[len(corrupt3)-6] ^= 0x55
+	f.Add(corrupt3)
 	f.Add(valid[:len(valid)/2])
 	f.Add([]byte{})
 	f.Add([]byte("garbage that is definitely not a batch"))
@@ -53,7 +103,7 @@ func FuzzReadBatch(f *testing.F) {
 				// not a panic-worthy state; accept and stop.
 				return
 			}
-			// A decoded batch must round-trip.
+			// A decoded batch must round-trip through the legacy framing.
 			re := AppendBatch(nil, b)
 			b2, err := NewReader(bytes.NewReader(re)).ReadBatch()
 			if err != nil {
@@ -62,6 +112,27 @@ func FuzzReadBatch(f *testing.F) {
 			if len(b2.Samples) != len(b.Samples) || b2.Rack != b.Rack {
 				t.Fatalf("round trip changed shape: %d/%d vs %d/%d",
 					b.Rack, len(b.Samples), b2.Rack, len(b2.Samples))
+			}
+			// And through a fresh MBW3 stream, exactly. A fresh encode
+			// carries absolutes, so it can legitimately exceed the payload
+			// cap where the delta-encoded original did not.
+			enc3, err := NewCodec(FormatMBW3)
+			if err != nil {
+				t.Fatal(err)
+			}
+			re3, err := enc3.AppendBatch(nil, b)
+			if errors.Is(err, ErrBatchTooLarge) {
+				continue
+			}
+			if err != nil {
+				t.Fatalf("mbw3 re-encode failed: %v", err)
+			}
+			b3, err := NewReader(bytes.NewReader(re3)).ReadBatch()
+			if err != nil {
+				t.Fatalf("mbw3 re-encoded batch failed to decode: %v", err)
+			}
+			if !reflect.DeepEqual(b, b3) {
+				t.Fatalf("mbw3 round trip diverged:\n in: %+v\nout: %+v", b, b3)
 			}
 		}
 	})

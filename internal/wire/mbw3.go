@@ -1,0 +1,737 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+// Magic3 identifies an MBW3 columnar delta batch.
+const Magic3 uint32 = 0x4d425733 // "MBW3"
+
+// MaxBatchSamples bounds the per-batch record count an MBW3 decoder will
+// accept. Run-length tokens decouple record count from payload bytes, so
+// the legacy "count <= payload length" check no longer bounds allocation;
+// this cap does. Encoders enforce it too, so every encodable batch is
+// decodable.
+const MaxBatchSamples = 1 << 22
+
+// zig and unzig are the zigzag mapping varints use for signed deltas.
+func zig(v int64) uint64   { return uint64(v)<<1 ^ uint64(v>>63) }
+func unzig(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }
+
+// rleMinRun is the shortest run of equal column values worth a dedicated
+// run token; shorter runs ride inside literal tokens. Fixed so encoding
+// is deterministic.
+const rleMinRun = 3
+
+// rleAppend encodes vals as run-length tokens: each token is a uvarint t
+// with count t>>1 (>= 1); t&1 == 1 is a run (one uvarint value follows,
+// repeated count times), t&1 == 0 a literal (count uvarint values follow).
+func rleAppend(dst []byte, vals []uint64) []byte {
+	for i := 0; i < len(vals); {
+		j := i + 1
+		for j < len(vals) && vals[j] == vals[i] {
+			j++
+		}
+		if j-i >= rleMinRun {
+			dst = binary.AppendUvarint(dst, uint64(j-i)<<1|1)
+			dst = binary.AppendUvarint(dst, vals[i])
+			i = j
+			continue
+		}
+		// Literal: extend until the next worthwhile run (or the end).
+		start := i
+		i = j
+		for i < len(vals) {
+			j = i + 1
+			for j < len(vals) && vals[j] == vals[i] {
+				j++
+			}
+			if j-i >= rleMinRun {
+				break
+			}
+			i = j
+		}
+		dst = binary.AppendUvarint(dst, uint64(i-start)<<1)
+		for ; start < i; start++ {
+			dst = binary.AppendUvarint(dst, vals[start])
+		}
+	}
+	return dst
+}
+
+// rleRead appends exactly want decoded values to dst. Malformed tokens
+// (zero counts, counts past want) set r.err.
+func rleRead(r *payloadReader, dst []uint64, want int) []uint64 {
+	for len(dst) < want {
+		tok := r.uvarint()
+		if r.err != nil {
+			return dst
+		}
+		cnt := tok >> 1
+		if cnt == 0 || cnt > uint64(want-len(dst)) {
+			r.err = ErrCorrupt
+			return dst
+		}
+		if tok&1 == 1 {
+			v := r.uvarint()
+			for k := uint64(0); k < cnt; k++ {
+				dst = append(dst, v)
+			}
+		} else {
+			for k := uint64(0); k < cnt; k++ {
+				dst = append(dst, r.uvarint())
+			}
+		}
+	}
+	return dst
+}
+
+// colAppend emits one value column: a mode byte, then the cheaper of two
+// encodings. Mode 0 is the varint RLE stream; mode 1 packs each value
+// into a nibble (low nibble first), with values >= 15 escaping as nibble
+// 15 plus a varint in an overflow tail after the packed block. Counter
+// columns are delta-of-delta chains whose values cluster just above
+// zero — too scattered for runs, but almost always under 4 bits — so
+// mode 1 halves them; index and missed columns collapse into runs and
+// keep mode 0.
+func (c *mbw3Codec) colAppend(dst []byte, vals []uint64) []byte {
+	c.colbuf = rleAppend(c.colbuf[:0], vals)
+	ne := (len(vals) + 1) / 2
+	for _, v := range vals {
+		if v >= 15 {
+			ne += uvarintLen(v)
+		}
+	}
+	if ne >= len(c.colbuf) {
+		dst = append(dst, 0)
+		return append(dst, c.colbuf...)
+	}
+	dst = append(dst, 1)
+	var cur byte
+	for i, v := range vals {
+		nib := byte(v)
+		if v >= 15 {
+			nib = 15
+		}
+		if i&1 == 0 {
+			cur = nib
+		} else {
+			dst = append(dst, cur|nib<<4)
+		}
+	}
+	if len(vals)&1 == 1 {
+		dst = append(dst, cur)
+	}
+	for _, v := range vals {
+		if v >= 15 {
+			dst = binary.AppendUvarint(dst, v)
+		}
+	}
+	return dst
+}
+
+// colRead decodes one colAppend column of exactly want values.
+func colRead(r *payloadReader, dst []uint64, want int) []uint64 {
+	mode := r.byte()
+	if r.err != nil {
+		return dst
+	}
+	switch mode {
+	case 0:
+		return rleRead(r, dst, want)
+	case 1:
+		nb := (want + 1) / 2
+		if len(r.buf) < nb {
+			r.err = ErrCorrupt
+			return dst
+		}
+		packed := r.buf[:nb]
+		r.buf = r.buf[nb:]
+		if want&1 == 1 && nb > 0 && packed[nb-1]>>4 != 0 {
+			r.err = ErrCorrupt // padding nibble must be zero
+			return dst
+		}
+		base := len(dst)
+		for i := 0; i < want; i++ {
+			dst = append(dst, uint64(packed[i>>1]>>(uint(i&1)*4)&0xf))
+		}
+		for i := 0; i < want; i++ {
+			if dst[base+i] != 15 {
+				continue
+			}
+			v := r.uvarint()
+			if r.err != nil {
+				return dst
+			}
+			if v < 15 {
+				r.err = ErrCorrupt // would have been inline
+				return dst
+			}
+			dst[base+i] = v
+		}
+		return dst
+	default:
+		r.err = ErrCorrupt
+		return dst
+	}
+}
+
+// seriesKey identifies one counter series within a stream: the port plus
+// the packed direction/kind byte the row formats already use.
+type seriesKey struct {
+	port uint16
+	dk   byte
+}
+
+// mbw3Series is the per-series stream state deltas chain against: the
+// last absolute value plus the last first-order delta, since value and
+// bin columns are delta-of-delta chains (counters polled at a fixed
+// interval move by near-constant increments, so second differences
+// cluster at zero and collapse into runs).
+type mbw3Series struct {
+	value  uint64
+	valueD int64
+	bins   [asic.NumSizeBins]uint64
+	binsD  [asic.NumSizeBins]int64
+	// slot/stamp resolve this series to its table slot within the batch
+	// currently being encoded (valid iff stamp matches the codec's).
+	slot  int
+	stamp int
+}
+
+// mbw3Codec implements the columnar delta format.
+//
+// Payload layout (all integers uvarints unless noted):
+//
+//	rack, epoch, nSamples
+//	-- the rest only when nSamples > 0 --
+//	nTimes, times            delta-of-delta zigzag chain, continued from
+//	                         the previous batch (from zero on a fresh
+//	                         stream or epoch change); consecutive equal
+//	                         sample times are deduplicated
+//	nSeries, series table    (port uvarint, dir|kind<<1 byte) per series,
+//	                         in first-appearance order
+//	seriesCol                RLE; per sample, table slot as a zigzag
+//	                         delta chain — preserves exact sample order
+//	timeIdxCol               RLE; per sample, index into times, same
+//	                         delta chain encoding
+//	missedCol                RLE; per sample, Missed verbatim
+//	value/bins columns       per table slot in order: the series'
+//	                         cumulative Values as zigzag delta-of-delta
+//	                         chains (RLE), continued from the previous
+//	                         batch; size-bin series append NumSizeBins
+//	                         bin columns encoded the same way
+//
+// Delta chains make the codec stateful: the first batch of a stream (or
+// the first after an epoch change) carries absolutes as deltas from zero,
+// and every later batch only the movement since the previous one.
+type mbw3Codec struct {
+	// Stream state.
+	epochKnown bool
+	epoch      uint32
+	lastTime   int64
+	lastDelta  int64
+	idx        map[seriesKey]int
+	states     []mbw3Series
+
+	stamp int
+
+	// Per-batch scratch, reused so steady-state encode and decode do not
+	// allocate.
+	payload  []byte
+	tkeys    []seriesKey
+	tstate   []int
+	counts   []int
+	offs     []int
+	cursor   []int
+	sids     []int
+	tidx     []int
+	times    []int64
+	col      []uint64
+	colbuf   []byte
+	vals     []uint64
+	binvals  []uint64
+	binoffs  []int
+	run      []uint64
+	runD     []int64
+	runBins  []uint64
+	runBinsD []int64
+	missed   []uint64
+
+	// Pending time-chain state, applied by commit.
+	pendFresh     bool
+	pendLastTime  int64
+	pendLastDelta int64
+}
+
+func newMBW3Codec() *mbw3Codec {
+	return &mbw3Codec{idx: make(map[seriesKey]int)}
+}
+
+func (c *mbw3Codec) Format() Format { return FormatMBW3 }
+
+func (c *mbw3Codec) Reset() {
+	c.epochKnown = false
+	c.epoch = 0
+	c.lastTime = 0
+	c.lastDelta = 0
+	clear(c.idx)
+	c.states = c.states[:0]
+}
+
+func sampleDK(s *Sample) byte { return byte(s.Dir) | byte(s.Kind)<<1 }
+
+func isSizeBins(dk byte) bool { return asic.CounterKind(dk>>1) == asic.KindSizeBins }
+
+func growInt(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+func growU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func growI64(s []int64, n int) []int64 {
+	if cap(s) < n {
+		return make([]int64, n)
+	}
+	return s[:n]
+}
+
+// buildPayload encodes b into c.payload using (but not modifying) the
+// stream state; commit applies the state advance afterwards. Splitting
+// the two keeps EncodedSize and failed writes side-effect-free.
+func (c *mbw3Codec) buildPayload(b *Batch) {
+	fresh := !c.epochKnown || b.Epoch != c.epoch
+	c.pendFresh = fresh
+	c.pendLastTime, c.pendLastDelta = c.lastTime, c.lastDelta
+	if fresh {
+		c.pendLastTime, c.pendLastDelta = 0, 0
+	}
+
+	p := c.payload[:0]
+	p = binary.AppendUvarint(p, uint64(b.Rack))
+	p = binary.AppendUvarint(p, uint64(b.Epoch))
+	p = binary.AppendUvarint(p, uint64(len(b.Samples)))
+	n := len(b.Samples)
+	if n == 0 {
+		c.tkeys = c.tkeys[:0]
+		c.payload = p
+		return
+	}
+
+	// Group samples into the batch series table and the deduplicated
+	// time list. New series enter the stream map immediately with zero
+	// state, which is indistinguishable from absent — so this pass is
+	// safe even when the batch is never committed.
+	c.stamp++
+	c.tkeys = c.tkeys[:0]
+	c.tstate = c.tstate[:0]
+	c.counts = c.counts[:0]
+	c.sids = growInt(c.sids, n)
+	c.tidx = growInt(c.tidx, n)
+	c.times = c.times[:0]
+	c.missed = growU64(c.missed, n)
+	for j := range b.Samples {
+		s := &b.Samples[j]
+		k := seriesKey{port: s.Port, dk: sampleDK(s)}
+		si, ok := c.idx[k]
+		if !ok {
+			si = len(c.states)
+			c.states = append(c.states, mbw3Series{})
+			c.idx[k] = si
+		}
+		st := &c.states[si]
+		if st.stamp != c.stamp {
+			st.stamp = c.stamp
+			st.slot = len(c.tkeys)
+			c.tkeys = append(c.tkeys, k)
+			c.tstate = append(c.tstate, si)
+			c.counts = append(c.counts, 0)
+		}
+		c.sids[j] = st.slot
+		c.counts[st.slot]++
+		t := s.Time.Nanoseconds()
+		if len(c.times) == 0 || t != c.times[len(c.times)-1] {
+			c.times = append(c.times, t)
+		}
+		c.tidx[j] = len(c.times) - 1
+		c.missed[j] = uint64(s.Missed)
+	}
+
+	// Per-slot running values start from stream state (zero on a fresh
+	// epoch) and column offsets from the per-slot counts.
+	nSeries := len(c.tkeys)
+	c.offs = growInt(c.offs, nSeries)
+	c.cursor = growInt(c.cursor, nSeries)
+	c.binoffs = growInt(c.binoffs, nSeries)
+	c.run = growU64(c.run, nSeries)
+	c.runD = growI64(c.runD, nSeries)
+	c.runBins = growU64(c.runBins, nSeries*asic.NumSizeBins)
+	c.runBinsD = growI64(c.runBinsD, nSeries*asic.NumSizeBins)
+	off, binoff := 0, 0
+	for slot := range c.tkeys {
+		c.offs[slot] = off
+		off += c.counts[slot]
+		c.cursor[slot] = 0
+		st := &c.states[c.tstate[slot]]
+		if fresh {
+			c.run[slot], c.runD[slot] = 0, 0
+		} else {
+			c.run[slot], c.runD[slot] = st.value, st.valueD
+		}
+		c.binoffs[slot] = -1
+		if isSizeBins(c.tkeys[slot].dk) {
+			c.binoffs[slot] = binoff
+			binoff += c.counts[slot] * asic.NumSizeBins
+			for k := 0; k < asic.NumSizeBins; k++ {
+				if fresh {
+					c.runBins[slot*asic.NumSizeBins+k] = 0
+					c.runBinsD[slot*asic.NumSizeBins+k] = 0
+				} else {
+					c.runBins[slot*asic.NumSizeBins+k] = st.bins[k]
+					c.runBinsD[slot*asic.NumSizeBins+k] = st.binsD[k]
+				}
+			}
+		}
+	}
+	c.vals = growU64(c.vals, n)
+	c.binvals = growU64(c.binvals, binoff)
+
+	// Second pass: fill the flat per-series delta columns in sample
+	// order (each series sees its own samples in order regardless of
+	// interleaving).
+	for j := range b.Samples {
+		s := &b.Samples[j]
+		slot := c.sids[j]
+		i := c.cursor[slot]
+		c.cursor[slot]++
+		d := int64(s.Value - c.run[slot])
+		c.vals[c.offs[slot]+i] = zig(d - c.runD[slot])
+		c.run[slot], c.runD[slot] = s.Value, d
+		if bo := c.binoffs[slot]; bo >= 0 {
+			cnt := c.counts[slot]
+			for k := 0; k < asic.NumSizeBins; k++ {
+				bd := int64(s.Bins[k] - c.runBins[slot*asic.NumSizeBins+k])
+				c.binvals[bo+k*cnt+i] = zig(bd - c.runBinsD[slot*asic.NumSizeBins+k])
+				c.runBins[slot*asic.NumSizeBins+k] = s.Bins[k]
+				c.runBinsD[slot*asic.NumSizeBins+k] = bd
+			}
+		}
+	}
+
+	// Emit: times, series table, then the RLE columns.
+	p = binary.AppendUvarint(p, uint64(len(c.times)))
+	lt, ld := c.pendLastTime, c.pendLastDelta
+	for _, t := range c.times {
+		d := t - lt
+		p = binary.AppendUvarint(p, zig(d-ld))
+		ld, lt = d, t
+	}
+	c.pendLastTime, c.pendLastDelta = lt, ld
+	p = binary.AppendUvarint(p, uint64(nSeries))
+	for _, k := range c.tkeys {
+		p = binary.AppendUvarint(p, uint64(k.port))
+		p = append(p, k.dk)
+	}
+	c.col = c.col[:0]
+	prev := 0
+	for _, v := range c.sids {
+		c.col = append(c.col, zig(int64(v-prev)))
+		prev = v
+	}
+	p = c.colAppend(p, c.col)
+	c.col = c.col[:0]
+	prev = 0
+	for _, v := range c.tidx {
+		c.col = append(c.col, zig(int64(v-prev)))
+		prev = v
+	}
+	p = c.colAppend(p, c.col)
+	p = c.colAppend(p, c.missed[:n])
+	for slot := range c.tkeys {
+		p = c.colAppend(p, c.vals[c.offs[slot]:c.offs[slot]+c.counts[slot]])
+		if bo := c.binoffs[slot]; bo >= 0 {
+			cnt := c.counts[slot]
+			for k := 0; k < asic.NumSizeBins; k++ {
+				p = c.colAppend(p, c.binvals[bo+k*cnt:bo+(k+1)*cnt])
+			}
+		}
+	}
+	c.payload = p
+}
+
+// commit advances the stream state to reflect the batch buildPayload just
+// encoded.
+func (c *mbw3Codec) commit(b *Batch) {
+	if c.pendFresh {
+		clear(c.idx)
+		c.states = c.states[:0]
+		for slot, k := range c.tkeys {
+			c.idx[k] = len(c.states)
+			c.states = append(c.states, mbw3Series{})
+			c.tstate[slot] = slot
+		}
+	}
+	for slot := range c.tkeys {
+		st := &c.states[c.tstate[slot]]
+		st.value, st.valueD = c.run[slot], c.runD[slot]
+		if c.binoffs[slot] >= 0 {
+			copy(st.bins[:], c.runBins[slot*asic.NumSizeBins:(slot+1)*asic.NumSizeBins])
+			copy(st.binsD[:], c.runBinsD[slot*asic.NumSizeBins:(slot+1)*asic.NumSizeBins])
+		}
+	}
+	c.epochKnown = true
+	c.epoch = b.Epoch
+	c.lastTime = c.pendLastTime
+	c.lastDelta = c.pendLastDelta
+}
+
+func (c *mbw3Codec) AppendBatch(dst []byte, b *Batch) ([]byte, error) {
+	if len(b.Samples) > MaxBatchSamples {
+		return dst, fmt.Errorf("%w: %d samples (max %d)", ErrBatchTooLarge, len(b.Samples), MaxBatchSamples)
+	}
+	c.buildPayload(b)
+	if len(c.payload) > MaxBatchPayload {
+		return dst, fmt.Errorf("%w: %d byte payload (max %d)", ErrBatchTooLarge, len(c.payload), MaxBatchPayload)
+	}
+	c.commit(b)
+	return appendFrame(dst, Magic3, c.payload), nil
+}
+
+func (c *mbw3Codec) EncodedSize(b *Batch) int {
+	c.buildPayload(b)
+	return 4 + uvarintLen(uint64(len(c.payload))) + len(c.payload) + 4
+}
+
+func (c *mbw3Codec) DecodePayload(magic uint32, payload []byte, b *Batch) error {
+	if magic != Magic3 {
+		return fmt.Errorf("%w: magic %#x is not mbw3", ErrCorrupt, magic)
+	}
+	r := payloadReader{buf: payload}
+	rack := r.uvarint()
+	epoch := r.uvarint()
+	count := r.uvarint()
+	if r.err != nil || rack > 1<<32-1 || epoch > 1<<32-1 {
+		return fmt.Errorf("%w: mbw3 header", ErrCorrupt)
+	}
+	if count > MaxBatchSamples {
+		return fmt.Errorf("%w: record count %d exceeds limit", ErrCorrupt, count)
+	}
+	n := int(count)
+	fresh := !c.epochKnown || uint32(epoch) != c.epoch
+	b.Rack, b.Epoch = uint32(rack), uint32(epoch)
+	b.Samples = b.Samples[:0]
+	if n == 0 {
+		if len(r.buf) != 0 {
+			return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
+		}
+		if fresh {
+			clear(c.idx)
+			c.states = c.states[:0]
+			c.lastTime, c.lastDelta = 0, 0
+		}
+		c.epochKnown, c.epoch = true, uint32(epoch)
+		return nil
+	}
+
+	// Times.
+	nTimes := r.uvarint()
+	if r.err != nil || nTimes == 0 || nTimes > count {
+		return fmt.Errorf("%w: time count", ErrCorrupt)
+	}
+	lt, ld := c.lastTime, c.lastDelta
+	if fresh {
+		lt, ld = 0, 0
+	}
+	c.times = c.times[:0]
+	for i := uint64(0); i < nTimes; i++ {
+		d := ld + unzig(r.uvarint())
+		lt += d
+		ld = d
+		c.times = append(c.times, lt)
+	}
+
+	// Series table.
+	nSeries := r.uvarint()
+	if r.err != nil || nSeries == 0 || nSeries > count {
+		return fmt.Errorf("%w: series count", ErrCorrupt)
+	}
+	c.tkeys = c.tkeys[:0]
+	for i := uint64(0); i < nSeries; i++ {
+		port := r.uvarint()
+		dk := r.byte()
+		if r.err != nil || port > 1<<16-1 {
+			return fmt.Errorf("%w: series table", ErrCorrupt)
+		}
+		c.tkeys = append(c.tkeys, seriesKey{port: uint16(port), dk: dk})
+	}
+
+	// Per-sample columns: series slot, time index, missed.
+	c.sids = growInt(c.sids, n)
+	c.col = colRead(&r, c.col[:0], n)
+	var prev int64
+	for j, v := range c.col {
+		prev += unzig(v)
+		if prev < 0 || prev >= int64(nSeries) {
+			return fmt.Errorf("%w: series index %d", ErrCorrupt, prev)
+		}
+		c.sids[j] = int(prev)
+	}
+	c.tidx = growInt(c.tidx, n)
+	c.col = colRead(&r, c.col[:0], n)
+	prev = 0
+	for j, v := range c.col {
+		prev += unzig(v)
+		if prev < 0 || prev >= int64(nTimes) {
+			return fmt.Errorf("%w: time index %d", ErrCorrupt, prev)
+		}
+		c.tidx[j] = int(prev)
+	}
+	c.missed = colRead(&r, c.missed[:0], n)
+	if r.err != nil {
+		return fmt.Errorf("%w: sample columns", ErrCorrupt)
+	}
+	for _, m := range c.missed {
+		if m > 1<<32-1 {
+			return fmt.Errorf("%w: missed count %d", ErrCorrupt, m)
+		}
+	}
+
+	// Per-slot counts and offsets; every table entry must be referenced
+	// (encoders never emit unused series).
+	c.counts = growInt(c.counts, int(nSeries))
+	for slot := range c.counts {
+		c.counts[slot] = 0
+	}
+	for _, slot := range c.sids {
+		c.counts[slot]++
+	}
+	c.offs = growInt(c.offs, int(nSeries))
+	c.cursor = growInt(c.cursor, int(nSeries))
+	c.binoffs = growInt(c.binoffs, int(nSeries))
+	off, binoff := 0, 0
+	for slot := range c.counts {
+		if c.counts[slot] == 0 {
+			return fmt.Errorf("%w: unreferenced series %d", ErrCorrupt, slot)
+		}
+		c.offs[slot] = off
+		off += c.counts[slot]
+		c.cursor[slot] = 0
+		c.binoffs[slot] = -1
+		if isSizeBins(c.tkeys[slot].dk) {
+			c.binoffs[slot] = binoff
+			binoff += c.counts[slot] * asic.NumSizeBins
+		}
+	}
+
+	// Value (and bin) columns, reconstructed to absolutes against the
+	// stream state; a series unseen this stream (or a fresh epoch)
+	// chains from zero, which is how first batches carry absolutes.
+	c.vals = growU64(c.vals, n)
+	c.binvals = growU64(c.binvals, binoff)
+	c.runD = growI64(c.runD, int(nSeries))
+	c.runBinsD = growI64(c.runBinsD, int(nSeries)*asic.NumSizeBins)
+	for slot := range c.tkeys {
+		var base uint64
+		var baseD int64
+		var st *mbw3Series
+		if si, ok := c.idx[c.tkeys[slot]]; ok && !fresh {
+			st = &c.states[si]
+			base, baseD = st.value, st.valueD
+		}
+		cnt := c.counts[slot]
+		c.col = colRead(&r, c.col[:0], cnt)
+		for i, v := range c.col {
+			baseD += unzig(v)
+			base += uint64(baseD)
+			c.vals[c.offs[slot]+i] = base
+		}
+		c.runD[slot] = baseD
+		if bo := c.binoffs[slot]; bo >= 0 {
+			for k := 0; k < asic.NumSizeBins; k++ {
+				var bbase uint64
+				var bbaseD int64
+				if st != nil {
+					bbase, bbaseD = st.bins[k], st.binsD[k]
+				}
+				c.col = colRead(&r, c.col[:0], cnt)
+				for i, v := range c.col {
+					bbaseD += unzig(v)
+					bbase += uint64(bbaseD)
+					c.binvals[bo+k*cnt+i] = bbase
+				}
+				c.runBinsD[slot*asic.NumSizeBins+k] = bbaseD
+			}
+		}
+	}
+	if r.err != nil {
+		return fmt.Errorf("%w: value columns", ErrCorrupt)
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
+	}
+
+	// Reassemble samples in their original order.
+	if cap(b.Samples) < n {
+		b.Samples = make([]Sample, 0, n)
+	}
+	for j := 0; j < n; j++ {
+		slot := c.sids[j]
+		k := c.tkeys[slot]
+		i := c.cursor[slot]
+		c.cursor[slot]++
+		s := Sample{
+			Time:   simclock.Time(c.times[c.tidx[j]]),
+			Port:   k.port,
+			Dir:    asic.Direction(k.dk & 1),
+			Kind:   asic.CounterKind(k.dk >> 1),
+			Missed: uint32(c.missed[j]),
+			Value:  c.vals[c.offs[slot]+i],
+		}
+		if bo := c.binoffs[slot]; bo >= 0 {
+			cnt := c.counts[slot]
+			for kk := 0; kk < asic.NumSizeBins; kk++ {
+				s.Bins[kk] = c.binvals[bo+kk*cnt+i]
+			}
+		}
+		b.Samples = append(b.Samples, s)
+	}
+
+	// Commit stream state.
+	if fresh {
+		clear(c.idx)
+		c.states = c.states[:0]
+	}
+	for slot, key := range c.tkeys {
+		si, ok := c.idx[key]
+		if !ok {
+			si = len(c.states)
+			c.states = append(c.states, mbw3Series{})
+			c.idx[key] = si
+		}
+		st := &c.states[si]
+		cnt := c.counts[slot]
+		st.value = c.vals[c.offs[slot]+cnt-1]
+		st.valueD = c.runD[slot]
+		if bo := c.binoffs[slot]; bo >= 0 {
+			for k := 0; k < asic.NumSizeBins; k++ {
+				st.bins[k] = c.binvals[bo+k*cnt+cnt-1]
+				st.binsD[k] = c.runBinsD[slot*asic.NumSizeBins+k]
+			}
+		}
+	}
+	c.epochKnown, c.epoch = true, uint32(epoch)
+	c.lastTime, c.lastDelta = lt, ld
+	return nil
+}

@@ -1,0 +1,438 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+)
+
+// pollStream synthesizes nBatches batches of a realistic polling stream:
+// per poll, every series advances its cumulative counter and shares one
+// timestamp, exactly as the poller emits. Values evolve deterministically
+// so chained batches exercise the cross-batch delta state.
+func pollStream(nBatches, pollsPerBatch int, epoch uint32) []*Batch {
+	type series struct {
+		port uint16
+		dir  asic.Direction
+		kind asic.CounterKind
+		val  uint64
+		bins [asic.NumSizeBins]uint64
+	}
+	sers := []*series{
+		{port: 1, dir: asic.TX, kind: asic.KindBytes, val: 10_000},
+		{port: 1, dir: asic.RX, kind: asic.KindBytes, val: 777},
+		{port: 2, dir: asic.TX, kind: asic.KindPackets, val: 40},
+		{port: 3, dir: asic.TX, kind: asic.KindSizeBins, bins: [asic.NumSizeBins]uint64{5, 4, 3, 2, 1, 0}},
+		{port: 9, dir: asic.TX, kind: asic.KindBufferPeak},
+	}
+	t := simclock.Epoch
+	var out []*Batch
+	step := uint64(1)
+	for bi := 0; bi < nBatches; bi++ {
+		b := &Batch{Rack: 3, Epoch: epoch}
+		for p := 0; p < pollsPerBatch; p++ {
+			t = t.Add(simclock.Micros(25)).Add(simclock.Duration(p % 3)) // jittered completion
+			var missed uint32
+			if p%17 == 0 {
+				missed = 1
+			}
+			for _, s := range sers {
+				s.val += step * 97
+				step = step*6364136223846793005 + 1442695040888963407
+				step = (step >> 60) + 1 // small, varying increments
+				smp := Sample{Time: t, Port: s.port, Dir: s.dir, Kind: s.kind, Missed: missed, Value: s.val}
+				if s.kind == asic.KindSizeBins {
+					for k := range s.bins {
+						s.bins[k] += uint64(k) + step
+					}
+					smp.Bins = s.bins
+				}
+				b.Samples = append(b.Samples, smp)
+			}
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// TestMBW3ChainedRoundTrip writes a multi-batch stream and reads it back;
+// every batch must reproduce exactly, including the ones that only carry
+// deltas.
+func TestMBW3ChainedRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterFormat(&buf, FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := pollStream(5, 40, 0)
+	for _, b := range batches {
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range batches {
+		got, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("batch %d mismatch:\n in: %+v\nout: %+v", i, want, got)
+		}
+	}
+	if _, err := r.ReadBatch(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+// TestMBW3EpochBumpResetsChain verifies the restart contract: the first
+// batch of a new epoch carries absolutes, so a reader that joins the
+// stream at the bump (having missed the whole previous epoch) still
+// decodes exact values.
+func TestMBW3EpochBumpResetsChain(t *testing.T) {
+	c, err := NewCodec(FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := pollStream(2, 30, 1)
+	fresh := pollStream(2, 30, 2)
+	var full, tail []byte
+	for _, b := range old {
+		if full, err = c.AppendBatch(full, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, b := range fresh {
+		pre := len(full)
+		if full, err = c.AppendBatch(full, b); err != nil {
+			t.Fatal(err)
+		}
+		tail = append(tail, full[pre:]...)
+	}
+
+	// A reader over the full stream sees everything.
+	r := NewReader(bytes.NewReader(full))
+	for i, want := range append(append([]*Batch{}, old...), fresh...) {
+		got, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("full stream batch %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("full stream batch %d mismatch", i)
+		}
+	}
+
+	// A late joiner that only sees the new epoch decodes it exactly too.
+	r = NewReader(bytes.NewReader(tail))
+	for i, want := range fresh {
+		got, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("tail batch %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(want, got) {
+			t.Fatalf("tail batch %d mismatch:\n in: %+v\nout: %+v", i, want, got)
+		}
+	}
+}
+
+// TestMBW3EncodedSizeMatchesAndIsStateless checks that EncodedSize
+// predicts AppendBatch exactly at every point of a chained stream, and
+// that calling it (even repeatedly, even across an epoch bump) does not
+// advance the delta chain.
+func TestMBW3EncodedSizeMatchesAndIsStateless(t *testing.T) {
+	enc, err := NewCodec(FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bump := pollStream(1, 5, 9)[0]
+	for i, b := range pollStream(4, 25, 0) {
+		want := enc.EncodedSize(b)
+		enc.EncodedSize(bump) // must not disturb the chain
+		enc.EncodedSize(b)
+		frame, err := enc.AppendBatch(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frame) != want {
+			t.Fatalf("batch %d: EncodedSize = %d, framed bytes = %d", i, want, len(frame))
+		}
+		// Later batches are pure deltas and must frame smaller than the
+		// absolute-carrying first batch would alone.
+		if dec, err2 := NewCodec(FormatMBW3); err2 == nil && i > 0 {
+			if fresh := dec.EncodedSize(b); want >= fresh+fresh/2 {
+				t.Fatalf("batch %d: chained size %d not benefiting from state (fresh %d)", i, want, fresh)
+			}
+		}
+	}
+}
+
+// TestMBW3EmptyBatch round-trips empty batches, including an epoch bump
+// carried by an empty batch (which must still reset the chains).
+func TestMBW3EmptyBatch(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterFormat(&buf, FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := pollStream(1, 10, 0)[0]
+	seq := []*Batch{{Rack: 5}, stream, {Rack: 5, Epoch: 2}, pollStream(1, 10, 2)[0]}
+	for _, b := range seq {
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(&buf)
+	for i, want := range seq {
+		got, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if got.Rack != want.Rack || got.Epoch != want.Epoch || len(got.Samples) != len(want.Samples) {
+			t.Fatalf("batch %d shape mismatch: %+v vs %+v", i, want, got)
+		}
+		if len(want.Samples) > 0 && !reflect.DeepEqual(want, got) {
+			t.Fatalf("batch %d mismatch", i)
+		}
+	}
+}
+
+// TestMBW3QuickRoundTrip is the arbitrary-content property test: any
+// canonical batch (Dir in {0,1}, Kind < 128 — what decoders can ever
+// produce) must round-trip exactly through a fresh stream, and a second
+// chained batch of the same shape must too.
+func TestMBW3QuickRoundTrip(t *testing.T) {
+	f := func(rack uint32, raw []struct {
+		T    uint32
+		Port uint16
+		DK   uint8
+		Miss uint32
+		Val  uint64
+		B0   uint64
+	}, second bool) bool {
+		mk := func(shift uint64) *Batch {
+			b := &Batch{Rack: rack}
+			var lastT int64
+			for _, r := range raw {
+				lastT += int64(r.T)
+				s := Sample{
+					Time:   simclock.Time(lastT),
+					Port:   r.Port,
+					Dir:    asic.Direction(r.DK & 1),
+					Kind:   asic.CounterKind(int(r.DK>>1) % 5),
+					Missed: r.Miss,
+					Value:  r.Val + shift,
+				}
+				if s.Kind == asic.KindSizeBins {
+					s.Bins[0] = r.B0
+					s.Bins[3] = r.B0 >> 7
+				}
+				b.Samples = append(b.Samples, s)
+			}
+			return b
+		}
+		var buf bytes.Buffer
+		w, err := NewWriterFormat(&buf, FormatMBW3)
+		if err != nil {
+			return false
+		}
+		var want []*Batch
+		want = append(want, mk(0))
+		if second {
+			want = append(want, mk(1<<40))
+		}
+		for _, b := range want {
+			if err := w.WriteBatch(b); err != nil {
+				return false
+			}
+		}
+		r := NewReader(&buf)
+		for _, wb := range want {
+			got, err := r.ReadBatch()
+			if err != nil {
+				return false
+			}
+			if len(wb.Samples) == 0 {
+				if got.Rack != wb.Rack || len(got.Samples) != 0 {
+					return false
+				}
+				continue
+			}
+			if !reflect.DeepEqual(wb, got) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMBW3ReaderReuse decodes with SetReuse enabled and checks the
+// samples of every batch against a non-reusing reader.
+func TestMBW3ReaderReuse(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriterFormat(&buf, FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batches := pollStream(4, 30, 0)
+	for _, b := range batches {
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := NewReader(bytes.NewReader(buf.Bytes()))
+	r.SetReuse(true)
+	var prev *Batch
+	for i, want := range batches {
+		got, err := r.ReadBatch()
+		if err != nil {
+			t.Fatalf("batch %d: %v", i, err)
+		}
+		if prev != nil && got != prev {
+			t.Fatal("reuse mode returned a different *Batch")
+		}
+		prev = got
+		if !reflect.DeepEqual(want.Samples, got.Samples) || want.Rack != got.Rack {
+			t.Fatalf("batch %d mismatch under reuse", i)
+		}
+	}
+}
+
+// TestMBW3CompressesPollingStream is a sanity bound (the hard 4x gate
+// lives in the core bench artifact): on a steady polling stream the
+// columnar deltas must beat the row format severalfold.
+func TestMBW3CompressesPollingStream(t *testing.T) {
+	batches := pollStream(4, 100, 0)
+	var legacy, columnar int
+	enc, err := NewCodec(FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range batches {
+		legacy += EncodedSize(b)
+		frame, err := enc.AppendBatch(nil, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		columnar += len(frame)
+	}
+	ratio := float64(legacy) / float64(columnar)
+	t.Logf("legacy %d B, mbw3 %d B (%.2fx)", legacy, columnar, ratio)
+	if ratio < 2 {
+		t.Fatalf("mbw3 only %.2fx smaller than the row format on a steady stream", ratio)
+	}
+}
+
+// mbw3Payload extracts the payload of the single frame in data.
+func mbw3Payload(t *testing.T, data []byte) []byte {
+	t.Helper()
+	rest := data[4:]
+	n, sz := uvarintAt(rest)
+	return rest[sz : sz+int(n)]
+}
+
+func uvarintAt(buf []byte) (uint64, int) {
+	var x uint64
+	var s uint
+	for i, b := range buf {
+		if b < 0x80 {
+			return x | uint64(b)<<s, i + 1
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+	return 0, 0
+}
+
+// TestMBW3DecodeRejectsMalformed drives DecodePayload with targeted
+// corruptions of a valid payload; every one must fail with ErrCorrupt
+// and leave the codec usable.
+func TestMBW3DecodeRejectsMalformed(t *testing.T) {
+	enc, err := NewCodec(FormatMBW3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pollStream(1, 20, 0)[0]
+	frame, err := enc.AppendBatch(nil, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := mbw3Payload(t, frame)
+
+	cases := map[string]func([]byte) []byte{
+		"trailing bytes": func(p []byte) []byte { return append(p, 0) },
+		"truncated":      func(p []byte) []byte { return p[:len(p)-3] },
+		"empty":          func([]byte) []byte { return nil },
+		"absurd count": func(p []byte) []byte {
+			// rack=3, epoch=0, count over MaxBatchSamples.
+			return []byte{3, 0, 0xff, 0xff, 0xff, 0xff, 0x7f}
+		},
+		"zero-count rle token": func([]byte) []byte {
+			// rack=1, epoch=0, count=1, nTimes=1, time dd=0, nSeries=1,
+			// table (port=1, dk=0), then a zero-count literal token in the
+			// series column.
+			return []byte{1, 0, 1, 1, 0, 1, 1, 0, 0}
+		},
+	}
+	for name, mut := range cases {
+		dec, err := NewCodec(FormatMBW3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got Batch
+		if err := dec.DecodePayload(Magic3, mut(append([]byte(nil), payload...)), &got); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: err = %v, want ErrCorrupt", name, err)
+		}
+		// The failed decode must not have committed state: the pristine
+		// payload still decodes exactly afterwards.
+		if err := dec.DecodePayload(Magic3, payload, &got); err != nil {
+			t.Errorf("%s: clean payload failed after rejected one: %v", name, err)
+		} else if !reflect.DeepEqual(b.Samples, got.Samples) {
+			t.Errorf("%s: decode after rejection diverged", name)
+		}
+	}
+
+	if err := enc.(*mbw3Codec).DecodePayload(Magic, payload, &Batch{}); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("mbw3 codec accepted a legacy magic")
+	}
+}
+
+// TestMBW3StreamsAreIndependent runs two writers concurrently-interleaved
+// in program order; each stream's chain must be self-contained.
+func TestMBW3StreamsAreIndependent(t *testing.T) {
+	var bufA, bufB bytes.Buffer
+	wa, _ := NewWriterFormat(&bufA, FormatMBW3)
+	wb, _ := NewWriterFormat(&bufB, FormatMBW3)
+	as := pollStream(3, 20, 0)
+	bs := pollStream(3, 20, 7)
+	for i := range as {
+		if err := wa.WriteBatch(as[i]); err != nil {
+			t.Fatal(err)
+		}
+		if err := wb.WriteBatch(bs[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ra, rb := NewReader(&bufA), NewReader(&bufB)
+	for i := range as {
+		ga, err := ra.ReadBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		gb, err := rb.ReadBatch()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(as[i], ga) || !reflect.DeepEqual(bs[i], gb) {
+			t.Fatalf("stream independence violated at batch %d", i)
+		}
+	}
+}

@@ -27,6 +27,18 @@
 // with Epoch 0 — an agent that has never restarted — is framed as "MBW1",
 // byte-identical to streams written before epochs existed; readers accept
 // both framings interleaved.
+//
+// "MBW3" (see mbw3.go) reorganizes the payload into per-series columns:
+// cumulative counters become zigzag-varint deltas chained across batches
+// (the first batch of a stream or epoch carries absolutes), timestamps a
+// delta-of-delta chain, and every column is run-length compressed. It
+// cuts steady-state bytes-on-wire several-fold and is the trace-v2
+// on-disk layout.
+//
+// Formats are selected through the versioned Codec API: writers pick one
+// (NewWriterFormat, or NewWriter for the MBW2 default), readers detect
+// each batch's format from its magic, so streams may interleave formats
+// and every historical format stays readable forever.
 package wire
 
 import (
@@ -47,11 +59,19 @@ const Magic uint32 = 0x4d425731 // "MBW1"
 const Magic2 uint32 = 0x4d425732 // "MBW2"
 
 // MaxBatchPayload bounds a single batch's payload; a reader rejects
-// anything larger as corruption rather than allocating unboundedly.
+// anything larger as corruption rather than allocating unboundedly, and
+// Writer.WriteBatch refuses to emit one with ErrBatchTooLarge.
 const MaxBatchPayload = 16 << 20
 
 // ErrCorrupt is returned when framing, CRC, or field validation fails.
 var ErrCorrupt = errors.New("wire: corrupt batch")
+
+// ErrBatchTooLarge is returned by Writer.WriteBatch (and Codec
+// AppendBatch) for a batch whose payload would exceed MaxBatchPayload —
+// the write-side counterpart of the reader's oversize rejection, so an
+// oversized batch fails loudly at the sender instead of poisoning the
+// stream for every reader.
+var ErrBatchTooLarge = errors.New("wire: batch too large")
 
 // Sample is one counter observation.
 //
@@ -93,22 +113,18 @@ type Batch struct {
 	Samples []Sample
 }
 
-// AppendBatch encodes b and appends it to dst, returning the extended
-// slice.
+// AppendBatch encodes b in the legacy MBW1/MBW2 row format and appends
+// it to dst, returning the extended slice. It is the stateless
+// counterpart of the Codec API (every legacy batch decodes standalone)
+// and performs no size enforcement; stream writers should go through
+// Writer, which does.
 func AppendBatch(dst []byte, b *Batch) []byte {
 	payload := appendPayload(nil, b)
 	magic := Magic
 	if b.Epoch != 0 {
 		magic = Magic2
 	}
-	var hdr [4]byte
-	binary.BigEndian.PutUint32(hdr[:], magic)
-	dst = append(dst, hdr[:]...)
-	dst = binary.AppendUvarint(dst, uint64(len(payload)))
-	dst = append(dst, payload...)
-	var crc [4]byte
-	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
-	return append(dst, crc[:]...)
+	return appendFrame(dst, magic, payload)
 }
 
 func appendPayload(dst []byte, b *Batch) []byte {
@@ -137,29 +153,31 @@ func appendPayload(dst []byte, b *Batch) []byte {
 	return dst
 }
 
-// decodePayload parses a batch payload. hasEpoch selects the MBW2 header
-// layout, which carries the agent epoch between rack id and record count.
-func decodePayload(payload []byte, hasEpoch bool) (*Batch, error) {
+// decodeLegacyPayload parses an MBW1/MBW2 batch payload into b, reusing
+// b.Samples' capacity. hasEpoch selects the MBW2 header layout, which
+// carries the agent epoch between rack id and record count.
+func decodeLegacyPayload(payload []byte, hasEpoch bool, b *Batch) error {
 	r := payloadReader{buf: payload}
 	rack := r.uvarint()
 	var epoch uint64
 	if hasEpoch {
 		epoch = r.uvarint()
 		if epoch == 0 || epoch > 1<<32-1 {
-			return nil, fmt.Errorf("%w: epoch %d out of range", ErrCorrupt, epoch)
+			return fmt.Errorf("%w: epoch %d out of range", ErrCorrupt, epoch)
 		}
 	}
 	n := r.uvarint()
 	if r.err != nil {
-		return nil, fmt.Errorf("%w: header", ErrCorrupt)
+		return fmt.Errorf("%w: header", ErrCorrupt)
 	}
 	// A record is at least 5 bytes; reject absurd counts before
 	// allocating.
 	if n > uint64(len(payload)) {
-		return nil, fmt.Errorf("%w: record count %d exceeds payload", ErrCorrupt, n)
+		return fmt.Errorf("%w: record count %d exceeds payload", ErrCorrupt, n)
 	}
-	b := &Batch{Rack: uint32(rack), Epoch: uint32(epoch)}
-	if n > 0 {
+	b.Rack, b.Epoch = uint32(rack), uint32(epoch)
+	b.Samples = b.Samples[:0]
+	if n > 0 && uint64(cap(b.Samples)) < n {
 		b.Samples = make([]Sample, 0, n)
 	}
 	var prevTime int64
@@ -181,14 +199,14 @@ func decodePayload(payload []byte, hasEpoch bool) (*Batch, error) {
 			}
 		}
 		if r.err != nil {
-			return nil, fmt.Errorf("%w: record %d", ErrCorrupt, i)
+			return fmt.Errorf("%w: record %d", ErrCorrupt, i)
 		}
 		b.Samples = append(b.Samples, s)
 	}
 	if len(r.buf) != 0 {
-		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
+		return fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(r.buf))
 	}
-	return b, nil
+	return nil
 }
 
 type payloadReader struct {
@@ -235,30 +253,89 @@ func (r *payloadReader) byte() byte {
 	return b
 }
 
-// Writer frames batches onto an io.Writer.
+// Writer frames batches onto an io.Writer in one format. The codec's
+// delta state (MBW3) is scoped to this writer, so use one Writer per
+// connection or file.
 type Writer struct {
 	w   io.Writer
+	c   Codec
 	buf []byte
 }
 
-// NewWriter returns a batch writer.
-func NewWriter(w io.Writer) *Writer { return &Writer{w: w} }
+// NewWriter returns a batch writer speaking DefaultFormat (MBW2, whose
+// zero-epoch batches keep the legacy MBW1 framing).
+func NewWriter(w io.Writer) *Writer {
+	nw, err := NewWriterFormat(w, DefaultFormat)
+	if err != nil {
+		panic(err) // unreachable: DefaultFormat is always valid
+	}
+	return nw
+}
 
-// WriteBatch encodes and writes one batch.
+// NewWriterFormat returns a batch writer speaking format f (zero selects
+// DefaultFormat).
+func NewWriterFormat(w io.Writer, f Format) (*Writer, error) {
+	if f == 0 {
+		f = DefaultFormat
+	}
+	c, err := NewCodec(f)
+	if err != nil {
+		return nil, err
+	}
+	return &Writer{w: w, c: c}, nil
+}
+
+// Format reports the format this writer encodes.
+func (w *Writer) Format() Format { return w.c.Format() }
+
+// WriteBatch encodes and writes one batch. A batch whose payload would
+// exceed MaxBatchPayload fails with ErrBatchTooLarge before anything is
+// written, leaving the stream intact.
 func (w *Writer) WriteBatch(b *Batch) error {
-	w.buf = AppendBatch(w.buf[:0], b)
-	_, err := w.w.Write(w.buf)
+	buf, err := w.c.AppendBatch(w.buf[:0], b)
+	if err != nil {
+		return err
+	}
+	w.buf = buf
+	_, err = w.w.Write(w.buf)
 	return err
 }
 
-// Reader decodes a stream of batches from an io.Reader.
+// Reader decodes a stream of batches from an io.Reader. Each batch's
+// format is detected from its magic, so a stream may interleave MBW1,
+// MBW2, and MBW3 batches; per-format decoder state (MBW3 delta chains)
+// is scoped to this reader.
 type Reader struct {
-	r   io.Reader
-	hdr [4]byte
+	r       io.Reader
+	hdr     [4]byte
+	payload []byte
+	legacy  *legacyCodec
+	m3      *mbw3Codec
+	reuse   bool
+	batch   Batch
 }
 
 // NewReader returns a batch reader.
 func NewReader(r io.Reader) *Reader { return &Reader{r: r} }
+
+// SetReuse toggles batch reuse: when enabled, every ReadBatch returns
+// the same *Batch, whose samples are overwritten by the next call —
+// callers that consume each batch before reading the next (the ingest
+// hot path) decode without per-batch allocation. Off by default.
+func (r *Reader) SetReuse(on bool) { r.reuse = on }
+
+// Reset redirects the reader to a new stream, discarding per-format
+// decoder state (MBW3 delta chains restart, exactly as for a fresh
+// Reader) while keeping internal buffers for reuse.
+func (r *Reader) Reset(src io.Reader) {
+	r.r = src
+	if r.legacy != nil {
+		r.legacy.Reset()
+	}
+	if r.m3 != nil {
+		r.m3.Reset()
+	}
+}
 
 // ReadBatch reads the next batch. It returns io.EOF at a clean end of
 // stream, and ErrCorrupt (wrapped) on framing or checksum failure.
@@ -270,17 +347,20 @@ func (r *Reader) ReadBatch() (*Batch, error) {
 		return nil, fmt.Errorf("wire: reading magic: %w", err)
 	}
 	magic := binary.BigEndian.Uint32(r.hdr[:])
-	if magic != Magic && magic != Magic2 {
+	if magic != Magic && magic != Magic2 && magic != Magic3 {
 		return nil, fmt.Errorf("%w: bad magic %#x", ErrCorrupt, magic)
 	}
-	length, err := readUvarint(r.r)
+	length, err := r.readLen()
 	if err != nil {
 		return nil, fmt.Errorf("wire: reading length: %w", err)
 	}
 	if length > MaxBatchPayload {
 		return nil, fmt.Errorf("%w: payload length %d", ErrCorrupt, length)
 	}
-	payload := make([]byte, length)
+	if uint64(cap(r.payload)) < length {
+		r.payload = make([]byte, length)
+	}
+	payload := r.payload[:length]
 	if _, err := io.ReadFull(r.r, payload); err != nil {
 		return nil, fmt.Errorf("wire: reading payload: %w", err)
 	}
@@ -290,16 +370,38 @@ func (r *Reader) ReadBatch() (*Batch, error) {
 	if want := binary.BigEndian.Uint32(r.hdr[:]); want != crc32.ChecksumIEEE(payload) {
 		return nil, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
 	}
-	return decodePayload(payload, magic == Magic2)
+	var b *Batch
+	if r.reuse {
+		b = &r.batch
+	} else {
+		b = &Batch{}
+	}
+	if magic == Magic3 {
+		if r.m3 == nil {
+			r.m3 = newMBW3Codec()
+		}
+		err = r.m3.DecodePayload(magic, payload, b)
+	} else {
+		if r.legacy == nil {
+			r.legacy = &legacyCodec{f: FormatMBW2}
+		}
+		err = r.legacy.DecodePayload(magic, payload, b)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return b, nil
 }
 
-// readUvarint reads a uvarint byte-by-byte from an io.Reader.
-func readUvarint(r io.Reader) (uint64, error) {
+// readLen reads the frame-length uvarint byte-by-byte, staging through
+// r.hdr (free at this point in the frame) so the hot path does not
+// allocate a buffer per read.
+func (r *Reader) readLen() (uint64, error) {
 	var x uint64
 	var s uint
-	var b [1]byte
+	b := r.hdr[:1]
 	for i := 0; i < binary.MaxVarintLen64; i++ {
-		if _, err := io.ReadFull(r, b[:]); err != nil {
+		if _, err := io.ReadFull(r.r, b); err != nil {
 			return 0, err
 		}
 		if b[0] < 0x80 {
@@ -355,11 +457,12 @@ func payloadSize(b *Batch) int {
 }
 
 // EncodedSize returns the exact framed size AppendBatch would produce
-// for b, without encoding. It is a pure function of batch content, so
-// every process in the pipeline computes the same number — the tracing
-// cost model depends on that to position spans identically on the
-// client, the collector, and the campaign recorder.
+// for b, without encoding — a thin wrapper over the MBW1/MBW2 codec's
+// EncodedSize. Unlike MBW3 sizes (which depend on stream state), it is a
+// pure function of batch content, so every process in the pipeline
+// computes the same number — the tracing cost model depends on that to
+// position spans identically on the client, the collector, and the
+// campaign recorder.
 func EncodedSize(b *Batch) int {
-	p := payloadSize(b)
-	return 4 + uvarintLen(uint64(p)) + p + 4
+	return (&legacyCodec{f: FormatMBW2}).EncodedSize(b)
 }

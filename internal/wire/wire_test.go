@@ -141,7 +141,7 @@ func TestOversizePayloadRejected(t *testing.T) {
 func TestDecodeRejectsAbsurdRecordCount(t *testing.T) {
 	// A payload that claims many records but contains none.
 	payload := []byte{1, 0xff, 0xff, 0xff, 0x0f}
-	_, err := decodePayload(payload, false)
+	err := decodeLegacyPayload(payload, false, &Batch{})
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}
@@ -238,7 +238,7 @@ func TestEpochZeroInMBW2Rejected(t *testing.T) {
 	payload := binary.AppendUvarint(nil, 1) // rack
 	payload = binary.AppendUvarint(payload, 0)
 	payload = binary.AppendUvarint(payload, 0) // count
-	_, err := decodePayload(payload, true)
+	err := decodeLegacyPayload(payload, true, &Batch{})
 	if !errors.Is(err, ErrCorrupt) {
 		t.Fatalf("err = %v, want ErrCorrupt", err)
 	}

@@ -49,6 +49,14 @@ MBURST_STREAM_BENCH_OUT="$PWD/BENCH_stream.json" \
 MBURST_PTRACE_BENCH_OUT="$PWD/BENCH_ptrace.json" \
 	go test -run TestPtraceOverheadArtifact -count=1 ./internal/collector
 
+# Wire-format gate: MBW3 must put >= 4x fewer bytes on the wire than
+# MBW2 on the full-counter Web workload, and the steady-state encode and
+# ingest paths must allocate nothing per batch. The artifact records the
+# ingest-throughput ceiling alongside. Runs without -race: it counts
+# allocations on the hot paths.
+MBURST_WIRE_BENCH_OUT="$PWD/BENCH_wire.json" \
+	go test -run TestWireBenchArtifact -count=1 ./internal/core
+
 # Chaos soak: generated fault schedules against the collection pipeline,
 # asserting byte-exact recovery against ASIC ground truth, zero-fault
 # byte-identity, and epoch-gated restart recovery. Bounded runtime (the
