@@ -5,11 +5,20 @@
 //
 // Usage:
 //
-//	mblint [-json] [-rules rule1,rule2] [packages]
+//	mblint [-json] [-rules rule1,rule2] [-graph] [-why func] [packages]
 //
-// Packages default to ./... relative to the working directory. Exit code
-// is 0 when clean, 1 when findings were reported, 2 when the run itself
-// failed (bad flags, unknown rule, load error).
+// Packages default to ./... relative to the working directory.
+//
+// -graph prints the whole-program call-graph summary the interprocedural
+// rules (clockflow, hotalloc, lockorder) analyze. -why prints, for a
+// function (bare name, pkg.Func, or fully qualified), the shortest call
+// chain by which it reaches a wall-clock or global-rand sink — the
+// explanation behind a clockflow finding. With -json the output is a
+// report object: findings, per-rule counts, and call-graph size.
+//
+// Exit code is 0 when clean, 1 when findings were reported, 2 when the
+// run itself failed (bad flags, unknown rule, unknown -why function,
+// load error).
 package main
 
 import (
@@ -22,6 +31,14 @@ import (
 	"mburst/internal/lint"
 )
 
+// report is the -json output shape, published by CI as
+// LINT_findings.json so lint coverage is a tracked artifact.
+type report struct {
+	Findings   []lint.Diagnostic `json:"findings"`
+	RuleCounts map[string]int    `json:"rule_counts"`
+	CallGraph  lint.ProgramStats `json:"callgraph"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -29,10 +46,12 @@ func main() {
 func run(args []string, stdout, stderr *os.File) int {
 	fs := flag.NewFlagSet("mblint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (empty array when clean)")
+	jsonOut := fs.Bool("json", false, "emit a JSON report (findings, rule counts, call-graph size)")
 	rules := fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+	graph := fs.Bool("graph", false, "print the call-graph summary alongside findings")
+	why := fs.String("why", "", "explain how `func` reaches a determinism sink, then exit")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: mblint [-json] [-rules rule1,rule2] [packages]\n\nrules:\n")
+		fmt.Fprintf(stderr, "usage: mblint [-json] [-rules rule1,rule2] [-graph] [-why func] [packages]\n\nrules:\n")
 		for _, a := range lint.NewAnalyzers() {
 			fmt.Fprintf(stderr, "  %-12s %s\n", a.Name, a.Doc)
 		}
@@ -72,15 +91,45 @@ func run(args []string, stdout, stderr *os.File) int {
 		}
 	}
 
-	diags := lint.RunPackages(pkgs, analyzers)
+	if *why != "" {
+		prog := lint.BuildProgram(pkgs)
+		lines, err := lint.Explain(prog, *why)
+		if err != nil {
+			fmt.Fprintln(stderr, "mblint:", err)
+			return 2
+		}
+		for _, line := range lines {
+			fmt.Fprintln(stdout, line)
+		}
+		return 0
+	}
+
+	diags, prog := lint.RunPackagesProgram(pkgs, analyzers)
+
+	var stats lint.ProgramStats
+	if prog != nil {
+		stats = prog.Stats()
+	}
+	if *graph {
+		fmt.Fprintf(stdout, "callgraph: %d packages, %d functions, %d static edges, %d dynamic edges\n",
+			stats.Packages, stats.Functions, stats.StaticEdges, stats.DynamicEdges)
+	}
 
 	if *jsonOut {
+		rep := report{
+			Findings:   diags,
+			RuleCounts: make(map[string]int),
+			CallGraph:  stats,
+		}
+		if rep.Findings == nil {
+			rep.Findings = []lint.Diagnostic{}
+		}
+		for _, d := range diags {
+			rep.RuleCounts[d.Rule]++
+		}
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
-		if diags == nil {
-			diags = []lint.Diagnostic{}
-		}
-		if err := enc.Encode(diags); err != nil {
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintln(stderr, "mblint:", err)
 			return 2
 		}

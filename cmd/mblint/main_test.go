@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"strings"
 	"testing"
@@ -34,14 +35,57 @@ func TestUnknownRuleExits2(t *testing.T) {
 	}
 }
 
-func TestCleanPackageEmitsEmptyJSONArray(t *testing.T) {
+func TestCleanPackageEmitsEmptyReport(t *testing.T) {
 	stdout, stderr := capture(t), capture(t)
 	// internal/simclock is small, dependency-light, and must stay clean.
 	if code := run([]string{"-json", "mburst/internal/simclock"}, stdout, stderr); code != 0 {
 		t.Fatalf("exit code = %d, want 0; stderr: %s", code, readBack(t, stderr))
 	}
-	out := strings.TrimSpace(readBack(t, stdout))
-	if out != "[]" {
-		t.Errorf("JSON output = %q, want empty array", out)
+	var rep report
+	if err := json.Unmarshal([]byte(readBack(t, stdout)), &rep); err != nil {
+		t.Fatalf("output is not a JSON report: %v\n%s", err, readBack(t, stdout))
+	}
+	if len(rep.Findings) != 0 {
+		t.Errorf("findings = %v, want none", rep.Findings)
+	}
+	if rep.Findings == nil {
+		t.Error("findings is null, want an empty array")
+	}
+	if rep.CallGraph.Functions == 0 || rep.CallGraph.Packages == 0 {
+		t.Errorf("callgraph stats empty: %+v", rep.CallGraph)
+	}
+}
+
+func TestGraphSummary(t *testing.T) {
+	stdout, stderr := capture(t), capture(t)
+	if code := run([]string{"-graph", "mburst/internal/simclock"}, stdout, stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, readBack(t, stderr))
+	}
+	out := readBack(t, stdout)
+	if !strings.Contains(out, "callgraph:") || !strings.Contains(out, "static edges") {
+		t.Errorf("missing call-graph summary: %q", out)
+	}
+}
+
+func TestWhyExplainsChain(t *testing.T) {
+	stdout, stderr := capture(t), capture(t)
+	// simclock.Clock.Now is the sanctioned clock; it must reach no
+	// wall-clock sink, and -why must say so rather than stay silent.
+	if code := run([]string{"-why", "Now", "mburst/internal/simclock"}, stdout, stderr); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, readBack(t, stderr))
+	}
+	out := readBack(t, stdout)
+	if !strings.Contains(out, "reaches no wall-clock or global-rand sink") {
+		t.Errorf("-why output missing verdict: %q", out)
+	}
+}
+
+func TestWhyUnknownFunctionExits2(t *testing.T) {
+	stdout, stderr := capture(t), capture(t)
+	if code := run([]string{"-why", "noSuchFunction", "mburst/internal/simclock"}, stdout, stderr); code != 2 {
+		t.Errorf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(readBack(t, stderr), "no function named") {
+		t.Errorf("stderr missing lookup error: %q", readBack(t, stderr))
 	}
 }

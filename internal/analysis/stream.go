@@ -109,6 +109,8 @@ func NewUtilState(speedBps uint64) *UtilState {
 
 // Feed consumes the next sample. The returned bool reports whether a
 // point was emitted (the first sample emits nothing).
+//
+//lint:hotpath per-sample utilization conversion on the streaming figure path
 func (u *UtilState) Feed(s wire.Sample) (UtilPoint, bool, error) {
 	if u.err != nil {
 		return UtilPoint{}, false, u.err
@@ -193,6 +195,8 @@ func NewGapAwareState(speedBps uint64) *GapAwareState {
 }
 
 // Feed consumes the next (possibly damaged) sample. Errors latch.
+//
+//lint:hotpath per-sample gap-aware reconstruction on the streaming figure path
 func (g *GapAwareState) Feed(s wire.Sample) error {
 	if g.err != nil {
 		return g.err
@@ -338,6 +342,8 @@ func NewBurstSegmenter(cfg SegmenterConfig) *BurstSegmenter {
 
 // Feed consumes the next utilization span. The returned bool reports
 // whether a transition fired.
+//
+//lint:hotpath per-span burst segmentation on the streaming figure path
 func (g *BurstSegmenter) Feed(p UtilPoint) (Transition, bool) {
 	hot := p.Util > g.hotAbove
 	cold := !hot
@@ -422,6 +428,8 @@ func NewRebinAcc(width simclock.Duration) *RebinAcc {
 }
 
 // Add distributes one span across the bins it overlaps.
+//
+//lint:hotpath per-span rebinning; amortized bin-slice growth only
 func (r *RebinAcc) Add(p UtilPoint) {
 	if !r.started {
 		r.start = p.Start.Truncate(r.width)
@@ -497,6 +505,8 @@ func NewDropBinAcc(bin simclock.Duration) (*DropBinAcc, error) {
 }
 
 // Add consumes the next drop-counter sample. Errors latch.
+//
+//lint:hotpath per-sample drop binning; amortized bin-slice growth only
 func (d *DropBinAcc) Add(s wire.Sample) error {
 	if d.err != nil {
 		return d.err
@@ -552,6 +562,8 @@ type SeriesEndpoints struct {
 }
 
 // Add consumes the next sample.
+//
+//lint:hotpath per-sample endpoint retention; must stay allocation-free
 func (e *SeriesEndpoints) Add(s wire.Sample) {
 	if e.Count == 0 {
 		e.First = s

@@ -1,0 +1,53 @@
+package lint
+
+import "testing"
+
+// BenchmarkWholeRepoLint times a full-repo analysis pass — every rule,
+// including the interprocedural call-graph build — over pre-loaded
+// packages. Loading (go list + parse + type-check) sits outside the
+// timer: it is the same work the seed did, now parallelized in Load;
+// this benchmark guards the part this PR added, proving the
+// whole-program pass keeps repo lint wall-clock in budget.
+func BenchmarkWholeRepoLint(b *testing.B) {
+	loader := NewLoader("../..")
+	pkgs, err := loader.Load("mburst/...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diags, prog := RunPackagesProgram(pkgs, NewAnalyzers())
+		if prog == nil {
+			b.Fatal("no program built")
+		}
+		_ = diags
+	}
+}
+
+// BenchmarkPerPackageRules isolates the parallelized per-package lane
+// for comparison against the interprocedural total above.
+func BenchmarkPerPackageRules(b *testing.B) {
+	loader := NewLoader("../..")
+	pkgs, err := loader.Load("mburst/...")
+	if err != nil {
+		b.Fatal(err)
+	}
+	var perPkg []*Analyzer
+	for _, a := range NewAnalyzers() {
+		if a.Run != nil && a.RunProgram == nil {
+			perPkg = append(perPkg, a)
+		}
+	}
+	names := make([]string, len(perPkg))
+	for i, a := range perPkg {
+		names[i] = a.Name
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		analyzers, err := SelectAnalyzers(names)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = RunPackages(pkgs, analyzers)
+	}
+}

@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/types"
+	"strings"
+)
+
+// clockflowExtra extends the wallclock sim domain for transitive taint:
+// the collection and analysis pipelines must also be driven entirely by
+// simulated/injected time, or recorded campaigns stop being
+// byte-identical across runs. (obs is deliberately absent: process
+// telemetry like uptime gauges legitimately reads the wall clock.)
+var clockflowExtra = []string{"collector", "analysis", "detect"}
+
+func inSimDomain(path string) bool {
+	for _, seg := range simDomain {
+		if pathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func inClockflowDomain(path string) bool {
+	if inSimDomain(path) {
+		return true
+	}
+	for _, seg := range clockflowExtra {
+		if pathHasSegment(path, seg) {
+			return true
+		}
+	}
+	return false
+}
+
+func newClockflow() *Analyzer {
+	a := &Analyzer{
+		Name: "clockflow",
+		Doc: "Interprocedural determinism taint: a function in the simulation or " +
+			"collection domain (" + strings.Join(simDomain, ", ") + ", " +
+			strings.Join(clockflowExtra, ", ") + ") must not reach time.Now/time.Since " +
+			"or the global math/rand source through any call chain. The direct-call " +
+			"wallclock/globalrand rules catch the sink itself; clockflow walks the " +
+			"call graph and flags the call site where domain code commits to a " +
+			"tainted chain, printing the full chain. internal/rng is exempt (seeded " +
+			"streams are the sanctioned randomness source).",
+	}
+	a.RunProgram = func(p *ProgramPass) {
+		prog := p.Prog
+		reach := clockReach(prog)
+		for _, f := range prog.Nodes {
+			path := f.Pkg.Path
+			if !inClockflowDomain(path) || strings.HasSuffix(path, "internal/rng") {
+				continue
+			}
+			if f.Decl != nil && isTestFile(prog.Fset, f.Decl.Pos()) {
+				continue
+			}
+			// Direct wall-clock calls in the extended (non-sim) domain:
+			// wallclock does not cover these packages, clockflow does.
+			// Direct math/rand use is globalrand's everywhere.
+			if !inSimDomain(path) {
+				for _, ext := range f.Ext {
+					if isClockSink(ext.Fn) {
+						p.Reportf(ext.Pos, "wall-clock %s in %s (clockflow domain); take time through simclock or an injected clock", extName(ext.Fn), path)
+					}
+				}
+			}
+			// Transitive: flag the edge into the innermost function of the
+			// chain — the one that either leaves the domain or contains the
+			// sink itself — so each leak is reported exactly once, at the
+			// call that commits to it.
+			reported := make(map[string]bool)
+			for _, e := range f.Out {
+				g := e.Callee
+				if reach[g] == nil || strings.HasSuffix(g.Pkg.Path, "internal/rng") {
+					continue
+				}
+				if inClockflowDomain(g.Pkg.Path) && hasReachingOut(reach, g) {
+					continue // the finding belongs deeper in the chain
+				}
+				key := prog.posString(e.Pos)
+				if reported[key] {
+					continue // one finding per call site across dynamic candidates
+				}
+				reported[key] = true
+				sink := sinkOf(reach, g)
+				fix := "take time through simclock or an injected clock"
+				if sink != nil && isGlobalRandSink(sink) {
+					fix = "derive randomness with rng.New/Split"
+				}
+				p.Reportf(e.Pos, "%s reaches %s: %s; %s", f.Short(), sinkName(sink), prog.chainVia(reach, e), fix)
+			}
+		}
+	}
+	return a
+}
+
+// hasReachingOut reports whether n makes any call into the reach set —
+// i.e. the chain continues below n and the finding belongs there.
+func hasReachingOut(reach map[*FuncNode]*sinkStep, n *FuncNode) bool {
+	for _, e := range n.Out {
+		if reach[e.Callee] != nil {
+			return true
+		}
+	}
+	return false
+}
+
+func sinkName(fn *types.Func) string {
+	if fn == nil {
+		return "a determinism sink"
+	}
+	return extName(fn)
+}

@@ -1,0 +1,547 @@
+package lint
+
+// hotalloc is a static zero-allocation guard for functions annotated
+//
+//	//lint:hotpath reason
+//
+// in their doc comment. The runtime BENCH_wire/BENCH_stream gates prove
+// the steady-state encode/ingest paths allocate nothing per batch;
+// hotalloc moves that contract to analysis time and names the exact
+// expression that would break it. An annotated function must not
+// contain allocating constructs, and may only call functions that are
+// themselves annotated, proven allocation-free by the same scan
+// (propagated transitively over the call graph), or on a short list of
+// allocation-free standard-library helpers.
+//
+// Two idioms the hot paths rely on are recognized rather than flagged:
+//
+//   - Capacity-guarded growth: make/append/literals dominated or
+//     preceded by a cap(...)/len(...) guard that returns early
+//     (grow-once buffers that amortize to zero).
+//   - Error exits: constructs inside a return statement of an
+//     error-returning function, or in an if-block that ends by
+//     returning (corruption paths may allocate; steady state must not).
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// hotpathPrefix introduces a hot-path annotation in a function's doc
+// comment. Like //lint:ignore, the directive is validated: placement
+// anywhere other than a function's doc comment is a finding, and an
+// annotation on a function the call graph proves unreachable from any
+// exported entry point is stale.
+const hotpathPrefix = "lint:hotpath"
+
+// allocFreePkgs whitelists entire standard-library packages whose
+// functions and methods do not allocate.
+var allocFreePkgs = map[string]bool{
+	"encoding/binary": true,
+	"math":            true,
+	"math/bits":       true,
+	"sync/atomic":     true,
+}
+
+// allocFreeFuncs whitelists individual standard-library functions and
+// methods known not to allocate on their success path.
+var allocFreeFuncs = map[string]bool{
+	"io.ReadFull":             true,
+	"io.ReadAtLeast":          true,
+	"crc32.ChecksumIEEE":      true,
+	"crc32.Update":            true,
+	"errors.Is":               true,
+	"errors.Unwrap":           true,
+	"sync.(*Mutex).Lock":      true,
+	"sync.(*Mutex).Unlock":    true,
+	"sync.(*RWMutex).Lock":    true,
+	"sync.(*RWMutex).Unlock":  true,
+	"sync.(*RWMutex).RLock":   true,
+	"sync.(*RWMutex).RUnlock": true,
+}
+
+func isAllocFreeExt(fn *types.Func) bool {
+	if fn.Pkg() == nil {
+		return false
+	}
+	if allocFreePkgs[fn.Pkg().Path()] {
+		return true
+	}
+	return allocFreeFuncs[extName(fn)]
+}
+
+func newHotalloc() *Analyzer {
+	a := &Analyzer{
+		Name: "hotalloc",
+		Doc: "Zero-allocation guard for //lint:hotpath functions (the wire encode/" +
+			"decode paths and streaming-accumulator Add paths): no allocating " +
+			"constructs (make/new, map/slice literals, fresh-slice append, fmt " +
+			"calls, interface boxing, closures, goroutines, string conversions) " +
+			"outside cap-guarded growth or error exits, and no calls to functions " +
+			"that are neither //lint:hotpath nor proven allocation-free. Misplaced " +
+			"or unreachable (stale) //lint:hotpath directives are findings too.",
+	}
+	a.RunProgram = func(p *ProgramPass) {
+		prog := p.Prog
+		annotated, misplaced := collectHotpath(prog)
+		for _, pos := range misplaced {
+			p.Reportf(pos, "//lint:hotpath must be in a function's doc comment")
+		}
+
+		dirty := allocDirty(prog, annotated)
+
+		// Stale annotations: unreachable from every exported entry point.
+		roots := reachableFromExported(prog)
+		for _, n := range prog.Nodes {
+			pos, ok := annotated[n]
+			if !ok {
+				continue
+			}
+			if !roots[n] {
+				p.Reportf(pos, "stale //lint:hotpath: %s is not reachable from any exported function; remove the annotation or export a caller", n.Short())
+			}
+		}
+
+		for _, n := range prog.Nodes {
+			if _, ok := annotated[n]; !ok {
+				continue
+			}
+			if n.Decl == nil || n.Decl.Body == nil || isTestFile(prog.Fset, n.Decl.Pos()) {
+				continue
+			}
+			short := n.Short()
+			scanAlloc(n, annotated, dirty, func(pos token.Pos, format string, args ...any) {
+				p.Reportf(pos, "hotpath "+short+": "+format, args...)
+			})
+		}
+	}
+	return a
+}
+
+// collectHotpath finds every //lint:hotpath directive, mapping
+// well-placed ones to their function node and returning the positions
+// of misplaced ones.
+func collectHotpath(prog *Program) (map[*FuncNode]token.Pos, []token.Pos) {
+	annotated := make(map[*FuncNode]token.Pos)
+	var misplaced []token.Pos
+	for _, pkg := range prog.Packages {
+		docOf := make(map[*ast.CommentGroup]*ast.FuncDecl)
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+					docOf[fd.Doc] = fd
+				}
+			}
+		}
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				hit := token.NoPos
+				for _, c := range cg.List {
+					if isHotpathComment(c.Text) {
+						hit = c.Pos()
+						break
+					}
+				}
+				if hit == token.NoPos {
+					continue
+				}
+				fd, ok := docOf[cg]
+				if !ok {
+					misplaced = append(misplaced, hit)
+					continue
+				}
+				obj, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if node := prog.Funcs[obj]; node != nil {
+					annotated[node] = hit
+				}
+			}
+		}
+	}
+	return annotated, misplaced
+}
+
+func isHotpathComment(text string) bool {
+	text = strings.TrimPrefix(text, "//")
+	text = strings.TrimSpace(strings.TrimSuffix(strings.TrimPrefix(text, "/*"), "*/"))
+	if !strings.HasPrefix(text, hotpathPrefix) {
+		return false
+	}
+	rest := text[len(hotpathPrefix):]
+	return rest == "" || rest[0] == ' ' || rest[0] == '\t' || rest[0] == ':'
+}
+
+// allocDirty computes the set of functions that may allocate, by a
+// reverse fixpoint: a node is dirty if its own body contains an
+// allocating construct (scanned with the same exemptions reporting
+// uses), calls an unlisted external or an unresolvable func value, or
+// calls a dirty node. Annotated nodes are treated as clean for their
+// callers — their own violations are reported at their bodies — so one
+// finding does not cascade up every hot chain.
+func allocDirty(prog *Program, annotated map[*FuncNode]token.Pos) map[*FuncNode]bool {
+	dirty := make(map[*FuncNode]bool)
+	var queue []*FuncNode
+	mark := func(n *FuncNode) {
+		if !dirty[n] {
+			dirty[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for _, n := range prog.Nodes {
+		if n.Decl == nil || n.Decl.Body == nil {
+			mark(n) // no body, no proof
+			continue
+		}
+		found := false
+		scanAlloc(n, annotated, nil, func(token.Pos, string, ...any) { found = true })
+		if found {
+			mark(n)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, e := range n.In {
+			if _, ok := annotated[e.Caller]; ok {
+				continue
+			}
+			mark(e.Caller)
+		}
+	}
+	return dirty
+}
+
+// scanAlloc walks one function body and reports each allocating
+// construct. With dirty == nil it runs in proof mode for allocDirty:
+// same construct set, but calls to program functions are skipped (their
+// dirt arrives by propagation over the graph instead).
+func scanAlloc(n *FuncNode, annotated map[*FuncNode]token.Pos, dirty map[*FuncNode]bool, report func(token.Pos, string, ...any)) {
+	info := n.Pkg.Info
+	returnsErr := signatureReturnsError(n.Obj.Type().(*types.Signature))
+	guards := capGuardRanges(n.Decl.Body, info)
+
+	edgeAt := make(map[token.Pos][]*Edge)
+	for _, e := range n.Out {
+		if !e.InFuncLit {
+			edgeAt[e.Pos] = append(edgeAt[e.Pos], e)
+		}
+	}
+	extAt := make(map[token.Pos]*types.Func)
+	for _, ext := range n.Ext {
+		if !ext.InFuncLit {
+			extAt[ext.Pos] = ext.Fn
+		}
+	}
+	unresolvedAt := make(map[token.Pos]bool)
+	for _, pos := range n.Unresolved {
+		unresolvedAt[pos] = true
+	}
+
+	var stack []ast.Node
+	errExempt := func() bool { return returnsErr && onErrorExit(stack) }
+	capExempt := func(pos token.Pos) bool {
+		for _, r := range guards {
+			if r.from <= pos && pos < r.to {
+				return true
+			}
+		}
+		return false
+	}
+
+	var walk func(ast.Node) bool
+	walk = func(node ast.Node) bool {
+		if node == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, node)
+		switch node := node.(type) {
+		case *ast.FuncLit:
+			report(node.Pos(), "closure literal may escape (allocates)")
+			stack = stack[:len(stack)-1]
+			return false
+		case *ast.GoStmt:
+			report(node.Pos(), "starting a goroutine allocates")
+		case *ast.CompositeLit:
+			if tv, ok := info.Types[node]; ok && !errExempt() && !capExempt(node.Pos()) {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					report(node.Pos(), "map literal %s allocates", exprString(node))
+				case *types.Slice:
+					report(node.Pos(), "slice literal %s allocates", exprString(node))
+				}
+			}
+		case *ast.UnaryExpr:
+			if node.Op == token.AND && !errExempt() {
+				if _, ok := ast.Unparen(node.X).(*ast.CompositeLit); ok {
+					report(node.Pos(), "%s escapes to the heap", exprString(node))
+				}
+			}
+		case *ast.BinaryExpr:
+			if node.Op == token.ADD && !errExempt() {
+				if tv, ok := info.Types[node]; ok && tv.Value == nil && isStringType(tv.Type) {
+					report(node.Pos(), "string concatenation %s allocates", exprString(node))
+				}
+			}
+		case *ast.CallExpr:
+			scanCallAlloc(node, stack, info, annotated, dirty,
+				edgeAt, extAt, unresolvedAt, errExempt, capExempt, report)
+		}
+		return true
+	}
+	ast.Inspect(n.Decl.Body, walk)
+}
+
+// scanCallAlloc classifies one call inside a scanned body: builtin
+// allocators, allocating conversions, callee provenance, and interface
+// boxing of arguments.
+func scanCallAlloc(call *ast.CallExpr, stack []ast.Node, info *types.Info,
+	annotated map[*FuncNode]token.Pos, dirty map[*FuncNode]bool,
+	edgeAt map[token.Pos][]*Edge, extAt map[token.Pos]*types.Func, unresolvedAt map[token.Pos]bool,
+	errExempt func() bool, capExempt func(token.Pos) bool,
+	report func(token.Pos, string, ...any)) {
+
+	// Conversions: string <-> byte/rune slice copies, and conversions
+	// into interface types box.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) != 1 || errExempt() {
+			return
+		}
+		to := tv.Type
+		from := info.Types[call.Args[0]].Type
+		if from == nil {
+			return
+		}
+		switch {
+		case isStringType(to) && isByteOrRuneSlice(from),
+			isByteOrRuneSlice(to) && isStringType(from):
+			report(call.Pos(), "conversion %s copies (allocates)", exprString(call))
+		case types.IsInterface(to) && !types.IsInterface(from):
+			report(call.Pos(), "conversion %s boxes into an interface", exprString(call))
+		}
+		return
+	}
+
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			switch b.Name() {
+			case "make":
+				if !errExempt() && !capExempt(call.Pos()) {
+					report(call.Pos(), "%s allocates without a cap-guard", exprString(call))
+				}
+			case "new":
+				if !errExempt() {
+					report(call.Pos(), "%s allocates", exprString(call))
+				}
+			case "append":
+				if !errExempt() && !capExempt(call.Pos()) && !isReuseAppend(call, stack) {
+					report(call.Pos(), "%s grows a fresh slice (not the x = append(x, ...) reuse pattern)", exprString(call))
+				}
+			}
+			return
+		}
+	}
+
+	pos := call.Pos()
+	flagged := false
+	if edges := edgeAt[pos]; len(edges) > 0 {
+		if dirty != nil {
+			for _, e := range edges {
+				if _, ok := annotated[e.Callee]; ok {
+					continue
+				}
+				if dirty[e.Callee] && !errExempt() {
+					report(pos, "calls %s, which is neither //lint:hotpath nor proven allocation-free", e.Callee.Short())
+					flagged = true
+					break
+				}
+			}
+		}
+	} else if ext := extAt[pos]; ext != nil {
+		if !isAllocFreeExt(ext) && !errExempt() {
+			report(pos, "calls %s, which is not on the allocation-free list", extName(ext))
+			flagged = true
+		}
+	} else if unresolvedAt[pos] {
+		if !errExempt() {
+			report(pos, "call through a func value cannot be proven allocation-free")
+			flagged = true
+		}
+	}
+
+	// Interface boxing of concrete arguments. Skipped when the call is
+	// already flagged (fmt.* etc. would double-report every argument).
+	if flagged || errExempt() {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice through, no boxing
+			}
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		at := info.Types[arg]
+		if at.Type == nil || at.IsNil() {
+			continue
+		}
+		if types.IsInterface(pt) && !types.IsInterface(at.Type.Underlying()) && !isPointerLike(at.Type) {
+			report(arg.Pos(), "passing %s boxes %s into interface %s", exprString(arg), at.Type.String(), pt.String())
+		}
+	}
+}
+
+// isReuseAppend recognizes the documented capacity-reuse idioms:
+// x = append(x, ...) (including x = append(x[:0], ...)) and
+// return append(x, ...) — the caller owns the buffer contract.
+func isReuseAppend(call *ast.CallExpr, stack []ast.Node) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	if len(stack) < 2 {
+		return false
+	}
+	switch parent := stack[len(stack)-2].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.AssignStmt:
+		argBase := types.ExprString(sliceBase(call.Args[0]))
+		for _, lhs := range parent.Lhs {
+			if types.ExprString(sliceBase(lhs)) == argBase {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// sliceBase strips slice expressions: x[:0] -> x.
+func sliceBase(e ast.Expr) ast.Expr {
+	for {
+		s, ok := ast.Unparen(e).(*ast.SliceExpr)
+		if !ok {
+			return ast.Unparen(e)
+		}
+		e = s.X
+	}
+}
+
+type posRange struct{ from, to token.Pos }
+
+// capGuardRanges returns the source ranges where grow-style allocation
+// is considered capacity-guarded: inside any if statement whose
+// condition consults cap() or len(), and — for the early-return guard
+// idiom (if cap(s) >= n { return s[:n] }; return make(...)) — from such
+// an if to the end of the function body.
+func capGuardRanges(body *ast.BlockStmt, info *types.Info) []posRange {
+	var ranges []posRange
+	ast.Inspect(body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok || !mentionsCapLen(ifs.Cond, info) {
+			return true
+		}
+		ranges = append(ranges, posRange{ifs.Pos(), ifs.End()})
+		if blockEndsInReturn(ifs.Body) {
+			ranges = append(ranges, posRange{ifs.End(), body.End()})
+		}
+		return true
+	})
+	return ranges
+}
+
+func mentionsCapLen(cond ast.Expr, info *types.Info) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok && (b.Name() == "cap" || b.Name() == "len") {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func blockEndsInReturn(b *ast.BlockStmt) bool {
+	if len(b.List) == 0 {
+		return false
+	}
+	_, ok := b.List[len(b.List)-1].(*ast.ReturnStmt)
+	return ok
+}
+
+// onErrorExit reports whether the innermost statement context is a
+// return, or an if-block that ends by returning — the error-path shape.
+func onErrorExit(stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch s := stack[i].(type) {
+		case *ast.ReturnStmt:
+			return true
+		case *ast.BlockStmt:
+			if i > 0 {
+				if _, ok := stack[i-1].(*ast.IfStmt); ok && blockEndsInReturn(s) {
+					return true
+				}
+			}
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+func signatureReturnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	if res.Len() == 0 {
+		return false
+	}
+	last := res.At(res.Len() - 1).Type()
+	return types.Identical(last, types.Universe.Lookup("error").Type()) ||
+		types.Implements(last, types.Universe.Lookup("error").Type().Underlying().(*types.Interface))
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// isPointerLike reports types whose interface conversion does not copy
+// the value to the heap (pointers already are references). Boxing a
+// pointer still writes an iface word pair but allocates nothing new.
+func isPointerLike(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature, *types.Slice:
+		return true
+	}
+	return false
+}

@@ -26,7 +26,9 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
+	"sync"
 )
 
 // Diagnostic is one finding at a source position.
@@ -53,7 +55,38 @@ type Analyzer struct {
 	// protects.
 	Doc string
 	// Run inspects one package and reports findings through the pass.
+	// Per-package analyzers without cross-package state run concurrently
+	// across packages.
 	Run func(*Pass)
+	// CrossPackage marks a Run that keeps state across packages
+	// (metricname's uniqueness map); such analyzers run serially in
+	// import-path order.
+	CrossPackage bool
+	// RunProgram, when set, runs once over the whole-program call graph
+	// after every package has been analyzed (the interprocedural rules:
+	// clockflow, hotalloc, lockorder). Run is typically nil then.
+	RunProgram func(*ProgramPass)
+}
+
+// ProgramPass carries the whole program through one interprocedural
+// analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *ProgramPass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Prog.Fset.Position(pos)
+	*p.diags = append(*p.diags, Diagnostic{
+		File:    position.Filename,
+		Line:    position.Line,
+		Col:     position.Column,
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
 }
 
 // Pass carries one package through one analyzer.
@@ -92,6 +125,9 @@ func NewAnalyzers() []*Analyzer {
 		newErrfmt(),
 		newMapiter(),
 		newSpanend(),
+		newClockflow(),
+		newHotalloc(),
+		newLockorder(),
 	}
 }
 
@@ -128,17 +164,81 @@ func SelectAnalyzers(names []string) ([]*Analyzer, error) {
 
 // RunPackages applies analyzers to pkgs, resolves //lint:ignore
 // directives, and returns the surviving findings sorted by position.
-// Packages are visited in import-path order so cross-package state
-// (metric-name uniqueness) reports deterministically.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	diags, _ := RunPackagesProgram(pkgs, analyzers)
+	return diags
+}
+
+// RunPackagesProgram is RunPackages plus the call graph it built, for
+// callers (mblint -graph/-why, the CI artifact) that want graph stats.
+//
+// Stateless per-package analyzers run concurrently across packages;
+// cross-package analyzers then run serially in import-path order (so
+// metric-name uniqueness reports deterministically); interprocedural
+// analyzers run last over the whole-program call graph. Findings are
+// merged in package order before the final position sort, so the output
+// is identical to a fully serial run.
+func RunPackagesProgram(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, *Program) {
 	sorted := make([]*Package, len(pkgs))
 	copy(sorted, pkgs)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
 
+	var parallel, serial, program []*Analyzer
+	for _, a := range analyzers {
+		switch {
+		case a.RunProgram != nil:
+			program = append(program, a)
+		case a.Run == nil:
+		case a.CrossPackage:
+			serial = append(serial, a)
+		default:
+			parallel = append(parallel, a)
+		}
+	}
+
+	perPkg := make([][]Diagnostic, len(sorted))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(sorted) {
+		workers = len(sorted)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				pkg := sorted[i]
+				for _, a := range parallel {
+					a.Run(&Pass{
+						Analyzer: a,
+						Fset:     pkg.Fset,
+						Files:    pkg.Files,
+						Path:     pkg.Path,
+						Pkg:      pkg.Types,
+						Info:     pkg.Info,
+						diags:    &perPkg[i],
+					})
+				}
+			}
+		}()
+	}
+	for i := range sorted {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
 	var diags []Diagnostic
+	for _, d := range perPkg {
+		diags = append(diags, d...)
+	}
 	for _, pkg := range sorted {
-		for _, a := range analyzers {
-			pass := &Pass{
+		for _, a := range serial {
+			a.Run(&Pass{
 				Analyzer: a,
 				Fset:     pkg.Fset,
 				Files:    pkg.Files,
@@ -146,8 +246,15 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				diags:    &diags,
-			}
-			a.Run(pass)
+			})
+		}
+	}
+
+	var prog *Program
+	if len(sorted) > 0 {
+		prog = BuildProgram(sorted)
+		for _, a := range program {
+			a.RunProgram(&ProgramPass{Analyzer: a, Prog: prog, diags: &diags})
 		}
 	}
 
@@ -169,5 +276,5 @@ func RunPackages(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
 		}
 		return a.Message < b.Message
 	})
-	return diags
+	return diags, prog
 }

@@ -13,8 +13,10 @@ import (
 	"io"
 	"os/exec"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Package is one parsed, type-checked package ready for analysis.
@@ -71,6 +73,11 @@ func (l *Loader) Fset() *token.FileSet { return l.fset }
 // their in-module dependencies in dependency order, and returns the
 // pattern-matched packages. Test files are not loaded; the invariants
 // mblint enforces concern production code paths.
+//
+// Parsing is fanned out across workers (token.FileSet is safe for
+// concurrent AddFile); type-checking stays serial in the topological
+// order go list emits, so every package's imports are already in the
+// loader's cache when its turn comes.
 func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -79,12 +86,34 @@ func (l *Loader) Load(patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var out []*Package
-	for _, m := range metas {
+
+	parsed := make([][]*ast.File, len(metas))
+	errs := make([]error, len(metas))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, m := range metas {
 		if m.Standard || len(m.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := l.check(m)
+		wg.Add(1)
+		go func(i int, m *listPackage) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			parsed[i], errs[i] = l.parse(m)
+		}(i, m)
+	}
+	wg.Wait()
+
+	var out []*Package
+	for i, m := range metas {
+		if m.Standard || len(m.GoFiles) == 0 {
+			continue
+		}
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		pkg, err := l.checkFiles(m.ImportPath, m.Dir, parsed[i])
 		if err != nil {
 			return nil, err
 		}
@@ -148,9 +177,8 @@ func (l *Loader) goList(patterns []string) ([]*listPackage, error) {
 	return metas, nil
 }
 
-// check parses and type-checks one listed package, caching the result for
-// importers downstream in the dependency order.
-func (l *Loader) check(m *listPackage) (*Package, error) {
+// parse parses one listed package's files.
+func (l *Loader) parse(m *listPackage) ([]*ast.File, error) {
 	var files []*ast.File
 	for _, name := range m.GoFiles {
 		path := filepath.Join(m.Dir, name)
@@ -159,6 +187,16 @@ func (l *Loader) check(m *listPackage) (*Package, error) {
 			return nil, err
 		}
 		files = append(files, f)
+	}
+	return files, nil
+}
+
+// check parses and type-checks one listed package, caching the result for
+// importers downstream in the dependency order.
+func (l *Loader) check(m *listPackage) (*Package, error) {
+	files, err := l.parse(m)
+	if err != nil {
+		return nil, err
 	}
 	return l.checkFiles(m.ImportPath, m.Dir, files)
 }

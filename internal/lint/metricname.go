@@ -29,7 +29,8 @@ func newMetricname() *Analyzer {
 	}
 	seen := make(map[string]site) // metric name → first registration site
 	a := &Analyzer{
-		Name: "metricname",
+		Name:         "metricname",
+		CrossPackage: true,
 		Doc: "Every obs.Registry instrument is registered with a string-literal " +
 			"name matching ^mburst_[a-z0-9_]+$, unique across the repo. Literal, " +
 			"schema-conforming names keep the exposition greppable and let " +

@@ -22,6 +22,9 @@ func TestRegressExactPositions(t *testing.T) {
 		"testdata/regress/fixture.go:66:25 errfmt",
 		"testdata/regress/fixture.go:71:2 mapiter",
 		"testdata/regress/fixture.go:80:2 spanend",
+		"testdata/regress/fixture.go:90:9 clockflow",
+		"testdata/regress/fixture.go:102:9 hotalloc",
+		"testdata/regress/fixture.go:116:2 lockorder",
 	}
 	diags := runFixture(t, "regress", "mburst/internal/simnet/regressfix")
 	var got []string

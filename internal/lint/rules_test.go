@@ -71,6 +71,27 @@ func TestSpanendInsidePtrace(t *testing.T) {
 	}
 }
 
+func TestClockflow(t *testing.T) {
+	checkFixture(t, "clockflow", "mburst/internal/collector/cflowfix", "clockflow")
+}
+
+// TestClockflowOutsideDomain pins the rule's scope: the identical source
+// under a path outside the clockflow domain is clean.
+func TestClockflowOutsideDomain(t *testing.T) {
+	diags := runFixture(t, "clockflow", "mburst/internal/obsx/cflowfix", "clockflow")
+	if len(diags) != 0 {
+		t.Errorf("clockflow fired outside its domain: %v", diags)
+	}
+}
+
+func TestHotalloc(t *testing.T) {
+	checkFixture(t, "hotalloc", "mburst/internal/wire/hafix", "hotalloc")
+}
+
+func TestLockorder(t *testing.T) {
+	checkFixture(t, "lockorder", "mburst/internal/collector/lofix", "lockorder")
+}
+
 func TestSelectAnalyzersUnknownRule(t *testing.T) {
 	if _, err := SelectAnalyzers([]string{"nosuchrule"}); err == nil {
 		t.Error("unknown rule selected without error")
@@ -78,7 +99,7 @@ func TestSelectAnalyzersUnknownRule(t *testing.T) {
 }
 
 func TestRuleNamesStable(t *testing.T) {
-	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt", "mapiter", "spanend"}
+	want := []string{"wallclock", "globalrand", "ctxroot", "metricname", "mutexcopy", "locklog", "errfmt", "mapiter", "spanend", "clockflow", "hotalloc", "lockorder"}
 	got := RuleNames()
 	if len(got) != len(want) {
 		t.Fatalf("RuleNames() = %v, want %v", got, want)

@@ -1,0 +1,78 @@
+// Package hafix seeds hotalloc findings: an annotated MBW3-style encode
+// path with an injected fmt.Sprintf, unguarded allocation, callee
+// provenance, interface boxing, closures — plus the recognized reuse
+// and error-exit idioms that must stay clean, and directive validation
+// (misplaced and stale //lint:hotpath).
+package hafix
+
+import "fmt"
+
+// AppendBatch is the MBW3-style append path: self-appends reuse the
+// caller's buffer, but the injected fmt.Sprintf and the unproven helper
+// are violations.
+//
+//lint:hotpath seeded: encode path must not allocate per batch
+func AppendBatch(dst []byte, v uint64) []byte {
+	dst = append(dst, byte(v))                    // reuse pattern: allowed
+	label(v)                                      // want `calls hafix\.label, which is neither //lint:hotpath nor proven allocation-free`
+	return append(dst, fmt.Sprintf("v=%d", v)...) // want `calls fmt\.Sprintf, which is not on the allocation-free list`
+}
+
+func label(v uint64) string { return fmt.Sprintf("%d", v) }
+
+// Decode shows the cap-guard exemption and names exact offending
+// expressions otherwise.
+//
+//lint:hotpath seeded: decode path reuses its buffer
+func Decode(dst []uint64, n int) []uint64 {
+	if cap(dst) < n {
+		dst = make([]uint64, n) // cap-guarded growth: allowed
+	}
+	tmp := make([]byte, 4) // want `make\(\[\]byte, 4\) allocates without a cap-guard`
+	_ = tmp
+	box(n) // want `boxes int into interface`
+	return dst[:n]
+}
+
+func box(v any) {}
+
+// Observe seeds the escape-class constructs.
+//
+//lint:hotpath seeded: no closures or goroutines on the hot path
+func Observe(fn func()) {
+	go fn()        // want `starting a goroutine allocates` `call through a func value`
+	f := func() {} // want `closure literal may escape`
+	f()            // want `call through a func value cannot be proven allocation-free`
+}
+
+// Checked allocates only on its error exit, which is allowed: the
+// steady-state contract concerns the success path.
+//
+//lint:hotpath seeded: error exits may allocate
+func Checked(b []byte) (int, error) {
+	if len(b) == 0 {
+		return 0, fmt.Errorf("empty buffer") // error exit: allowed
+	}
+	return int(b[0]), nil
+}
+
+// Header builds struct and array values, which stay off the heap.
+//
+//lint:hotpath seeded: value composites are fine
+func Header(v uint64) [2]uint64 {
+	h := pair{a: v, b: v}      // struct literal: allowed
+	return [2]uint64{h.a, h.b} // array literal: allowed
+}
+
+type pair struct{ a, b uint64 }
+
+// notCalled is annotated but unreachable from every exported function,
+// so the annotation is stale.
+//
+//lint:hotpath nothing reaches this // want `stale //lint:hotpath: hafix\.notCalled is not reachable`
+func notCalled() {}
+
+func misplacedHolder() {
+	//lint:hotpath directives belong on function doc comments // want `//lint:hotpath must be in a function's doc comment`
+	_ = 0
+}

@@ -1,0 +1,70 @@
+// Package lofix seeds lock-order cycles: a direct inverted pair (ab
+// takes a then b, ba takes b then a) and an interprocedural variant
+// where the second lock of the inversion is taken inside a callee. A
+// consistent pair of helpers (ordered, ordered2) must stay clean.
+package lofix
+
+import "sync"
+
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+func (p *pair) ab() {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle among lofix\.pair\.a, lofix\.pair\.b`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+func (p *pair) ba() {
+	p.b.Lock()
+	p.a.Lock()
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+type inter struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+func (i *inter) lockD() {
+	i.d.Lock()
+	i.d.Unlock()
+}
+
+func (i *inter) cThenD() {
+	i.c.Lock()
+	defer i.c.Unlock()
+	i.lockD() // want `lock-order cycle among lofix\.inter\.c, lofix\.inter\.d.*via lofix\.\(\*inter\)\.lockD`
+}
+
+func (i *inter) dThenC() {
+	i.d.Lock()
+	defer i.d.Unlock()
+	i.c.Lock()
+	i.c.Unlock()
+}
+
+type clean struct {
+	first  sync.Mutex
+	second sync.Mutex
+}
+
+// ordered and ordered2 take the pair in the same global order from two
+// different functions: consistent, no finding.
+func (c *clean) ordered() {
+	c.first.Lock()
+	c.second.Lock()
+	c.second.Unlock()
+	c.first.Unlock()
+}
+
+func (c *clean) ordered2() {
+	c.first.Lock()
+	defer c.first.Unlock()
+	c.second.Lock()
+	c.second.Unlock()
+}

@@ -79,3 +79,49 @@ func Spanend(t *ptrace.Tracer, at simclock.Time) {
 	tr := t.Batch(1, 0, at)
 	tr.Start(ptrace.StagePollRead, at)
 }
+
+// ClockEntry reaches the wall clock two calls down; clockflow flags the
+// innermost call of the chain (clockHop's call into hiddenClock).
+func ClockEntry() time.Duration {
+	return clockHop()
+}
+
+func clockHop() time.Duration {
+	return hiddenClock()
+}
+
+func hiddenClock() time.Duration {
+	//lint:ignore wallclock seeded clockflow sink; the chain is reported at the caller
+	return time.Since(time.Time{})
+}
+
+// HotSerialize is hotpath-annotated but allocates a fresh buffer.
+//
+//lint:hotpath seeded hotalloc violation
+func HotSerialize(v uint64) []byte {
+	buf := make([]byte, 8)
+	buf[0] = byte(v)
+	return buf
+}
+
+// lockOrder seeds an inverted acquisition pair.
+type lockOrder struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// LockAB takes a then b.
+func (l *lockOrder) LockAB() {
+	l.a.Lock()
+	l.b.Lock()
+	l.b.Unlock()
+	l.a.Unlock()
+}
+
+// LockBA takes b then a: the inversion.
+func (l *lockOrder) LockBA() {
+	l.b.Lock()
+	l.a.Lock()
+	l.a.Unlock()
+	l.b.Unlock()
+}

@@ -52,6 +52,16 @@ func namedOrPointee(t types.Type) *types.Named {
 	return n
 }
 
+// exprString renders an expression for a diagnostic, truncated so one
+// pathological literal cannot flood the report line.
+func exprString(e ast.Expr) string {
+	s := types.ExprString(e)
+	if len(s) > 60 {
+		s = s[:57] + "..."
+	}
+	return s
+}
+
 // isSyncLock reports whether t is sync.Mutex or sync.RWMutex.
 func isSyncLock(t types.Type) bool {
 	n, _ := t.(*types.Named)

@@ -117,6 +117,7 @@ func (c *legacyCodec) Format() Format { return c.f }
 
 func (c *legacyCodec) Reset() {}
 
+//lint:hotpath steady-state encode: one frame per poll batch
 func (c *legacyCodec) AppendBatch(dst []byte, b *Batch) ([]byte, error) {
 	if c.f == FormatMBW1 && b.Epoch != 0 {
 		return dst, fmt.Errorf("wire: mbw1 cannot carry epoch %d (use mbw2 or mbw3)", b.Epoch)
@@ -137,6 +138,7 @@ func (c *legacyCodec) EncodedSize(b *Batch) int {
 	return 4 + uvarintLen(uint64(p)) + p + 4
 }
 
+//lint:hotpath steady-state decode: one payload per ingested batch
 func (c *legacyCodec) DecodePayload(magic uint32, payload []byte, b *Batch) error {
 	if magic != Magic && magic != Magic2 {
 		return fmt.Errorf("%w: magic %#x is not a legacy framing", ErrCorrupt, magic)

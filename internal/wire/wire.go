@@ -118,6 +118,8 @@ type Batch struct {
 // counterpart of the Codec API (every legacy batch decodes standalone)
 // and performs no size enforcement; stream writers should go through
 // Writer, which does.
+//
+//lint:hotpath per-batch encode entry point for agents on the legacy format
 func AppendBatch(dst []byte, b *Batch) []byte {
 	payload := appendPayload(nil, b)
 	magic := Magic
@@ -339,6 +341,8 @@ func (r *Reader) Reset(src io.Reader) {
 
 // ReadBatch reads the next batch. It returns io.EOF at a clean end of
 // stream, and ErrCorrupt (wrapped) on framing or checksum failure.
+//
+//lint:hotpath collector ingest loop: allocation-free once SetReuse(true) and buffers are warm
 func (r *Reader) ReadBatch() (*Batch, error) {
 	if _, err := io.ReadFull(r.r, r.hdr[:]); err != nil {
 		if err == io.EOF {
@@ -374,15 +378,18 @@ func (r *Reader) ReadBatch() (*Batch, error) {
 	if r.reuse {
 		b = &r.batch
 	} else {
+		//lint:ignore hotalloc non-reuse mode allocates one Batch per call by contract; the ingest hot path runs with SetReuse(true)
 		b = &Batch{}
 	}
 	if magic == Magic3 {
 		if r.m3 == nil {
+			//lint:ignore hotalloc one-time lazy codec construction on the first MBW3 frame, not per-batch
 			r.m3 = newMBW3Codec()
 		}
 		err = r.m3.DecodePayload(magic, payload, b)
 	} else {
 		if r.legacy == nil {
+			//lint:ignore hotalloc one-time lazy codec construction on the first legacy frame, not per-batch
 			r.legacy = &legacyCodec{f: FormatMBW2}
 		}
 		err = r.legacy.DecodePayload(magic, payload, b)

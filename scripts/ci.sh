@@ -17,9 +17,14 @@ fi
 go vet ./...
 go build ./...
 
-# mblint enforces the determinism/clock/RNG/telemetry invariants (see
-# README "Static analysis"). Findings are published as a CI artifact
-# (empty JSON array when clean) and any finding blocks the build.
+# mblint enforces the determinism/clock/RNG/telemetry invariants plus
+# the interprocedural rules — clockflow taint, hotpath zero-alloc,
+# lock-order cycles (see README "Static analysis"). Together with go vet
+# above it is the blocking static-analysis gate. The JSON report is
+# published as a CI artifact: {"findings": [...], "rule_counts": {...},
+# "callgraph": {packages, functions, static_edges, dynamic_edges}} —
+# findings is an empty array when clean, and any finding blocks the
+# build.
 if ! go run ./cmd/mblint -json ./... > LINT_findings.json; then
 	echo "mblint findings:" >&2
 	cat LINT_findings.json >&2
