@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench chaos trace ci
+.PHONY: build test race vet lint bench fuzz chaos crash trace ci
 
 build:
 	$(GO) build ./...
@@ -22,11 +22,26 @@ lint:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x .
 
+# fuzz exercises the parsers that face untrusted bytes: the wire decoder
+# and the archive recovery scan (which must truncate any torn tail
+# without panicking). FUZZTIME bounds each target (default 10s).
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzReadBatch -fuzztime=$(FUZZTIME) ./internal/wire
+	$(GO) test -run='^$$' -fuzz=FuzzTraceRecover -fuzztime=$(FUZZTIME) ./internal/trace
+
 # chaos runs the fault-injection soak under the race detector: generated
-# fault schedules against the poll/recover pipeline plus the epoch-gated
-# agent-restart scenario. Writes a FAULT_soak.json summary.
+# fault schedules against the poll/recover pipeline, the epoch-gated
+# agent-restart scenario, and the collector-crash recovery soak. Writes
+# a FAULT_soak.json summary.
 chaos:
-	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestChaosSoak|TestAgentRestartRecovery' -count=1 ./internal/fault
+	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestChaosSoak|TestAgentRestartRecovery|TestCollectorCrashSoak' -count=1 ./internal/fault
+
+# crash runs only the collector-crash soak: seeded kill / torn-write /
+# short-write schedules against the durable collection plane, asserting
+# byte-exact recovery against an uninterrupted oracle.
+crash:
+	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestCollectorCrashSoak' -count=1 -v ./internal/fault
 
 # trace records a small faulted campaign with span tracing and renders
 # the waterfall + critical path with mbtrace (see README "Pipeline

@@ -9,8 +9,12 @@
 //	mbcollectd -listen 127.0.0.1:9900 &
 //	mbagent -collector 127.0.0.1:9900 -app cache -port 5 -interval 25µs -dur 2s [-http :9902]
 //
-// The agent logs delivery accounting on exit (delivered, locally
-// dropped, redials), so collector restarts during the run are visible.
+// While the collector is unreachable the agent spools sealed batches
+// (bounded by -spool, default the in-flight buffer size) and replays
+// them in order on reconnect; the restored collector's epoch gate
+// deduplicates the retransmission overlap. The agent logs delivery
+// accounting on exit (delivered, spooled, locally dropped, redials),
+// so collector restarts during the run are visible.
 // With -http it serves /metrics, /stats, /healthz, and /debug/pprof/
 // while running (see README "Observability").
 //
@@ -52,6 +56,7 @@ func main() {
 	seed := flag.Uint64("seed", 1, "seed")
 	rackID := flag.Uint("rack", 0, "rack id tag")
 	epoch := flag.Uint("epoch", 0, "agent incarnation number; bump on restart so an epoch-gated collector discards stale batches (0 = legacy framing)")
+	spool := flag.Int("spool", 0, "retransmit spool bound in samples while the collector is down; size to outage duration x sample rate (0 = same as the in-flight buffer)")
 	wireFmt := flag.String("wire", "", "wire format for the outgoing stream (mbw1, mbw2, mbw3; default mbw2)")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	tracing := flag.Bool("tracing", false, "record client-side pipeline spans and serve /spans and /tracez (needs -http)")
@@ -109,12 +114,13 @@ func main() {
 	client := collector.NewReconnectingClient(func() (io.WriteCloser, error) {
 		return net.DialTimeout("tcp", *collectorAddr, 2*time.Second)
 	}, collector.ReconnectingClientConfig{
-		Rack:    uint32(*rackID),
-		Epoch:   uint32(*epoch),
-		Format:  format,
-		Rand:    rng.New(*seed ^ 0x5eed).Split("backoff"),
-		Metrics: collector.NewClientMetrics(reg),
-		Tracer:  tracer,
+		Rack:       uint32(*rackID),
+		Epoch:      uint32(*epoch),
+		Format:     format,
+		SpoolLimit: *spool,
+		Rand:       rng.New(*seed ^ 0x5eed).Split("backoff"),
+		Metrics:    collector.NewClientMetrics(reg),
+		Tracer:     tracer,
 	})
 
 	poller, err := collector.NewPoller(collector.PollerConfig{

@@ -1,12 +1,24 @@
 // Command mbcollectd is the standalone collector service: it accepts TCP
 // connections from switch-side sampling clients (collector.Client),
-// decodes their batch streams, and either archives the raw batches to a
-// file or prints periodic ingest statistics.
+// decodes their batch streams, and either archives the raw batches —
+// durably, with crash recovery — or prints periodic ingest statistics.
 //
 // Usage:
 //
-//	mbcollectd -listen 127.0.0.1:9900 [-out samples.mbw] [-stats 5s]
-//	           [-http :9901] [-tracing] [-tracerate R] [-tracecap N]
+//	mbcollectd -listen 127.0.0.1:9900 [-archive DIR [-resume]] [-out samples.mbw]
+//	           [-checkpoint N] [-stats 5s] [-http :9901]
+//	           [-tracing] [-tracerate R] [-tracecap N]
+//
+// With -archive the daemon runs the durable collection plane: batches
+// flow through the epoch gate into a segmented, fsynced, crash-safe
+// archive (internal/trace), and every -checkpoint batches the volatile
+// state (live figures, ingest counters, gate horizons) is checkpointed
+// atomically next to it. After a crash, -resume recovers the archive
+// (truncating any torn tail), restores the last checkpoint, and replays
+// the un-checkpointed archive tail, so the daemon restarts with exactly
+// the state it would have had — agents that retransmit their spool are
+// deduplicated by the restored gate. A failed archive write or sync is
+// fatal: the daemon exits non-zero rather than silently dropping data.
 //
 // With -http the daemon serves its debug surface (see README
 // "Observability"): Prometheus metrics at /metrics, a JSON snapshot at
@@ -18,19 +30,21 @@
 //
 // With -tracing the daemon records pipeline spans (internal/ptrace) for
 // each ingested batch — server.ingest, epoch.gate verdicts, archive
-// writes, and figure application — and serves them at /spans (JSON) and
-// /tracez (waterfall) on the debug mux; cmd/mbtrace renders either.
+// writes, checkpoints — and serves them at /spans (JSON) and /tracez
+// (waterfall) on the debug mux; cmd/mbtrace renders either.
 //
-// Shut down with SIGINT/SIGTERM; the listener drains connections before
-// exiting.
+// Shut down with SIGINT/SIGTERM; the listener drains connections, the
+// archive seals, and a final checkpoint is written before exiting.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
@@ -40,15 +54,23 @@ import (
 	"mburst/internal/obs"
 	"mburst/internal/ptrace"
 	"mburst/internal/topo"
+	"mburst/internal/trace"
 	"mburst/internal/wire"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	listen := flag.String("listen", "127.0.0.1:9900", "listen address")
-	out := flag.String("out", "", "optional file to append raw batches to")
-	wireFmt := flag.String("wire", "", "wire format for the -out archive; ingest accepts every format regardless (mbw1, mbw2, mbw3; default mbw2)")
+	archiveDir := flag.String("archive", "", "durable archive directory (segmented, fsynced, crash-recoverable)")
+	resume := flag.Bool("resume", false, "recover the -archive directory and restore the last checkpoint before serving")
+	checkpointEvery := flag.Int("checkpoint", collector.DefaultCheckpointEvery, "checkpoint the collector state every N admitted batches (-archive mode)")
+	out := flag.String("out", "", "optional flat file to append raw batches to (no crash safety; prefer -archive)")
+	wireFmt := flag.String("wire", "", "wire format for the archive; ingest accepts every format regardless (mbw1, mbw2, mbw3; default mbw2)")
 	statsEvery := flag.Duration("stats", 5*time.Second, "stats log interval")
-	epochGate := flag.Bool("epochgate", false, "drop batches from superseded agent epochs and time-regressing duplicates")
+	epochGate := flag.Bool("epochgate", false, "drop batches from superseded agent epochs and time-regressing duplicates (implied by -archive)")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	figures := flag.Bool("figures", false, "serve live streaming figures at /figures (needs -http)")
 	servers := flag.Int("servers", 16, "servers per rack, for the /figures port speed map")
@@ -71,53 +93,16 @@ func main() {
 		})
 	}
 
-	// mu serializes batch archival and, on shutdown, the file close — a
-	// connection goroutine must never race WriteBatch against Close.
-	var (
-		mu    sync.Mutex
-		fileW *wire.Writer
-		outF  *os.File
-	)
-	if *out != "" {
-		var format wire.Format
-		if *wireFmt != "" {
-			var err error
-			if format, err = wire.ParseFormat(*wireFmt); err != nil {
-				logger.Error("parsing wire format", "err", err)
-				os.Exit(2)
-			}
+	var format wire.Format
+	if *wireFmt != "" {
+		var err error
+		if format, err = wire.ParseFormat(*wireFmt); err != nil {
+			logger.Error("parsing wire format", "err", err)
+			return 2
 		}
-		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-		if err != nil {
-			logger.Error("opening output file", "err", err)
-			os.Exit(1)
-		}
-		// Archival transcodes: whatever format a client streamed in, the
-		// archive is written uniformly in the chosen format.
-		fileW, err = wire.NewWriterFormat(f, format)
-		if err != nil {
-			logger.Error("archive writer", "err", err)
-			os.Exit(1)
-		}
-		outF = f
 	}
 
 	stats := &collector.IngestStats{}
-	stats.Attach(reg)
-	archive := func(b *wire.Batch) {
-		if fileW != nil {
-			mu.Lock()
-			if err := fileW.WriteBatch(b); err != nil {
-				logger.Error("archiving batch", "err", err)
-			}
-			mu.Unlock()
-		}
-	}
-	if fileW != nil {
-		archive = collector.TraceStage(tracer, ptrace.StageArchiveWrite, archive)
-	}
-	handler := stats.Wrap(archive)
-
 	var figs *collector.LiveFigures
 	if *figures {
 		rack := topo.Default(*servers)
@@ -134,23 +119,129 @@ func main() {
 		})
 		if err != nil {
 			logger.Error("live figures", "err", err)
-			os.Exit(1)
+			return 1
 		}
 		figs = lf
-		handler = figs.Wrap(handler)
 	}
+
+	// mu serializes legacy flat-file archival and, on shutdown, the file
+	// close — a connection goroutine must never race WriteBatch against
+	// Close.
+	var (
+		mu    sync.Mutex
+		fileW *wire.Writer
+		outF  *os.File
+	)
+	var handler collector.BatchHandler
+	var ingest *collector.DurableIngest
+	var arch *trace.ArchiveWriter
+	switch {
+	case *archiveDir != "":
+		var err error
+		cfg := trace.ArchiveConfig{Format: format}
+		var rec *trace.ArchiveRecovery
+		if *resume {
+			arch, rec, err = trace.ResumeArchive(*archiveDir, cfg)
+		} else {
+			arch, err = trace.CreateArchive(*archiveDir, cfg)
+		}
+		if err != nil {
+			logger.Error("opening archive", "dir", *archiveDir, "err", err)
+			return 1
+		}
+		if rec != nil {
+			for _, s := range rec.Scanned {
+				if s.Torn {
+					logger.Warn("recovered torn segment", "segment", s.Name,
+						"batches", s.Batches, "truncated_bytes", s.TruncatedBytes)
+				}
+			}
+			logger.Info("archive recovered", "batches", rec.Batches, "samples", rec.Samples,
+				"sealed_segments", rec.SealedSegments)
+		}
+		ckptPath := filepath.Join(*archiveDir, "checkpoint.json")
+		ingest, err = collector.NewDurableIngest(collector.DurableIngestConfig{
+			Archive:        arch,
+			CheckpointPath: ckptPath,
+			Every:          *checkpointEvery,
+			Figures:        figs,
+			Stats:          stats,
+			GateMetrics:    collector.NewServerMetrics(reg),
+			Metrics:        collector.NewRecoveryMetrics(reg),
+			Tracer:         tracer,
+		})
+		if err != nil {
+			logger.Error("durable ingest", "err", err)
+			return 1
+		}
+		if *resume {
+			rep, err := ingest.Resume(func(fn func(b *wire.Batch) error) error {
+				return trace.IterArchive(*archiveDir, fn)
+			})
+			if err != nil {
+				logger.Error("resuming from checkpoint", "err", err)
+				return 1
+			}
+			logger.Info("resumed", "had_checkpoint", rep.HadCheckpoint,
+				"checkpoint_batches", rep.CheckpointBatches, "replayed", rep.Replayed,
+				"archive_batches", rep.ArchiveBatches)
+			if rep.Shortfall > 0 {
+				logger.Warn("archive shortfall: checkpointed batches missing from disk",
+					"batches", rep.Shortfall)
+			}
+		}
+		handler = ingest.Handle
+	case *out != "":
+		f, err := os.OpenFile(*out, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Error("opening output file", "err", err)
+			return 1
+		}
+		// Archival transcodes: whatever format a client streamed in, the
+		// archive is written uniformly in the chosen format.
+		fileW, err = wire.NewWriterFormat(f, format)
+		if err != nil {
+			logger.Error("archive writer", "err", err)
+			f.Close()
+			return 1
+		}
+		outF = f
+		archive := func(b *wire.Batch) {
+			mu.Lock()
+			if fileW != nil {
+				if err := fileW.WriteBatch(b); err != nil {
+					logger.Error("archiving batch", "err", err)
+				}
+			}
+			mu.Unlock()
+		}
+		h := stats.Wrap(collector.TraceStage(tracer, ptrace.StageArchiveWrite, archive))
+		if figs != nil {
+			h = figs.Wrap(h)
+		}
+		handler = h
+	default:
+		h := stats.Wrap(nil)
+		if figs != nil {
+			h = figs.Wrap(h)
+		}
+		handler = h
+	}
+	stats.Attach(reg)
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Error("listening", "addr", *listen, "err", err)
-		os.Exit(1)
+		return 1
 	}
 	srv := collector.ServeConfigured(ln, handler, collector.ServerConfig{
-		Metrics:   collector.NewServerMetrics(reg),
-		EpochGate: *epochGate,
+		Metrics: collector.NewServerMetrics(reg),
+		// In -archive mode the gate lives inside DurableIngest, ahead of
+		// the archive write.
+		EpochGate: *epochGate && ingest == nil,
 		Tracer:    tracer,
 	})
-	logger.Info("listening", "addr", srv.Addr().String())
+	logger.Info("listening", "addr", srv.Addr().String(), "durable", ingest != nil)
 
 	if *httpAddr != "" {
 		mux := obs.NewDebugMux(reg, nil)
@@ -165,7 +256,7 @@ func main() {
 		ds, err := obs.StartDebug(*httpAddr, mux)
 		if err != nil {
 			logger.Error("debug http", "addr", *httpAddr, "err", err)
-			os.Exit(1)
+			return 1
 		}
 		defer ds.Close()
 		logger.Info("debug http listening", "url", fmt.Sprintf("http://%s/metrics", ds.Addr()))
@@ -184,15 +275,29 @@ func main() {
 			if err := srv.LastErr(); err != nil {
 				logger.Warn("stream error", "err", err)
 			}
+			if ingest != nil {
+				if err := ingest.Err(); err != nil {
+					logger.Error("archive dead, exiting", "err", err)
+					srv.Close()
+					return 1
+				}
+			}
 		case s := <-sig:
 			logger.Info("draining", "signal", s.String())
+			code := 0
 			if err := srv.Close(); err != nil {
 				logger.Error("closing listener", "err", err)
+				code = 1
+			}
+			if ingest != nil {
+				if c := finalizeDurable(logger, ingest, arch); c != 0 {
+					code = c
+				}
 			}
 			if outF != nil {
 				// Serialize with any in-flight WriteBatch and surface the
-				// final sync error — a silently truncated archive is worse
-				// than a noisy exit.
+				// final sync error as a non-zero exit — a silently truncated
+				// archive is worse than a noisy one.
 				mu.Lock()
 				syncErr := outF.Sync()
 				closeErr := outF.Close()
@@ -200,14 +305,32 @@ func main() {
 				mu.Unlock()
 				if syncErr != nil {
 					logger.Error("syncing output file", "err", syncErr)
+					code = 1
 				}
 				if closeErr != nil {
 					logger.Error("closing output file", "err", closeErr)
+					code = 1
 				}
 			}
 			snap := stats.Snapshot()
-			logger.Info("final", "batches", snap.Batches, "samples", snap.Samples)
-			return
+			logger.Info("final", "batches", snap.Batches, "samples", snap.Samples, "exit", code)
+			return code
 		}
 	}
+}
+
+// finalizeDurable writes the shutdown checkpoint and seals the archive,
+// returning a non-zero exit code if durability could not be guaranteed.
+// Separated from run so the failure paths are testable.
+func finalizeDurable(logger *slog.Logger, ingest *collector.DurableIngest, arch *trace.ArchiveWriter) int {
+	code := 0
+	if err := ingest.Checkpoint(); err != nil {
+		logger.Error("final checkpoint", "err", err)
+		code = 1
+	}
+	if err := arch.Close(); err != nil {
+		logger.Error("sealing archive", "err", err)
+		code = 1
+	}
+	return code
 }

@@ -1,10 +1,18 @@
-// Command mbdump inspects a raw batch archive (the file mbcollectd -out
-// writes, or any concatenation of wire batches): per-batch summaries,
-// per-counter totals, and optionally the first samples decoded.
+// Command mbdump inspects a raw batch archive — the file mbcollectd
+// -out writes, any concatenation of wire batches, or a segmented
+// archive directory written by mbcollectd -archive: per-batch
+// summaries, per-counter totals, and optionally the first samples
+// decoded.
 //
 // Usage:
 //
 //	mbdump -in samples.mbw [-samples 10] [-quiet]
+//	mbdump -in /var/lib/mburst/archive   # segmented archive directory
+//
+// A directory is decoded through the archive manifest in segment order
+// (the collector's admission order). Run mbcollectd -resume (or
+// trace.RecoverArchive) first if the directory crashed mid-write;
+// mbdump treats a torn tail as an error.
 package main
 
 import (
@@ -16,11 +24,12 @@ import (
 
 	"mburst/internal/analysis"
 	"mburst/internal/simclock"
+	"mburst/internal/trace"
 	"mburst/internal/wire"
 )
 
 func main() {
-	in := flag.String("in", "", "batch archive to inspect (required)")
+	in := flag.String("in", "", "batch file or archive directory to inspect (required)")
 	showSamples := flag.Int("samples", 0, "print the first N samples decoded")
 	quiet := flag.Bool("quiet", false, "suppress per-batch lines, print only totals")
 	flag.Parse()
@@ -29,14 +38,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbdump: -in is required")
 		os.Exit(2)
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "mbdump: %v\n", err)
-		os.Exit(1)
-	}
-	defer f.Close()
 
-	r := wire.NewReader(f)
 	var (
 		batches, samples int
 		printed          int
@@ -44,15 +46,7 @@ func main() {
 		firstT, lastT    simclock.Time
 		seen             bool
 	)
-	for {
-		b, err := r.ReadBatch()
-		if err != nil {
-			if errors.Is(err, io.EOF) {
-				break
-			}
-			fmt.Fprintf(os.Stderr, "mbdump: after %d batches: %v\n", batches, err)
-			os.Exit(1)
-		}
+	dump := func(b *wire.Batch) {
 		batches++
 		samples += len(b.Samples)
 		if !*quiet {
@@ -77,6 +71,35 @@ func main() {
 				fmt.Printf("  sample t=%v port=%d %s/%s value=%d missed=%d\n",
 					s.Time, s.Port, s.Dir, s.Kind, s.Value, s.Missed)
 			}
+		}
+	}
+
+	if fi, err := os.Stat(*in); err == nil && fi.IsDir() {
+		if err := trace.IterArchive(*in, func(b *wire.Batch) error {
+			dump(b)
+			return nil
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "mbdump: after %d batches: %v\n", batches, err)
+			os.Exit(1)
+		}
+	} else {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mbdump: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		r := wire.NewReader(f)
+		for {
+			b, err := r.ReadBatch()
+			if err != nil {
+				if errors.Is(err, io.EOF) {
+					break
+				}
+				fmt.Fprintf(os.Stderr, "mbdump: after %d batches: %v\n", batches, err)
+				os.Exit(1)
+			}
+			dump(b)
 		}
 	}
 

@@ -1,0 +1,272 @@
+package collector
+
+import (
+	"errors"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// memArchive is an in-memory ArchiveSink: deep-copied batches (handlers
+// may not retain the decoded batch) plus injectable failures.
+type memArchive struct {
+	batches   []*wire.Batch
+	syncs     int
+	failWrite error
+	failSync  error
+}
+
+func (m *memArchive) WriteBatch(b *wire.Batch) error {
+	if m.failWrite != nil {
+		return m.failWrite
+	}
+	cp := &wire.Batch{Rack: b.Rack, Epoch: b.Epoch, Samples: append([]wire.Sample(nil), b.Samples...)}
+	m.batches = append(m.batches, cp)
+	return nil
+}
+
+func (m *memArchive) Sync() error {
+	if m.failSync != nil {
+		return m.failSync
+	}
+	m.syncs++
+	return nil
+}
+
+func (m *memArchive) Batches() uint64 { return uint64(len(m.batches)) }
+
+func (m *memArchive) iter(fn func(*wire.Batch) error) error {
+	for _, b := range m.batches {
+		if err := fn(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ckptBatch builds batch i for rack: multi-sample, monotone time, a
+// cumulative byte counter that exercises the live figures.
+func ckptBatch(rack uint32, epoch uint32, i int) *wire.Batch {
+	const perBatch = 8
+	b := &wire.Batch{Rack: rack, Epoch: epoch}
+	for j := 0; j < perBatch; j++ {
+		seq := i*perBatch + j
+		at := simclock.Epoch.Add(simclock.Micros(int64(seq) * 25))
+		// Alternate hot/cold stretches so bursts open and close.
+		frac := 0.1
+		if (seq/6)%2 == 1 {
+			frac = 0.95
+		}
+		b.Samples = append(b.Samples, wire.Sample{
+			Time: at, Port: 1, Dir: asic.TX, Kind: asic.KindBytes,
+			Value: uint64(seq) * uint64(frac*31250),
+		})
+	}
+	return b
+}
+
+func newCkptFigures(t *testing.T) *LiveFigures {
+	t.Helper()
+	f, err := NewLiveFigures(LiveFiguresConfig{
+		SpeedOf: func(uint32, uint16) uint64 { return 10_000_000_000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func newDurable(t *testing.T, arch ArchiveSink, path string, every int) (*DurableIngest, *LiveFigures, *IngestStats) {
+	t.Helper()
+	figures := newCkptFigures(t)
+	stats := &IngestStats{}
+	d, err := NewDurableIngest(DurableIngestConfig{
+		Archive:        arch,
+		CheckpointPath: path,
+		Every:          every,
+		Figures:        figures,
+		Stats:          stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d, figures, stats
+}
+
+// TestDurableIngestResumeByteExact is the core durability property: kill
+// the pipeline after an arbitrary batch, rebuild it from the checkpoint
+// plus archive tail, continue ingesting, and every piece of state —
+// figures, ingest counters, gate horizon — matches a pipeline that never
+// died.
+func TestDurableIngestResumeByteExact(t *testing.T) {
+	const total, killAt = 30, 17
+	for _, every := range []int{1, 4, 1000} {
+		// Oracle: never crashes.
+		oArch := &memArchive{}
+		oracle, oFigures, oStats := newDurable(t, oArch, filepath.Join(t.TempDir(), "ckpt.json"), every)
+		for i := 0; i < total; i++ {
+			oracle.Handle(ckptBatch(1, 1, i))
+			oracle.Handle(ckptBatch(2, 1, i))
+		}
+
+		// Crashing run: same traffic up to killAt, then the process dies —
+		// everything volatile is gone, only arch + the checkpoint survive.
+		arch := &memArchive{}
+		path := filepath.Join(t.TempDir(), "ckpt.json")
+		d1, _, _ := newDurable(t, arch, path, every)
+		for i := 0; i < killAt; i++ {
+			d1.Handle(ckptBatch(1, 1, i))
+			d1.Handle(ckptBatch(2, 1, i))
+		}
+
+		// Resurrected run: fresh accumulators, Resume, then the rest of the
+		// traffic.
+		d2, figures, stats := newDurable(t, arch, path, every)
+		rep, err := d2.Resume(arch.iter)
+		if err != nil {
+			t.Fatalf("every=%d: Resume: %v", every, err)
+		}
+		if rep.CheckpointBatches+rep.Replayed != rep.ArchiveBatches {
+			t.Fatalf("every=%d: resume covered %d+%d of %d archived batches",
+				every, rep.CheckpointBatches, rep.Replayed, rep.ArchiveBatches)
+		}
+		if every <= killAt && !rep.HadCheckpoint {
+			t.Fatalf("every=%d: no checkpoint found", every)
+		}
+		for i := killAt; i < total; i++ {
+			d2.Handle(ckptBatch(1, 1, i))
+			d2.Handle(ckptBatch(2, 1, i))
+		}
+
+		if !reflect.DeepEqual(figures.State(), oFigures.State()) {
+			t.Errorf("every=%d: figures state diverges from uninterrupted run", every)
+		}
+		if !reflect.DeepEqual(stats.Snapshot(), oStats.Snapshot()) {
+			t.Errorf("every=%d: ingest stats diverge: %+v vs %+v", every, stats.Snapshot(), oStats.Snapshot())
+		}
+		if !reflect.DeepEqual(d2.gate.State(), oracle.gate.State()) {
+			t.Errorf("every=%d: gate state diverges", every)
+		}
+		if arch.Batches() != oArch.Batches() {
+			t.Errorf("every=%d: archive holds %d batches, oracle %d", every, arch.Batches(), oArch.Batches())
+		}
+	}
+}
+
+// TestDurableIngestResumeDedupsRetransmits proves exactly-once delivery
+// end to end: an agent that retransmits its spool after a collector
+// crash re-sends batches the archive already holds, and the restored
+// gate drops every one of them.
+func TestDurableIngestResumeDedupsRetransmits(t *testing.T) {
+	const total, killAt, resendFrom = 20, 12, 7
+	oArch := &memArchive{}
+	oracle, _, oStats := newDurable(t, oArch, filepath.Join(t.TempDir(), "ckpt.json"), 4)
+	for i := 0; i < total; i++ {
+		oracle.Handle(ckptBatch(1, 1, i))
+	}
+
+	arch := &memArchive{}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	d1, _, _ := newDurable(t, arch, path, 4)
+	for i := 0; i < killAt; i++ {
+		d1.Handle(ckptBatch(1, 1, i))
+	}
+
+	d2, _, stats := newDurable(t, arch, path, 4)
+	if _, err := d2.Resume(arch.iter); err != nil {
+		t.Fatal(err)
+	}
+	// The agent cannot know which batches the collector archived before
+	// dying, so it replays from its spool horizon — overlapping what
+	// already landed — then continues with new traffic.
+	for i := resendFrom; i < total; i++ {
+		d2.Handle(ckptBatch(1, 1, i))
+	}
+
+	if got, want := stats.Snapshot(), oStats.Snapshot(); !reflect.DeepEqual(got, want) {
+		t.Errorf("retransmits double-counted: %+v vs oracle %+v", got, want)
+	}
+	if arch.Batches() != oArch.Batches() {
+		t.Errorf("archive holds %d batches, oracle %d — duplicates were archived", arch.Batches(), oArch.Batches())
+	}
+}
+
+func TestDurableIngestArchiveErrorSticky(t *testing.T) {
+	arch := &memArchive{}
+	d, _, _ := newDurable(t, arch, "", 4)
+	d.Handle(ckptBatch(1, 1, 0))
+	boom := errors.New("disk gone")
+	arch.failWrite = boom
+	d.Handle(ckptBatch(1, 1, 1))
+	if err := d.Err(); err == nil || !errors.Is(err, boom) {
+		t.Fatalf("Err() = %v, want wrapped %v", d.Err(), boom)
+	}
+	arch.failWrite = nil
+	d.Handle(ckptBatch(1, 1, 2)) // must stay dead: the stream has a hole
+	if arch.Batches() != 1 {
+		t.Fatalf("archive took %d batches after a fatal error, want 1", arch.Batches())
+	}
+	if err := d.Checkpoint(); err == nil {
+		t.Fatal("Checkpoint succeeded on a dead pipeline")
+	}
+}
+
+func TestDurableIngestSyncErrorFatal(t *testing.T) {
+	arch := &memArchive{failSync: errors.New("fsync lost")}
+	d, _, _ := newDurable(t, arch, filepath.Join(t.TempDir(), "ckpt.json"), 2)
+	d.Handle(ckptBatch(1, 1, 0))
+	d.Handle(ckptBatch(1, 1, 1)) // cadence point: sync fails inside checkpoint
+	if d.Err() == nil {
+		t.Fatal("failed archive sync did not latch as fatal")
+	}
+}
+
+// TestDurableIngestShortfall: a checkpoint that claims more batches than
+// the archive holds (the storage stack lied about fsync) must be
+// reported, not replayed past the end or silently trusted.
+func TestDurableIngestShortfall(t *testing.T) {
+	arch := &memArchive{}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	d1, _, _ := newDurable(t, arch, path, 5)
+	for i := 0; i < 10; i++ {
+		d1.Handle(ckptBatch(1, 1, i))
+	}
+	// The crash reveals the lie: two "durable" batches never hit the disk.
+	arch.batches = arch.batches[:8]
+
+	d2, _, _ := newDurable(t, arch, path, 5)
+	rep, err := d2.Resume(arch.iter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shortfall != 2 || rep.Replayed != 0 {
+		t.Fatalf("report %+v, want shortfall 2 and no replay", rep)
+	}
+}
+
+func TestLoadCheckpointMissingIsNotAnError(t *testing.T) {
+	st, ok, err := LoadCheckpoint(filepath.Join(t.TempDir(), "nope.json"))
+	if err != nil || ok {
+		t.Fatalf("LoadCheckpoint(missing) = %+v, %v, %v", st, ok, err)
+	}
+}
+
+func TestEpochGateStateRoundTrip(t *testing.T) {
+	g := NewEpochGate(func(*wire.Batch) {}, nil)
+	g.Handle(ckptBatch(3, 2, 0))
+	g.Handle(ckptBatch(1, 1, 5))
+	state := g.State()
+	g2 := NewEpochGate(func(*wire.Batch) {}, nil)
+	g2.RestoreState(state)
+	if !reflect.DeepEqual(g2.State(), state) {
+		t.Fatalf("gate state did not round-trip: %+v vs %+v", g2.State(), state)
+	}
+	// The restored horizon still rejects a stale replay.
+	if v := g2.admit(ckptBatch(1, 1, 2)); v != "drop-reorder" {
+		t.Fatalf("restored gate admitted a regressed batch: %v", v)
+	}
+}

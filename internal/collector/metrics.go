@@ -65,6 +65,12 @@ type ClientMetrics struct {
 	Backoff *obs.Gauge
 	// Pending is the number of samples buffered awaiting flush.
 	Pending *obs.Gauge
+	// Spooled is the number of samples sealed into the retransmit spool
+	// awaiting redelivery.
+	Spooled *obs.Gauge
+	// SpoolDrops counts samples shed from a full retransmit spool (a
+	// subset of Dropped).
+	SpoolDrops *obs.Counter
 }
 
 // NewClientMetrics registers the client instrument set on reg.
@@ -86,6 +92,10 @@ func NewClientMetrics(reg *obs.Registry, labels ...obs.Label) *ClientMetrics {
 			"Current reconnect backoff; 0 while connected.", labels...),
 		Pending: reg.Gauge("mburst_client_pending_samples",
 			"Samples buffered awaiting flush.", labels...),
+		Spooled: reg.Gauge("mburst_client_spooled_samples",
+			"Samples sealed in the retransmit spool awaiting redelivery.", labels...),
+		SpoolDrops: reg.Counter("mburst_client_spool_dropped_total",
+			"Samples shed from a full retransmit spool.", labels...),
 	}
 }
 
@@ -128,6 +138,41 @@ func NewServerMetrics(reg *obs.Registry, labels ...obs.Label) *ServerMetrics {
 			"Batches dropped for carrying a superseded agent epoch.", labels...),
 		ReorderedBatches: reg.Counter("mburst_server_reordered_batches_total",
 			"Same-epoch batches dropped for regressing sample time.", labels...),
+	}
+}
+
+// RecoveryMetrics instruments the durable ingest pipeline
+// (DurableIngest): checkpoint cadence and failures, crash-replay volume,
+// and batches lost to a dead archive.
+type RecoveryMetrics struct {
+	// Checkpoints counts checkpoints persisted.
+	Checkpoints *obs.Counter
+	// CheckpointErrors counts checkpoint saves that failed (the archive
+	// tail covers the gap until the next success).
+	CheckpointErrors *obs.Counter
+	// CheckpointLag is the number of admitted batches not yet covered by
+	// a checkpoint — the replay debt a crash right now would incur.
+	CheckpointLag *obs.Gauge
+	// ReplayedBatches counts archived batches re-applied at resume.
+	ReplayedBatches *obs.Counter
+	// IngestFailures counts batches dropped because the archive stopped
+	// accepting writes.
+	IngestFailures *obs.Counter
+}
+
+// NewRecoveryMetrics registers the durability instrument set on reg.
+func NewRecoveryMetrics(reg *obs.Registry, labels ...obs.Label) *RecoveryMetrics {
+	return &RecoveryMetrics{
+		Checkpoints: reg.Counter("mburst_collector_checkpoints_total",
+			"Durability checkpoints persisted.", labels...),
+		CheckpointErrors: reg.Counter("mburst_collector_checkpoint_errors_total",
+			"Checkpoint saves that failed.", labels...),
+		CheckpointLag: reg.Gauge("mburst_collector_checkpoint_lag_batches",
+			"Admitted batches not yet covered by a checkpoint.", labels...),
+		ReplayedBatches: reg.Counter("mburst_collector_replayed_batches_total",
+			"Archived batches replayed into restored accumulators at resume.", labels...),
+		IngestFailures: reg.Counter("mburst_collector_ingest_failures_total",
+			"Batches dropped because the archive stopped accepting writes.", labels...),
 	}
 }
 

@@ -36,6 +36,13 @@ type ReconnectingClientConfig struct {
 	// dropped — the switch must never block its sampling loop on the
 	// network, and DroppedSamples accounts for the loss.
 	BufferLimit int
+	// SpoolLimit bounds the retransmit spool in samples (default
+	// BufferLimit). Batches that fail to send — and samples sealed during
+	// an outage — wait in the spool and are replayed in order, each under
+	// the epoch it was sealed with, before any newer traffic. Beyond the
+	// limit the oldest spooled batches are dropped with exact accounting
+	// (DroppedSamples and the SpoolDrops counter).
+	SpoolLimit int
 	// RetryBackoff is the initial reconnect delay (default 50 ms),
 	// doubling per failure up to MaxBackoff (default 5 s).
 	RetryBackoff time.Duration
@@ -69,6 +76,9 @@ func (c *ReconnectingClientConfig) applyDefaults() {
 	if c.BufferLimit <= 0 {
 		c.BufferLimit = 1 << 20
 	}
+	if c.SpoolLimit <= 0 {
+		c.SpoolLimit = c.BufferLimit
+	}
 	if c.RetryBackoff <= 0 {
 		c.RetryBackoff = 50 * time.Millisecond
 	}
@@ -90,6 +100,12 @@ type ReconnectingClient struct {
 
 	mu      sync.Mutex
 	pending []wire.Sample
+	// spool holds sealed batches awaiting retransmission, oldest first.
+	// Each remembers the epoch it was sealed under, so an epoch bump never
+	// re-stamps traffic sampled in an earlier generation. spooled is the
+	// total sample count across the spool.
+	spool   []spoolBatch
+	spooled int
 	closed  bool
 	wake    chan struct{}
 	done    chan struct{}
@@ -157,6 +173,111 @@ func (c *ReconnectingClient) Emit(s wire.Sample) {
 	}
 }
 
+// spoolBatch is one sealed, undelivered batch in the retransmit spool.
+type spoolBatch struct {
+	epoch   uint32
+	samples []wire.Sample
+}
+
+// SetEpoch advances the agent's restart generation for subsequently
+// sealed batches. Samples already buffered are sealed into the spool
+// first, under the old epoch — a sample is always delivered with the
+// generation it was sampled in, even across a soft restart. Panics if
+// the configured format is MBW1 and epoch is non-zero (MBW1 cannot
+// carry an epoch; every flush would fail forever).
+func (c *ReconnectingClient) SetEpoch(epoch uint32) {
+	if c.cfg.Format == wire.FormatMBW1 && epoch != 0 {
+		panic("collector: mbw1 cannot carry a restart epoch; use mbw2 or mbw3")
+	}
+	c.mu.Lock()
+	c.sealPendingLocked(true)
+	c.cfg.Epoch = epoch
+	c.mu.Unlock()
+	select {
+	case c.wake <- struct{}{}:
+	default:
+	}
+}
+
+// sealPendingLocked moves buffered samples into the spool as sealed
+// batches under the current epoch: full MaxBatch chunks always, plus the
+// final partial chunk when all is set (epoch bump — nothing may remain
+// behind under the old generation). Caller holds c.mu.
+func (c *ReconnectingClient) sealPendingLocked(all bool) {
+	for len(c.pending) >= c.cfg.MaxBatch || (all && len(c.pending) > 0) {
+		n := len(c.pending)
+		if n > c.cfg.MaxBatch {
+			n = c.cfg.MaxBatch
+		}
+		batch := make([]wire.Sample, n)
+		copy(batch, c.pending[:n])
+		c.pending = c.pending[:copy(c.pending, c.pending[n:])]
+		c.spoolPushLocked(spoolBatch{epoch: c.cfg.Epoch, samples: batch})
+	}
+	c.m.Pending.Set(float64(len(c.pending)))
+}
+
+//lint:hotpath spool enqueue on the flush path; amortized slice growth only
+func (c *ReconnectingClient) spoolPushLocked(sb spoolBatch) {
+	c.spool = append(c.spool, sb)
+	c.spooled += len(sb.samples)
+	// Bounded spool: shed the oldest sealed batches first, with exact
+	// accounting — backpressure must never block the sampling loop.
+	for c.spooled > c.cfg.SpoolLimit && len(c.spool) > 0 {
+		n := uint64(len(c.spool[0].samples))
+		c.spool[0].samples = nil
+		c.spool = c.spool[1:]
+		c.spooled -= int(n)
+		c.dropped += n
+		c.m.Dropped.Add(n)
+		c.m.SpoolDrops.Add(n)
+	}
+	c.m.Spooled.Set(float64(c.spooled))
+}
+
+// takeSpool pops the oldest spooled batch for retransmission.
+func (c *ReconnectingClient) takeSpool() (spoolBatch, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.spool) == 0 {
+		return spoolBatch{}, false
+	}
+	sb := c.spool[0]
+	c.spool[0].samples = nil
+	c.spool = c.spool[1:]
+	c.spooled -= len(sb.samples)
+	c.m.Spooled.Set(float64(c.spooled))
+	return sb, true
+}
+
+// unshiftSpool returns a batch whose write failed to the spool's front,
+// keeping replay order intact across a redial mid-replay.
+func (c *ReconnectingClient) unshiftSpool(sb spoolBatch) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.spool = append([]spoolBatch{sb}, c.spool...)
+	c.spooled += len(sb.samples)
+	c.m.Spooled.Set(float64(c.spooled))
+}
+
+// dropAllLocked accounts everything buffered and spooled as dropped —
+// the shutdown-with-unreachable-collector path. Caller holds c.mu.
+func (c *ReconnectingClient) dropAllLocked() uint64 {
+	n := uint64(len(c.pending)) + uint64(c.spooled)
+	c.dropped += n
+	c.pending = nil
+	c.spool = nil
+	c.spooled = 0
+	return n
+}
+
+// SpooledSamples returns how many samples wait in the retransmit spool.
+func (c *ReconnectingClient) SpooledSamples() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return uint64(c.spooled)
+}
+
 // DroppedSamples returns how many samples were discarded during outages.
 func (c *ReconnectingClient) DroppedSamples() uint64 {
 	c.mu.Lock()
@@ -210,27 +331,27 @@ func (c *ReconnectingClient) Close() error {
 		return nil
 	case <-expired:
 	}
-	// Deadline hit: drop what is still pending so accounting stays exact.
-	// A batch already taken by the flusher is not in pending; it either
-	// delivers (counted delivered) or is put back and dropped by the
-	// flusher's closed-with-unreachable-collector path — never both.
+	// Deadline hit: drop what is still pending or spooled so accounting
+	// stays exact. A batch already taken by the flusher is in neither; it
+	// either delivers (counted delivered) or is re-spooled and dropped by
+	// the flusher's closed-with-unreachable-collector path — never both.
 	c.mu.Lock()
-	n := uint64(len(c.pending))
-	c.dropped += n
-	c.pending = nil
+	n := c.dropAllLocked()
 	c.mu.Unlock()
 	c.m.Dropped.Add(n)
 	c.m.Pending.Set(0)
+	c.m.Spooled.Set(0)
 	return fmt.Errorf("collector: close timed out after %v with %d samples undelivered", timeout, n)
 }
 
-// takeBatch removes up to MaxBatch pending samples.
-func (c *ReconnectingClient) takeBatch() []wire.Sample {
+// takeBatch removes up to MaxBatch pending samples, sealing them under
+// the current epoch (read under the lock — SetEpoch may race).
+func (c *ReconnectingClient) takeBatch() ([]wire.Sample, uint32) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := len(c.pending)
 	if n == 0 {
-		return nil
+		return nil, c.cfg.Epoch
 	}
 	if n > c.cfg.MaxBatch {
 		n = c.cfg.MaxBatch
@@ -239,20 +360,7 @@ func (c *ReconnectingClient) takeBatch() []wire.Sample {
 	copy(out, c.pending[:n])
 	c.pending = c.pending[:copy(c.pending, c.pending[n:])]
 	c.m.Pending.Set(float64(len(c.pending)))
-	return out
-}
-
-// putBack re-queues a batch that failed to send, ahead of newer samples.
-func (c *ReconnectingClient) putBack(batch []wire.Sample) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.pending = append(batch, c.pending...)
-	if over := len(c.pending) - c.cfg.BufferLimit; over > 0 {
-		c.pending = c.pending[over:]
-		c.dropped += uint64(over)
-		c.m.Dropped.Add(uint64(over))
-	}
-	c.m.Pending.Set(float64(len(c.pending)))
+	return out, c.cfg.Epoch
 }
 
 func (c *ReconnectingClient) flushLoop() {
@@ -276,7 +384,7 @@ func (c *ReconnectingClient) flushLoop() {
 
 	for {
 		c.mu.Lock()
-		empty := len(c.pending) == 0
+		empty := len(c.pending) == 0 && len(c.spool) == 0
 		closed := c.closed
 		c.mu.Unlock()
 		if empty {
@@ -293,14 +401,19 @@ func (c *ReconnectingClient) flushLoop() {
 					// Shutting down with an unreachable collector:
 					// account the remainder as dropped and exit.
 					c.mu.Lock()
-					n := uint64(len(c.pending))
-					c.dropped += n
-					c.pending = nil
+					n := c.dropAllLocked()
 					c.mu.Unlock()
 					c.m.Dropped.Add(n)
 					c.m.Pending.Set(0)
+					c.m.Spooled.Set(0)
 					return
 				}
+				// The collector is down: seal full batches into the bounded
+				// spool (under the current epoch) so outage loss is decided by
+				// the spool's exact shedding, then back off.
+				c.mu.Lock()
+				c.sealPendingLocked(false)
+				c.mu.Unlock()
 				// Full jitter: sleep uniform in [0, backoff) while the
 				// doubling schedule caps unchanged; the gauge reports the
 				// sleep actually taken.
@@ -330,27 +443,44 @@ func (c *ReconnectingClient) flushLoop() {
 			c.m.Backoff.Set(0)
 			backoff = c.cfg.RetryBackoff
 		}
-		batch := c.takeBatch()
-		if batch == nil {
-			continue
+		// Replay the spool first: sealed batches precede anything newer,
+		// each under the epoch it was sealed with.
+		wb := wire.Batch{Rack: c.cfg.Rack}
+		var fromSpool bool
+		var spooled spoolBatch
+		if sb, ok := c.takeSpool(); ok {
+			fromSpool, spooled = true, sb
+			wb.Epoch, wb.Samples = sb.epoch, sb.samples
+		} else {
+			batch, epoch := c.takeBatch()
+			if batch == nil {
+				continue
+			}
+			wb.Epoch, wb.Samples = epoch, batch
 		}
-		wb := wire.Batch{Rack: c.cfg.Rack, Epoch: c.cfg.Epoch, Samples: batch}
 		before := cw.n
 		err := w.WriteBatch(&wb)
 		c.m.Bytes.Add(cw.n - before)
 		if err != nil {
 			c.m.FlushErrors.Inc()
 			closeConn()
-			c.putBack(batch)
+			if fromSpool {
+				// Mid-replay redial: back to the front, order intact.
+				c.unshiftSpool(spooled)
+			} else {
+				c.mu.Lock()
+				c.spoolPushLocked(spoolBatch{epoch: wb.Epoch, samples: wb.Samples})
+				c.mu.Unlock()
+			}
 			continue
 		}
 		recordSendSpans(c.cfg.Tracer, &wb, waits)
 		waits = nil
 		c.mu.Lock()
-		c.delivered += uint64(len(batch))
+		c.delivered += uint64(len(wb.Samples))
 		c.mu.Unlock()
 		c.m.Batches.Inc()
-		c.m.Delivered.Add(uint64(len(batch)))
+		c.m.Delivered.Add(uint64(len(wb.Samples)))
 	}
 }
 
@@ -358,6 +488,6 @@ func (c *ReconnectingClient) flushLoop() {
 func (c *ReconnectingClient) String() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return fmt.Sprintf("reconnecting client: delivered=%d dropped=%d redials=%d pending=%d",
-		c.delivered, c.dropped, c.redials, len(c.pending))
+	return fmt.Sprintf("reconnecting client: delivered=%d dropped=%d redials=%d pending=%d spooled=%d",
+		c.delivered, c.dropped, c.redials, len(c.pending), c.spooled)
 }

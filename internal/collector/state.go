@@ -1,0 +1,159 @@
+package collector
+
+import (
+	"sort"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+	"mburst/internal/simclock"
+	"mburst/internal/stats"
+)
+
+// This file gives the collector's stateful middleware an explicit,
+// JSON-serializable state surface — the raw material the checkpointer
+// (checkpoint.go) persists. The shapes mirror internal/stats and
+// internal/analysis snapshots: raw state only, deterministic ordering
+// (maps flatten to sorted slices), and restore rebuilds an instance that
+// continues bit-identically to one that never stopped.
+
+// RackEpochState is one rack's epoch-gate admission state.
+type RackEpochState struct {
+	Rack     uint32        `json:"rack"`
+	Epoch    uint32        `json:"epoch"`
+	LastTime simclock.Time `json:"last_time"`
+	Seen     bool          `json:"seen"`
+}
+
+// State captures the gate's per-rack admission state, sorted by rack.
+func (g *EpochGate) State() []RackEpochState {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]RackEpochState, 0, len(g.racks))
+	for rack, st := range g.racks {
+		out = append(out, RackEpochState{Rack: rack, Epoch: st.epoch, LastTime: st.lastTime, Seen: st.seen})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Rack < out[j].Rack })
+	return out
+}
+
+// RestoreState replaces the gate's per-rack state with a snapshot. A
+// restored gate applies the same stale-epoch and time-regression rules
+// it would have applied had it never stopped — the property that lets a
+// resumed collector drop retransmitted duplicates.
+func (g *EpochGate) RestoreState(state []RackEpochState) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.racks = make(map[uint32]*rackEpoch, len(state))
+	for _, st := range state {
+		g.racks[st.Rack] = &rackEpoch{epoch: st.Epoch, lastTime: st.LastTime, seen: st.Seen}
+	}
+}
+
+// SeriesState is one live-figures series' full accumulator state.
+type SeriesState struct {
+	Rack uint32           `json:"rack"`
+	Port uint16           `json:"port"`
+	Dir  asic.Direction   `json:"dir"`
+	Kind asic.CounterKind `json:"kind"`
+
+	Util      analysis.UtilSnap      `json:"util"`
+	Seg       analysis.SegmenterSnap `json:"seg"`
+	Markov    stats.MarkovAccSnap    `json:"markov"`
+	Durations stats.ECDFAccSnap      `json:"durations"`
+	Gaps      stats.ECDFAccSnap      `json:"gaps"`
+	Moments   stats.MomentAccSnap    `json:"moments"`
+	UtilHist  []uint64               `json:"util_hist"`
+	Points    int                    `json:"points"`
+	Hot       int                    `json:"hot"`
+}
+
+// FiguresState is the live-figures tap's full state: everything Handle
+// has accumulated, nothing derived. (Snapshot() is the *rendered* view —
+// quantiles and probabilities — and cannot be restored; this is the raw
+// one that can.)
+type FiguresState struct {
+	Samples uint64        `json:"samples"`
+	Series  []SeriesState `json:"series,omitempty"`
+}
+
+// State captures the tap's accumulator state, series sorted by rack,
+// port, dir, kind for deterministic output.
+func (f *LiveFigures) State() FiguresState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	st := FiguresState{Samples: f.samples}
+	keys := make([]liveKey, 0, len(f.series))
+	for k := range f.series {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Rack != b.Rack {
+			return a.Rack < b.Rack
+		}
+		if a.Key.Port != b.Key.Port {
+			return a.Key.Port < b.Key.Port
+		}
+		if a.Key.Dir != b.Key.Dir {
+			return a.Key.Dir < b.Key.Dir
+		}
+		return a.Key.Kind < b.Key.Kind
+	})
+	for _, k := range keys {
+		s := f.series[k]
+		st.Series = append(st.Series, SeriesState{
+			Rack: k.Rack, Port: k.Key.Port, Dir: k.Key.Dir, Kind: k.Key.Kind,
+			Util:      s.util.Snapshot(),
+			Seg:       s.seg.Snapshot(),
+			Markov:    s.mk.Snapshot(),
+			Durations: s.durations.Snapshot(),
+			Gaps:      s.gaps.Snapshot(),
+			Moments:   s.moments.Snapshot(),
+			UtilHist:  append([]uint64(nil), s.utilHist...),
+			Points:    s.points,
+			Hot:       s.hot,
+		})
+	}
+	return st
+}
+
+// RestoreState replaces the tap's accumulator state with a snapshot. The
+// per-series snapshots carry their own configuration (line rate inside
+// the UtilSnap, thresholds inside the SegmenterSnap), so restore never
+// consults the config callbacks — a restored tap continues exactly where
+// the snapshot left off even if SpeedOf would now answer differently.
+func (f *LiveFigures) RestoreState(st FiguresState) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.samples = st.Samples
+	f.series = make(map[liveKey]*liveSeries, len(st.Series))
+	for _, s := range st.Series {
+		ls := &liveSeries{
+			util:     analysis.RestoreUtilState(s.Util),
+			seg:      analysis.RestoreBurstSegmenter(s.Seg),
+			utilHist: append([]uint64(nil), s.UtilHist...),
+			points:   s.Points,
+			hot:      s.Hot,
+		}
+		ls.mk.Restore(s.Markov)
+		ls.durations.Restore(s.Durations)
+		ls.gaps.Restore(s.Gaps)
+		ls.moments.Restore(s.Moments)
+		k := liveKey{Rack: s.Rack, Key: analysis.SeriesKey{Port: s.Port, Dir: s.Dir, Kind: s.Kind}}
+		f.series[k] = ls
+	}
+}
+
+// Restore replaces the ingest counters with a snapshot. Call before
+// Attach so the registry mirror carries the restored totals forward.
+func (s *IngestStats) Restore(snap Snapshot) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.batches = snap.Batches
+	s.samples = snap.Samples
+	s.lastSample = simclock.Time(snap.LastSampleNanos)
+	s.perRack = make(map[uint32]uint64, len(snap.PerRack))
+	for _, rc := range snap.PerRack {
+		s.perRack[rc.Rack] = rc.Samples
+	}
+}

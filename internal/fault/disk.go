@@ -1,0 +1,99 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// WriteChaos injects the two archive-write failure modes the durable
+// collection plane must survive:
+//
+//   - a torn write — the process dies mid-write, a partial frame lands
+//     on the open segment's tail, and the write returns an error (the
+//     crash-soak harness then abandons the pipeline, as a real kill
+//     would);
+//   - a short write — only a prefix reaches the disk but the write
+//     reports full success, modeling a storage stack that lies about
+//     durability. The archive believes the batch is safe; the lie
+//     surfaces after the crash as a resume Shortfall.
+//
+// Both are one-shot: Arm* primes the next write through any wrapped
+// stream, which consumes the arming. Wrap matches the signature of
+// trace.ArchiveConfig.WrapWrites, the interposition point between the
+// batch encoder and the segment file.
+type WriteChaos struct {
+	mu        sync.Mutex
+	tornFrac  float64
+	torn      bool
+	shortFrac float64
+	short     bool
+	m         Metrics
+}
+
+// NewWriteChaos returns an unarmed injector feeding m (which may be nil).
+func NewWriteChaos(m *Metrics) *WriteChaos {
+	c := &WriteChaos{}
+	if m != nil {
+		c.m = *m
+	}
+	return c
+}
+
+// ArmTorn primes the next write to persist frac of its payload and fail.
+func (c *WriteChaos) ArmTorn(frac float64) {
+	c.mu.Lock()
+	c.torn, c.tornFrac = true, frac
+	c.mu.Unlock()
+}
+
+// ArmShort primes the next write to persist frac of its payload while
+// reporting complete success.
+func (c *WriteChaos) ArmShort(frac float64) {
+	c.mu.Lock()
+	c.short, c.shortFrac = true, frac
+	c.mu.Unlock()
+}
+
+// Wrap interposes the injector on a segment byte stream. Pass it as
+// trace.ArchiveConfig.WrapWrites.
+func (c *WriteChaos) Wrap(w io.Writer) io.Writer {
+	return &chaosWriter{chaos: c, w: w}
+}
+
+type chaosWriter struct {
+	chaos *WriteChaos
+	w     io.Writer
+}
+
+func (cw *chaosWriter) Write(p []byte) (int, error) {
+	c := cw.chaos
+	c.mu.Lock()
+	switch {
+	case c.torn:
+		c.torn = false
+		keep := int(c.tornFrac * float64(len(p)))
+		c.mu.Unlock()
+		c.m.TornWrites.Inc()
+		if keep > 0 {
+			if n, err := cw.w.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		return keep, fmt.Errorf("fault: write torn after %d/%d bytes: %w", keep, len(p), ErrInjected)
+	case c.short:
+		c.short = false
+		keep := int(c.shortFrac * float64(len(p)))
+		c.mu.Unlock()
+		c.m.ShortWrites.Inc()
+		if keep > 0 {
+			if n, err := cw.w.Write(p[:keep]); err != nil {
+				return n, err
+			}
+		}
+		// The lie: the caller is told every byte landed.
+		return len(p), nil
+	}
+	c.mu.Unlock()
+	return cw.w.Write(p)
+}

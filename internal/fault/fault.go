@@ -36,6 +36,17 @@
 //	         drop. Applied by Gate/FlakyDialer at the harness level.
 //	disk     trace-writer disk errors: window-file writes fail. Applied
 //	         by FlakyOpener.
+//	kill     collector process kill: the collector dies at the offset
+//	         with its archive segment open, and must resume from the
+//	         checkpoint plus archive tail. Applied by the crash-soak
+//	         harness.
+//	torn     torn archive write: the collector dies mid-write, leaving a
+//	         partial frame on the open segment's tail (Factor is the
+//	         persisted fraction). Applied by WriteChaos.
+//	shortw   short archive write: the write reports success but persists
+//	         only Factor of the payload — the storage stack lied about
+//	         durability, surfacing as a resume Shortfall. Applied by
+//	         WriteChaos.
 package fault
 
 import (
@@ -64,6 +75,14 @@ const (
 	KindCollectorOutage
 	// KindDiskError marks a trace-writer disk-error window.
 	KindDiskError
+	// KindCollectorKill marks a collector process kill (crash + resume).
+	KindCollectorKill
+	// KindTornWrite tears the collector's next archive write: a crash
+	// mid-write leaves a partial frame on the segment tail.
+	KindTornWrite
+	// KindShortWrite makes the collector's next archive write persist
+	// only a prefix while reporting success (the fsync lie).
+	KindShortWrite
 	numKinds
 )
 
@@ -82,6 +101,12 @@ func (k Kind) String() string {
 		return "outage"
 	case KindDiskError:
 		return "disk"
+	case KindCollectorKill:
+		return "kill"
+	case KindTornWrite:
+		return "torn"
+	case KindShortWrite:
+		return "shortw"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -108,7 +133,9 @@ type Fault struct {
 	// (meaningful for restart boundaries).
 	Dur simclock.Duration
 	// Factor scales the poll's base access cost while a latency fault is
-	// active (e.g. 8 = reads are 8× slower).
+	// active (e.g. 8 = reads are 8× slower). For torn and short writes it
+	// is instead the fraction of the payload persisted before the
+	// failure, in [0, 1].
 	Factor float64
 	// Delay is the extra per-poll cost while a stall fault is active.
 	Delay simclock.Duration
@@ -126,7 +153,7 @@ func (f Fault) active(off simclock.Duration) bool {
 func (f Fault) String() string {
 	s := fmt.Sprintf("%s@%s+%s", f.Kind, f.At, f.Dur)
 	switch f.Kind {
-	case KindReadLatency:
+	case KindReadLatency, KindTornWrite, KindShortWrite:
 		if f.Factor > 0 {
 			s += ":x" + strconv.FormatFloat(f.Factor, 'g', -1, 64)
 		}
@@ -151,6 +178,8 @@ func (f Fault) Validate() error {
 		return fmt.Errorf("fault: latency factor %v < 1", f.Factor)
 	case f.Kind == KindCPUStall && f.Delay <= 0:
 		return fmt.Errorf("fault: stall with no delay")
+	case (f.Kind == KindTornWrite || f.Kind == KindShortWrite) && (f.Factor < 0 || f.Factor > 1):
+		return fmt.Errorf("fault: persisted fraction %v outside [0,1]", f.Factor)
 	}
 	return nil
 }
@@ -214,9 +243,12 @@ func (s Schedule) String() string {
 //
 //	schedule := fault ("," fault)*
 //	fault    := kind "@" offset "+" dur [":" param]
-//	kind     := stuck | latency | stall | restart | outage | disk
+//	kind     := stuck | latency | stall | restart | outage | disk |
+//	            kill | torn | shortw
 //	offset   := Go duration (window-relative, e.g. 10ms, 250us)
-//	param    := "x" factor (latency) | extra-delay duration (stall)
+//	param    := "x" factor (latency: access-cost multiplier;
+//	            torn/shortw: persisted fraction) |
+//	            extra-delay duration (stall)
 //
 // Example: "stuck@10ms+5ms,latency@20ms+5ms:x8,stall@30ms+2ms:500us".
 // The literal "none" (or an empty string) parses to the empty schedule.
@@ -264,10 +296,10 @@ func parseFault(part string) (Fault, error) {
 	}
 	if hasParam {
 		switch k {
-		case KindReadLatency:
+		case KindReadLatency, KindTornWrite, KindShortWrite:
 			factor, ok := strings.CutPrefix(param, "x")
 			if !ok {
-				return f, fmt.Errorf("fault: %q: latency parameter must be xN", part)
+				return f, fmt.Errorf("fault: %q: %s parameter must be xN", part, k)
 			}
 			f.Factor, err = strconv.ParseFloat(factor, 64)
 			if err != nil {
@@ -288,6 +320,9 @@ func parseFault(part string) (Fault, error) {
 	}
 	if k == KindCPUStall && f.Delay == 0 {
 		f.Delay = DefaultStallDelay
+	}
+	if (k == KindTornWrite || k == KindShortWrite) && f.Factor == 0 {
+		f.Factor = DefaultPersistFrac
 	}
 	return f, nil
 }

@@ -17,6 +17,9 @@ import (
 const (
 	DefaultLatencyFactor = 8
 	DefaultStallDelay    = 500 * simclock.Microsecond
+	// DefaultPersistFrac is the fraction of a torn or short write's
+	// payload that reaches the disk before the failure.
+	DefaultPersistFrac = 0.5
 )
 
 // GenConfig parameterizes randomized schedule generation. Each P* field is
@@ -32,6 +35,12 @@ type GenConfig struct {
 	PRestart float64
 	POutage  float64
 	PDisk    float64
+	// PKill / PTorn / PShort are the collector-crash probabilities: a
+	// process kill, a kill mid-archive-write (torn tail), and a short
+	// write the storage stack reports as durable.
+	PKill  float64
+	PTorn  float64
+	PShort float64
 	// DurFrac is each fault's active span as a fraction of the window
 	// (default 0.15).
 	DurFrac float64
@@ -39,6 +48,9 @@ type GenConfig struct {
 	LatencyFactor float64
 	// StallDelay is the per-poll stall (default 500 µs).
 	StallDelay simclock.Duration
+	// PersistFrac is the payload fraction a torn or short write persists
+	// (default 0.5).
+	PersistFrac float64
 }
 
 // Default returns an aggressive chaos mix: every poller-visible kind at
@@ -55,6 +67,17 @@ func Default() GenConfig {
 	}
 }
 
+// CrashMix returns the collector-crash soak's diet: frequent process
+// kills, regular torn tails, occasional fsync lies — and nothing that
+// perturbs the sampling plane, so recovery is measured in isolation.
+func CrashMix() GenConfig {
+	return GenConfig{
+		PKill:  0.9,
+		PTorn:  0.5,
+		PShort: 0.4,
+	}
+}
+
 func (c *GenConfig) applyDefaults() {
 	if c.DurFrac == 0 {
 		c.DurFrac = 0.15
@@ -64,6 +87,9 @@ func (c *GenConfig) applyDefaults() {
 	}
 	if c.StallDelay == 0 {
 		c.StallDelay = DefaultStallDelay
+	}
+	if c.PersistFrac == 0 {
+		c.PersistFrac = DefaultPersistFrac
 	}
 }
 
@@ -75,6 +101,7 @@ func (c GenConfig) Validate() error {
 	}{
 		{"stuck", c.PStuck}, {"latency", c.PLatency}, {"stall", c.PStall},
 		{"restart", c.PRestart}, {"outage", c.POutage}, {"disk", c.PDisk},
+		{"kill", c.PKill}, {"torn", c.PTorn}, {"shortw", c.PShort},
 	} {
 		if p.v < 0 || p.v > 1 {
 			return fmt.Errorf("fault: probability %s = %v outside [0,1]", p.name, p.v)
@@ -88,6 +115,9 @@ func (c GenConfig) Validate() error {
 	}
 	if c.StallDelay < 0 {
 		return fmt.Errorf("fault: StallDelay = %v < 0", c.StallDelay)
+	}
+	if c.PersistFrac < 0 || c.PersistFrac > 1 {
+		return fmt.Errorf("fault: PersistFrac = %v outside [0,1]", c.PersistFrac)
 	}
 	return nil
 }
@@ -128,13 +158,25 @@ func Generate(src *rng.Source, cfg GenConfig, window simclock.Duration) Schedule
 	if at, ok := place(cfg.PDisk); ok {
 		s.Faults = append(s.Faults, Fault{Kind: KindDiskError, At: at, Dur: dur})
 	}
+	// Crash kinds draw after the legacy six, so enabling them never moves
+	// an existing schedule's placements.
+	if at, ok := place(cfg.PKill); ok {
+		s.Faults = append(s.Faults, Fault{Kind: KindCollectorKill, At: at})
+	}
+	if at, ok := place(cfg.PTorn); ok {
+		s.Faults = append(s.Faults, Fault{Kind: KindTornWrite, At: at, Factor: cfg.PersistFrac})
+	}
+	if at, ok := place(cfg.PShort); ok {
+		s.Faults = append(s.Faults, Fault{Kind: KindShortWrite, At: at, Factor: cfg.PersistFrac})
+	}
 	return s
 }
 
 // ParseGen parses the "rand" flag grammar for randomized schedules:
 // "rand" alone selects Default(); "rand:k=v,..." overrides per-kind
-// probabilities (stuck, latency, stall, restart, outage, disk) and the
-// shared knobs durfrac, factor, and stalldelay (a Go duration).
+// probabilities (stuck, latency, stall, restart, outage, disk, kill,
+// torn, shortw) and the shared knobs durfrac, factor, persistfrac, and
+// stalldelay (a Go duration).
 //
 // Example: "rand:stuck=0.8,stall=0.5,durfrac=0.2".
 func ParseGen(spec string) (GenConfig, error) {
@@ -177,10 +219,18 @@ func ParseGen(spec string) (GenConfig, error) {
 			cfg.POutage = f
 		case "disk":
 			cfg.PDisk = f
+		case "kill":
+			cfg.PKill = f
+		case "torn":
+			cfg.PTorn = f
+		case "shortw":
+			cfg.PShort = f
 		case "durfrac":
 			cfg.DurFrac = f
 		case "factor":
 			cfg.LatencyFactor = f
+		case "persistfrac":
+			cfg.PersistFrac = f
 		default:
 			return cfg, fmt.Errorf("fault: unknown generator option %q", key)
 		}

@@ -22,6 +22,11 @@ type Metrics struct {
 	WriteErrors *obs.Counter
 	// DiskErrors counts injected trace-writer disk failures.
 	DiskErrors *obs.Counter
+	// TornWrites counts archive writes torn mid-frame (crash mid-write).
+	TornWrites *obs.Counter
+	// ShortWrites counts archive writes that persisted only a prefix
+	// while reporting success.
+	ShortWrites *obs.Counter
 }
 
 // NewMetrics registers the fault-plane instrument set on reg.
@@ -39,6 +44,10 @@ func NewMetrics(reg *obs.Registry, labels ...obs.Label) *Metrics {
 			"Injected transport write failures.", labels...),
 		DiskErrors: reg.Counter("mburst_fault_disk_errors_total",
 			"Injected trace-writer disk errors.", labels...),
+		TornWrites: reg.Counter("mburst_fault_torn_writes_total",
+			"Injected archive writes torn mid-frame.", labels...),
+		ShortWrites: reg.Counter("mburst_fault_short_writes_total",
+			"Injected archive writes that silently persisted a prefix.", labels...),
 	}
 }
 

@@ -82,17 +82,46 @@ func runSoakWindow(t *testing.T, pf collector.PollFault) soakRun {
 	return run
 }
 
-// soakReport is the FAULT_soak.json CI artifact.
+// soakReport is the FAULT_soak.json CI artifact. TestChaosSoak owns the
+// flat fields; TestCollectorCrashSoak owns CollectorCrash. Each test
+// merges into the existing file so either ordering produces the full
+// artifact.
 type soakReport struct {
-	Schedules          int    `json:"schedules"`
-	Polls              int    `json:"polls"`
-	StuckPolls         int    `json:"stuck_polls"`
-	MissedIntervals    uint64 `json:"missed_intervals"`
-	Merges             int    `json:"merges"`
-	MissedSpans        int    `json:"missed_spans"`
-	BytesRecovered     uint64 `json:"bytes_recovered"`
-	StallSchedules     int    `json:"stall_schedules"`
-	ZeroFaultIdentical bool   `json:"zero_fault_identical"`
+	Schedules          int          `json:"schedules"`
+	Polls              int          `json:"polls"`
+	StuckPolls         int          `json:"stuck_polls"`
+	MissedIntervals    uint64       `json:"missed_intervals"`
+	Merges             int          `json:"merges"`
+	MissedSpans        int          `json:"missed_spans"`
+	BytesRecovered     uint64       `json:"bytes_recovered"`
+	StallSchedules     int          `json:"stall_schedules"`
+	ZeroFaultIdentical bool         `json:"zero_fault_identical"`
+	CollectorCrash     *crashReport `json:"collector_crash,omitempty"`
+}
+
+// mergeSoakArtifact read-merge-writes the MBURST_FAULT_OUT artifact:
+// update mutates the previously written report (zero if absent), and the
+// result replaces the file.
+func mergeSoakArtifact(t *testing.T, update func(*soakReport)) {
+	t.Helper()
+	out := os.Getenv("MBURST_FAULT_OUT")
+	if out == "" {
+		return
+	}
+	var report soakReport
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("existing %s is not a soak report: %v", out, err)
+		}
+	}
+	update(&report)
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestChaosSoak(t *testing.T) {
@@ -189,15 +218,11 @@ func TestChaosSoak(t *testing.T) {
 		t.Error("empty fault schedule changed the sample stream")
 	}
 
-	if out := os.Getenv("MBURST_FAULT_OUT"); out != "" {
-		data, err := json.MarshalIndent(report, "", "  ")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
-			t.Fatal(err)
-		}
-	}
+	mergeSoakArtifact(t, func(r *soakReport) {
+		crash := r.CollectorCrash
+		*r = report
+		r.CollectorCrash = crash
+	})
 }
 
 // firstOf returns the first fault of a kind in the schedule.

@@ -8,9 +8,11 @@ import (
 // clockflowExtra extends the wallclock sim domain for transitive taint:
 // the collection and analysis pipelines must also be driven entirely by
 // simulated/injected time, or recorded campaigns stop being
-// byte-identical across runs. (obs is deliberately absent: process
+// byte-identical across runs; trace joins them because archive
+// recovery and checkpoint replay must rebuild identical state from the
+// same bytes on any machine. (obs is deliberately absent: process
 // telemetry like uptime gauges legitimately reads the wall clock.)
-var clockflowExtra = []string{"collector", "analysis", "detect"}
+var clockflowExtra = []string{"collector", "analysis", "detect", "trace"}
 
 func inSimDomain(path string) bool {
 	for _, seg := range simDomain {

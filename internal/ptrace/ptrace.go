@@ -74,6 +74,13 @@ const (
 	StageEpochGate     Stage = "epoch.gate"
 	StageArchiveWrite  Stage = "archive.write"
 	StageFiguresApply  Stage = "figures.apply"
+	// StageCheckpoint marks a collector durability checkpoint being
+	// persisted; StageRecover marks an archived batch being replayed into
+	// restored accumulators at restart. Both sit outside the per-batch
+	// cost chain, so their spans are positioned at the triggering batch's
+	// chain position with zero modeled width.
+	StageCheckpoint Stage = "collector.checkpoint"
+	StageRecover    Stage = "collector.recover"
 )
 
 // Stages lists every stage in chain order (backoff immediately after its
@@ -81,6 +88,7 @@ const (
 var Stages = []Stage{
 	StagePollRead, StageWireEncode, StageClientSend, StageClientBackoff,
 	StageServerIngest, StageEpochGate, StageArchiveWrite, StageFiguresApply,
+	StageCheckpoint, StageRecover,
 }
 
 // rank orders stages for canonical snapshots and waterfalls.

@@ -187,8 +187,10 @@ func TestHandlersRenderSpans(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(d.Spans) != len(Stages)-1 { // all stages except backoff
-		t.Fatalf("dump has %d spans, want %d", len(d.Spans), len(Stages)-1)
+	// One per-batch chain: every stage except backoff and the
+	// out-of-chain durability stages (checkpoint, recover).
+	if len(d.Spans) != 7 {
+		t.Fatalf("dump has %d spans, want 7", len(d.Spans))
 	}
 
 	rec = httptest.NewRecorder()

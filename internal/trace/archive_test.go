@@ -1,0 +1,214 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mburst/internal/wire"
+)
+
+func archiveBatch(i, n int) *wire.Batch {
+	s := mkSamples(n)
+	for j := range s {
+		s[j].Value += uint64(i * 1000)
+	}
+	return &wire.Batch{Rack: uint32(1 + i%2), Epoch: 1, Samples: s}
+}
+
+func collectArchive(t *testing.T, dir string) []wire.Batch {
+	t.Helper()
+	var got []wire.Batch
+	err := IterArchive(dir, func(b *wire.Batch) error {
+		cp := wire.Batch{Rack: b.Rack, Epoch: b.Epoch, Samples: append([]wire.Sample(nil), b.Samples...)}
+		got = append(got, cp)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	for _, format := range []wire.Format{wire.FormatMBW2, wire.FormatMBW3} {
+		dir := filepath.Join(t.TempDir(), "a")
+		w, err := CreateArchive(dir, ArchiveConfig{Format: format, SegmentBatches: 2, SyncEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want []wire.Batch
+		for i := 0; i < 7; i++ {
+			b := archiveBatch(i, 5)
+			want = append(want, *b)
+			if err := w.WriteBatch(b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if got := w.Batches(); got != 7 {
+			t.Errorf("%v: Batches = %d, want 7", format, got)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		man, err := loadArchiveManifest(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(man.Segments) != 4 { // 2+2+2+1 at SegmentBatches=2
+			t.Errorf("%v: %d segments, want 4", format, len(man.Segments))
+		}
+		got := collectArchive(t, dir)
+		if len(got) != len(want) {
+			t.Fatalf("%v: replayed %d batches, want %d", format, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Rack != want[i].Rack || got[i].Epoch != want[i].Epoch || !reflect.DeepEqual(got[i].Samples, want[i].Samples) {
+				t.Fatalf("%v: batch %d mismatch", format, i)
+			}
+		}
+	}
+}
+
+func TestArchiveRefusesReuse(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateArchive(dir, ArchiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	if _, err := CreateArchive(dir, ArchiveConfig{}); err == nil {
+		t.Fatal("CreateArchive reused a directory holding an archive")
+	}
+}
+
+func TestArchiveResumeAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateArchive(dir, ArchiveConfig{Format: wire.FormatMBW3, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []wire.Batch
+	for i := 0; i < 5; i++ {
+		b := archiveBatch(i, 8)
+		want = append(want, *b)
+		if err := w.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash: the writer is abandoned without Close, and the open segment
+	// gains a torn half-frame, as if the process died mid-write.
+	f, err := os.OpenFile(filepath.Join(dir, segOpenName(1)), os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte{0x4d, 0x42, 0x01, 0x02, 0x03})
+	f.Close()
+
+	w2, rec, err := ResumeArchive(dir, ArchiveConfig{Format: wire.FormatMBW3, SyncEvery: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.Batches != 5 {
+		t.Fatalf("recovery found %d batches, want 5: %+v", rec.Batches, rec)
+	}
+	if len(rec.Scanned) != 1 || !rec.Scanned[0].Torn || rec.Scanned[0].TruncatedBytes != 5 {
+		t.Fatalf("recovery scan %+v, want one torn segment with 5 truncated bytes", rec)
+	}
+	if w2.Batches() != 5 {
+		t.Errorf("resumed writer primed at %d batches, want 5", w2.Batches())
+	}
+	for i := 5; i < 9; i++ {
+		b := archiveBatch(i, 8)
+		want = append(want, *b)
+		if err := w2.WriteBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := collectArchive(t, dir)
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d batches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !reflect.DeepEqual(got[i].Samples, want[i].Samples) {
+			t.Fatalf("batch %d samples mismatch after crash/resume", i)
+		}
+	}
+}
+
+// failAfter fails every write once armed.
+type failAfter struct {
+	w    io.Writer
+	fail bool
+}
+
+func (f *failAfter) Write(p []byte) (int, error) {
+	if f.fail {
+		return 0, errors.New("injected archive write error")
+	}
+	return f.w.Write(p)
+}
+
+func TestArchiveWriteErrorLatches(t *testing.T) {
+	dir := t.TempDir()
+	var chaos *failAfter
+	w, err := CreateArchive(dir, ArchiveConfig{
+		WrapWrites: func(sink io.Writer) io.Writer { chaos = &failAfter{w: sink}; return chaos },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(archiveBatch(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	chaos.fail = true
+	if err := w.WriteBatch(archiveBatch(1, 4)); err == nil {
+		t.Fatal("write through failing sink succeeded")
+	}
+	chaos.fail = false
+	// The writer stays failed: its segment may hold a torn frame, so more
+	// writes would corrupt the log even though the disk "recovered".
+	if err := w.WriteBatch(archiveBatch(2, 4)); err == nil {
+		t.Fatal("failed writer accepted another batch")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("failed writer closed cleanly")
+	}
+}
+
+// failingSyncFile wraps a real file but refuses fsync.
+type failingSyncFile struct{ *os.File }
+
+func (f failingSyncFile) Sync() error { return errors.New("injected sync error") }
+
+func TestArchiveSyncErrorPropagates(t *testing.T) {
+	dir := t.TempDir()
+	w, err := CreateArchive(dir, ArchiveConfig{
+		SyncEvery: 1000, // keep per-batch syncs out of the way; fail at seal
+		Open: func(path string) (io.WriteCloser, error) {
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, err
+			}
+			return failingSyncFile{f}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(archiveBatch(0, 4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("Sync through failing file succeeded")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close swallowed the sync failure")
+	}
+}

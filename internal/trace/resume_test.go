@@ -1,0 +1,186 @@
+package trace_test
+
+// End-to-end durability: a collector pipeline writing a real on-disk
+// archive is killed mid-stream (torn tail included), resurrected via
+// ResumeArchive + DurableIngest.Resume, fed the agent's retransmission
+// overlap, and must end byte-identical — decoded archive stream, live
+// figures, ingest counters — to a collector that never died.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/collector"
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+)
+
+func resumeBatch(i int) *wire.Batch {
+	const perBatch = 8
+	b := &wire.Batch{Rack: 1, Epoch: 1}
+	for j := 0; j < perBatch; j++ {
+		seq := i*perBatch + j
+		at := simclock.Epoch.Add(simclock.Micros(int64(seq) * 25))
+		frac := 0.1
+		if (seq/6)%2 == 1 {
+			frac = 0.95
+		}
+		b.Samples = append(b.Samples, wire.Sample{
+			Time: at, Port: 1, Dir: asic.TX, Kind: asic.KindBytes,
+			Value: uint64(seq) * uint64(frac*31250),
+		})
+	}
+	return b
+}
+
+type resumePipeline struct {
+	arch    *trace.ArchiveWriter
+	ingest  *collector.DurableIngest
+	figures *collector.LiveFigures
+	stats   *collector.IngestStats
+}
+
+func newResumePipeline(t *testing.T, arch *trace.ArchiveWriter, ckpt string) *resumePipeline {
+	t.Helper()
+	figures, err := collector.NewLiveFigures(collector.LiveFiguresConfig{
+		SpeedOf: func(uint32, uint16) uint64 { return 10_000_000_000 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &collector.IngestStats{}
+	ingest, err := collector.NewDurableIngest(collector.DurableIngestConfig{
+		Archive:        arch,
+		CheckpointPath: ckpt,
+		Every:          4,
+		Figures:        figures,
+		Stats:          stats,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &resumePipeline{arch: arch, ingest: ingest, figures: figures, stats: stats}
+}
+
+func decodeArchive(t *testing.T, dir string) []wire.Batch {
+	t.Helper()
+	var out []wire.Batch
+	if err := trace.IterArchive(dir, func(b *wire.Batch) error {
+		out = append(out, wire.Batch{Rack: b.Rack, Epoch: b.Epoch,
+			Samples: append([]wire.Sample(nil), b.Samples...)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCollectorCrashResumeByteExact(t *testing.T) {
+	const total, killAt = 40, 23
+	cfg := trace.ArchiveConfig{SegmentBatches: 8, SyncEvery: 2}
+
+	// Oracle: a collector that never dies, cleanly closed.
+	oDir := filepath.Join(t.TempDir(), "oracle")
+	oArch, err := trace.CreateArchive(oDir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle := newResumePipeline(t, oArch, filepath.Join(oDir, "checkpoint.json"))
+	for i := 0; i < total; i++ {
+		oracle.ingest.Handle(resumeBatch(i))
+	}
+	if err := oracle.ingest.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := oArch.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crashing run: same traffic up to killAt, then the process dies with
+	// the segment open and a torn frame on its tail.
+	dir := filepath.Join(t.TempDir(), "crash")
+	ckpt := filepath.Join(dir, "checkpoint.json")
+	arch, err := trace.CreateArchive(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := newResumePipeline(t, arch, ckpt)
+	for i := 0; i < killAt; i++ {
+		p1.ingest.Handle(resumeBatch(i))
+	}
+	// The kill lands mid-write: garbage on the open segment's tail.
+	open, err := os.OpenFile(filepath.Join(dir, "seg_000003.open"), os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := open.Write([]byte{0x4d, 0x42, 0x99, 0x01}); err != nil {
+		t.Fatal(err)
+	}
+	open.Close()
+
+	// Resurrection: recover the archive, restore the checkpoint, replay
+	// the un-checkpointed tail.
+	arch2, rec, err := trace.ResumeArchive(dir, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	torn := false
+	for _, s := range rec.Scanned {
+		if s.Torn {
+			torn = true
+		}
+	}
+	if !torn {
+		t.Fatal("the injected torn tail was not detected")
+	}
+	p2 := newResumePipeline(t, arch2, ckpt)
+	rep, err := p2.ingest.Resume(func(fn func(*wire.Batch) error) error {
+		return trace.IterArchive(dir, fn)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.HadCheckpoint {
+		t.Fatal("no checkpoint restored")
+	}
+	if rep.CheckpointBatches+rep.Replayed != rep.ArchiveBatches {
+		t.Fatalf("resume covered %d+%d of %d archived batches",
+			rep.CheckpointBatches, rep.Replayed, rep.ArchiveBatches)
+	}
+
+	// The agent retransmits from its spool horizon — overlapping what the
+	// archive already holds — then the stream continues to the end.
+	resendFrom := int(rep.ArchiveBatches) - 3
+	if resendFrom < 0 {
+		resendFrom = 0
+	}
+	for i := resendFrom; i < total; i++ {
+		p2.ingest.Handle(resumeBatch(i))
+	}
+	if err := p2.ingest.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := arch2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Byte-exact fleet state: decoded archive stream, figures, counters.
+	if got, want := decodeArchive(t, dir), decodeArchive(t, oDir); !reflect.DeepEqual(got, want) {
+		t.Errorf("archive streams diverge: %d vs %d batches", len(got), len(want))
+	}
+	if !reflect.DeepEqual(p2.figures.State(), oracle.figures.State()) {
+		t.Error("live figures diverge from the uninterrupted run")
+	}
+	if !reflect.DeepEqual(p2.stats.Snapshot(), oracle.stats.Snapshot()) {
+		t.Errorf("ingest stats diverge: %+v vs %+v", p2.stats.Snapshot(), oracle.stats.Snapshot())
+	}
+
+	// And the rendered figure JSON — what /figures serves — matches too.
+	if !reflect.DeepEqual(p2.figures.Snapshot(), oracle.figures.Snapshot()) {
+		t.Error("rendered figures snapshot diverges")
+	}
+}

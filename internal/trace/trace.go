@@ -112,6 +112,7 @@ type Writer struct {
 	format wire.Format
 	done   map[int]bool
 	open   Opener
+	man    windowManifest
 }
 
 // Opener creates the file backing one window. It exists so fault-injection
@@ -141,8 +142,8 @@ func Create(dir string, meta Meta) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: encoding meta: %w", err)
 	}
-	if err := os.WriteFile(metaPath, append(data, '\n'), 0o644); err != nil {
-		return nil, fmt.Errorf("trace: %w", err)
+	if err := atomicWriteFile(metaPath, append(data, '\n'), 0o644); err != nil {
+		return nil, err
 	}
 	format, err := meta.WireFormat() // Validate already vetted it
 	if err != nil {
@@ -167,8 +168,26 @@ func CreateWithOpener(dir string, meta Meta, open Opener) (*Writer, error) {
 // Meta returns the campaign metadata.
 func (w *Writer) Meta() Meta { return w.meta }
 
+// countWriter counts bytes written through it for the window manifest.
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // WriteWindow persists one window's samples. Each window may be written
 // exactly once; idx must be in [0, meta.Windows).
+//
+// The window is finalized atomically: batches stream to a temp file,
+// which is fsynced, renamed into place, and recorded in the manifest
+// (itself an atomic write). A crash at any point leaves either a sealed,
+// manifest-listed window or a temp file that recovery deletes — never a
+// half-written window under the final name.
 func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error {
 	if idx < 0 || idx >= w.meta.Windows {
 		return fmt.Errorf("trace: window %d out of range [0,%d)", idx, w.meta.Windows)
@@ -176,37 +195,61 @@ func (w *Writer) WriteWindow(idx int, rack uint32, samples []wire.Sample) error 
 	if w.done[idx] {
 		return fmt.Errorf("trace: window %d already written", idx)
 	}
-	f, err := w.open(filepath.Join(w.dir, windowFileName(idx)))
+	final := filepath.Join(w.dir, windowFileName(idx))
+	tmp := final + TempSuffix
+	f, err := w.open(tmp)
 	if err != nil {
 		return fmt.Errorf("trace: %w", err)
 	}
+	abort := func() { f.Close(); os.Remove(tmp) }
+	cw := &countWriter{w: f}
 	// One codec per window file: every window decodes standalone, so
 	// partial campaigns stay loadable.
-	bw, err := wire.NewWriterFormat(f, w.format)
+	bw, err := wire.NewWriterFormat(cw, w.format)
 	if err != nil {
-		f.Close()
+		abort()
 		return err
 	}
+	var batches, count uint64
 	for off := 0; off < len(samples); off += BatchSize {
 		end := off + BatchSize
 		if end > len(samples) {
 			end = len(samples)
 		}
 		if err := bw.WriteBatch(&wire.Batch{Rack: rack, Samples: samples[off:end]}); err != nil {
-			f.Close()
+			abort()
 			return fmt.Errorf("trace: writing window %d: %w", idx, err)
 		}
+		batches++
+		count += uint64(end - off)
 	}
 	// An empty window still produces a (valid, empty) file so Open can
 	// distinguish "empty" from "missing".
 	if len(samples) == 0 {
 		if err := bw.WriteBatch(&wire.Batch{Rack: rack}); err != nil {
-			f.Close()
+			abort()
 			return fmt.Errorf("trace: writing window %d: %w", idx, err)
 		}
+		batches++
+	}
+	if err := maybeSync(f); err != nil {
+		abort()
+		return fmt.Errorf("trace: syncing window %d: %w", idx, err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
 		return fmt.Errorf("trace: closing window %d: %w", idx, err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("trace: sealing window %d: %w", idx, err)
+	}
+	if err := syncDir(w.dir); err != nil {
+		return err
+	}
+	w.man.Windows = append(w.man.Windows, WindowInfo{Idx: idx, Batches: batches, Samples: count, Bytes: cw.n})
+	if err := saveWindowManifest(w.dir, w.man); err != nil {
+		return err
 	}
 	w.done[idx] = true
 	return nil
@@ -226,6 +269,14 @@ func (w *Writer) Discard() error {
 	for idx := range w.done {
 		keep(os.Remove(filepath.Join(w.dir, windowFileName(idx))))
 	}
+	// In-flight temp files from an interrupted WriteWindow, plus the
+	// manifest, go too: nothing may suggest a campaign remains.
+	if names, err := filepath.Glob(filepath.Join(w.dir, "window_*.mbw"+TempSuffix)); err == nil {
+		for _, name := range names {
+			keep(os.Remove(name))
+		}
+	}
+	keep(os.Remove(filepath.Join(w.dir, ManifestFileName)))
 	keep(os.Remove(filepath.Join(w.dir, MetaFileName)))
 	// Best-effort: only succeeds when the directory held nothing else.
 	os.Remove(w.dir)

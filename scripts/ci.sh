@@ -64,7 +64,14 @@ MBURST_WIRE_BENCH_OUT="$PWD/BENCH_wire.json" \
 
 # Chaos soak: generated fault schedules against the collection pipeline,
 # asserting byte-exact recovery against ASIC ground truth, zero-fault
-# byte-identity, and epoch-gated restart recovery. Bounded runtime (the
-# soak simulates ~25 windows of 20 ms); summary published as an artifact.
+# byte-identity, epoch-gated restart recovery, and collector-crash
+# recovery (kill / torn-write / short-write schedules against the
+# durable archive + checkpoint plane). Bounded runtime; summary
+# published as an artifact.
 MBURST_FAULT_OUT="$PWD/FAULT_soak.json" \
-	go test -race -run 'TestChaosSoak|TestAgentRestartRecovery' -count=1 ./internal/fault
+	go test -race -run 'TestChaosSoak|TestAgentRestartRecovery|TestCollectorCrashSoak' -count=1 ./internal/fault
+
+# Durability gate: every seeded collector-crash schedule must have
+# recovered byte-exact fleet state (figures, ingest counters, archive
+# stream modulo accounted shortfall) against the uninterrupted oracle.
+grep -q '"byte_exact": true' FAULT_soak.json
