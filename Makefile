@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint bench fuzz chaos crash trace ci
+.PHONY: build test race vet lint bench fuzz chaos crash fleet trace ci
 
 build:
 	$(GO) build ./...
@@ -42,6 +42,15 @@ chaos:
 # byte-exact recovery against an uninterrupted oracle.
 crash:
 	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestCollectorCrashSoak' -count=1 -v ./internal/fault
+
+# fleet runs the 1000-rack sharded campaign (8 collector shards
+# in-process, byte-exactness verified against a single-collector
+# oracle), then the fleet crash soak and the BENCH_fleet.json artifact
+# (see README "Fleet-scale collection").
+fleet:
+	$(GO) run ./cmd/mbfleet -racks 1000 -shards 8 -oracle
+	MBURST_FAULT_OUT="$(CURDIR)/FAULT_soak.json" $(GO) test -race -run 'TestFleetCrashSoak' -count=1 ./internal/core
+	MBURST_FLEET_BENCH_OUT="$(CURDIR)/BENCH_fleet.json" $(GO) test -run TestFleetBenchArtifact -count=1 -v ./internal/core
 
 # trace records a small faulted campaign with span tracing and renders
 # the waterfall + critical path with mbtrace (see README "Pipeline

@@ -18,6 +18,13 @@
 // With -http it serves /metrics, /stats, /healthz, and /debug/pprof/
 // while running (see README "Observability").
 //
+// With -shards the agent joins a sharded collection plane: the flag
+// lists the shard collectors' addresses in placement index order, and
+// the agent dials the one the rendezvous placement (internal/shard,
+// seeded by -placementseed) assigns its -rack — the same placement the
+// collectors enforce with -shard/-shards, so misrouting is impossible
+// when the counts and seeds agree.
+//
 // With -tracing the agent records the client half of each batch's
 // pipeline trace (internal/ptrace): poll.read, wire.encode, and
 // client.send, with reconnect backoff waits as client.backoff child
@@ -32,6 +39,7 @@ import (
 	"io"
 	"net"
 	"os"
+	"strings"
 	"time"
 
 	"mburst/internal/asic"
@@ -39,6 +47,7 @@ import (
 	"mburst/internal/obs"
 	"mburst/internal/ptrace"
 	"mburst/internal/rng"
+	"mburst/internal/shard"
 	"mburst/internal/simclock"
 	"mburst/internal/simnet"
 	"mburst/internal/topo"
@@ -58,6 +67,8 @@ func main() {
 	epoch := flag.Uint("epoch", 0, "agent incarnation number; bump on restart so an epoch-gated collector discards stale batches (0 = legacy framing)")
 	spool := flag.Int("spool", 0, "retransmit spool bound in samples while the collector is down; size to outage duration x sample rate (0 = same as the in-flight buffer)")
 	wireFmt := flag.String("wire", "", "wire format for the outgoing stream (mbw1, mbw2, mbw3; default mbw2)")
+	shardAddrs := flag.String("shards", "", "comma-separated shard collector addresses in placement index order; the agent dials the shard the placement assigns its -rack (overrides -collector)")
+	placementSeed := flag.Uint64("placementseed", 1, "rendezvous placement seed (must match the collectors')")
 	httpAddr := flag.String("http", "", "debug HTTP address (/metrics, /stats, /healthz, /debug/pprof/)")
 	tracing := flag.Bool("tracing", false, "record client-side pipeline spans and serve /spans and /tracez (needs -http)")
 	traceRate := flag.Float64("tracerate", 0, "fraction of batch traces kept by the deterministic head sampler (0 = all)")
@@ -111,8 +122,29 @@ func main() {
 	net_.RegisterMetrics(reg, obs.L("rack", fmt.Sprint(*rackID)))
 	net_.Scheduler().Instrument(reg)
 
+	// Shard-aware dialing: with -shards, the placement (over canonical
+	// shard names, so agents and collectors agree from the count and
+	// seed alone) picks which collector owns this rack's stream.
+	dialAddr := *collectorAddr
+	if *shardAddrs != "" {
+		addrs := strings.Split(*shardAddrs, ",")
+		pl, err := shard.Uniform(len(addrs), *placementSeed)
+		if err != nil {
+			logger.Error("building placement", "err", err)
+			os.Exit(2)
+		}
+		owner := pl.ShardOf(uint32(*rackID))
+		dialAddr = strings.TrimSpace(addrs[owner])
+		if dialAddr == "" {
+			logger.Error("empty address for owning shard", "shard", owner)
+			os.Exit(2)
+		}
+		logger.Info("placed", "rack", *rackID, "shard", owner,
+			"name", pl.Name(owner), "collector", dialAddr)
+	}
+
 	client := collector.NewReconnectingClient(func() (io.WriteCloser, error) {
-		return net.DialTimeout("tcp", *collectorAddr, 2*time.Second)
+		return net.DialTimeout("tcp", dialAddr, 2*time.Second)
 	}, collector.ReconnectingClientConfig{
 		Rack:       uint32(*rackID),
 		Epoch:      uint32(*epoch),
@@ -151,7 +183,7 @@ func main() {
 
 	logger.Info("polling",
 		"app", app.String(), "port", *port, "counter", net_.Switch().Port(*port).Name(),
-		"interval", *interval, "dur", *dur, "collector", *collectorAddr)
+		"interval", *interval, "dur", *dur, "collector", dialAddr)
 	net_.Run(25 * simclock.Millisecond) // warmup
 	poller.Install(net_.Scheduler())
 	net_.Run(simclock.FromStd(*dur))

@@ -8,6 +8,15 @@
 //	mbcollectd -listen 127.0.0.1:9900 [-archive DIR [-resume]] [-out samples.mbw]
 //	           [-checkpoint N] [-stats 5s] [-http :9901]
 //	           [-tracing] [-tracerate R] [-tracecap N]
+//	           [-shard I -shards M [-placementseed S]]
+//
+// With -shard/-shards the daemon is one shard of a fleet collection
+// plane: the rendezvous placement (internal/shard, seeded by
+// -placementseed, shared with the agents) assigns every rack to exactly
+// one shard, and batches from racks this shard does not own are dropped
+// and counted as misrouted — a placement-generation mismatch signal —
+// instead of polluting the shard's accumulators. The active placement
+// is served at /placement on the debug mux.
 //
 // With -archive the daemon runs the durable collection plane: batches
 // flow through the epoch gate into a segmented, fsynced, crash-safe
@@ -38,10 +47,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log/slog"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -53,6 +64,7 @@ import (
 	"mburst/internal/collector"
 	"mburst/internal/obs"
 	"mburst/internal/ptrace"
+	"mburst/internal/shard"
 	"mburst/internal/topo"
 	"mburst/internal/trace"
 	"mburst/internal/wire"
@@ -78,6 +90,9 @@ func run() int {
 	tracing := flag.Bool("tracing", false, "record pipeline spans and serve /spans and /tracez (needs -http)")
 	traceRate := flag.Float64("tracerate", 0, "fraction of batch traces kept by the deterministic head sampler (0 = all)")
 	traceCap := flag.Int("tracecap", ptrace.DefaultCapacity, "span ring capacity")
+	shardID := flag.Int("shard", -1, "this collector's shard index in the fleet placement (requires -shards)")
+	numShards := flag.Int("shards", 0, "fleet shard count; with -shard, drop batches from racks the placement owns elsewhere")
+	placementSeed := flag.Uint64("placementseed", 1, "rendezvous placement seed (must match the agents')")
 	flag.Parse()
 
 	logger := obs.DaemonLogger("mbcollectd")
@@ -229,6 +244,30 @@ func run() int {
 	}
 	stats.Attach(reg)
 
+	// Shard mode: police placement ownership ahead of the pipeline, so a
+	// placement-generation mismatch between agents and collectors shows
+	// up as counted misrouted drops instead of double-counted series.
+	var placement *shard.Placement
+	if *numShards > 0 {
+		pl, err := shard.Uniform(*numShards, *placementSeed)
+		if err != nil {
+			logger.Error("building placement", "err", err)
+			return 2
+		}
+		filtered, err := collector.NewShardFilter(pl, *shardID, collector.NewShardMetrics(reg), handler)
+		if err != nil {
+			logger.Error("shard filter", "err", err)
+			return 2
+		}
+		handler = filtered
+		placement = &pl
+		logger.Info("sharded", "shard", *shardID, "of", *numShards,
+			"name", pl.Name(*shardID), "placement_version", pl.Version)
+	} else if *shardID >= 0 {
+		logger.Error("-shard needs -shards")
+		return 2
+	}
+
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		logger.Error("listening", "addr", *listen, "err", err)
@@ -252,6 +291,16 @@ func run() int {
 		if tracer != nil {
 			mux.Handle("/spans", tracer.SpansHandler())
 			mux.Handle("/tracez", tracer.TracezHandler())
+		}
+		if placement != nil {
+			self := *shardID
+			mux.HandleFunc("/placement", func(w http.ResponseWriter, _ *http.Request) {
+				w.Header().Set("Content-Type", "application/json")
+				json.NewEncoder(w).Encode(struct {
+					Shard     int              `json:"shard"`
+					Placement *shard.Placement `json:"placement"`
+				}{self, placement})
+			})
 		}
 		ds, err := obs.StartDebug(*httpAddr, mux)
 		if err != nil {

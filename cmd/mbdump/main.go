@@ -1,18 +1,23 @@
 // Command mbdump inspects a raw batch archive — the file mbcollectd
-// -out writes, any concatenation of wire batches, or a segmented
-// archive directory written by mbcollectd -archive: per-batch
-// summaries, per-counter totals, and optionally the first samples
-// decoded.
+// -out writes, any concatenation of wire batches, a segmented archive
+// directory written by mbcollectd -archive, or a fleet campaign
+// directory written by mbfleet -out: per-batch summaries, per-counter
+// totals, and optionally the first samples decoded.
 //
 // Usage:
 //
 //	mbdump -in samples.mbw [-samples 10] [-quiet]
 //	mbdump -in /var/lib/mburst/archive   # segmented archive directory
+//	mbdump -in /var/lib/mburst/fleet     # fleet campaign directory
 //
-// A directory is decoded through the archive manifest in segment order
-// (the collector's admission order). Run mbcollectd -resume (or
-// trace.RecoverArchive) first if the directory crashed mid-write;
-// mbdump treats a torn tail as an error.
+// A plain directory is decoded through the archive manifest in segment
+// order (the collector's admission order). A fleet directory (one
+// holding a fleet.json manifest) is decoded through every shard
+// archive and presented as one merged admission-order stream — racks
+// ascending, each rack's batches in its owning shard's admission
+// order — so a sharded campaign reads exactly like a single-collector
+// one. Run mbcollectd -resume (or trace.RecoverArchive) first if a
+// directory crashed mid-write; mbdump treats a torn tail as an error.
 package main
 
 import (
@@ -29,7 +34,7 @@ import (
 )
 
 func main() {
-	in := flag.String("in", "", "batch file or archive directory to inspect (required)")
+	in := flag.String("in", "", "batch file, archive directory, or fleet campaign directory to inspect (required)")
 	showSamples := flag.Int("samples", 0, "print the first N samples decoded")
 	quiet := flag.Bool("quiet", false, "suppress per-batch lines, print only totals")
 	flag.Parse()
@@ -38,7 +43,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mbdump: -in is required")
 		os.Exit(2)
 	}
+	if err := run(os.Stdout, *in, *showSamples, *quiet); err != nil {
+		fmt.Fprintf(os.Stderr, "mbdump: %v\n", err)
+		os.Exit(1)
+	}
+}
 
+// run decodes the input and writes the report to w. Split from main so
+// the golden test drives the exact production path.
+func run(w io.Writer, in string, showSamples int, quiet bool) error {
 	var (
 		batches, samples int
 		printed          int
@@ -49,12 +62,12 @@ func main() {
 	dump := func(b *wire.Batch) {
 		batches++
 		samples += len(b.Samples)
-		if !*quiet {
+		if !quiet {
 			var span simclock.Duration
 			if n := len(b.Samples); n > 0 {
 				span = b.Samples[n-1].Time.Sub(b.Samples[0].Time)
 			}
-			fmt.Printf("batch %4d: rack %d, %5d samples, %v of virtual time\n",
+			fmt.Fprintf(w, "batch %4d: rack %d, %5d samples, %v of virtual time\n",
 				batches, b.Rack, len(b.Samples), span)
 		}
 		for _, s := range b.Samples {
@@ -66,27 +79,35 @@ func main() {
 			}
 			seen = true
 			perSeries[analysis.SeriesKey{Port: s.Port, Dir: s.Dir, Kind: s.Kind}]++
-			if printed < *showSamples {
+			if printed < showSamples {
 				printed++
-				fmt.Printf("  sample t=%v port=%d %s/%s value=%d missed=%d\n",
+				fmt.Fprintf(w, "  sample t=%v port=%d %s/%s value=%d missed=%d\n",
 					s.Time, s.Port, s.Dir, s.Kind, s.Value, s.Missed)
 			}
 		}
 	}
 
-	if fi, err := os.Stat(*in); err == nil && fi.IsDir() {
-		if err := trace.IterArchive(*in, func(b *wire.Batch) error {
+	if fi, err := os.Stat(in); err == nil && fi.IsDir() {
+		iter := trace.IterArchive
+		if man, ok, err := trace.ReadFleetManifest(in); err != nil {
+			return err
+		} else if ok {
+			iter = trace.IterFleet
+			if !quiet {
+				fmt.Fprintf(w, "fleet: %d racks over %d shards, placement v%d seed %d\n",
+					man.Racks, len(man.Shards), man.Placement.Version, man.Placement.Seed)
+			}
+		}
+		if err := iter(in, func(b *wire.Batch) error {
 			dump(b)
 			return nil
 		}); err != nil {
-			fmt.Fprintf(os.Stderr, "mbdump: after %d batches: %v\n", batches, err)
-			os.Exit(1)
+			return fmt.Errorf("after %d batches: %w", batches, err)
 		}
 	} else {
-		f, err := os.Open(*in)
+		f, err := os.Open(in)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mbdump: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 		defer f.Close()
 		r := wire.NewReader(f)
@@ -96,19 +117,19 @@ func main() {
 				if errors.Is(err, io.EOF) {
 					break
 				}
-				fmt.Fprintf(os.Stderr, "mbdump: after %d batches: %v\n", batches, err)
-				os.Exit(1)
+				return fmt.Errorf("after %d batches: %w", batches, err)
 			}
 			dump(b)
 		}
 	}
 
-	fmt.Printf("\ntotal: %d batches, %d samples", batches, samples)
+	fmt.Fprintf(w, "\ntotal: %d batches, %d samples", batches, samples)
 	if seen {
-		fmt.Printf(", virtual span %v", lastT.Sub(firstT))
+		fmt.Fprintf(w, ", virtual span %v", lastT.Sub(firstT))
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 	for _, k := range analysis.SortedKeys(perSeries) {
-		fmt.Printf("  %-28s %d samples\n", k.String(), perSeries[k])
+		fmt.Fprintf(w, "  %-28s %d samples\n", k.String(), perSeries[k])
 	}
+	return nil
 }

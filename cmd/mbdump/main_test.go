@@ -1,0 +1,158 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/shard"
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// goldenFleetDir lays down a tiny fleet campaign directory by hand:
+// four racks routed over two shards by a real placement, each shard
+// archive holding its racks' batches in admission (time) order. The
+// content is a pure function of the constants below, so the merged
+// dump is byte-stable.
+func goldenFleetDir(t *testing.T) string {
+	t.Helper()
+	const racks, shards = 4, 2
+	dir := t.TempDir()
+	pl, err := shard.Uniform(shards, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writers := make([]*trace.ArchiveWriter, shards)
+	counts := make([]struct{ batches, samples uint64 }, shards)
+	for s := 0; s < shards; s++ {
+		w, err := trace.CreateArchive(filepath.Join(dir, pl.Name(s)), trace.ArchiveConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		writers[s] = w
+	}
+	// Admission order per shard: batch rounds outer, racks inner —
+	// the interleaving a live fan-in produces.
+	for i := 0; i < 3; i++ {
+		for r := 0; r < racks; r++ {
+			owner := pl.ShardOf(uint32(r))
+			b := &wire.Batch{Rack: uint32(r), Epoch: 1}
+			for k := 0; k < 2; k++ {
+				n := i*2 + k
+				b.Samples = append(b.Samples, wire.Sample{
+					Time:  simclock.Epoch.Add(simclock.Micros(int64(n) * 25)),
+					Port:  uint16(1 + r%2),
+					Dir:   asic.TX,
+					Kind:  asic.KindBytes,
+					Value: uint64(r+1) * uint64(n) * 1500,
+				})
+			}
+			if err := writers[owner].WriteBatch(b); err != nil {
+				t.Fatal(err)
+			}
+			counts[owner].batches++
+			counts[owner].samples += uint64(len(b.Samples))
+		}
+	}
+	man := trace.FleetManifest{Racks: racks, Placement: pl}
+	for s := 0; s < shards; s++ {
+		if err := writers[s].Close(); err != nil {
+			t.Fatal(err)
+		}
+		man.Shards = append(man.Shards, trace.FleetShard{
+			ID: s, Name: pl.Name(s), Dir: pl.Name(s),
+			Batches: counts[s].batches, Samples: counts[s].samples,
+		})
+	}
+	if err := trace.WriteFleetManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// TestFleetDumpGolden pins the merged admission-order presentation of a
+// fleet directory: racks ascending, per-rack batches in time order,
+// totals summed across shards — byte-for-byte.
+func TestFleetDumpGolden(t *testing.T) {
+	dir := goldenFleetDir(t)
+	var buf bytes.Buffer
+	if err := run(&buf, dir, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "fleet.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to write it)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("fleet dump diverges from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestFleetDumpQuietTotals sanity-checks the quiet path over the same
+// directory: only the totals block, correct sums.
+func TestFleetDumpQuietTotals(t *testing.T) {
+	dir := goldenFleetDir(t)
+	var buf bytes.Buffer
+	if err := run(&buf, dir, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "total: 12 batches, 24 samples") {
+		t.Errorf("quiet totals wrong:\n%s", out)
+	}
+	if strings.Contains(out, "batch ") || strings.Contains(out, "fleet:") {
+		t.Errorf("quiet dump leaked per-batch or header lines:\n%s", out)
+	}
+}
+
+// TestFleetDumpPlacementViolation corrupts the routing — a batch landed
+// in the wrong shard's archive — and expects the merged read to refuse.
+func TestFleetDumpPlacementViolation(t *testing.T) {
+	dir := goldenFleetDir(t)
+	man, ok, err := trace.ReadFleetManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest: ok=%v err=%v", ok, err)
+	}
+	// Find a rack and a shard that does NOT own it, and plant a batch.
+	var victim uint32
+	var wrong int
+	for r := uint32(0); r < uint32(man.Racks); r++ {
+		if s := man.Placement.ShardOf(r); s != 0 {
+			victim, wrong = r, 0
+			break
+		}
+	}
+	w, _, err := trace.ResumeArchive(filepath.Join(dir, man.Shards[wrong].Dir), trace.ArchiveConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteBatch(&wire.Batch{Rack: victim, Epoch: 1, Samples: []wire.Sample{
+		{Time: simclock.Epoch, Port: 1, Dir: asic.TX, Kind: asic.KindBytes, Value: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&bytes.Buffer{}, dir, 0, true); err == nil ||
+		!strings.Contains(err.Error(), "placement violation") {
+		t.Fatalf("misrouted batch not rejected: %v", err)
+	}
+}

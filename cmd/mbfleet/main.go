@@ -1,0 +1,147 @@
+// Command mbfleet runs an in-process fleet campaign: N simulated racks
+// fanned across the campaign runner, their agent streams routed by a
+// rendezvous placement onto M collector shards, and the shards' cuts
+// merged by the fleet aggregator into fleet-wide live figures.
+//
+// Usage:
+//
+//	mbfleet -racks 1000 -shards 8 [-app web] [-window 2ms] [-warmup 500µs]
+//	        [-servers 8] [-seed N] [-pseed N] [-interval 25µs]
+//	        [-batch 2048] [-publish 8] [-queue N] [-workers N]
+//	        [-wire mbw3] [-out DIR] [-ckpt N] [-faults SPEC] [-oracle]
+//
+// With -out the campaign lays down a fleet directory: campaign.json
+// (stamped with the versioned placement), fleet.json (shard layout and
+// totals), one durable archive per shard, and a fleet-wide checkpoint
+// composed from the shard checkpoints. mbdump reads such a directory
+// like any campaign, merging the shard archives deterministically.
+//
+// -faults schedules shard strikes (kill@, torn@:xF, shortw@, offsets
+// within the window duration), assigned round-robin over shards; each
+// struck shard resumes from its archive + checkpoint and the harness
+// re-delivers the agent spool horizon. Requires -out.
+//
+// -oracle also runs one unsharded collector over the identical decoded
+// stream and verifies the fleet state is byte-identical — the
+// correctness gate the CI fleet campaign runs with.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"mburst/internal/core"
+	"mburst/internal/fault"
+	"mburst/internal/obs"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+func main() {
+	appName := flag.String("app", "web", "application rack type: web, cache, hadoop")
+	racks := flag.Int("racks", 100, "fleet rack count")
+	shards := flag.Int("shards", 4, "collector shard count")
+	window := flag.Duration("window", 2*time.Millisecond, "per-rack measurement window")
+	warmup := flag.Duration("warmup", 500*time.Microsecond, "per-rack warmup before recording")
+	servers := flag.Int("servers", 8, "servers per rack")
+	seed := flag.Uint64("seed", 1, "campaign seed")
+	pseed := flag.Uint64("pseed", 1, "placement seed (rendezvous hashing)")
+	interval := flag.Duration("interval", 25*time.Microsecond, "sampling interval")
+	batch := flag.Int("batch", 0, "agent samples per batch (0 = collector default)")
+	publish := flag.Int("publish", 0, "shard publish cadence in batches (0 = default)")
+	queue := flag.Int("queue", 0, "aggregator fan-in queue depth (0 = 4×shards)")
+	workers := flag.Int("workers", 0, "concurrent rack cells (0 = all CPUs)")
+	wireFmt := flag.String("wire", "", "agent wire format (mbw1, mbw2, mbw3; default mbw2)")
+	out := flag.String("out", "", "fleet campaign directory (durable shards; required with -faults)")
+	ckpt := flag.Int("ckpt", 0, "shard checkpoint cadence in batches (0 = default)")
+	faults := flag.String("faults", "", `shard strike schedule: "kill@1ms,torn@2ms:x0.5,shortw@3ms"`)
+	oracle := flag.Bool("oracle", false, "verify byte-exactness against a single-collector oracle")
+	flag.Parse()
+
+	logger := obs.DaemonLogger("mbfleet")
+
+	app, err := workload.ParseApp(*appName)
+	if err != nil {
+		logger.Error("parsing app", "err", err)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{
+		Racks:     *racks,
+		Windows:   1,
+		WindowDur: simclock.FromStd(*window),
+		Warmup:    simclock.FromStd(*warmup),
+		Servers:   *servers,
+		Seed:      *seed,
+		Workers:   *workers,
+	}
+	if *wireFmt != "" {
+		if cfg.WireFormat, err = wire.ParseFormat(*wireFmt); err != nil {
+			logger.Error("parsing wire format", "err", err)
+			os.Exit(2)
+		}
+	}
+	fcfg := core.FleetConfig{
+		App:             app,
+		Shards:          *shards,
+		PlacementSeed:   *pseed,
+		Interval:        simclock.FromStd(*interval),
+		BatchSize:       *batch,
+		PublishEvery:    *publish,
+		QueueDepth:      *queue,
+		Dir:             *out,
+		CheckpointEvery: *ckpt,
+		Oracle:          *oracle,
+		Notes:           "mbfleet",
+	}
+	if *faults != "" {
+		sched, err := fault.ParseSchedule(*faults)
+		if err != nil {
+			logger.Error("parsing -faults", "err", err)
+			os.Exit(2)
+		}
+		fcfg.Faults = sched
+	}
+
+	exp, err := core.NewExperiment(cfg)
+	if err != nil {
+		logger.Error("configuring experiment", "err", err)
+		os.Exit(1)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	start := time.Now()
+	res, err := exp.RunFleet(ctx, fcfg)
+	if err != nil {
+		logger.Error("fleet campaign", "err", err)
+		os.Exit(1)
+	}
+	elapsed := time.Since(start)
+
+	logger.Info("fleet campaign complete",
+		"racks", res.Racks, "shards", res.Shards,
+		"batches", res.Batches, "samples", res.Samples,
+		"wire_bytes", res.WireBytes,
+		"kills", res.Kills, "resumes", res.Resumes,
+		"replayed", res.Replayed, "redelivered", res.Redelivered,
+		"elapsed", elapsed.Round(time.Millisecond),
+		"racks_per_sec", fmt.Sprintf("%.1f", float64(res.Racks)/elapsed.Seconds()))
+	if res.Oracle {
+		if !res.ByteExact {
+			logger.Error("fleet state DIVERGES from the single-collector oracle")
+			os.Exit(1)
+		}
+		logger.Info("byte-exact against the single-collector oracle")
+	}
+	if *out != "" {
+		logger.Info("fleet directory written", "dir", *out)
+	}
+}

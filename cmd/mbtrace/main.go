@@ -6,12 +6,19 @@
 // Usage:
 //
 //	mbtrace -in spans.json [-n 5]
+//	mbtrace -in /var/lib/mburst/fleet [-n 5]
 //	mbtrace -url http://127.0.0.1:9903 [-n 5]
 //
 // -in reads a dump written by mbsim -trace (or a saved /spans response);
 // -url fetches /spans from a running daemon's debug mux (the path is
-// appended if missing). Because dumps are canonical and span times are
-// simulated, rendering the same dump twice yields byte-identical output.
+// appended if missing). -in may also name a directory: a plain campaign
+// directory is resolved to its spans.json, while a fleet campaign
+// directory (one holding a fleet.json manifest) merges the spans.json
+// dump saved in each shard's subdirectory — each shard collector's
+// /spans response — into one canonical stream, so a sharded campaign's
+// traces render exactly like a single collector's. Because dumps are
+// canonical and span times are simulated, rendering the same dump twice
+// yields byte-identical output.
 package main
 
 import (
@@ -20,10 +27,12 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"mburst/internal/ptrace"
 	"mburst/internal/simclock"
+	"mburst/internal/trace"
 )
 
 func main() {
@@ -44,12 +53,20 @@ func main() {
 	render(os.Stdout, dump.Spans, *n)
 }
 
-// loadDump reads the span dump from a file or a /spans endpoint.
+// spansFileName is the conventional span dump name inside campaign and
+// shard directories (a saved /spans response).
+const spansFileName = "spans.json"
+
+// loadDump reads the span dump from a file, a directory (fleet or
+// plain campaign), or a /spans endpoint.
 func loadDump(in, url string) (ptrace.Dump, error) {
 	switch {
 	case in != "" && url != "":
 		return ptrace.Dump{}, fmt.Errorf("-in and -url are mutually exclusive")
 	case in != "":
+		if fi, err := os.Stat(in); err == nil && fi.IsDir() {
+			return loadDirDump(in)
+		}
 		f, err := os.Open(in)
 		if err != nil {
 			return ptrace.Dump{}, err
@@ -73,6 +90,45 @@ func loadDump(in, url string) (ptrace.Dump, error) {
 	default:
 		return ptrace.Dump{}, fmt.Errorf("one of -in or -url is required")
 	}
+}
+
+// loadDirDump resolves a directory: a fleet campaign merges every
+// shard's saved spans.json into one canonical dump; a plain campaign
+// resolves to its own spans.json.
+func loadDirDump(dir string) (ptrace.Dump, error) {
+	man, ok, err := trace.ReadFleetManifest(dir)
+	if err != nil {
+		return ptrace.Dump{}, err
+	}
+	if !ok {
+		return readDumpFile(filepath.Join(dir, spansFileName))
+	}
+	var dumps []ptrace.Dump
+	for _, fs := range man.Shards {
+		d, err := readDumpFile(filepath.Join(dir, fs.Dir, spansFileName))
+		if os.IsNotExist(err) {
+			continue // shard ran without -tracing
+		}
+		if err != nil {
+			return ptrace.Dump{}, fmt.Errorf("shard %s: %w", fs.Name, err)
+		}
+		dumps = append(dumps, d)
+	}
+	if len(dumps) == 0 {
+		return ptrace.Dump{}, fmt.Errorf("%s: no shard holds a %s dump", dir, spansFileName)
+	}
+	return ptrace.MergeDumps(dumps...), nil
+}
+
+// readDumpFile reads one span dump file, passing through os.IsNotExist
+// so fleet merging can skip untraced shards.
+func readDumpFile(path string) (ptrace.Dump, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ptrace.Dump{}, err
+	}
+	defer f.Close()
+	return ptrace.ReadDump(f)
 }
 
 // render writes the full report: stage breakdown, then waterfall and

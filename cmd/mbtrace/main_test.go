@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"mburst/internal/ptrace"
+	"mburst/internal/shard"
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+)
+
+// span builds a minimal top-level span for dump-merging tests.
+func span(id ptrace.TraceID, stage ptrace.Stage, rack uint32, start, stop int64) ptrace.Span {
+	return ptrace.Span{
+		Trace: id, Stage: stage, Rack: rack,
+		Start: simclock.Epoch.Add(simclock.Duration(start)),
+		Stop:  simclock.Epoch.Add(simclock.Duration(stop)),
+	}
+}
+
+func writeDump(t *testing.T, path string, spans []ptrace.Span) {
+	t.Helper()
+	data, err := json.Marshal(ptrace.Dump{Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLoadDumpFleetDirMerges lays down a fleet directory whose shard
+// subdirectories each hold a saved /spans response, and checks loadDump
+// merges them into one canonical stream — including a trace whose
+// client and server halves landed on different shards.
+func TestLoadDumpFleetDirMerges(t *testing.T) {
+	dir := t.TempDir()
+	pl, err := shard.Uniform(2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := trace.FleetManifest{Racks: 2, Placement: pl}
+	for s := 0; s < 2; s++ {
+		sub := filepath.Join(dir, pl.Name(s))
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		man.Shards = append(man.Shards, trace.FleetShard{ID: s, Name: pl.Name(s), Dir: pl.Name(s)})
+	}
+	if err := trace.WriteFleetManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	// Trace 1 is split across both shard dumps; trace 2 lives on one.
+	writeDump(t, filepath.Join(dir, pl.Name(0), "spans.json"), []ptrace.Span{
+		span(1, "poll.read", 0, 0, 100),
+		span(2, "poll.read", 1, 50, 150),
+	})
+	writeDump(t, filepath.Join(dir, pl.Name(1), "spans.json"), []ptrace.Span{
+		span(1, "server.ingest", 0, 100, 300),
+	})
+
+	d, err := loadDump(dir, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Spans) != 3 {
+		t.Fatalf("merged %d spans, want 3: %+v", len(d.Spans), d.Spans)
+	}
+	views := ptrace.GroupTraces(d.Spans)
+	if len(views) != 2 {
+		t.Fatalf("merged %d traces, want 2", len(views))
+	}
+	// The split trace joined: both its halves under one view.
+	for _, v := range views {
+		if v.ID == 1 && len(v.Spans) != 2 {
+			t.Errorf("cross-shard trace holds %d spans, want 2", len(v.Spans))
+		}
+	}
+	// And the merged dump renders like any single-collector dump.
+	var buf bytes.Buffer
+	render(&buf, d.Spans, 2)
+	if !strings.Contains(buf.String(), "3 spans, 2 traces") {
+		t.Errorf("render header wrong:\n%s", buf.String())
+	}
+}
+
+// TestLoadDumpFleetDirWithoutSpans: a fleet directory whose shards were
+// run without -tracing is a clear error, not an empty render.
+func TestLoadDumpFleetDirWithoutSpans(t *testing.T) {
+	dir := t.TempDir()
+	pl, err := shard.Uniform(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, pl.Name(0))
+	if err := os.MkdirAll(sub, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	man := trace.FleetManifest{Racks: 1, Placement: pl,
+		Shards: []trace.FleetShard{{ID: 0, Name: pl.Name(0), Dir: pl.Name(0)}}}
+	if err := trace.WriteFleetManifest(dir, man); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := loadDump(dir, ""); err == nil || !strings.Contains(err.Error(), "spans.json") {
+		t.Fatalf("missing dumps not surfaced: %v", err)
+	}
+}

@@ -1,0 +1,240 @@
+package analysis
+
+// Algebraic laws for the fleet-merge surface: pooling per-port
+// accumulators must be commutative and associative, and must equal the
+// batch oracle pooled by hand — otherwise fleet totals would depend on
+// which shard's snapshot arrived first.
+
+import (
+	"reflect"
+	"testing"
+
+	"mburst/internal/asic"
+	"mburst/internal/rng"
+	"mburst/internal/simclock"
+	"mburst/internal/wire"
+)
+
+// pmixPort synthesizes one port's aligned byte/bin series, with hot and
+// cold stretches phased by the seed so every port classifies both ways.
+func pmixPort(n int, seed uint64) (bytes, bins []wire.Sample) {
+	src := rng.New(seed)
+	phase := int(seed % 5)
+	var cum uint64
+	var cumBins [asic.NumSizeBins]uint64
+	for i := 0; i < n; i++ {
+		at := simclock.Epoch.Add(simclock.Micros(int64(i) * 100))
+		util := 0.1
+		if ((i+phase)/6)%2 == 1 {
+			util = 0.9
+		}
+		cum += uint64(util * float64(gbps10) / 8 * 100e-6)
+		for b := range cumBins {
+			cumBins[b] += uint64(src.Intn(9))
+		}
+		bytes = append(bytes, wire.Sample{Time: at, Kind: asic.KindBytes, Dir: asic.TX, Value: cum})
+		bins = append(bins, wire.Sample{Time: at, Kind: asic.KindSizeBins, Dir: asic.TX, Bins: cumBins})
+	}
+	return bytes, bins
+}
+
+// pmixAcc feeds one port's stream, interleaved as a campaign would.
+func pmixAcc(t *testing.T, bytes, bins []wire.Sample) *PacketMixAcc {
+	t.Helper()
+	m := NewPacketMixAcc(gbps10, 0)
+	for i := range bytes {
+		m.Feed(bytes[i])
+		m.Feed(bins[i])
+	}
+	return m
+}
+
+// pmixClone deep-copies a classifier through its snapshot, so merge
+// variants start from identical state.
+func pmixClone(t *testing.T, m *PacketMixAcc) *PacketMixAcc {
+	t.Helper()
+	c, err := RestorePacketMixAcc(jsonRT(t, m.Snapshot()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func pmixResult(t *testing.T, m *PacketMixAcc) PacketMixResult {
+	t.Helper()
+	res, err := m.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestPacketMixAccMergePoolsPorts(t *testing.T) {
+	aBytes, aBins := pmixPort(60, 1)
+	bBytes, bBins := pmixPort(45, 2)
+	cBytes, cBins := pmixPort(30, 3)
+	a, b, c := pmixAcc(t, aBytes, aBins), pmixAcc(t, bBytes, bBins), pmixAcc(t, cBytes, cBins)
+
+	// The pooled oracle: each port classified by the batch function,
+	// histograms unioned and period counters added by hand.
+	oracle := func(results ...PacketMixResult) PacketMixResult {
+		out := PacketMixResult{Inside: NewSizeHistogram(), Outside: NewSizeHistogram()}
+		for _, r := range results {
+			out.Inside.Merge(r.Inside)
+			out.Outside.Merge(r.Outside)
+			out.InsidePeriods += r.InsidePeriods
+			out.OutsidePeriods += r.OutsidePeriods
+		}
+		return out
+	}
+	batch := func(bytes, bins []wire.Sample) PacketMixResult {
+		r, err := PacketMixInsideOutside(bytes, bins, gbps10, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	want := oracle(batch(aBytes, aBins), batch(bBytes, bBins), batch(cBytes, cBins))
+
+	// Commutativity: a⊕b == b⊕a.
+	ab, ba := pmixClone(t, a), pmixClone(t, b)
+	if err := ab.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := ba.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pmixResult(t, ab), pmixResult(t, ba)) {
+		t.Error("a⊕b and b⊕a classify differently")
+	}
+
+	// Associativity, and both groupings equal the pooled batch oracle:
+	// (a⊕b)⊕c == a⊕(b⊕c) == oracle.
+	left := pmixClone(t, a)
+	if err := left.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := left.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	bc := pmixClone(t, b)
+	if err := bc.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	right := pmixClone(t, a)
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+	lr, rr := pmixResult(t, left), pmixResult(t, right)
+	if !reflect.DeepEqual(lr, rr) {
+		t.Error("(a⊕b)⊕c and a⊕(b⊕c) classify differently")
+	}
+	if !reflect.DeepEqual(lr, want) {
+		t.Errorf("pooled stream diverges from the batch oracle:\nstream: %+v\nbatch:  %+v", lr, want)
+	}
+	if lr.InsidePeriods == 0 || lr.OutsidePeriods == 0 {
+		t.Errorf("degenerate pool: %d inside, %d outside", lr.InsidePeriods, lr.OutsidePeriods)
+	}
+
+	// The source is untouched: b still classifies alone as before.
+	if !reflect.DeepEqual(pmixResult(t, b), batch(bBytes, bBins)) {
+		t.Error("merge mutated its source")
+	}
+}
+
+func TestPacketMixAccMergeRefusals(t *testing.T) {
+	aBytes, aBins := pmixPort(20, 4)
+	base := pmixAcc(t, aBytes, aBins)
+
+	// Threshold mismatch.
+	other := NewPacketMixAcc(gbps10, 0.9)
+	if err := base.Merge(other); err == nil {
+		t.Error("merge across thresholds accepted")
+	}
+
+	// Unpaired residue: a stream whose bin series ran one sample ahead
+	// cannot pool without fabricating the missing byte twin.
+	ragged := NewPacketMixAcc(gbps10, 0)
+	for i := range aBytes {
+		ragged.Feed(aBytes[i])
+		ragged.Feed(aBins[i])
+	}
+	ragged.Feed(wire.Sample{
+		Time: simclock.Epoch.Add(simclock.Micros(int64(len(aBins)) * 100)),
+		Kind: asic.KindSizeBins, Dir: asic.TX,
+	})
+	if err := base.Merge(ragged); err == nil {
+		t.Error("merge of an undrained stream accepted")
+	}
+
+	// Latched alignment error: the poisoned classification must not
+	// leak into a healthy pool.
+	bBytes, bBins := pmixPort(20, 5)
+	bBins[10].Time = bBins[10].Time.Add(simclock.Microsecond)
+	poisoned := pmixAcc(t, bBytes, bBins)
+	if err := base.Merge(poisoned); err == nil {
+		t.Error("merge of a poisoned stream accepted")
+	}
+	// And the receiver still finalizes cleanly after every refusal.
+	if _, err := base.Result(); err != nil {
+		t.Errorf("refused merges corrupted the receiver: %v", err)
+	}
+}
+
+// TestBufferWindowAccMergeLaws pins commutativity and associativity for
+// the Fig 10 window merge against the single-stream oracle.
+func TestBufferWindowAccMergeLaws(t *testing.T) {
+	window := 200 * simclock.Microsecond
+	series := randUtilSeries(3, 60, 40)
+	feedPart := func(t *testing.T, part int) *BufferWindowAcc {
+		t.Helper()
+		b, err := NewBufferWindowAcc(window, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := rng.New(uint64(100 + part))
+		for i, p := range series {
+			if i%3 == part {
+				b.ObserveUtil(i%4, p)
+			}
+		}
+		for i := 0; i < 10; i++ {
+			b.ObservePeak(wire.Sample{
+				Time:  simclock.Epoch.Add(simclock.Micros(int64(part*1000 + i*97))),
+				Kind:  asic.KindBufferPeak,
+				Value: uint64(src.Intn(1 << 20)),
+			})
+		}
+		return b
+	}
+	clone := func(t *testing.T, b *BufferWindowAcc) *BufferWindowAcc {
+		t.Helper()
+		c, err := RestoreBufferWindowAcc(jsonRT(t, b.Snapshot()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	merge := func(t *testing.T, dst, src *BufferWindowAcc) *BufferWindowAcc {
+		t.Helper()
+		if err := dst.Merge(src); err != nil {
+			t.Fatal(err)
+		}
+		return dst
+	}
+	a, b, c := feedPart(t, 0), feedPart(t, 1), feedPart(t, 2)
+
+	ab := merge(t, clone(t, a), b)
+	ba := merge(t, clone(t, b), a)
+	if !reflect.DeepEqual(ab.Windows(), ba.Windows()) {
+		t.Error("a⊕b and b⊕a window differently")
+	}
+	left := merge(t, merge(t, clone(t, a), b), c)
+	right := merge(t, clone(t, a), merge(t, clone(t, b), c))
+	if !reflect.DeepEqual(left.Windows(), right.Windows()) {
+		t.Error("(a⊕b)⊕c and a⊕(b⊕c) window differently")
+	}
+	if len(left.Windows()) == 0 {
+		t.Fatal("degenerate merge: no windows")
+	}
+}

@@ -23,11 +23,14 @@ import (
 // the original value.
 //
 // The sequential state machines here (UtilState, GapAwareState,
-// BurstSegmenter, RebinAcc, DropBinAcc, PacketMixAcc) consume ordered
-// streams, so they snapshot and restore but deliberately do not Merge:
-// two half-streams cannot be combined without fabricating the seam pair.
+// BurstSegmenter, RebinAcc, DropBinAcc) consume ordered streams, so
+// they snapshot and restore but deliberately do not Merge: two
+// half-streams cannot be combined without fabricating the seam pair.
 // The order-free accumulators (SeriesEndpoints over consecutive halves,
-// BufferWindowAcc) gain Merge for fleet-scale aggregation.
+// BufferWindowAcc) gain Merge for fleet-scale aggregation, and
+// PacketMixAcc gains the restricted cross-port pooling Merge below —
+// whole completed streams combine exactly even though half-streams
+// cannot.
 
 func errString(err error) string {
 	if err == nil {
@@ -301,6 +304,42 @@ func RestorePacketMixAcc(s PacketMixSnap) (*PacketMixAcc, error) {
 		m.byteQ = append(m.byteQ, byteRec{time: r.Time, util: r.Util, hasUtil: r.HasUtil})
 	}
 	return m, nil
+}
+
+// Merge pools o's finished classification into m — the cross-port
+// aggregation the fleet tier performs when combining per-port Fig 5
+// classifiers into one fleet-wide packet mix. The classifier is a
+// sequential machine, so only a *completed* stream pools exactly: o
+// must be drained (no unpaired byte/bin residue) and error-free, or
+// Merge refuses rather than fabricate a seam pair. Histograms union,
+// period and sample counters add; the receiver keeps its own pairing
+// tail and utilization state, so it may keep consuming its own port's
+// stream afterwards. Thresholds must agree. o is left untouched, and
+// pooling is commutative and associative over Result (snapshot_test.go
+// proves both against the batch oracle).
+func (m *PacketMixAcc) Merge(o *PacketMixAcc) error {
+	if m.threshold != o.threshold {
+		return fmt.Errorf("analysis: merging packet mixes with different thresholds (%g vs %g)",
+			m.threshold, o.threshold)
+	}
+	if len(o.byteQ) != 0 || len(o.binQ) != 0 {
+		return fmt.Errorf("analysis: merging a packet mix with %d byte + %d bin samples unpaired",
+			len(o.byteQ), len(o.binQ))
+	}
+	if o.utilErr != nil {
+		return o.utilErr
+	}
+	if o.alignErr != nil {
+		return o.alignErr
+	}
+	m.res.Inside.Merge(o.res.Inside)
+	m.res.Outside.Merge(o.res.Outside)
+	m.res.InsidePeriods += o.res.InsidePeriods
+	m.res.OutsidePeriods += o.res.OutsidePeriods
+	m.nBytes += o.nBytes
+	m.nBins += o.nBins
+	m.matched += o.matched
+	return nil
 }
 
 // BufferAggSnap serializes one window of a BufferWindowAcc.

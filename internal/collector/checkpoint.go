@@ -56,7 +56,13 @@ func SaveCheckpoint(path string, st CheckpointState) error {
 	if err != nil {
 		return fmt.Errorf("collector: encoding checkpoint: %w", err)
 	}
-	data = append(data, '\n')
+	return writeFileAtomic(path, append(data, '\n'))
+}
+
+// writeFileAtomic is the checkpoint write discipline shared by the
+// per-shard and fleet checkpoints: temp file, fsync, rename, best-effort
+// directory fsync.
+func writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
 	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {

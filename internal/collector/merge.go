@@ -1,0 +1,108 @@
+package collector
+
+import (
+	"fmt"
+	"sort"
+
+	"mburst/internal/analysis"
+	"mburst/internal/asic"
+)
+
+// This file is the fleet-merge layer: the pure-state operations the
+// Aggregator uses to fold shard-local accumulator snapshots into the
+// fleet-wide view. The operations are exact, not approximate, because
+// the shard placement (internal/shard) assigns every rack to exactly
+// one shard: each (rack, port, dir, kind) series is owned by a single
+// shard, so merging FiguresStates is a disjoint sorted union and
+// merging ingest snapshots is plain addition. A duplicate series is not
+// a merge conflict to resolve — it is a placement violation to report.
+
+// seriesID orders and identifies a series across shards.
+type seriesID struct {
+	Rack uint32
+	Port uint16
+	Dir  asic.Direction
+	Kind asic.CounterKind
+}
+
+func (s SeriesState) id() seriesID {
+	return seriesID{Rack: s.Rack, Port: s.Port, Dir: s.Dir, Kind: s.Kind}
+}
+
+func (a seriesID) less(b seriesID) bool {
+	if a.Rack != b.Rack {
+		return a.Rack < b.Rack
+	}
+	if a.Port != b.Port {
+		return a.Port < b.Port
+	}
+	if a.Dir != b.Dir {
+		return a.Dir < b.Dir
+	}
+	return a.Kind < b.Kind
+}
+
+func (s seriesID) String() string {
+	return fmt.Sprintf("rack %d %s", s.Rack,
+		analysis.SeriesKey{Port: s.Port, Dir: s.Dir, Kind: s.Kind}.String())
+}
+
+// MergeFiguresStates unions shard-local figure states into the fleet
+// state: series concatenated and re-sorted into the canonical (rack,
+// port, dir, kind) order LiveFigures.State emits, sample totals summed.
+// Because a rack's series live on exactly one shard, the union is
+// disjoint; a series appearing in two inputs means two shards ingested
+// the same rack and the merged state would double-count, so that is an
+// error, not a fold.
+func MergeFiguresStates(states ...FiguresState) (FiguresState, error) {
+	var out FiguresState
+	n := 0
+	for _, st := range states {
+		n += len(st.Series)
+	}
+	if n > 0 {
+		out.Series = make([]SeriesState, 0, n)
+	}
+	for _, st := range states {
+		out.Samples += st.Samples
+		out.Series = append(out.Series, st.Series...)
+	}
+	sort.Slice(out.Series, func(i, j int) bool {
+		return out.Series[i].id().less(out.Series[j].id())
+	})
+	for i := 1; i < len(out.Series); i++ {
+		if out.Series[i].id() == out.Series[i-1].id() {
+			return FiguresState{}, fmt.Errorf(
+				"collector: series %s claimed by two shards (placement violation)",
+				out.Series[i].id())
+		}
+	}
+	return out, nil
+}
+
+// MergeSnapshots sums shard-local ingest snapshots into fleet totals.
+// Batch and sample counts add; per-rack counts union (summing if a rack
+// somehow appears on two shards — ingest accounting is additive even
+// when figures would conflict); the newest-sample watermark is the max.
+func MergeSnapshots(snaps ...Snapshot) Snapshot {
+	var out Snapshot
+	perRack := make(map[uint32]uint64)
+	for _, s := range snaps {
+		out.Batches += s.Batches
+		out.Samples += s.Samples
+		if s.LastSampleNanos > out.LastSampleNanos {
+			out.LastSampleNanos = s.LastSampleNanos
+		}
+		for _, rc := range s.PerRack {
+			perRack[rc.Rack] += rc.Samples
+		}
+	}
+	if len(perRack) > 0 {
+		out.PerRack = make([]RackCount, 0, len(perRack))
+		for rack, n := range perRack {
+			out.PerRack = append(out.PerRack, RackCount{Rack: rack, Samples: n})
+		}
+		sort.Slice(out.PerRack, func(i, j int) bool { return out.PerRack[i].Rack < out.PerRack[j].Rack })
+	}
+	return out
+}

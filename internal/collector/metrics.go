@@ -176,6 +176,82 @@ func NewRecoveryMetrics(reg *obs.Registry, labels ...obs.Label) *RecoveryMetrics
 	}
 }
 
+// ShardMetrics instruments one collector shard's fan-in edge.
+type ShardMetrics struct {
+	// Misrouted counts batches dropped because the placement maps their
+	// rack to a different shard — a placement-generation mismatch
+	// between agent and collector, never a normal condition.
+	Misrouted *obs.Counter
+	// Published counts accumulator snapshots the shard cut for the
+	// aggregation tier.
+	Published *obs.Counter
+}
+
+// NewShardMetrics registers the shard instrument set on reg.
+func NewShardMetrics(reg *obs.Registry, labels ...obs.Label) *ShardMetrics {
+	return &ShardMetrics{
+		Misrouted: reg.Counter("mburst_shard_misrouted_batches_total",
+			"Batches dropped because the placement owns their rack elsewhere.", labels...),
+		Published: reg.Counter("mburst_shard_updates_published_total",
+			"Accumulator snapshots published to the aggregation tier.", labels...),
+	}
+}
+
+// AggregatorMetrics instruments the fleet aggregation tier: the bounded
+// fan-in queue's exact back-pressure accounting and the merge path.
+// Enqueued + Dropped equals the updates offered; Applied + Stale +
+// Rejected equals the updates drained — the equalities the back-pressure
+// exactness tests pin down.
+type AggregatorMetrics struct {
+	// Enqueued counts updates accepted into the fan-in queue.
+	Enqueued *obs.Counter
+	// Dropped counts updates Offer shed because the queue was full.
+	// Dropping loses freshness only: updates are cumulative cuts.
+	Dropped *obs.Counter
+	// Deferred counts Deliver calls that found the queue full and had to
+	// block — the back-pressure signal on the must-land path.
+	Deferred *obs.Counter
+	// Applied counts updates folded into the retained per-shard state.
+	Applied *obs.Counter
+	// Stale counts updates superseded by an equal-or-newer Seq already
+	// retained for their shard.
+	Stale *obs.Counter
+	// Rejected counts updates with an out-of-range shard index.
+	Rejected *obs.Counter
+	// QueueDepth is the fan-in queue's current occupancy.
+	QueueDepth *obs.Gauge
+	// Merges counts fleet-state merges served.
+	Merges *obs.Counter
+	// MergeLatency is the fleet merge wall-clock in microseconds,
+	// populated only when AggregatorConfig.Now supplies a clock.
+	MergeLatency *obs.Histogram
+}
+
+// NewAggregatorMetrics registers the aggregator instrument set on reg.
+func NewAggregatorMetrics(reg *obs.Registry, labels ...obs.Label) *AggregatorMetrics {
+	return &AggregatorMetrics{
+		Enqueued: reg.Counter("mburst_agg_updates_enqueued_total",
+			"Shard updates accepted into the fan-in queue.", labels...),
+		Dropped: reg.Counter("mburst_agg_updates_dropped_total",
+			"Shard updates shed by Offer because the fan-in queue was full.", labels...),
+		Deferred: reg.Counter("mburst_agg_updates_deferred_total",
+			"Deliver calls that blocked on a full fan-in queue.", labels...),
+		Applied: reg.Counter("mburst_agg_updates_applied_total",
+			"Shard updates folded into the retained fleet state.", labels...),
+		Stale: reg.Counter("mburst_agg_updates_stale_total",
+			"Shard updates superseded by a newer retained sequence.", labels...),
+		Rejected: reg.Counter("mburst_agg_updates_rejected_total",
+			"Shard updates with an out-of-range shard index.", labels...),
+		QueueDepth: reg.Gauge("mburst_agg_queue_depth",
+			"Fan-in queue occupancy.", labels...),
+		Merges: reg.Counter("mburst_agg_merges_total",
+			"Fleet-state merges served.", labels...),
+		MergeLatency: reg.Histogram("mburst_agg_merge_latency_us",
+			"Fleet-state merge wall-clock in microseconds.",
+			obs.DefLatencyBucketsUS, labels...),
+	}
+}
+
 // countingWriter counts bytes successfully written to the underlying
 // writer. The count is read by the single flushing goroutine only; the
 // metrics counters it feeds are atomic.

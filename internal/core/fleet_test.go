@@ -1,0 +1,171 @@
+package core
+
+import (
+	"context"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"mburst/internal/fault"
+	"mburst/internal/simclock"
+	"mburst/internal/trace"
+	"mburst/internal/wire"
+	"mburst/internal/workload"
+)
+
+// fleetTestConfig is a small-but-real fleet: enough racks to spread
+// over several shards, short windows so the suite stays fast.
+func fleetTestConfig(racks int) Config {
+	return Config{
+		Racks:     racks,
+		Windows:   1,
+		WindowDur: 2 * simclock.Millisecond,
+		Warmup:    500 * simclock.Microsecond,
+		Servers:   8,
+		Seed:      7,
+	}
+}
+
+func TestFleetMatchesOracleAcrossShardCounts(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 5} {
+		e, err := NewExperiment(fleetTestConfig(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RunFleet(context.Background(), FleetConfig{
+			App:           workload.Web,
+			Shards:        shards,
+			PlacementSeed: 42,
+			BatchSize:     16,
+			PublishEvery:  4,
+			Oracle:        true,
+		})
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !res.ByteExact {
+			t.Errorf("shards=%d: fleet state diverges from the single-collector oracle", shards)
+		}
+		if res.Fleet.Reporting != shards {
+			t.Errorf("shards=%d: %d reporting", shards, res.Fleet.Reporting)
+		}
+		if res.Batches == 0 || res.Samples == 0 || res.WireBytes == 0 {
+			t.Errorf("shards=%d: empty campaign: %+v", shards, res)
+		}
+		if res.Samples != res.Fleet.Ingest.Samples {
+			t.Errorf("shards=%d: delivered %d samples, fleet ingested %d",
+				shards, res.Samples, res.Fleet.Ingest.Samples)
+		}
+	}
+}
+
+func TestFleetWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) *FleetResult {
+		cfg := fleetTestConfig(6)
+		cfg.Workers = workers
+		e, err := NewExperiment(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := e.RunFleet(context.Background(), FleetConfig{
+			App: workload.Cache, Shards: 3, PlacementSeed: 1, BatchSize: 32,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if serial.Fleet.Figures.Samples == 0 {
+		t.Fatal("empty fleet figures")
+	}
+	if !reflect.DeepEqual(serial.Fleet.Figures, parallel.Fleet.Figures) ||
+		!reflect.DeepEqual(serial.Fleet.Ingest, parallel.Fleet.Ingest) ||
+		!reflect.DeepEqual(serial.Figures, parallel.Figures) {
+		t.Error("worker counts 1 vs 4: fleet states diverge")
+	}
+	if serial.WireBytes != parallel.WireBytes || serial.Batches != parallel.Batches {
+		t.Errorf("worker counts 1 vs 4: totals diverge: %d/%d bytes, %d/%d batches",
+			serial.WireBytes, parallel.WireBytes, serial.Batches, parallel.Batches)
+	}
+}
+
+func TestFleetDurableFaultsByteExact(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fleet")
+	sched, err := fault.ParseSchedule("kill@0.5ms,torn@1ms:x0.5,shortw@1.5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewExperiment(fleetTestConfig(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.RunFleet(context.Background(), FleetConfig{
+		App:             workload.Hadoop,
+		Shards:          3,
+		PlacementSeed:   9,
+		BatchSize:       8,
+		PublishEvery:    4,
+		Dir:             dir,
+		CheckpointEvery: 4,
+		Oracle:          true,
+		Faults:          sched,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kills != 3 || res.Resumes != 3 {
+		t.Errorf("kills=%d resumes=%d, want 3 each (%s)", res.Kills, res.Resumes, sched)
+	}
+	if !res.ByteExact {
+		t.Error("crash schedule broke fleet/oracle byte-exactness")
+	}
+
+	// The fleet directory round-trips: manifest, placement-stamped
+	// campaign meta, fleet checkpoint, and the merged archive stream
+	// accounts for every admitted batch (vouched short-write lies
+	// excepted, batch-for-batch, as Shortfall).
+	man, ok, err := trace.ReadFleetManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("fleet manifest: ok=%v err=%v", ok, err)
+	}
+	if !man.Placement.Equal(res.Placement) {
+		t.Error("manifest placement diverges from the campaign's")
+	}
+	r, err := trace.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Meta().Placement == nil || !r.Meta().Placement.Equal(res.Placement) {
+		t.Error("campaign.json placement missing or diverging")
+	}
+	var archived uint64
+	if err := trace.IterFleet(dir, func(b *wire.Batch) error {
+		archived++
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Redelivered overlap is deduped by the gates, so the archives hold
+	// each admitted batch exactly once, minus vouched short-write lies.
+	if archived+res.Shortfall != res.Batches {
+		t.Errorf("archives hold %d batches + %d shortfall, fleet admitted %d",
+			archived, res.Shortfall, res.Batches)
+	}
+}
+
+func TestFleetFaultsRequireDir(t *testing.T) {
+	e, err := NewExperiment(fleetTestConfig(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched, err := fault.ParseSchedule("kill@1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunFleet(context.Background(), FleetConfig{
+		App: workload.Web, Shards: 1, Faults: sched,
+	}); err == nil {
+		t.Fatal("volatile fleet accepted a fault schedule")
+	}
+}

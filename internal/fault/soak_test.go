@@ -97,6 +97,10 @@ type soakReport struct {
 	StallSchedules     int          `json:"stall_schedules"`
 	ZeroFaultIdentical bool         `json:"zero_fault_identical"`
 	CollectorCrash     *crashReport `json:"collector_crash,omitempty"`
+	// Fleet is owned by internal/core's TestFleetCrashSoak (this package
+	// cannot import core); keep it opaque so read-merge-write here never
+	// drops the fleet ledger.
+	Fleet json.RawMessage `json:"fleet,omitempty"`
 }
 
 // mergeSoakArtifact read-merge-writes the MBURST_FAULT_OUT artifact:
@@ -219,9 +223,9 @@ func TestChaosSoak(t *testing.T) {
 	}
 
 	mergeSoakArtifact(t, func(r *soakReport) {
-		crash := r.CollectorCrash
+		crash, fleet := r.CollectorCrash, r.Fleet
 		*r = report
-		r.CollectorCrash = crash
+		r.CollectorCrash, r.Fleet = crash, fleet
 	})
 }
 

@@ -12,7 +12,7 @@ import (
 // recovery and checkpoint replay must rebuild identical state from the
 // same bytes on any machine. (obs is deliberately absent: process
 // telemetry like uptime gauges legitimately reads the wall clock.)
-var clockflowExtra = []string{"collector", "analysis", "detect", "trace"}
+var clockflowExtra = []string{"collector", "analysis", "detect", "trace", "shard"}
 
 func inSimDomain(path string) bool {
 	for _, seg := range simDomain {

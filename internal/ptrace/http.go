@@ -35,6 +35,20 @@ func ReadDump(r io.Reader) (Dump, error) {
 	return d, nil
 }
 
+// MergeDumps combines span dumps recorded by several tracers — one per
+// collector shard in a fleet campaign — into one canonical dump, as if
+// a single tracer had recorded every span. Span IDs derive from batch
+// content, so client and server halves recorded on different shards
+// still join into whole traces after the merge.
+func MergeDumps(dumps ...Dump) Dump {
+	var out Dump
+	for _, d := range dumps {
+		out.Spans = append(out.Spans, d.Spans...)
+	}
+	sortSpans(out.Spans)
+	return out
+}
+
 // SpansHandler serves the JSON dump — mounted at /spans on the daemons'
 // debug mux.
 func (t *Tracer) SpansHandler() http.Handler {

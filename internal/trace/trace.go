@@ -30,6 +30,7 @@ import (
 	"path/filepath"
 
 	"mburst/internal/collector"
+	"mburst/internal/shard"
 	"mburst/internal/simclock"
 	"mburst/internal/wire"
 )
@@ -65,6 +66,10 @@ type Meta struct {
 	Format string `json:"wire_format,omitempty"`
 	// Notes is free-form context (which figure the campaign feeds, etc).
 	Notes string `json:"notes,omitempty"`
+	// Placement, when non-nil, records the fleet campaign's versioned
+	// rack→shard placement (see internal/shard): which collector shard
+	// owned each rack's stream. Single-collector campaigns omit it.
+	Placement *shard.Placement `json:"placement,omitempty"`
 }
 
 // WireFormat resolves Format to a wire.Format, defaulting the empty

@@ -71,7 +71,23 @@ MBURST_WIRE_BENCH_OUT="$PWD/BENCH_wire.json" \
 MBURST_FAULT_OUT="$PWD/FAULT_soak.json" \
 	go test -race -run 'TestChaosSoak|TestAgentRestartRecovery|TestCollectorCrashSoak' -count=1 ./internal/fault
 
-# Durability gate: every seeded collector-crash schedule must have
-# recovered byte-exact fleet state (figures, ingest counters, archive
-# stream modulo accounted shortfall) against the uninterrupted oracle.
-grep -q '"byte_exact": true' FAULT_soak.json
+# Fleet crash soak: the same crash kinds against the sharded collection
+# plane — generated kill / torn / short-write schedules striking
+# collector shards mid-campaign, each shard resuming from its archive +
+# checkpoint. Merges the "fleet" ledger into the same artifact.
+MBURST_FAULT_OUT="$PWD/FAULT_soak.json" \
+	go test -race -run 'TestFleetCrashSoak' -count=1 ./internal/core
+
+# Durability gate: every seeded crash schedule — single-collector and
+# fleet ledgers both — must have recovered byte-exact state against its
+# uninterrupted oracle (hence exactly two "byte_exact": true markers).
+[ "$(grep -c '"byte_exact": true' FAULT_soak.json)" -eq 2 ]
+
+# Fleet-scale gate: the ISSUE's reference campaign — 1000 racks fanned
+# over 8 collector shards in-process — must complete with fleet figures
+# bit-identical to the single-collector oracle, and the artifact records
+# ingest throughput, checkpoint-merge wall-clock, and bytes fanned in
+# (floors enforced inside the test).
+MBURST_FLEET_BENCH_OUT="$PWD/BENCH_fleet.json" \
+	go test -run TestFleetBenchArtifact -count=1 ./internal/core
+grep -q '"byte_exact": true' BENCH_fleet.json
